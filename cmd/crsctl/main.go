@@ -1,0 +1,72 @@
+// Command crsctl is a command-line client for the Clause Retrieval Server
+// daemon (crsd): it runs one retrieval and prints the candidate clauses
+// and the server's stage statistics.
+//
+// Usage:
+//
+//	crsctl -addr 127.0.0.1:7071 -mode fs1+fs2 'married_couple(S, S)'
+//	crsctl -assert 'married_couple(romeo, juliet)'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clare/internal/crs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7071", "crsd address")
+	mode := flag.String("mode", "auto", "search mode: software|fs1|fs2|fs1+fs2|auto")
+	assert := flag.String("assert", "", "clause to assert in a transaction instead of querying")
+	stats := flag.Bool("stats", false, "print the server's per-mode service counters and exit")
+	flag.Parse()
+
+	c, err := crs.Dial(*addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer c.Close()
+
+	if *stats {
+		line, err := c.Stats()
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Println(line)
+		return
+	}
+
+	if *assert != "" {
+		if err := c.Begin(); err != nil {
+			fatal("begin: %v", err)
+		}
+		if err := c.Assert(*assert); err != nil {
+			fatal("assert: %v", err)
+		}
+		if err := c.Commit(); err != nil {
+			fatal("commit: %v", err)
+		}
+		fmt.Println("committed.")
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crsctl [-addr a] [-mode m] 'goal(...)'  |  crsctl -assert 'clause'")
+		os.Exit(2)
+	}
+	res, err := c.Retrieve(*mode, flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, cl := range res.Clauses {
+		fmt.Println(cl)
+	}
+	fmt.Println("% " + res.Stats)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crsctl: "+format+"\n", args...)
+	os.Exit(1)
+}

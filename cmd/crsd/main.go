@@ -1,0 +1,64 @@
+// Command crsd is the Clause Retrieval Server daemon: it loads one or
+// more predicate files into a CLARE retriever and serves the CRS wire
+// protocol over TCP for multiple concurrent clients (§2.2).
+//
+// Usage:
+//
+//	crsd -addr :7071 family.pl emp.pl
+//
+// Each file holds the clauses of one predicate; its base name becomes the
+// module name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clare/internal/core"
+	"clare/internal/crs"
+	"clare/internal/plfile"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7071", "listen address")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] predicate.pl ...")
+		os.Exit(2)
+	}
+
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv := crs.NewServer(r)
+	for _, file := range flag.Args() {
+		clauses, err := plfile.ReadFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		module := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		if err := srv.Load(module, clauses); err != nil {
+			fatal("loading %s: %v", file, err)
+		}
+		fmt.Printf("loaded %s: %d clauses into module %s\n", file, len(clauses), module)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("crsd listening on %s\n", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fatal("serve: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crsd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command kbc is the knowledge-base compiler: it compiles Prolog predicate
+// files into a binary CLARE store (PIF clause files + SCW+MB secondary
+// indexes + shared symbol table) that loads without re-parsing — the
+// "compiled clause file" path of §2.1.
+//
+// Usage:
+//
+//	kbc -o kb.clare family.pl emp.pl     # compile
+//	kbc -info kb.clare                   # inspect a store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+
+	"clare/internal/core"
+	"clare/internal/plfile"
+	"clare/internal/term"
+)
+
+func main() {
+	out := flag.String("o", "kb.clare", "output store file")
+	info := flag.String("info", "", "inspect an existing store instead of compiling")
+	flag.Parse()
+
+	if *info != "" {
+		inspect(*info)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kbc -o kb.clare pred1.pl pred2.pl ...  |  kbc -info kb.clare")
+		os.Exit(2)
+	}
+
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, file := range flag.Args() {
+		clauses, err := plfile.ReadFile(file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		module := strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))
+		pred, err := r.AddClauses(module, clauses)
+		if err != nil {
+			fatal("compiling %s: %v", file, err)
+		}
+		fmt.Printf("compiled %s: %d clauses, %d B clause file, %d B index\n",
+			file, pred.File.Len(), pred.File.SizeBytes(), pred.File.IndexSizeBytes())
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	if err := r.SaveKB(f); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	st, err := f.Stat()
+	if err == nil {
+		fmt.Printf("wrote %s (%d bytes)\n", *out, st.Size())
+	}
+}
+
+func inspect(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	r, err := core.LoadRetriever(core.DefaultConfig(), f)
+	if err != nil {
+		fatal("loading %s: %v", path, err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "predicate\tclauses\trules\tmasked\tclause file\tindex")
+	for _, pi := range r.Predicates() {
+		args := make([]term.Term, pi.Arity)
+		for i := range args {
+			args[i] = term.NewVar("_")
+		}
+		pred, err := r.Predicate(term.New(pi.Functor, args...))
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(w, "%s:%v\t%d\t%d\t%d\t%d B\t%d B\n",
+			pred.File.Module, pi, pred.File.Len(), pred.RuleCount, pred.MaskedClauses,
+			pred.File.SizeBytes(), pred.File.IndexSizeBytes())
+	}
+	w.Flush()
+	fmt.Printf("symbols: %d\n", r.Symbols().Len())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kbc: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command kbgen generates synthetic knowledge bases as Prolog source —
+// the workload families used by the experiments (family/married_couple,
+// keyed relations, structured facts, rule/fact mixes, Warren-scale KBs).
+//
+// Usage:
+//
+//	kbgen -kind family -n 1000 -same 8        > family.pl
+//	kbgen -kind relation -n 50000 -domain 500 > emp.pl
+//	kbgen -kind structured -n 2000            > shapes.pl
+//	kbgen -kind rules -rules 100 -n 900       > fly.pl
+//	kbgen -kind warren -scale 0.001           > warren.pl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"clare/internal/core"
+	"clare/internal/term"
+	"clare/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "family", "family|relation|structured|rules|warren")
+	n := flag.Int("n", 1000, "fact count (couples for family)")
+	same := flag.Int("same", 8, "family: every k-th couple shares a name")
+	domain := flag.Int("domain", 100, "relation: distinct key values")
+	arity := flag.Int("arity", 3, "relation: predicate arity")
+	rules := flag.Int("rules", 50, "rules: rule count (facts come from -n)")
+	scale := flag.Float64("scale", 0.001, "warren: fraction of the full 3k/30k/3M sizing")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	emit := func(cls []core.ClauseTerm) {
+		for _, c := range cls {
+			if c.Body == nil || term.Equal(c.Body, term.Atom("true")) {
+				fmt.Fprintf(out, "%s.\n", c.Head)
+			} else {
+				fmt.Fprintf(out, "%s :- %s.\n", c.Head, c.Body)
+			}
+		}
+	}
+
+	switch *kind {
+	case "family":
+		emit(workload.Family{Couples: *n, SameEvery: *same}.Clauses())
+	case "relation":
+		emit(workload.Relation{Name: "rel", Facts: *n, Domain: *domain, Arity: *arity, Seed: *seed}.Clauses())
+	case "structured":
+		emit(workload.Structured{Name: "shape", Facts: *n, DeepVariety: 4, Seed: *seed}.Clauses())
+	case "rules":
+		emit(workload.Rules{Name: "mixed", Rules: *rules, Facts: *n, Seed: *seed}.Clauses())
+	case "warren":
+		w := workload.WarrenKB{Scale: *scale, Seed: *seed}
+		p, r, f := w.Dimensions()
+		fmt.Fprintf(out, "%% warren KB at scale %g: %d predicates, %d rules, %d facts\n", *scale, p, r, f)
+		for _, pred := range w.Generate() {
+			emit(pred.Clauses)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "kbgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}

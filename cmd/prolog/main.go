@@ -1,0 +1,95 @@
+// Command prolog is the PDBM substrate's Prolog system: a file consulter
+// and interactive top level on the engine package (a Prolog-X–style
+// system, §2 of the paper).
+//
+// Usage:
+//
+//	prolog [-g goal] [-max n] [file.pl ...]
+//
+// Files are consulted in order. With -g the goal runs non-interactively
+// and solutions print one per line; otherwise goals are read from stdin
+// (one per line, no trailing '.', empty line quits).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clare/internal/engine"
+)
+
+func main() {
+	goal := flag.String("g", "", "goal to prove (non-interactive)")
+	maxSols := flag.Int("max", 0, "maximum solutions to print (0 = all)")
+	traceOn := flag.Bool("trace", false, "enable port tracing (CALL/EXIT/REDO/FAIL)")
+	flag.Parse()
+
+	m := engine.New()
+	if *traceOn {
+		m.SetTrace(os.Stderr)
+	}
+	for _, file := range flag.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fatal("reading %s: %v", file, err)
+		}
+		if err := m.ConsultString(string(src)); err != nil {
+			fatal("consulting %s: %v", file, err)
+		}
+	}
+
+	if *goal != "" {
+		if code := runGoal(m, *goal, *maxSols); code != 0 {
+			os.Exit(code)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("?- ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(in.Text()), "."))
+		if line == "" || line == "halt" {
+			return
+		}
+		runGoal(m, line, *maxSols)
+		if halted, code := m.Halted(); halted {
+			os.Exit(code)
+		}
+	}
+}
+
+// runGoal proves one goal, printing each solution. Returns a process exit
+// code: 0 success, 1 failure, 2 error.
+func runGoal(m *engine.Machine, goal string, max int) int {
+	sols, err := m.Query(goal, max)
+	if err == engine.ErrHalt {
+		_, code := m.Halted()
+		os.Exit(code)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return 2
+	}
+	if len(sols) == 0 {
+		fmt.Println("no.")
+		return 1
+	}
+	for _, s := range sols {
+		fmt.Printf("%v ;\n", s)
+	}
+	fmt.Println("yes.")
+	return 0
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prolog: "+format+"\n", args...)
+	os.Exit(2)
+}

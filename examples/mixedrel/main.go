@@ -1,0 +1,75 @@
+// mixedrel demonstrates the §1 "mixed relation": rules and facts coexist
+// in ONE disk-resident predicate in user-specified order — exactly what
+// coupled Prolog/relational systems disallow and the integrated PDBM
+// design supports. Clause order is semantically significant: the cut in
+// the first rule must see the clauses in the stored order.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clare"
+)
+
+func main() {
+	kb, err := clare.NewKB(clare.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Memory-resident support predicates.
+	err = kb.ConsultString(`
+		bird(tweety). bird(sam). bird(pingu).
+		penguin(pingu).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One disk-resident predicate mixing facts and rules, order mattering:
+	// the superman fact must answer before the general rule enumerates
+	// birds, and pingu must be excluded by negation.
+	err = kb.LoadDiskPredicateString("flying", `
+		fly(superman).
+		fly(X) :- bird(X), \+ penguin(X).
+		fly(concorde).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sols, err := kb.Query("fly(W)", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("?- fly(W).   % mixed facts and rules, user order preserved")
+	for _, s := range sols {
+		fmt.Printf("   %v\n", s)
+	}
+
+	// Retrieval view: the rule head fly(X) carries a variable, so its FS1
+	// index entry is masked; a ground probe still cannot lose it.
+	rt, err := kb.Retrieve("fly(tweety)", clare.ModeFS1FS2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nretrieval for fly(tweety): %d of %d clauses are candidates\n",
+		rt.Stats.AfterFS2, rt.Stats.TotalClauses)
+	heads, bodies, err := rt.DecodeCandidates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range heads {
+		if bodies[i].String() == "true" {
+			fmt.Printf("   %v.\n", heads[i])
+		} else {
+			fmt.Printf("   %v :- %v.\n", heads[i], bodies[i])
+		}
+	}
+
+	if ok, err := kb.Prove("fly(pingu)"); err != nil || ok {
+		log.Fatalf("fly(pingu) = %v, %v — penguins must not fly", ok, err)
+	}
+	fmt.Println("\nfly(pingu) correctly fails (negation through the disk-resident rule).")
+}

@@ -1,0 +1,71 @@
+// warrenkb scales toward Warren's "medium-size knowledge based system"
+// (§1: ≈3000 predicates, 30000 rules, 3 million facts, 30 MB). The
+// example builds a 1/500-scale instance, loads every predicate behind
+// CLARE, and measures retrieval latency as the KB grows — the regime
+// where in-memory Prolog systems of the era gave up (the paper's footnote:
+// ≈60k clauses on a 4 MB Sun3/160).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"clare"
+	"clare/internal/core"
+	"clare/internal/term"
+	"clare/internal/workload"
+)
+
+func main() {
+	kb, err := clare.NewKB(clare.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := workload.WarrenKB{Scale: 0.002, Seed: 7}
+	p, r, f := w.Dimensions()
+	fmt.Printf("generating Warren KB at scale %g: %d predicates, %d rules, %d facts\n",
+		w.Scale, p, r, f)
+
+	preds := w.Generate()
+	totalClauses := 0
+	for _, pred := range preds {
+		clauses := make([]core.ClauseTerm, len(pred.Clauses))
+		copy(clauses, pred.Clauses)
+		if err := kb.LoadDiskPredicate("warren", clauses); err != nil {
+			log.Fatal(err)
+		}
+		totalClauses += len(clauses)
+	}
+	fmt.Printf("loaded %d clauses across %d disk-resident predicates\n\n", totalClauses, len(preds))
+
+	// Probe the largest predicate at several selectivities.
+	for _, probe := range []string{"e1", "e7", "e55"} {
+		goal := term.New(preds[0].Name, term.Atom(probe), term.NewVar("V")).String()
+		rt, err := kb.Retrieve(goal, clare.ModeFS1FS2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trueU, falseD, err := rt.Evaluate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("?- %s.\n", goal)
+		fmt.Printf("   %d clauses → FS1 %d → FS2 %d (%d true, %d false drops), simulated %v\n",
+			rt.Stats.TotalClauses, rt.Stats.AfterFS1, rt.Stats.AfterFS2, trueU, falseD, rt.Stats.Total)
+	}
+
+	// The aux/1 predicate the rules call lives in memory.
+	if err := kb.ConsultString("aux(X) :- atom(X)."); err != nil {
+		log.Fatal(err)
+	}
+	goal := fmt.Sprintf("%s(e1, V)", preds[0].Name)
+	sols, err := kb.Query(goal, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst resolution answers for %s:\n", goal)
+	for _, s := range sols {
+		fmt.Printf("   %v\n", s)
+	}
+}

@@ -1,0 +1,3 @@
+module clare
+
+go 1.22

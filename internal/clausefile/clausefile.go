@@ -1,0 +1,198 @@
+// Package clausefile implements the compiled clause files of the PDBM
+// store: "predicates with the same functor names and arities are stored in
+// a compiled clause file. For fast searching in large files, codewords are
+// generated for facts and rule heads and these are maintained in a
+// secondary file" (§2.1).
+//
+// Each stored clause carries two PIF encodings: the HEAD encoding — the
+// argument stream FS2 walks during partial test unification — and the full
+// CLAUSE encoding (head and body wrapped in one term so variable sharing
+// survives), used to reconstruct the clause for full unification and
+// resolution on the host. The secondary file is the SCW+MB index over the
+// head encodings.
+package clausefile
+
+import (
+	"fmt"
+
+	"clare/internal/pif"
+	"clare/internal/scw"
+	"clare/internal/symtab"
+	"clare/internal/term"
+)
+
+// clauseWrapper is the functor wrapping head and body in the full clause
+// encoding.
+const clauseWrapper = ":-"
+
+// MaxRecordBytes is the largest clause record the system accepts: the FS2
+// Result Memory gives each satisfier a 512-byte slot (its 9-bit offset
+// counter, §3.2), so clause records must fit one slot. Enforced at compile
+// time, as the PDBM compiler would.
+const MaxRecordBytes = 512
+
+// StoredClause is one record of a compiled clause file.
+type StoredClause struct {
+	// Addr is the record's byte offset in the file — the address the
+	// secondary index and the Result Memory traffic in.
+	Addr uint32
+	// Seq is the clause's user-order position.
+	Seq int
+	// Head is the head-argument PIF encoding (DB-side variable tags).
+	Head *pif.Encoded
+	// Clause is the ':-'(Head, Body) PIF encoding for reconstruction.
+	Clause *pif.Encoded
+	// SizeBytes is the record's on-disk size.
+	SizeBytes int
+}
+
+// PredFile is the compiled clause file for one predicate.
+type PredFile struct {
+	Module  string
+	Functor string
+	Arity   int
+	Symbols *symtab.Table
+
+	clauses []*StoredClause
+	index   *scw.Index
+	size    int
+}
+
+// Builder accumulates clauses for one predicate.
+type Builder struct {
+	file *PredFile
+	penc *pif.Encoder
+	ienc *scw.Encoder
+}
+
+// NewBuilder starts a compiled clause file for module:functor/arity using
+// the shared symbol table and SCW parameters.
+func NewBuilder(module, functor string, arity int, syms *symtab.Table, params scw.Params) (*Builder, error) {
+	ienc, err := scw.NewEncoder(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{
+		file: &PredFile{
+			Module:  module,
+			Functor: functor,
+			Arity:   arity,
+			Symbols: syms,
+			index:   scw.NewIndex(ienc),
+		},
+		penc: pif.NewEncoder(syms),
+		ienc: ienc,
+	}, nil
+}
+
+// Add appends one clause (body term.Atom("true") for facts) in user order.
+func (b *Builder) Add(head, body term.Term) error {
+	pi, args, ok := principal(head)
+	if !ok {
+		return fmt.Errorf("clausefile: %v is not a callable head", head)
+	}
+	if pi != b.file.Functor || len(args) != b.file.Arity {
+		return fmt.Errorf("clausefile: head %v does not belong to %s/%d", head, b.file.Functor, b.file.Arity)
+	}
+	headEnc, err := b.penc.Encode(head, pif.DBSide)
+	if err != nil {
+		return fmt.Errorf("clausefile: encoding head %v: %w", head, err)
+	}
+	clauseEnc, err := b.penc.Encode(term.New(clauseWrapper, head, body), pif.DBSide)
+	if err != nil {
+		return fmt.Errorf("clausefile: encoding clause for %v: %w", head, err)
+	}
+	addr := uint32(b.file.size)
+	if err := b.file.index.Add(head, addr); err != nil {
+		return err
+	}
+	headBytes, err := headEnc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	clauseBytes, err := clauseEnc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	recSize := 8 + len(headBytes) + len(clauseBytes) // two length prefixes
+	if recSize > MaxRecordBytes {
+		return fmt.Errorf("clausefile: clause %v compiles to %d bytes, exceeding the %d-byte result-memory slot",
+			head, recSize, MaxRecordBytes)
+	}
+	sc := &StoredClause{
+		Addr:      addr,
+		Seq:       len(b.file.clauses),
+		Head:      headEnc,
+		Clause:    clauseEnc,
+		SizeBytes: recSize,
+	}
+	b.file.clauses = append(b.file.clauses, sc)
+	b.file.size += recSize
+	return nil
+}
+
+// Build finalises the file.
+func (b *Builder) Build() *PredFile { return b.file }
+
+func principal(t term.Term) (string, []term.Term, bool) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return string(t), nil, true
+	case *term.Compound:
+		return t.Functor, t.Args, true
+	}
+	return "", nil, false
+}
+
+// Len is the clause count.
+func (f *PredFile) Len() int { return len(f.clauses) }
+
+// SizeBytes is the compiled clause file size.
+func (f *PredFile) SizeBytes() int { return f.size }
+
+// IndexSizeBytes is the secondary file size — "generally much smaller"
+// than the clause file (§2.1).
+func (f *PredFile) IndexSizeBytes() int { return f.index.SizeBytes() }
+
+// Index exposes the secondary file.
+func (f *PredFile) Index() *scw.Index { return f.index }
+
+// All returns every stored clause in user order.
+func (f *PredFile) All() []*StoredClause { return f.clauses }
+
+// ByAddrs returns the stored clauses at the given addresses, preserving
+// the given (clause) order. Unknown addresses are errors — the index never
+// fabricates them.
+func (f *PredFile) ByAddrs(addrs []uint32) ([]*StoredClause, error) {
+	byAddr := make(map[uint32]*StoredClause, len(f.clauses))
+	for _, sc := range f.clauses {
+		byAddr[sc.Addr] = sc
+	}
+	out := make([]*StoredClause, 0, len(addrs))
+	for _, a := range addrs {
+		sc, ok := byAddr[a]
+		if !ok {
+			return nil, fmt.Errorf("clausefile: no clause at address %d", a)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// DecodeClause reconstructs the head and body terms of a stored clause,
+// with head/body variable sharing intact.
+func (f *PredFile) DecodeClause(sc *StoredClause) (head, body term.Term, err error) {
+	dec := pif.NewDecoder(f.Symbols)
+	whole, err := dec.Decode(sc.Clause)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, ok := whole.(*term.Compound)
+	if !ok || c.Functor != clauseWrapper || len(c.Args) != 2 {
+		return nil, nil, fmt.Errorf("clausefile: record at %d is not a clause", sc.Addr)
+	}
+	return c.Args[0], c.Args[1], nil
+}
+
+// fileMagic marks a serialised compiled clause file.
+const fileMagic = 0xDB0F11E5

@@ -1,0 +1,165 @@
+package clausefile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clare/internal/pif"
+	"clare/internal/scw"
+	"clare/internal/symtab"
+)
+
+// Serialised layout (big-endian):
+//
+//	magic    uint32
+//	modLen   uint16, module bytes
+//	funLen   uint16, functor bytes
+//	arity    uint16
+//	count    uint32
+//	idxLen   uint32, secondary index blob (scw.Index)
+//	records: per clause
+//	    headLen   uint32, head PIF record
+//	    clauseLen uint32, clause PIF record
+//
+// The symbol table is NOT serialised here: it is shared across the whole
+// knowledge base and persisted by the KB layer; addresses and PIF content
+// fields are stable only relative to that table.
+
+// MarshalBinary serialises the compiled clause file and its secondary
+// index.
+func (f *PredFile) MarshalBinary() ([]byte, error) {
+	idx, err := f.index.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 64+len(idx)+f.size)
+	var tmp [4]byte
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put32(fileMagic)
+	if len(f.Module) > 0xFFFF || len(f.Functor) > 0xFFFF || f.Arity > 0xFFFF {
+		return nil, fmt.Errorf("clausefile: header fields too large")
+	}
+	put16(uint16(len(f.Module)))
+	buf = append(buf, f.Module...)
+	put16(uint16(len(f.Functor)))
+	buf = append(buf, f.Functor...)
+	put16(uint16(f.Arity))
+	put32(uint32(len(f.clauses)))
+	put32(uint32(len(idx)))
+	buf = append(buf, idx...)
+	for _, sc := range f.clauses {
+		hb, err := sc.Head.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		cb, err := sc.Clause.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		put32(uint32(len(hb)))
+		buf = append(buf, hb...)
+		put32(uint32(len(cb)))
+		buf = append(buf, cb...)
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a serialised compiled clause file against the shared
+// symbol table.
+func Unmarshal(data []byte, syms *symtab.Table) (*PredFile, error) {
+	r := &reader{data: data}
+	if m := r.u32(); m != fileMagic {
+		return nil, fmt.Errorf("clausefile: bad magic 0x%08x", m)
+	}
+	f := &PredFile{Symbols: syms}
+	f.Module = string(r.bytes(int(r.u16())))
+	f.Functor = string(r.bytes(int(r.u16())))
+	f.Arity = int(r.u16())
+	count := int(r.u32())
+	idxLen := int(r.u32())
+	idxBlob := r.bytes(idxLen)
+	if r.err != nil {
+		return nil, r.err
+	}
+	idx, err := scw.UnmarshalIndex(idxBlob)
+	if err != nil {
+		return nil, err
+	}
+	f.index = idx
+	addr := uint32(0)
+	for i := 0; i < count; i++ {
+		hb := r.bytes(int(r.u32()))
+		cb := r.bytes(int(r.u32()))
+		if r.err != nil {
+			return nil, r.err
+		}
+		var he, ce pif.Encoded
+		if err := he.UnmarshalBinary(hb); err != nil {
+			return nil, fmt.Errorf("clausefile: record %d head: %w", i, err)
+		}
+		if err := ce.UnmarshalBinary(cb); err != nil {
+			return nil, fmt.Errorf("clausefile: record %d clause: %w", i, err)
+		}
+		recSize := 8 + len(hb) + len(cb)
+		f.clauses = append(f.clauses, &StoredClause{
+			Addr: addr, Seq: i, Head: &he, Clause: &ce, SizeBytes: recSize,
+		})
+		addr += uint32(recSize)
+		f.size += recSize
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("clausefile: %d trailing bytes", len(data)-r.pos)
+	}
+	return f, nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("clausefile: truncated at byte %d", r.pos)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if n < 0 || !r.need(n) {
+		return nil
+	}
+	v := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}

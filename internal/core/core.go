@@ -1,0 +1,514 @@
+// Package core assembles CLARE: the two-stage filtering pipeline that
+// turns a goal into a small set of potential unifiers fetched from disk
+// (§2). It glues the substrates together exactly along the paper's
+// dataflow:
+//
+//	secondary file ──FS1 (SCW+MB scan)──▶ clause addresses
+//	clause file    ──fetch──▶ PIF records ──FS2 (partial test
+//	unification)──▶ satisfiers ──host full unification──▶ clauses
+//
+// and implements the four CRS search modes (§2.2): software only, FS1
+// only, FS2 only, and the full FS1+FS2 configuration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clare/internal/clausefile"
+	"clare/internal/disk"
+	"clare/internal/fs2"
+	"clare/internal/pif"
+	"clare/internal/ptu"
+	"clare/internal/scw"
+	"clare/internal/symtab"
+	"clare/internal/term"
+	"clare/internal/vme"
+)
+
+// SearchMode is one of the four CRS retrieval modes (§2.2).
+type SearchMode int
+
+const (
+	// ModeSoftware: the CRS performs all search operations itself.
+	ModeSoftware SearchMode = iota
+	// ModeFS1: the superimposed-codeword hardware only.
+	ModeFS1
+	// ModeFS2: the partial test unification hardware only.
+	ModeFS2
+	// ModeFS1FS2: the two-stage hardware filter.
+	ModeFS1FS2
+)
+
+func (m SearchMode) String() string {
+	switch m {
+	case ModeSoftware:
+		return "software"
+	case ModeFS1:
+		return "fs1"
+	case ModeFS2:
+		return "fs2"
+	case ModeFS1FS2:
+		return "fs1+fs2"
+	}
+	return "mode?"
+}
+
+// Config parameterises a retriever.
+type Config struct {
+	// Disk is the drive model the knowledge base resides on.
+	Disk disk.Model
+	// SCW are the FS1 codeword parameters.
+	SCW scw.Params
+	// Microprogram is the FS2 matching program.
+	Microprogram fs2.Microprogram
+	// SoftwareMatchCost is the host CPU cost of examining one clause in
+	// software mode (a nominal full-unification attempt on the paper's
+	// M68020-class host). It only shapes mode comparisons; all hardware
+	// times are derived from the component models.
+	SoftwareMatchCost time.Duration
+}
+
+// DefaultConfig mirrors the paper's hardware: the faster SMD disk, 64-bit
+// codewords with mask bits, level-3 + cross-binding microprogram.
+func DefaultConfig() Config {
+	return Config{
+		Disk:              disk.FujitsuM2351A,
+		SCW:               scw.DefaultParams,
+		Microprogram:      fs2.MPLevel3XB,
+		SoftwareMatchCost: 50 * time.Microsecond,
+	}
+}
+
+// Indicator names a predicate.
+type Indicator struct {
+	Functor string
+	Arity   int
+}
+
+func (pi Indicator) String() string { return fmt.Sprintf("%s/%d", pi.Functor, pi.Arity) }
+
+// Predicate is one disk-resident predicate under CLARE management.
+type Predicate struct {
+	File *clausefile.PredFile
+	// RuleCount counts clauses with a non-true body (rule intensity
+	// informs the CRS mode heuristic, §2.2).
+	RuleCount int
+	// MaskedClauses counts clauses whose index entry masks at least one
+	// argument (variable-bearing heads weaken FS1).
+	MaskedClauses int
+}
+
+// FractionRules reports the predicate's rule intensity.
+func (p *Predicate) FractionRules() float64 {
+	if p.File.Len() == 0 {
+		return 0
+	}
+	return float64(p.RuleCount) / float64(p.File.Len())
+}
+
+// FractionMasked reports how many clauses carry mask bits.
+func (p *Predicate) FractionMasked() float64 {
+	if p.File.Len() == 0 {
+		return 0
+	}
+	return float64(p.MaskedClauses) / float64(p.File.Len())
+}
+
+// Retriever is the CLARE engine instance: one FS2 board behind a VME bus,
+// a disk drive, and the managed predicates.
+type Retriever struct {
+	cfg   Config
+	syms  *symtab.Table
+	penc  *pif.Encoder
+	ienc  *scw.Encoder
+	board *fs2.Engine
+	bus   *vme.Bus
+	drive *disk.Drive
+	preds map[Indicator]*Predicate
+}
+
+// New builds a retriever with its own symbol table.
+func New(cfg Config) (*Retriever, error) {
+	return NewWithSymbols(cfg, symtab.New())
+}
+
+// NewWithSymbols builds a retriever sharing an existing symbol table
+// (e.g. the knowledge base's).
+func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
+	ienc, err := scw.NewEncoder(cfg.SCW)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Disk.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SoftwareMatchCost <= 0 {
+		cfg.SoftwareMatchCost = DefaultConfig().SoftwareMatchCost
+	}
+	board := fs2.New()
+	bus := vme.NewBus(board)
+	bus.SelectFS2(fs2.ModeMicroprogramming)
+	if err := board.LoadMicroprogram(cfg.Microprogram); err != nil {
+		return nil, err
+	}
+	return &Retriever{
+		cfg:   cfg,
+		syms:  syms,
+		penc:  pif.NewEncoder(syms),
+		ienc:  ienc,
+		board: board,
+		bus:   bus,
+		drive: disk.NewDrive(cfg.Disk),
+		preds: make(map[Indicator]*Predicate),
+	}, nil
+}
+
+// Symbols returns the shared symbol table.
+func (r *Retriever) Symbols() *symtab.Table { return r.syms }
+
+// Board exposes the FS2 engine (statistics, ablation).
+func (r *Retriever) Board() *fs2.Engine { return r.board }
+
+// Drive exposes the disk drive (statistics).
+func (r *Retriever) Drive() *disk.Drive { return r.drive }
+
+// AddClauses compiles clauses into a new predicate file under module. The
+// clauses must all share one functor/arity; bodies use term.Atom("true")
+// for facts. Replaces any existing predicate of the same indicator.
+func (r *Retriever) AddClauses(module string, clauses []ClauseTerm) (*Predicate, error) {
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("core: no clauses")
+	}
+	functor, args, ok := principal(clauses[0].Head)
+	if !ok {
+		return nil, fmt.Errorf("core: %v is not callable", clauses[0].Head)
+	}
+	pi := Indicator{Functor: functor, Arity: len(args)}
+	b, err := clausefile.NewBuilder(module, pi.Functor, pi.Arity, r.syms, r.cfg.SCW)
+	if err != nil {
+		return nil, err
+	}
+	pred := &Predicate{}
+	for _, cl := range clauses {
+		body := cl.Body
+		if body == nil {
+			body = term.Atom("true")
+		}
+		if err := b.Add(cl.Head, body); err != nil {
+			return nil, err
+		}
+		if !term.Equal(body, term.Atom("true")) {
+			pred.RuleCount++
+		}
+	}
+	pred.File = b.Build()
+	for _, ent := range pred.File.Index().Entries() {
+		if ent.Mask != 0 {
+			pred.MaskedClauses++
+		}
+	}
+	r.preds[pi] = pred
+	return pred, nil
+}
+
+// ClauseTerm pairs a head with an optional body (nil for facts).
+type ClauseTerm struct {
+	Head term.Term
+	Body term.Term
+}
+
+// Predicate returns the managed predicate for the goal's indicator.
+func (r *Retriever) Predicate(goal term.Term) (*Predicate, error) {
+	functor, args, ok := principal(goal)
+	if !ok {
+		return nil, fmt.Errorf("core: %v is not callable", goal)
+	}
+	pi := Indicator{Functor: functor, Arity: len(args)}
+	p, ok := r.preds[pi]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown predicate %v", pi)
+	}
+	return p, nil
+}
+
+// Predicates lists the managed indicators.
+func (r *Retriever) Predicates() []Indicator {
+	out := make([]Indicator, 0, len(r.preds))
+	for pi := range r.preds {
+		out = append(out, pi)
+	}
+	return out
+}
+
+func principal(t term.Term) (string, []term.Term, bool) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return string(t), nil, true
+	case *term.Compound:
+		return t.Functor, t.Args, true
+	}
+	return "", nil, false
+}
+
+// StageStats describes one retrieval's per-stage behaviour.
+type StageStats struct {
+	// TotalClauses is the predicate's clause count.
+	TotalClauses int
+	// AfterFS1 is the candidate count surviving the index scan (equals
+	// TotalClauses when FS1 is not used).
+	AfterFS1 int
+	// AfterFS2 is the candidate count surviving partial test unification
+	// (equals AfterFS1 when FS2 is not used).
+	AfterFS2 int
+	// Overflowed reports Result Memory exhaustion during FS2.
+	Overflowed bool
+
+	// Simulated time per stage.
+	FS1Scan   time.Duration // secondary file through FS1 (disk-bound)
+	DiskFetch time.Duration // clause records from disk
+	FS2Match  time.Duration // TUE operation time
+	HostMatch time.Duration // software-mode host matching
+	// Total is the retrieval's simulated wall time. Streaming stages
+	// overlap disk transfer with matching via the Double Buffer, so the
+	// slower of the two dominates.
+	Total time.Duration
+
+	// IndexBytes and ClauseBytes are the bytes each stage streamed.
+	IndexBytes  int
+	ClauseBytes int
+}
+
+// Retrieval is the outcome of one CLARE search call.
+type Retrieval struct {
+	Mode SearchMode
+	Goal term.Term
+	// Candidates are the potential unifiers, in user clause order.
+	Candidates []*clausefile.StoredClause
+	Stats      StageStats
+	pred       *Predicate
+}
+
+// DecodeCandidates reconstructs the candidate clauses (head, body).
+func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
+	for _, sc := range rt.Candidates {
+		h, b, err := rt.pred.File.DecodeClause(sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		heads = append(heads, h)
+		bodies = append(bodies, b)
+	}
+	return heads, bodies, nil
+}
+
+// Retrieve runs one search call in the given mode.
+func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error) {
+	pred, err := r.Predicate(goal)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Retrieval{Mode: mode, Goal: goal, pred: pred}
+	rt.Stats.TotalClauses = pred.File.Len()
+
+	switch mode {
+	case ModeSoftware:
+		err = r.retrieveSoftware(goal, pred, rt)
+	case ModeFS1:
+		err = r.retrieveFS1(goal, pred, rt, false)
+	case ModeFS2:
+		err = r.retrieveFS2All(goal, pred, rt)
+	case ModeFS1FS2:
+		err = r.retrieveFS1(goal, pred, rt, true)
+	default:
+		err = fmt.Errorf("core: unknown mode %d", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rt.Stats.AfterFS2 = len(rt.Candidates)
+	return rt, nil
+}
+
+// retrieveSoftware scans the whole clause file and matches in software —
+// mode (a): "the CRS performs all the search operations itself". The
+// software matcher runs the same level-3+XB algorithm (package ptu).
+func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrieval) error {
+	all := pred.File.All()
+	rt.Stats.AfterFS1 = len(all)
+	rt.Stats.ClauseBytes = pred.File.SizeBytes()
+	diskTime := r.drive.Scan(pred.File.SizeBytes())
+	cfg := ptuConfigFor(r.cfg.Microprogram)
+	for _, sc := range all {
+		head, _, err := pred.File.DecodeClause(sc)
+		if err != nil {
+			return err
+		}
+		rt.Stats.HostMatch += r.cfg.SoftwareMatchCost
+		if ptu.Match(goal, head, cfg) {
+			rt.Candidates = append(rt.Candidates, sc)
+		}
+	}
+	rt.Stats.DiskFetch = diskTime
+	rt.Stats.Total = diskTime + rt.Stats.HostMatch
+	return nil
+}
+
+// retrieveFS1 scans the secondary file, fetches the surviving clause
+// records, and optionally refines them through FS2 — modes (b) and (d).
+func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, thenFS2 bool) error {
+	qd, err := r.ienc.EncodeQuery(goal)
+	if err != nil {
+		return err
+	}
+	scan := pred.File.Index().Scan(qd)
+	rt.Stats.IndexBytes = scan.BytesScanned
+	// The index streams from disk through FS1; FS1 (4.5 MB/s) outruns the
+	// disk, so delivery dominates.
+	diskIndex := r.drive.Scan(scan.BytesScanned)
+	fs1Time := scan.Elapsed
+	if diskIndex > fs1Time {
+		fs1Time = diskIndex
+	}
+	rt.Stats.FS1Scan = fs1Time
+	rt.Stats.AfterFS1 = len(scan.Addrs)
+
+	candidates, err := pred.File.ByAddrs(scan.Addrs)
+	if err != nil {
+		return err
+	}
+	fetchBytes := 0
+	for _, sc := range candidates {
+		fetchBytes += sc.SizeBytes
+	}
+	rt.Stats.ClauseBytes = fetchBytes
+	avg := 0
+	if len(candidates) > 0 {
+		avg = fetchBytes / len(candidates)
+	}
+	rt.Stats.DiskFetch = r.drive.Fetch(len(candidates), avg)
+
+	if !thenFS2 {
+		rt.Candidates = candidates
+		rt.Stats.Total = rt.Stats.FS1Scan + rt.Stats.DiskFetch
+		return nil
+	}
+	if _, err := r.runFS2(goal, candidates, rt); err != nil {
+		return err
+	}
+	// The fetched stream passes through FS2 on the fly: the Double Buffer
+	// overlaps transfer and matching, so the slower side dominates.
+	stream := rt.Stats.DiskFetch
+	if rt.Stats.FS2Match > stream {
+		stream = rt.Stats.FS2Match
+	}
+	rt.Stats.Total = rt.Stats.FS1Scan + stream
+	return nil
+}
+
+// retrieveFS2All streams the whole clause file through FS2 — mode (c).
+// The Double Buffer overlaps each clause's matching with the next
+// clause's transfer, so the stream time is computed per clause:
+//
+//	access + xfer₀ + Σᵢ₌₁ max(xferᵢ, matchᵢ₋₁) + match_last
+func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieval) error {
+	all := pred.File.All()
+	rt.Stats.AfterFS1 = len(all)
+	rt.Stats.ClauseBytes = pred.File.SizeBytes()
+	diskTime := r.drive.Scan(pred.File.SizeBytes())
+	clauseTimes, err := r.runFS2(goal, all, rt)
+	if err != nil {
+		return err
+	}
+	xfers := make([]time.Duration, len(all))
+	for i, sc := range all {
+		xfers[i] = r.cfg.Disk.TransferTime(sc.SizeBytes)
+	}
+	rt.Stats.DiskFetch = diskTime
+	rt.Stats.Total = pipelineTime(r.cfg.Disk.AccessTime(), xfers, clauseTimes)
+	return nil
+}
+
+// pipelineTime models the double-buffered stream: transfer of clause i
+// overlaps the matching of clause i-1.
+func pipelineTime(access time.Duration, xfers, matches []time.Duration) time.Duration {
+	if len(xfers) == 0 {
+		return access
+	}
+	total := access + xfers[0]
+	for i := 1; i < len(xfers); i++ {
+		step := xfers[i]
+		if i-1 < len(matches) && matches[i-1] > step {
+			step = matches[i-1]
+		}
+		total += step
+	}
+	if n := len(matches); n > 0 {
+		total += matches[n-1]
+	}
+	return total
+}
+
+// runFS2 drives the §3 register protocol for one search call, fills
+// rt.Candidates with the satisfiers and returns the per-clause match
+// times (for pipeline accounting).
+func (r *Retriever) runFS2(goal term.Term, in []*clausefile.StoredClause, rt *Retrieval) ([]time.Duration, error) {
+	q, err := r.penc.Encode(goal, pif.QuerySide)
+	if err != nil {
+		return nil, err
+	}
+	r.bus.SelectFS2(fs2.ModeSetQuery)
+	if err := r.board.SetQuery(q); err != nil {
+		return nil, err
+	}
+	records := make([]fs2.Record, len(in))
+	for i, sc := range in {
+		records[i] = fs2.Record{Addr: sc.Addr, Enc: sc.Head}
+	}
+	// The Result Memory bounds one FS2 search call (§3.2: "the worst case
+	// of a single FS2 search call" is one disk track). The CRS issues the
+	// stream in batches the satisfier counter can always accommodate, so
+	// no satisfier is ever lost to the 6-bit counter.
+	var matchTime time.Duration
+	var clauseTimes []time.Duration
+	var addrs []uint32
+	for start := 0; start < len(records); start += fs2.ResultSlots {
+		end := start + fs2.ResultSlots
+		if end > len(records) {
+			end = len(records)
+		}
+		r.bus.SelectFS2(fs2.ModeSearch)
+		res, err := r.board.Search(records[start:end])
+		if err != nil {
+			return nil, err
+		}
+		matchTime += res.MatchTime
+		clauseTimes = append(clauseTimes, res.ClauseTimes...)
+		if res.Overflowed {
+			rt.Stats.Overflowed = true
+		}
+		r.bus.SelectFS2(fs2.ModeReadResult)
+		batch, err := r.board.ReadResult()
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, batch...)
+	}
+	rt.Stats.FS2Match = matchTime
+	var err2 error
+	rt.Candidates, err2 = rt.pred.File.ByAddrs(addrs)
+	return clauseTimes, err2
+}
+
+// ptuConfigFor maps an FS2 microprogram to the equivalent software
+// reference configuration.
+func ptuConfigFor(mp fs2.Microprogram) ptu.Config {
+	level := ptu.Level1
+	if mp.CompareContent {
+		level = ptu.Level2
+	}
+	if mp.DescendElements {
+		level = ptu.Level3
+	}
+	return ptu.Config{Level: level, CrossBinding: mp.CrossBinding}
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"clare/internal/engine"
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+// familyRetriever builds a retriever with a married_couple predicate: n
+// couples, every k-th couple sharing one name (the §2.1 workload).
+func familyRetriever(t *testing.T, n, sameEvery int) *Retriever {
+	t.Helper()
+	r, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clauses := make([]ClauseTerm, n)
+	for i := 0; i < n; i++ {
+		a := term.Atom(fmt.Sprintf("husband%d", i))
+		b := term.Atom(fmt.Sprintf("wife%d", i))
+		if sameEvery > 0 && i%sameEvery == 0 {
+			b = a
+		}
+		clauses[i] = ClauseTerm{Head: term.New("married_couple", a, b)}
+	}
+	if _, err := r.AddClauses("family", clauses); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func modes() []SearchMode {
+	return []SearchMode{ModeSoftware, ModeFS1, ModeFS2, ModeFS1FS2}
+}
+
+func TestAllModesFindGroundFact(t *testing.T) {
+	r := familyRetriever(t, 50, 0)
+	goal := parse.MustTerm("married_couple(husband7, wife7)")
+	for _, mode := range modes() {
+		rt, err := r.Retrieve(goal, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		trueU, _, err := rt.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trueU != 1 {
+			t.Errorf("%v: true unifiers = %d, want 1", mode, trueU)
+		}
+	}
+}
+
+// TestFilterSoundnessAcrossModes: no mode may lose a true unifier.
+func TestFilterSoundnessAcrossModes(t *testing.T) {
+	r := familyRetriever(t, 60, 4)
+	goals := []string{
+		"married_couple(husband3, X)",
+		"married_couple(X, Y)",
+		"married_couple(S, S)",
+		"married_couple(husband8, husband8)",
+		"married_couple(nobody, X)",
+	}
+	for _, g := range goals {
+		goal := parse.MustTerm(g)
+		// Ground truth: count unifiers by full scan.
+		swRt, err := r.Retrieve(goal, ModeSoftware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTrue, _, err := swRt.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range modes() {
+			rt, err := r.Retrieve(parse.MustTerm(g), mode)
+			if err != nil {
+				t.Fatalf("%s %v: %v", g, mode, err)
+			}
+			gotTrue, _, err := rt.Evaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotTrue != wantTrue {
+				t.Errorf("%s %v: true unifiers = %d, want %d", g, mode, gotTrue, wantTrue)
+			}
+		}
+	}
+}
+
+// TestSharedVariableFunnels reproduces the §2.1/§2.2 claim chain: FS1
+// passes the whole predicate for married_couple(S,S); FS2 cuts it to the
+// true unifiers.
+func TestSharedVariableFunnels(t *testing.T) {
+	const n, every = 40, 4 // 10 same-name couples
+	r := familyRetriever(t, n, every)
+	goal := parse.MustTerm("married_couple(S, S)")
+
+	fs1, err := r.Retrieve(goal, ModeFS1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs1.Stats.AfterFS1 != n {
+		t.Errorf("FS1 candidates = %d, want the entire predicate (%d)", fs1.Stats.AfterFS1, n)
+	}
+
+	both, err := r.Retrieve(parse.MustTerm("married_couple(S, S)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.Stats.AfterFS1 != n {
+		t.Errorf("stage 1 of fs1+fs2 = %d, want %d", both.Stats.AfterFS1, n)
+	}
+	if both.Stats.AfterFS2 != n/every {
+		t.Errorf("stage 2 = %d, want %d true same-name couples", both.Stats.AfterFS2, n/every)
+	}
+	trueU, falseD, err := both.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueU != n/every || falseD != 0 {
+		t.Errorf("after FS2: true=%d false=%d, want %d/0", trueU, falseD, n/every)
+	}
+}
+
+func TestStageStatsPlausible(t *testing.T) {
+	r := familyRetriever(t, 100, 0)
+	rt, err := r.Retrieve(parse.MustTerm("married_couple(husband42, X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Stats
+	if s.TotalClauses != 100 {
+		t.Errorf("TotalClauses = %d", s.TotalClauses)
+	}
+	if s.AfterFS1 < 1 || s.AfterFS1 > s.TotalClauses {
+		t.Errorf("AfterFS1 = %d", s.AfterFS1)
+	}
+	if s.AfterFS2 < 1 || s.AfterFS2 > s.AfterFS1 {
+		t.Errorf("AfterFS2 = %d out of range (FS2 can only narrow)", s.AfterFS2)
+	}
+	if s.FS1Scan <= 0 || s.DiskFetch <= 0 || s.Total <= 0 {
+		t.Errorf("times = %+v", s)
+	}
+	if s.IndexBytes <= 0 || s.ClauseBytes <= 0 {
+		t.Errorf("bytes = %+v", s)
+	}
+	// The index is much smaller than the clause data it covers (§2.1).
+	if s.IndexBytes >= rt.pred.File.SizeBytes() {
+		t.Errorf("index bytes %d should be below clause file %d", s.IndexBytes, rt.pred.File.SizeBytes())
+	}
+}
+
+func TestSelectiveQueryScansLessInTwoStageMode(t *testing.T) {
+	r := familyRetriever(t, 200, 0)
+	sel, err := r.Retrieve(parse.MustTerm("married_couple(husband5, X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Retrieve(parse.MustTerm("married_couple(husband5, X)"), ModeFS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Stats.ClauseBytes >= full.Stats.ClauseBytes {
+		t.Errorf("two-stage fetched %d bytes, full scan %d — index should cut clause traffic",
+			sel.Stats.ClauseBytes, full.Stats.ClauseBytes)
+	}
+}
+
+func TestUnknownPredicate(t *testing.T) {
+	r := familyRetriever(t, 5, 0)
+	if _, err := r.Retrieve(parse.MustTerm("nosuch(a)"), ModeFS1FS2); err == nil {
+		t.Error("unknown predicate should error")
+	}
+	if _, err := r.Retrieve(term.Int(3), ModeFS1FS2); err == nil {
+		t.Error("non-callable goal should error")
+	}
+}
+
+func TestChooseModeHeuristic(t *testing.T) {
+	r := familyRetriever(t, 20, 2)
+	pred, err := r.Predicate(parse.MustTerm("married_couple(a, b)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		goal string
+		want SearchMode
+	}{
+		{"married_couple(X, Y)", ModeSoftware}, // unconstrained
+		{"married_couple(S, S)", ModeFS2},      // cross-bound variables
+		{"married_couple(husband2, X)", ModeFS1FS2},
+	}
+	for _, c := range cases {
+		if got := ChooseMode(parse.MustTerm(c.goal), pred); got != c.want {
+			t.Errorf("ChooseMode(%s) = %v, want %v", c.goal, got, c.want)
+		}
+	}
+	// Rule/variable-intensive predicate prefers FS2.
+	r2, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clauses []ClauseTerm
+	for i := 0; i < 10; i++ {
+		clauses = append(clauses, ClauseTerm{
+			Head: term.New("rule", term.NewVar("X"), term.Int(int64(i))),
+			Body: parse.MustTerm("helper(X)"),
+		})
+	}
+	pred2, err := r2.AddClauses("rules", clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred2.FractionRules() != 1 {
+		t.Errorf("FractionRules = %v", pred2.FractionRules())
+	}
+	if got := ChooseMode(parse.MustTerm("rule(a, 3)"), pred2); got != ModeFS2 {
+		t.Errorf("rule-intensive predicate: mode = %v, want fs2", got)
+	}
+}
+
+func TestSourceIntegrationWithEngine(t *testing.T) {
+	// The full paper stack: a Prolog machine whose disk-resident
+	// predicate retrieves through CLARE, with full unification on the
+	// host.
+	r := familyRetriever(t, 30, 3)
+	m := engine.New()
+	mode := ModeFS1FS2
+	src := &Source{R: r, Mode: &mode}
+	mod := m.Module("user")
+	proc := mod.Proc(engine.Indicator{Name: "married_couple", Arity: 2}, true)
+	proc.Source = src
+
+	sols, err := m.Query("married_couple(husband7, W)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 || sols[0]["W"].String() != "wife7" {
+		t.Errorf("solutions = %v", sols)
+	}
+	// Shared-variable query through the engine.
+	src.Mode = nil // let the heuristic pick (ModeFS2 for shared vars)
+	sols, err = m.Query("married_couple(P, P)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 10 {
+		t.Errorf("same-name couples = %d, want 10", len(sols))
+	}
+	if src.LastRetrieval == nil || src.LastRetrieval.Mode != ModeFS2 {
+		t.Errorf("heuristic mode = %v, want fs2", src.LastRetrieval.Mode)
+	}
+}
+
+func TestClauseOrderSurvivesPipeline(t *testing.T) {
+	r, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clauses []ClauseTerm
+	for _, v := range []int{3, 1, 4, 1, 5} {
+		clauses = append(clauses, ClauseTerm{Head: term.New("seq", term.Int(int64(v)))})
+	}
+	if _, err := r.AddClauses("m", clauses); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := r.Retrieve(parse.MustTerm("seq(X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads, _, err := rt.DecodeCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"seq(3)", "seq(1)", "seq(4)", "seq(1)", "seq(5)"}
+	if len(heads) != len(want) {
+		t.Fatalf("candidates = %d", len(heads))
+	}
+	for i, h := range heads {
+		if h.String() != want[i] {
+			t.Errorf("candidate %d = %v, want %s", i, h, want[i])
+		}
+	}
+}
+
+func TestRetrieverConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SCW.Width = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid SCW params should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Disk.TransferRate = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid disk model should fail")
+	}
+}
+
+func TestEmptyAddClauses(t *testing.T) {
+	r, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddClauses("m", nil); err == nil {
+		t.Error("empty clause list should fail")
+	}
+}

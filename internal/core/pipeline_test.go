@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func d(us int) time.Duration { return time.Duration(us) * time.Microsecond }
+
+func TestPipelineTimeEmpty(t *testing.T) {
+	if got := pipelineTime(d(10), nil, nil); got != d(10) {
+		t.Errorf("empty stream = %v, want access only", got)
+	}
+}
+
+func TestPipelineTimeDiskBound(t *testing.T) {
+	// Matching (1µs) hides behind every transfer (10µs): total = access +
+	// Σxfer + final match.
+	xfers := []time.Duration{d(10), d(10), d(10)}
+	matches := []time.Duration{d(1), d(1), d(1)}
+	want := d(5) + d(30) + d(1)
+	if got := pipelineTime(d(5), xfers, matches); got != want {
+		t.Errorf("disk-bound = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineTimeMatchBound(t *testing.T) {
+	// Matching (10µs) dominates transfers (1µs): total = access + xfer0 +
+	// Σ match (each step waits on the previous clause's match).
+	xfers := []time.Duration{d(1), d(1), d(1)}
+	matches := []time.Duration{d(10), d(10), d(10)}
+	want := d(5) + d(1) + d(10) + d(10) + d(10)
+	if got := pipelineTime(d(5), xfers, matches); got != want {
+		t.Errorf("match-bound = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineTimeNeverBeatsEitherBound(t *testing.T) {
+	xfers := []time.Duration{d(3), d(7), d(2), d(9)}
+	matches := []time.Duration{d(5), d(1), d(8), d(2)}
+	got := pipelineTime(0, xfers, matches)
+	var sumX, sumM time.Duration
+	for _, x := range xfers {
+		sumX += x
+	}
+	for _, m := range matches {
+		sumM += m
+	}
+	if got < sumX || got < sumM {
+		t.Errorf("pipeline %v beats a component bound (xfer %v, match %v)", got, sumX, sumM)
+	}
+	if got > sumX+sumM {
+		t.Errorf("pipeline %v worse than fully sequential %v", got, sumX+sumM)
+	}
+}

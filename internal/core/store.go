@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clare/internal/clausefile"
+	"clare/internal/symtab"
+	"clare/internal/term"
+)
+
+// Knowledge-base store format (big-endian):
+//
+//	magic    uint32 0xC1A7EKB? → 0xC1A7E0DB
+//	symLen   uint32, symbol table blob
+//	count    uint32 predicate files
+//	per file: len uint32, clausefile blob
+//
+// The symbol table is saved once and shared by every predicate file, so
+// PIF content fields (symbol offsets) remain valid across the round trip.
+
+const kbMagic = 0xC1A7E0DB
+
+// SaveKB serialises the retriever's predicates and shared symbol table.
+func (r *Retriever) SaveKB(w io.Writer) error {
+	symBlob, err := r.syms.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	put := func(v uint32) error {
+		binary.BigEndian.PutUint32(hdr[:], v)
+		_, err := w.Write(hdr[:])
+		return err
+	}
+	if err := put(kbMagic); err != nil {
+		return err
+	}
+	if err := put(uint32(len(symBlob))); err != nil {
+		return err
+	}
+	if _, err := w.Write(symBlob); err != nil {
+		return err
+	}
+	if err := put(uint32(len(r.preds))); err != nil {
+		return err
+	}
+	// Deterministic order for reproducible files.
+	for _, pi := range sortedIndicators(r.preds) {
+		blob, err := r.preds[pi].File.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := put(uint32(len(blob))); err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedIndicators(m map[Indicator]*Predicate) []Indicator {
+	out := make([]Indicator, 0, len(m))
+	for pi := range m {
+		out = append(out, pi)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b Indicator) bool {
+	if a.Functor != b.Functor {
+		return a.Functor < b.Functor
+	}
+	return a.Arity < b.Arity
+}
+
+// LoadRetriever reads a saved knowledge base into a fresh retriever. The
+// store's symbol table becomes the retriever's, so subsequent queries
+// intern consistently with the stored PIF encodings.
+func LoadRetriever(cfg Config, rd io.Reader) (*Retriever, error) {
+	var hdr [4]byte
+	get := func() (uint32, error) {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint32(hdr[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if magic != kbMagic {
+		return nil, fmt.Errorf("core: bad knowledge-base magic 0x%08x", magic)
+	}
+	symLen, err := get()
+	if err != nil {
+		return nil, err
+	}
+	symBlob := make([]byte, symLen)
+	if _, err := io.ReadFull(rd, symBlob); err != nil {
+		return nil, err
+	}
+	syms, err := symtab.UnmarshalTable(symBlob)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewWithSymbols(cfg, syms)
+	if err != nil {
+		return nil, err
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		blobLen, err := get()
+		if err != nil {
+			return nil, err
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(rd, blob); err != nil {
+			return nil, err
+		}
+		f, err := clausefile.Unmarshal(blob, syms)
+		if err != nil {
+			return nil, fmt.Errorf("core: predicate file %d: %w", i, err)
+		}
+		pred := &Predicate{File: f}
+		for _, ent := range f.Index().Entries() {
+			if ent.Mask != 0 {
+				pred.MaskedClauses++
+			}
+		}
+		for _, sc := range f.All() {
+			_, body, err := f.DecodeClause(sc)
+			if err != nil {
+				return nil, err
+			}
+			if !term.Equal(body, term.Atom("true")) {
+				pred.RuleCount++
+			}
+		}
+		r.preds[Indicator{Functor: f.Functor, Arity: f.Arity}] = pred
+	}
+	return r, nil
+}

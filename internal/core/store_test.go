@@ -1,0 +1,117 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+func TestSaveLoadKB(t *testing.T) {
+	r := familyRetriever(t, 40, 4)
+	// A second predicate with rules.
+	var rules []ClauseTerm
+	rules = append(rules,
+		ClauseTerm{Head: parse.MustTerm("fly(tweety)")},
+		ClauseTerm{Head: term.New("fly", term.NewVar("X")), Body: parse.MustTerm("bird(X)")},
+	)
+	if _, err := r.AddClauses("flying", rules); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.SaveKB(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := LoadRetriever(DefaultConfig(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Predicates()) != 2 {
+		t.Fatalf("predicates = %v", r2.Predicates())
+	}
+
+	// Retrieval behaviour identical across the round trip.
+	for _, goalSrc := range []string{
+		"married_couple(husband3, X)",
+		"married_couple(S, S)",
+		"fly(tweety)",
+	} {
+		for _, mode := range modes() {
+			rt1, err := r.Retrieve(parse.MustTerm(goalSrc), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt2, err := r2.Retrieve(parse.MustTerm(goalSrc), mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rt1.Candidates) != len(rt2.Candidates) {
+				t.Errorf("%s %v: candidates %d vs %d after reload",
+					goalSrc, mode, len(rt1.Candidates), len(rt2.Candidates))
+			}
+			t1, _, err := rt1.Evaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			t2, _, err := rt2.Evaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if t1 != t2 {
+				t.Errorf("%s %v: true unifiers %d vs %d", goalSrc, mode, t1, t2)
+			}
+		}
+	}
+
+	// Rule/mask statistics survive.
+	p1, err := r.Predicate(parse.MustTerm("fly(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := r2.Predicate(parse.MustTerm("fly(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RuleCount != p2.RuleCount || p1.MaskedClauses != p2.MaskedClauses {
+		t.Errorf("stats lost: rules %d→%d, masked %d→%d",
+			p1.RuleCount, p2.RuleCount, p1.MaskedClauses, p2.MaskedClauses)
+	}
+}
+
+func TestLoadKBErrors(t *testing.T) {
+	if _, err := LoadRetriever(DefaultConfig(), bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage store should fail")
+	}
+	r := familyRetriever(t, 5, 0)
+	var buf bytes.Buffer
+	if err := r.SaveKB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadRetriever(DefaultConfig(), bytes.NewReader(data[:len(data)-4])); err == nil {
+		t.Error("truncated store should fail")
+	}
+	// Corrupt the magic.
+	bad := append([]byte{}, data...)
+	bad[0] ^= 0xFF
+	if _, err := LoadRetriever(DefaultConfig(), bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestSaveKBDeterministic(t *testing.T) {
+	r := familyRetriever(t, 10, 2)
+	var a, b bytes.Buffer
+	if err := r.SaveKB(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveKB(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SaveKB output not deterministic")
+	}
+}

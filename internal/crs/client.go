@@ -1,0 +1,152 @@
+package crs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Client is a CRS wire-protocol client.
+type Client struct {
+	conn net.Conn
+	in   *bufio.Scanner
+	out  *bufio.Writer
+	// SessionID is assigned by HELLO.
+	SessionID string
+}
+
+// Dial connects to a CRS server and performs the HELLO handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, in: bufio.NewScanner(conn), out: bufio.NewWriter(conn)}
+	c.in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line, err := c.roundTrip("HELLO")
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "OK" {
+		conn.Close()
+		return nil, fmt.Errorf("crs client: bad handshake %q", line)
+	}
+	c.SessionID = fields[2]
+	return c, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	_, _ = c.roundTrip("QUIT")
+	return c.conn.Close()
+}
+
+func (c *Client) send(line string) error {
+	if _, err := fmt.Fprintln(c.out, line); err != nil {
+		return err
+	}
+	return c.out.Flush()
+}
+
+func (c *Client) recv() (string, error) {
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("crs client: connection closed")
+	}
+	return c.in.Text(), nil
+}
+
+func (c *Client) roundTrip(line string) (string, error) {
+	if err := c.send(line); err != nil {
+		return "", err
+	}
+	resp, err := c.recv()
+	if err != nil {
+		return "", err
+	}
+	if strings.HasPrefix(resp, "ERR ") {
+		return "", fmt.Errorf("crs server: %s", strings.TrimPrefix(resp, "ERR "))
+	}
+	return resp, nil
+}
+
+// RetrieveResult is a client-side view of one retrieval.
+type RetrieveResult struct {
+	// Clauses are the candidate clauses in source form (with final '.').
+	Clauses []string
+	// Stats is the raw STATS line.
+	Stats string
+}
+
+// Retrieve runs a retrieval. mode is one of software|fs1|fs2|fs1+fs2|auto;
+// goal is Edinburgh source without the final '.'.
+func (c *Client) Retrieve(mode, goal string) (*RetrieveResult, error) {
+	first, err := c.roundTrip(fmt.Sprintf("RETRIEVE %s %s.", mode, goal))
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(first, "CANDIDATES %d", &n); err != nil {
+		return nil, fmt.Errorf("crs client: unexpected reply %q", first)
+	}
+	res := &RetrieveResult{}
+	for i := 0; i < n; i++ {
+		line, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(line, "C ") {
+			return nil, fmt.Errorf("crs client: unexpected candidate line %q", line)
+		}
+		res.Clauses = append(res.Clauses, strings.TrimPrefix(line, "C "))
+	}
+	stats, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// Stats asks the server for its per-mode service counters (the raw SERVED
+// line).
+func (c *Client) Stats() (string, error) {
+	line, err := c.roundTrip("STATS")
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "SERVED") {
+		return "", fmt.Errorf("crs client: unexpected stats reply %q", line)
+	}
+	return line, nil
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() error { return c.simple("BEGIN") }
+
+// Assert stages a clause (source without final '.').
+func (c *Client) Assert(clause string) error {
+	return c.simple(fmt.Sprintf("ASSERT %s.", clause))
+}
+
+// Commit commits the transaction.
+func (c *Client) Commit() error { return c.simple("COMMIT") }
+
+// Abort aborts the transaction.
+func (c *Client) Abort() error { return c.simple("ABORT") }
+
+func (c *Client) simple(line string) error {
+	resp, err := c.roundTrip(line)
+	if err != nil {
+		return err
+	}
+	if resp != "OK" {
+		return fmt.Errorf("crs client: unexpected reply %q", resp)
+	}
+	return nil
+}

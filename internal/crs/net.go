@@ -1,0 +1,177 @@
+package crs
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"clare/internal/core"
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+// Wire protocol (text, line-oriented; terms in Edinburgh syntax):
+//
+//	C: HELLO                    S: OK crs <session-id>
+//	C: RETRIEVE <mode> <goal>   S: CANDIDATES <n>
+//	                               <n> clause lines, each "C <clause>."
+//	                               STATS mode=<m> total=<t> fs1=<a> fs2=<b>
+//	C: BEGIN                    S: OK
+//	C: ASSERT <clause>          S: OK
+//	C: COMMIT                   S: OK
+//	C: ABORT                    S: OK
+//	C: QUIT                     S: BYE
+//
+// mode ∈ software|fs1|fs2|fs1+fs2|auto. Errors answer "ERR <message>".
+
+// ParseMode maps a wire-mode word to a search mode; auto returns nil
+// (heuristic selection).
+func ParseMode(s string) (*core.SearchMode, error) {
+	var m core.SearchMode
+	switch s {
+	case "auto":
+		return nil, nil
+	case "software":
+		m = core.ModeSoftware
+	case "fs1":
+		m = core.ModeFS1
+	case "fs2":
+		m = core.ModeFS2
+	case "fs1+fs2":
+		m = core.ModeFS1FS2
+	default:
+		return nil, fmt.Errorf("crs: unknown mode %q", s)
+	}
+	return &m, nil
+}
+
+// Serve accepts connections on l until it is closed. Each connection gets
+// its own session. Serve returns after the listener closes and all
+// connection handlers finish.
+func (s *Server) Serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess := s.OpenSession()
+	defer sess.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		out.Flush()
+	}
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "HELLO":
+			reply("OK crs %d", sess.ID())
+		case "QUIT":
+			reply("BYE")
+			return
+		case "STATS":
+			served := s.Served()
+			fmt.Fprintf(out, "SERVED")
+			for _, m := range []core.SearchMode{core.ModeSoftware, core.ModeFS1, core.ModeFS2, core.ModeFS1FS2} {
+				fmt.Fprintf(out, " %v=%d", m, served[m])
+			}
+			fmt.Fprintln(out)
+			out.Flush()
+		case "BEGIN":
+			if err := sess.Begin(); err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK")
+			}
+		case "COMMIT":
+			if err := sess.Commit(); err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK")
+			}
+		case "ABORT":
+			if err := sess.Abort(); err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK")
+			}
+		case "ASSERT":
+			cl, err := parse.Term(strings.TrimSuffix(rest, "."))
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			head, body := splitClause(cl)
+			if err := sess.Assert(head, body); err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK")
+			}
+		case "RETRIEVE":
+			modeWord, goalText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: RETRIEVE <mode> <goal>")
+				continue
+			}
+			mode, err := ParseMode(modeWord)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			goal, err := parse.Term(strings.TrimSuffix(goalText, "."))
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			rt, err := sess.Retrieve(goal, mode)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			heads, bodies, err := rt.DecodeCandidates()
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			reply("CANDIDATES %d", len(heads))
+			for i := range heads {
+				if term.Equal(bodies[i], term.Atom("true")) {
+					reply("C %s.", heads[i])
+				} else {
+					reply("C %s :- %s.", heads[i], bodies[i])
+				}
+			}
+			reply("STATS mode=%v total=%d fs1=%d fs2=%d",
+				rt.Mode, rt.Stats.TotalClauses, rt.Stats.AfterFS1, rt.Stats.AfterFS2)
+		default:
+			reply("ERR unknown command %q", cmd)
+		}
+	}
+}
+
+func splitClause(t term.Term) (head, body term.Term) {
+	if c, ok := term.Deref(t).(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {
+		return c.Args[0], c.Args[1]
+	}
+	return t, term.Atom("true")
+}

@@ -1,0 +1,296 @@
+// Package crs implements the Clause Retrieval Server: "an independent
+// software module ... which links CLARE with the PDBM Prolog system"
+// (§2.2). The CRS selects one of the four searching modes per retrieval,
+// and supports "simultaneous access by multiple clients which involves
+// procedures for concurrency control and transaction handling".
+package crs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"clare/internal/core"
+	"clare/internal/term"
+)
+
+// Server owns a CLARE retriever and the clause data behind it, mediating
+// concurrent client access.
+type Server struct {
+	mu        sync.RWMutex // guards preds, sessions and the retriever
+	retriever *core.Retriever
+	preds     map[core.Indicator]*predState
+	sessions  map[int64]*Session
+	nextSess  int64
+
+	// Stats counts served retrievals by mode.
+	statsMu sync.Mutex
+	served  map[core.SearchMode]int
+}
+
+// predState is the server's authoritative copy of one predicate: the
+// clause list in user order plus its lock.
+type predState struct {
+	lock    sync.RWMutex
+	module  string
+	clauses []core.ClauseTerm
+}
+
+// NewServer wraps a retriever.
+func NewServer(r *core.Retriever) *Server {
+	return &Server{
+		retriever: r,
+		preds:     make(map[core.Indicator]*predState),
+		sessions:  make(map[int64]*Session),
+		served:    make(map[core.SearchMode]int),
+	}
+}
+
+// Errors.
+var (
+	ErrNoTransaction = errors.New("crs: no transaction in progress")
+	ErrInTransaction = errors.New("crs: transaction already in progress")
+	ErrClosed        = errors.New("crs: session closed")
+)
+
+// Load installs (or replaces) a predicate's clauses.
+func (s *Server) Load(module string, clauses []core.ClauseTerm) error {
+	if len(clauses) == 0 {
+		return fmt.Errorf("crs: no clauses")
+	}
+	pi, err := indicatorOf(clauses[0].Head)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.retriever.AddClauses(module, clauses); err != nil {
+		return err
+	}
+	s.preds[pi] = &predState{module: module, clauses: append([]core.ClauseTerm(nil), clauses...)}
+	return nil
+}
+
+func indicatorOf(t term.Term) (core.Indicator, error) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return core.Indicator{Functor: string(t)}, nil
+	case *term.Compound:
+		return core.Indicator{Functor: t.Functor, Arity: len(t.Args)}, nil
+	}
+	return core.Indicator{}, fmt.Errorf("crs: %v is not callable", t)
+}
+
+// Retriever exposes the underlying CLARE engine.
+func (s *Server) Retriever() *core.Retriever { return s.retriever }
+
+// Served returns how many retrievals ran in each mode.
+func (s *Server) Served() map[core.SearchMode]int {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out := make(map[core.SearchMode]int, len(s.served))
+	for k, v := range s.served {
+		out[k] = v
+	}
+	return out
+}
+
+// OpenSession registers a client session.
+func (s *Server) OpenSession() *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &Session{id: s.nextSess, srv: s}
+	s.sessions[sess.id] = sess
+	return sess
+}
+
+// Sessions reports the number of open sessions.
+func (s *Server) Sessions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sessions)
+}
+
+// Session is one client's connection to the CRS.
+type Session struct {
+	id     int64
+	srv    *Server
+	mu     sync.Mutex
+	tx     *tx
+	closed bool
+}
+
+type tx struct {
+	// staged appends per predicate, applied at commit.
+	staged map[core.Indicator][]core.ClauseTerm
+	// locked predicates (write locks held until commit/abort).
+	locked []*predState
+}
+
+// ID returns the session identifier.
+func (c *Session) ID() int64 { return c.id }
+
+// Close ends the session, aborting any open transaction.
+func (c *Session) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if c.tx != nil {
+		c.abortLocked()
+	}
+	c.closed = true
+	c.srv.mu.Lock()
+	delete(c.srv.sessions, c.id)
+	c.srv.mu.Unlock()
+}
+
+// Retrieve serves one retrieval. mode nil lets the CRS heuristic choose.
+func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retrieval, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	pi, err := indicatorOf(goal)
+	if err != nil {
+		return nil, err
+	}
+	c.srv.mu.RLock()
+	ps, ok := c.srv.preds[pi]
+	c.srv.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("crs: unknown predicate %v", pi)
+	}
+
+	ps.lock.RLock()
+	defer ps.lock.RUnlock()
+
+	m := core.ModeFS1FS2
+	if mode != nil {
+		m = *mode
+	} else {
+		pred, err := c.srv.retriever.Predicate(goal)
+		if err != nil {
+			return nil, err
+		}
+		m = core.ChooseMode(goal, pred)
+	}
+	// The retriever's board is a single shared hardware resource; the
+	// server serialises access to it (the real CRS queues search calls).
+	c.srv.mu.Lock()
+	rt, err := c.srv.retriever.Retrieve(goal, m)
+	c.srv.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.srv.statsMu.Lock()
+	c.srv.served[m]++
+	c.srv.statsMu.Unlock()
+	return rt, nil
+}
+
+// Begin starts a transaction.
+func (c *Session) Begin() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.tx != nil {
+		return ErrInTransaction
+	}
+	c.tx = &tx{staged: make(map[core.Indicator][]core.ClauseTerm)}
+	return nil
+}
+
+// Assert stages a clause append within the transaction. The predicate's
+// write lock is taken on first touch and held to commit/abort (strict
+// two-phase locking).
+func (c *Session) Assert(head, body term.Term) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.tx == nil {
+		return ErrNoTransaction
+	}
+	pi, err := indicatorOf(head)
+	if err != nil {
+		return err
+	}
+	c.srv.mu.RLock()
+	ps, ok := c.srv.preds[pi]
+	c.srv.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("crs: unknown predicate %v (load it first)", pi)
+	}
+	if _, touched := c.tx.staged[pi]; !touched {
+		ps.lock.Lock()
+		c.tx.locked = append(c.tx.locked, ps)
+	}
+	c.tx.staged[pi] = append(c.tx.staged[pi], core.ClauseTerm{Head: head, Body: body})
+	return nil
+}
+
+// Commit applies the staged writes (rebuilding the affected compiled
+// clause files and their secondary indexes) and releases the locks.
+func (c *Session) Commit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.tx == nil {
+		return ErrNoTransaction
+	}
+	txn := c.tx
+	defer func() {
+		releaseLocks(txn)
+		c.tx = nil
+	}()
+	for pi, appended := range txn.staged {
+		c.srv.mu.Lock()
+		ps := c.srv.preds[pi]
+		newClauses := append(append([]core.ClauseTerm(nil), ps.clauses...), appended...)
+		_, err := c.srv.retriever.AddClauses(ps.module, newClauses)
+		if err != nil {
+			c.srv.mu.Unlock()
+			return fmt.Errorf("crs: commit failed for %v: %w", pi, err)
+		}
+		ps.clauses = newClauses
+		c.srv.mu.Unlock()
+	}
+	return nil
+}
+
+// Abort discards the staged writes and releases the locks.
+func (c *Session) Abort() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.tx == nil {
+		return ErrNoTransaction
+	}
+	c.abortLocked()
+	return nil
+}
+
+func (c *Session) abortLocked() {
+	releaseLocks(c.tx)
+	c.tx = nil
+}
+
+func releaseLocks(txn *tx) {
+	for _, ps := range txn.locked {
+		ps.lock.Unlock()
+	}
+	txn.locked = nil
+}

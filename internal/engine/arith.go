@@ -1,0 +1,359 @@
+package engine
+
+import (
+	"math"
+
+	"clare/internal/term"
+)
+
+// Number is an evaluated arithmetic value: exactly one of I/F is active.
+type Number struct {
+	IsFloat bool
+	I       int64
+	F       float64
+}
+
+func intN(i int64) Number { return Number{I: i} }
+func floatN(f float64) Number {
+	return Number{IsFloat: true, F: f}
+}
+
+func (n Number) asFloat() float64 {
+	if n.IsFloat {
+		return n.F
+	}
+	return float64(n.I)
+}
+
+// Term converts the number back to a Prolog term.
+func (n Number) Term() term.Term {
+	if n.IsFloat {
+		return term.Float(n.F)
+	}
+	return term.Int(n.I)
+}
+
+// Eval evaluates t as an arithmetic expression (is/2 and friends),
+// converting Prolog evaluation exceptions into Go errors.
+func Eval(t term.Term) (n Number, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(prologError)
+			if !ok {
+				panic(r)
+			}
+			err = pe
+		}
+	}()
+	return eval(t), nil
+}
+
+func eval(t term.Term) Number {
+	t = term.Deref(t)
+	switch t := t.(type) {
+	case term.Int:
+		return intN(int64(t))
+	case term.Float:
+		return floatN(float64(t))
+	case *term.Var:
+		panic(instantiationError())
+	case term.Atom:
+		switch t {
+		case "pi":
+			return floatN(math.Pi)
+		case "e":
+			return floatN(math.E)
+		case "inf", "infinite":
+			return floatN(math.Inf(1))
+		case "epsilon":
+			return floatN(2.220446049250313e-16)
+		case "max_tagged_integer":
+			return intN(math.MaxInt64)
+		case "random":
+			// Deterministic stand-in; real Prologs use a PRNG. Keeping
+			// evaluation pure makes engine runs reproducible.
+			return floatN(0.5)
+		}
+		panic(typeError("evaluable", t))
+	case *term.Compound:
+		return evalCompound(t)
+	}
+	panic(typeError("evaluable", t))
+}
+
+func evalCompound(c *term.Compound) Number {
+	if len(c.Args) == 1 {
+		x := eval(c.Args[0])
+		switch c.Functor {
+		case "-":
+			if x.IsFloat {
+				return floatN(-x.F)
+			}
+			return intN(-x.I)
+		case "+":
+			return x
+		case "abs":
+			if x.IsFloat {
+				return floatN(math.Abs(x.F))
+			}
+			if x.I < 0 {
+				return intN(-x.I)
+			}
+			return x
+		case "sign":
+			if x.IsFloat {
+				switch {
+				case x.F > 0:
+					return floatN(1)
+				case x.F < 0:
+					return floatN(-1)
+				}
+				return floatN(0)
+			}
+			switch {
+			case x.I > 0:
+				return intN(1)
+			case x.I < 0:
+				return intN(-1)
+			}
+			return intN(0)
+		case "min", "max":
+			panic(typeError("evaluable", c))
+		case "sqrt":
+			return floatN(math.Sqrt(x.asFloat()))
+		case "sin":
+			return floatN(math.Sin(x.asFloat()))
+		case "cos":
+			return floatN(math.Cos(x.asFloat()))
+		case "tan":
+			return floatN(math.Tan(x.asFloat()))
+		case "asin":
+			return floatN(math.Asin(x.asFloat()))
+		case "acos":
+			return floatN(math.Acos(x.asFloat()))
+		case "atan":
+			return floatN(math.Atan(x.asFloat()))
+		case "exp":
+			return floatN(math.Exp(x.asFloat()))
+		case "log":
+			if x.asFloat() <= 0 {
+				panic(evaluationError("undefined"))
+			}
+			return floatN(math.Log(x.asFloat()))
+		case "float":
+			return floatN(x.asFloat())
+		case "integer":
+			if x.IsFloat {
+				return intN(int64(math.Round(x.F)))
+			}
+			return x
+		case "float_integer_part":
+			return floatN(math.Trunc(x.asFloat()))
+		case "float_fractional_part":
+			f := x.asFloat()
+			return floatN(f - math.Trunc(f))
+		case "truncate":
+			return intN(int64(math.Trunc(x.asFloat())))
+		case "round":
+			return intN(int64(math.Round(x.asFloat())))
+		case "ceiling":
+			return intN(int64(math.Ceil(x.asFloat())))
+		case "floor":
+			return intN(int64(math.Floor(x.asFloat())))
+		case "\\":
+			if x.IsFloat {
+				panic(typeError("integer", c.Args[0]))
+			}
+			return intN(^x.I)
+		case "msb":
+			if x.IsFloat || x.I <= 0 {
+				panic(typeError("integer", c.Args[0]))
+			}
+			msb := 0
+			for v := x.I; v > 1; v >>= 1 {
+				msb++
+			}
+			return intN(int64(msb))
+		}
+		panic(typeError("evaluable", term.Atom(c.Functor+"/1")))
+	}
+
+	if len(c.Args) == 2 {
+		x, y := eval(c.Args[0]), eval(c.Args[1])
+		bothInt := !x.IsFloat && !y.IsFloat
+		switch c.Functor {
+		case "+":
+			if bothInt {
+				return intN(x.I + y.I)
+			}
+			return floatN(x.asFloat() + y.asFloat())
+		case "-":
+			if bothInt {
+				return intN(x.I - y.I)
+			}
+			return floatN(x.asFloat() - y.asFloat())
+		case "*":
+			if bothInt {
+				return intN(x.I * y.I)
+			}
+			return floatN(x.asFloat() * y.asFloat())
+		case "/":
+			if bothInt {
+				if y.I == 0 {
+					panic(evaluationError("zero_divisor"))
+				}
+				if x.I%y.I == 0 {
+					return intN(x.I / y.I)
+				}
+				return floatN(float64(x.I) / float64(y.I))
+			}
+			if y.asFloat() == 0 {
+				panic(evaluationError("zero_divisor"))
+			}
+			return floatN(x.asFloat() / y.asFloat())
+		case "//":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			if y.I == 0 {
+				panic(evaluationError("zero_divisor"))
+			}
+			q := x.I / y.I
+			return intN(q)
+		case "mod":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			if y.I == 0 {
+				panic(evaluationError("zero_divisor"))
+			}
+			r := x.I % y.I
+			if r != 0 && (r < 0) != (y.I < 0) {
+				r += y.I
+			}
+			return intN(r)
+		case "rem":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			if y.I == 0 {
+				panic(evaluationError("zero_divisor"))
+			}
+			return intN(x.I % y.I)
+		case "min":
+			if cmpNumbers(x, y) <= 0 {
+				return x
+			}
+			return y
+		case "max":
+			if cmpNumbers(x, y) >= 0 {
+				return x
+			}
+			return y
+		case "**":
+			return floatN(math.Pow(x.asFloat(), y.asFloat()))
+		case "^":
+			if bothInt {
+				if y.I < 0 {
+					panic(typeError("float", c.Args[1]))
+				}
+				return intN(ipow(x.I, y.I))
+			}
+			return floatN(math.Pow(x.asFloat(), y.asFloat()))
+		case ">>":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(x.I >> uint(y.I))
+		case "<<":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(x.I << uint(y.I))
+		case "/\\":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(x.I & y.I)
+		case "\\/":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(x.I | y.I)
+		case "xor":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(x.I ^ y.I)
+		case "atan", "atan2":
+			return floatN(math.Atan2(x.asFloat(), y.asFloat()))
+		case "gcd":
+			if !bothInt {
+				panic(typeError("integer", c))
+			}
+			return intN(gcd(x.I, y.I))
+		}
+		panic(typeError("evaluable", term.Atom(c.Functor+"/2")))
+	}
+	panic(typeError("evaluable", c))
+}
+
+func ipow(base, exp int64) int64 {
+	result := int64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// cmpNumbers compares two numbers arithmetically: -1, 0, +1.
+func cmpNumbers(a, b Number) int {
+	if !a.IsFloat && !b.IsFloat {
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+	af, bf := a.asFloat(), b.asFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}
+
+func biIs(m *Machine, args []term.Term, _ int, k Cont) Result {
+	v := eval(args[1])
+	return unifyK(m, args[0], v.Term(), k)
+}
+
+func arithCompare(pred func(int) bool) Builtin {
+	return func(m *Machine, args []term.Term, _ int, k Cont) Result {
+		if pred(cmpNumbers(eval(args[0]), eval(args[1]))) {
+			return k()
+		}
+		return Fail
+	}
+}

@@ -1,0 +1,78 @@
+package engine
+
+// bootstrapLibrary is the Prolog-source part of the system library,
+// consulted into module "user" at machine start. Keeping list utilities in
+// Prolog keeps the Go core small and exercises the solver itself.
+const bootstrapLibrary = `
+% --- list utilities -------------------------------------------------------
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+nth0(I, L, E) :- nth_(L, 0, I, E).
+nth1(I, L, E) :- nth_(L, 1, I, E).
+nth_([H|_], N, N, H).
+nth_([_|T], N0, N, E) :- N1 is N0 + 1, nth_(T, N1, N, E).
+
+last([X], X) :- !.
+last([_|T], X) :- last(T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+exclude(_, [], []).
+exclude(P, [H|T], R) :-
+    ( call(P, H) -> R = R1 ; R = [H|R1] ),
+    exclude(P, T, R1).
+
+include(_, [], []).
+include(P, [H|T], R) :-
+    ( call(P, H) -> R = [H|R1] ; R = R1 ),
+    include(P, T, R1).
+
+maplist(_, []).
+maplist(P, [H|T]) :- call(P, H), maplist(P, T).
+
+maplist(_, [], []).
+maplist(P, [H|T], [H2|T2]) :- call(P, H, H2), maplist(P, T, T2).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S0), S is S0 + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M0), M is max(H, M0).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M0), M is min(H, M0).
+
+numlist(L, H, []) :- L > H, !.
+numlist(L, H, [L|T]) :- L1 is L + 1, numlist(L1, H, T).
+
+delete([], _, []).
+delete([X|T], X, R) :- !, delete(T, X, R).
+delete([H|T], X, [H|R]) :- delete(T, X, R).
+
+permutation([], []).
+permutation(L, [H|T]) :- select(H, L, R), permutation(R, T).
+
+% --- all-solutions helpers -------------------------------------------------
+
+bagof_simple(T, G, L) :- findall(T, G, L), L \= [].
+setof_simple(T, G, S) :- findall(T, G, L), L \= [], sort(L, S).
+
+aggregate_count(G, N) :- findall(x, G, L), length(L, N).
+
+% --- misc ------------------------------------------------------------------
+
+ignore(G) :- ( call(G) -> true ; true ).
+once(G) :- call(G), !.
+`

@@ -1,0 +1,842 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// registerBuiltins installs the Go-implemented predicates.
+func (m *Machine) registerBuiltins() {
+	reg := func(name string, arity int, fn Builtin) {
+		m.builtins[Indicator{Name: name, Arity: arity}] = fn
+	}
+
+	// Control.
+	reg("true", 0, biTrue)
+	reg("fail", 0, biFail)
+	reg("false", 0, biFail)
+	reg("!", 0, biCut)
+	reg("halt", 0, func(m *Machine, _ []term.Term, _ int, _ Cont) Result { panic(haltSignal{}) })
+	reg("halt", 1, biHalt1)
+	for n := 1; n <= 8; n++ {
+		reg("call", n, biCall)
+	}
+	reg("not", 1, biNegation)
+	reg("catch", 3, biCatch)
+	reg("throw", 1, biThrow)
+	reg("forall", 2, biForall)
+
+	// Unification.
+	reg("=", 2, biUnify)
+	reg("\\=", 2, biNotUnify)
+	reg("unify_with_occurs_check", 2, biUnifyOC)
+
+	// Type tests.
+	reg("var", 1, typeTest(func(t term.Term) bool { _, ok := t.(*term.Var); return ok }))
+	reg("nonvar", 1, typeTest(func(t term.Term) bool { _, ok := t.(*term.Var); return !ok }))
+	reg("atom", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Atom); return ok }))
+	reg("integer", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Int); return ok }))
+	reg("float", 1, typeTest(func(t term.Term) bool { _, ok := t.(term.Float); return ok }))
+	reg("number", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Int, term.Float:
+			return true
+		}
+		return false
+	}))
+	reg("atomic", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Atom, term.Int, term.Float:
+			return true
+		}
+		return false
+	}))
+	reg("compound", 1, typeTest(func(t term.Term) bool { _, ok := t.(*term.Compound); return ok }))
+	reg("callable", 1, typeTest(func(t term.Term) bool {
+		switch t.(type) {
+		case term.Atom, *term.Compound:
+			return true
+		}
+		return false
+	}))
+	reg("is_list", 1, typeTest(term.IsProperList))
+	reg("ground", 1, typeTest(term.Ground))
+
+	// Comparison.
+	reg("==", 2, compareTest(func(c int) bool { return c == 0 }))
+	reg("\\==", 2, compareTest(func(c int) bool { return c != 0 }))
+	reg("@<", 2, compareTest(func(c int) bool { return c < 0 }))
+	reg("@>", 2, compareTest(func(c int) bool { return c > 0 }))
+	reg("@=<", 2, compareTest(func(c int) bool { return c <= 0 }))
+	reg("@>=", 2, compareTest(func(c int) bool { return c >= 0 }))
+	reg("compare", 3, biCompare3)
+
+	// Term construction/inspection.
+	reg("functor", 3, biFunctor)
+	reg("arg", 3, biArg)
+	reg("=..", 2, biUniv)
+	reg("copy_term", 2, biCopyTerm)
+
+	// Arithmetic.
+	reg("is", 2, biIs)
+	reg("=:=", 2, arithCompare(func(c int) bool { return c == 0 }))
+	reg("=\\=", 2, arithCompare(func(c int) bool { return c != 0 }))
+	reg("<", 2, arithCompare(func(c int) bool { return c < 0 }))
+	reg(">", 2, arithCompare(func(c int) bool { return c > 0 }))
+	reg("=<", 2, arithCompare(func(c int) bool { return c <= 0 }))
+	reg(">=", 2, arithCompare(func(c int) bool { return c >= 0 }))
+	reg("between", 3, biBetween)
+	reg("succ", 2, biSucc)
+
+	// Atoms & numbers.
+	reg("atom_codes", 2, biAtomCodes)
+	reg("atom_chars", 2, biAtomChars)
+	reg("atom_length", 2, biAtomLength)
+	reg("atom_concat", 3, biAtomConcat)
+	reg("char_code", 2, biCharCode)
+	reg("number_codes", 2, biNumberCodes)
+	reg("atom_number", 2, biAtomNumber)
+
+	// Lists (those easier in Go than Prolog).
+	reg("length", 2, biLength)
+	reg("msort", 2, biMsort)
+	reg("sort", 2, biSort)
+
+	// All-solutions.
+	reg("findall", 3, biFindall)
+
+	// Database.
+	reg("assert", 1, biAssertz)
+	reg("assertz", 1, biAssertz)
+	reg("asserta", 1, biAsserta)
+	reg("retract", 1, biRetract)
+	reg("clause", 2, biClause)
+
+	// I/O.
+	reg("write", 1, biWrite)
+	reg("print", 1, biWrite)
+	reg("writeln", 1, biWriteln)
+	reg("write_canonical", 1, biWrite)
+	reg("nl", 0, biNl)
+	reg("tab", 1, biTab)
+
+	// Operator table.
+	reg("op", 3, biOp)
+}
+
+func biTrue(m *Machine, _ []term.Term, _ int, k Cont) Result { return k() }
+func biFail(m *Machine, _ []term.Term, _ int, _ Cont) Result { return Fail }
+
+func biCut(m *Machine, _ []term.Term, _ int, k Cont) Result {
+	if r := k(); r == Stop {
+		return Stop
+	}
+	return Cut
+}
+
+func biHalt1(m *Machine, args []term.Term, _ int, _ Cont) Result {
+	code, ok := term.Deref(args[0]).(term.Int)
+	if !ok {
+		panic(typeError("integer", args[0]))
+	}
+	panic(haltSignal{code: int(code)})
+}
+
+// biCall implements call/1..8: extra arguments are appended to the goal.
+// A cut inside the called goal is local to it.
+func biCall(m *Machine, args []term.Term, depth int, k Cont) Result {
+	goal := term.Deref(args[0])
+	extra := args[1:]
+	if len(extra) > 0 {
+		switch g := goal.(type) {
+		case term.Atom:
+			goal = term.New(string(g), extra...)
+		case *term.Compound:
+			goal = term.New(g.Functor, append(append([]term.Term{}, g.Args...), extra...)...)
+		default:
+			panic(typeError("callable", goal))
+		}
+	}
+	r := m.solve(goal, depth+1, k)
+	if r == Cut {
+		return Fail
+	}
+	return r
+}
+
+func biNegation(m *Machine, args []term.Term, depth int, k Cont) Result {
+	return m.solveNegation(args[0], depth, k)
+}
+
+func biThrow(m *Machine, args []term.Term, _ int, _ Cont) Result {
+	ball := term.Deref(args[0])
+	if _, isVar := ball.(*term.Var); isVar {
+		panic(instantiationError())
+	}
+	panic(prologError{ball: unify.Resolve(ball)})
+}
+
+func biCatch(m *Machine, args []term.Term, depth int, k Cont) (res Result) {
+	goal, catcher, recovery := args[0], args[1], args[2]
+	mark := m.Trail.Mark()
+
+	caught := func() (r Result, caughtIt bool) {
+		defer func() {
+			if e := recover(); e != nil {
+				pe, ok := e.(prologError)
+				if !ok {
+					panic(e)
+				}
+				m.Trail.Undo(mark)
+				ballCopy := term.Rename(pe.ball)
+				if !unify.Unify(catcher, ballCopy, &m.Trail) {
+					panic(pe) // not ours; rethrow
+				}
+				caughtIt = true
+			}
+		}()
+		rr := m.solve(goal, depth+1, k)
+		if rr == Cut {
+			rr = Fail
+		}
+		return rr, false
+	}
+
+	r, caughtIt := caught()
+	if caughtIt {
+		return m.solve(recovery, depth, k)
+	}
+	return r
+}
+
+func biForall(m *Machine, args []term.Term, depth int, k Cont) Result {
+	cond, action := args[0], args[1]
+	violated := false
+	mark := m.Trail.Mark()
+	m.solve(cond, depth+1, func() Result {
+		ok := false
+		inner := m.Trail.Mark()
+		m.solve(action, depth+1, func() Result { ok = true; return Stop })
+		m.Trail.Undo(inner)
+		if !ok {
+			violated = true
+			return Stop
+		}
+		return Fail
+	})
+	m.Trail.Undo(mark)
+	if violated {
+		return Fail
+	}
+	return k()
+}
+
+func biUnify(m *Machine, args []term.Term, _ int, k Cont) Result {
+	mark := m.Trail.Mark()
+	if unify.Unify(args[0], args[1], &m.Trail) {
+		if r := k(); r != Fail {
+			return r
+		}
+	}
+	m.Trail.Undo(mark)
+	return Fail
+}
+
+func biNotUnify(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if unify.Unifiable(args[0], args[1]) {
+		return Fail
+	}
+	return k()
+}
+
+func biUnifyOC(m *Machine, args []term.Term, _ int, k Cont) Result {
+	mark := m.Trail.Mark()
+	if unify.UnifyOC(args[0], args[1], &m.Trail) {
+		if r := k(); r != Fail {
+			return r
+		}
+	}
+	m.Trail.Undo(mark)
+	return Fail
+}
+
+func typeTest(pred func(term.Term) bool) Builtin {
+	return func(m *Machine, args []term.Term, _ int, k Cont) Result {
+		if pred(term.Deref(args[0])) {
+			return k()
+		}
+		return Fail
+	}
+}
+
+func compareTest(pred func(int) bool) Builtin {
+	return func(m *Machine, args []term.Term, _ int, k Cont) Result {
+		if pred(term.Compare(args[0], args[1])) {
+			return k()
+		}
+		return Fail
+	}
+}
+
+func biCompare3(m *Machine, args []term.Term, _ int, k Cont) Result {
+	var rel term.Atom
+	switch term.Compare(args[1], args[2]) {
+	case -1:
+		rel = "<"
+	case 0:
+		rel = "="
+	default:
+		rel = ">"
+	}
+	return unifyK(m, args[0], rel, k)
+}
+
+// unifyK unifies a with b and continues; undoes on failure.
+func unifyK(m *Machine, a, b term.Term, k Cont) Result {
+	mark := m.Trail.Mark()
+	if unify.Unify(a, b, &m.Trail) {
+		if r := k(); r != Fail {
+			return r
+		}
+	}
+	m.Trail.Undo(mark)
+	return Fail
+}
+
+func biFunctor(m *Machine, args []term.Term, _ int, k Cont) Result {
+	t := term.Deref(args[0])
+	switch t := t.(type) {
+	case *term.Var:
+		// Construct from name/arity.
+		name := term.Deref(args[1])
+		arity, ok := term.Deref(args[2]).(term.Int)
+		if !ok {
+			panic(typeError("integer", args[2]))
+		}
+		if arity == 0 {
+			return unifyK(m, args[0], name, k)
+		}
+		atom, ok := name.(term.Atom)
+		if !ok {
+			panic(typeError("atom", name))
+		}
+		fargs := make([]term.Term, arity)
+		for i := range fargs {
+			fargs[i] = term.NewVar("_")
+		}
+		return unifyK(m, args[0], term.New(string(atom), fargs...), k)
+	case *term.Compound:
+		mark := m.Trail.Mark()
+		if unify.Unify(args[1], term.Atom(t.Functor), &m.Trail) &&
+			unify.Unify(args[2], term.Int(len(t.Args)), &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+		return Fail
+	default: // atomic
+		mark := m.Trail.Mark()
+		if unify.Unify(args[1], t, &m.Trail) &&
+			unify.Unify(args[2], term.Int(0), &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+		return Fail
+	}
+}
+
+func biArg(m *Machine, args []term.Term, _ int, k Cont) Result {
+	c, ok := term.Deref(args[1]).(*term.Compound)
+	if !ok {
+		panic(typeError("compound", args[1]))
+	}
+	switch n := term.Deref(args[0]).(type) {
+	case term.Int:
+		if n < 1 || int(n) > len(c.Args) {
+			return Fail
+		}
+		return unifyK(m, args[2], c.Args[n-1], k)
+	case *term.Var:
+		for i := range c.Args {
+			mark := m.Trail.Mark()
+			if unify.Unify(args[0], term.Int(i+1), &m.Trail) &&
+				unify.Unify(args[2], c.Args[i], &m.Trail) {
+				if r := k(); r != Fail {
+					return r
+				}
+			}
+			m.Trail.Undo(mark)
+		}
+		return Fail
+	default:
+		panic(typeError("integer", args[0]))
+	}
+}
+
+func biUniv(m *Machine, args []term.Term, _ int, k Cont) Result {
+	t := term.Deref(args[0])
+	switch t := t.(type) {
+	case *term.Var:
+		elems, tail := term.ListSlice(args[1])
+		if tail != term.NilAtom || len(elems) == 0 {
+			panic(domainError("non_empty_list", args[1]))
+		}
+		head := term.Deref(elems[0])
+		if len(elems) == 1 {
+			return unifyK(m, args[0], head, k)
+		}
+		atom, ok := head.(term.Atom)
+		if !ok {
+			panic(typeError("atom", head))
+		}
+		return unifyK(m, args[0], term.New(string(atom), elems[1:]...), k)
+	case *term.Compound:
+		list := term.List(append([]term.Term{term.Atom(t.Functor)}, t.Args...)...)
+		return unifyK(m, args[1], list, k)
+	default:
+		return unifyK(m, args[1], term.List(t), k)
+	}
+}
+
+func biCopyTerm(m *Machine, args []term.Term, _ int, k Cont) Result {
+	return unifyK(m, args[1], term.Rename(args[0]), k)
+}
+
+func biBetween(m *Machine, args []term.Term, _ int, k Cont) Result {
+	lo, ok1 := term.Deref(args[0]).(term.Int)
+	hi, ok2 := term.Deref(args[1]).(term.Int)
+	if !ok1 || !ok2 {
+		panic(typeError("integer", args[0]))
+	}
+	if x, ok := term.Deref(args[2]).(term.Int); ok {
+		if x >= lo && x <= hi {
+			return k()
+		}
+		return Fail
+	}
+	for i := lo; i <= hi; i++ {
+		mark := m.Trail.Mark()
+		if unify.Unify(args[2], i, &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+	}
+	return Fail
+}
+
+func biSucc(m *Machine, args []term.Term, _ int, k Cont) Result {
+	a, aOK := term.Deref(args[0]).(term.Int)
+	b, bOK := term.Deref(args[1]).(term.Int)
+	switch {
+	case aOK:
+		if a < 0 {
+			panic(typeError("not_less_than_zero", args[0]))
+		}
+		return unifyK(m, args[1], a+1, k)
+	case bOK:
+		if b <= 0 {
+			return Fail
+		}
+		return unifyK(m, args[0], b-1, k)
+	default:
+		panic(instantiationError())
+	}
+}
+
+func atomText(t term.Term) (string, bool) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return string(t), true
+	case term.Int:
+		return strconv.FormatInt(int64(t), 10), true
+	case term.Float:
+		return term.Float(t).String(), true
+	}
+	return "", false
+}
+
+func biAtomCodes(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if s, ok := atomText(args[0]); ok {
+		codes := make([]term.Term, 0, len(s))
+		for _, r := range s {
+			codes = append(codes, term.Int(r))
+		}
+		return unifyK(m, args[1], term.List(codes...), k)
+	}
+	elems, tail := term.ListSlice(args[1])
+	if tail != term.NilAtom {
+		panic(instantiationError())
+	}
+	var b strings.Builder
+	for _, e := range elems {
+		c, ok := term.Deref(e).(term.Int)
+		if !ok {
+			panic(typeError("integer", e))
+		}
+		b.WriteRune(rune(c))
+	}
+	return unifyK(m, args[0], term.Atom(b.String()), k)
+}
+
+func biAtomChars(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if s, ok := atomText(args[0]); ok {
+		chars := make([]term.Term, 0, len(s))
+		for _, r := range s {
+			chars = append(chars, term.Atom(string(r)))
+		}
+		return unifyK(m, args[1], term.List(chars...), k)
+	}
+	elems, tail := term.ListSlice(args[1])
+	if tail != term.NilAtom {
+		panic(instantiationError())
+	}
+	var b strings.Builder
+	for _, e := range elems {
+		a, ok := term.Deref(e).(term.Atom)
+		if !ok {
+			panic(typeError("character", e))
+		}
+		b.WriteString(string(a))
+	}
+	return unifyK(m, args[0], term.Atom(b.String()), k)
+}
+
+func biAtomLength(m *Machine, args []term.Term, _ int, k Cont) Result {
+	s, ok := atomText(args[0])
+	if !ok {
+		panic(typeError("atom", args[0]))
+	}
+	return unifyK(m, args[1], term.Int(len([]rune(s))), k)
+}
+
+func biAtomConcat(m *Machine, args []term.Term, _ int, k Cont) Result {
+	a, aOK := atomText(args[0])
+	b, bOK := atomText(args[1])
+	if aOK && bOK {
+		return unifyK(m, args[2], term.Atom(a+b), k)
+	}
+	whole, wOK := atomText(args[2])
+	if !wOK {
+		panic(instantiationError())
+	}
+	runes := []rune(whole)
+	for i := 0; i <= len(runes); i++ {
+		mark := m.Trail.Mark()
+		if unify.Unify(args[0], term.Atom(string(runes[:i])), &m.Trail) &&
+			unify.Unify(args[1], term.Atom(string(runes[i:])), &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+	}
+	return Fail
+}
+
+func biCharCode(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if a, ok := term.Deref(args[0]).(term.Atom); ok {
+		rs := []rune(string(a))
+		if len(rs) != 1 {
+			panic(typeError("character", args[0]))
+		}
+		return unifyK(m, args[1], term.Int(rs[0]), k)
+	}
+	if c, ok := term.Deref(args[1]).(term.Int); ok {
+		return unifyK(m, args[0], term.Atom(string(rune(c))), k)
+	}
+	panic(instantiationError())
+}
+
+func biNumberCodes(m *Machine, args []term.Term, _ int, k Cont) Result {
+	switch n := term.Deref(args[0]).(type) {
+	case term.Int, term.Float:
+		s := n.String()
+		codes := make([]term.Term, 0, len(s))
+		for _, r := range s {
+			codes = append(codes, term.Int(r))
+		}
+		return unifyK(m, args[1], term.List(codes...), k)
+	}
+	elems, tail := term.ListSlice(args[1])
+	if tail != term.NilAtom {
+		panic(instantiationError())
+	}
+	var b strings.Builder
+	for _, e := range elems {
+		c, ok := term.Deref(e).(term.Int)
+		if !ok {
+			panic(typeError("integer", e))
+		}
+		b.WriteRune(rune(c))
+	}
+	n, err := parseNumber(b.String())
+	if err != nil {
+		panic(prologError{ball: term.New("error", term.New("syntax_error", term.Atom("number")), term.Atom(b.String()))})
+	}
+	return unifyK(m, args[0], n, k)
+}
+
+func biAtomNumber(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if a, ok := term.Deref(args[0]).(term.Atom); ok {
+		n, err := parseNumber(string(a))
+		if err != nil {
+			return Fail
+		}
+		return unifyK(m, args[1], n, k)
+	}
+	switch n := term.Deref(args[1]).(type) {
+	case term.Int, term.Float:
+		return unifyK(m, args[0], term.Atom(n.String()), k)
+	}
+	panic(instantiationError())
+}
+
+func parseNumber(s string) (term.Term, error) {
+	s = strings.TrimSpace(s)
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return term.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return term.Float(f), nil
+	}
+	return nil, fmt.Errorf("not a number: %q", s)
+}
+
+func biLength(m *Machine, args []term.Term, _ int, k Cont) Result {
+	elems, tail := term.ListSlice(args[0])
+	if tail == term.NilAtom {
+		return unifyK(m, args[1], term.Int(len(elems)), k)
+	}
+	if _, isVar := tail.(*term.Var); !isVar {
+		return Fail
+	}
+	// Partial list: if N is bound, extend to that length; else enumerate.
+	if n, ok := term.Deref(args[1]).(term.Int); ok {
+		need := int(n) - len(elems)
+		if need < 0 {
+			return Fail
+		}
+		fresh := make([]term.Term, need)
+		for i := range fresh {
+			fresh[i] = term.NewVar("_")
+		}
+		return unifyK(m, tail, term.List(fresh...), k)
+	}
+	// Unbounded enumeration, capped to keep runaway queries finite.
+	const lengthEnumCap = 4096
+	for extra := 0; extra <= lengthEnumCap; extra++ {
+		mark := m.Trail.Mark()
+		fresh := make([]term.Term, extra)
+		for i := range fresh {
+			fresh[i] = term.NewVar("_")
+		}
+		if unify.Unify(tail, term.List(fresh...), &m.Trail) &&
+			unify.Unify(args[1], term.Int(len(elems)+extra), &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+	}
+	panic(prologError{ball: term.New("resource_error", term.Atom("length_enumeration_cap"))})
+}
+
+func biMsort(m *Machine, args []term.Term, _ int, k Cont) Result {
+	elems, tail := term.ListSlice(args[0])
+	if tail != term.NilAtom {
+		panic(typeError("list", args[0]))
+	}
+	sorted := make([]term.Term, len(elems))
+	for i, e := range elems {
+		sorted[i] = unify.Resolve(e)
+	}
+	term.SortTerms(sorted)
+	return unifyK(m, args[1], term.List(sorted...), k)
+}
+
+func biSort(m *Machine, args []term.Term, _ int, k Cont) Result {
+	elems, tail := term.ListSlice(args[0])
+	if tail != term.NilAtom {
+		panic(typeError("list", args[0]))
+	}
+	sorted := make([]term.Term, len(elems))
+	for i, e := range elems {
+		sorted[i] = unify.Resolve(e)
+	}
+	term.SortTerms(sorted)
+	dedup := sorted[:0]
+	for i, e := range sorted {
+		if i == 0 || term.Compare(sorted[i-1], e) != 0 {
+			dedup = append(dedup, e)
+		}
+	}
+	return unifyK(m, args[1], term.List(dedup...), k)
+}
+
+func biFindall(m *Machine, args []term.Term, depth int, k Cont) Result {
+	template, goal, out := args[0], args[1], args[2]
+	var results []term.Term
+	mark := m.Trail.Mark()
+	r := m.solve(goal, depth+1, func() Result {
+		results = append(results, term.Rename(unify.Resolve(template)))
+		return Fail // keep enumerating
+	})
+	m.Trail.Undo(mark)
+	if r == Stop {
+		return Stop
+	}
+	return unifyK(m, out, term.List(results...), k)
+}
+
+func biAssertz(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if err := m.Assertz(unify.Resolve(args[0])); err != nil {
+		panic(prologError{ball: term.New("error", term.Atom("assert_failed"), term.Atom(err.Error()))})
+	}
+	return k()
+}
+
+func biAsserta(m *Machine, args []term.Term, _ int, k Cont) Result {
+	if err := m.Asserta(unify.Resolve(args[0])); err != nil {
+		panic(prologError{ball: term.New("error", term.Atom("assert_failed"), term.Atom(err.Error()))})
+	}
+	return k()
+}
+
+func biRetract(m *Machine, args []term.Term, _ int, k Cont) Result {
+	// Retract must unify the removed clause with the argument. Find,
+	// unify, remove.
+	head, body, err := splitClause(args[0])
+	if err != nil {
+		panic(typeError("clause", args[0]))
+	}
+	pi, err := IndicatorOf(head)
+	if err != nil {
+		panic(typeError("callable", head))
+	}
+	mod := m.Module(m.CurrentModule)
+	m.mu.Lock()
+	p := mod.Proc(pi, false)
+	var snapshot []*Clause
+	if p != nil {
+		snapshot = append(snapshot, p.Clauses...)
+	}
+	m.mu.Unlock()
+	for _, cl := range snapshot {
+		mark := m.Trail.Mark()
+		h, b := cl.Renamed()
+		if unify.Unify(head, h, &m.Trail) && unify.Unify(body, b, &m.Trail) {
+			m.mu.Lock()
+			for i, cur := range p.Clauses {
+				if cur == cl {
+					p.Clauses = append(p.Clauses[:i:i], p.Clauses[i+1:]...)
+					p.index = nil
+					break
+				}
+			}
+			m.mu.Unlock()
+			if r := k(); r != Fail {
+				return r
+			}
+			m.Trail.Undo(mark)
+			return Fail // retract is semi-deterministic per removal
+		}
+		m.Trail.Undo(mark)
+	}
+	return Fail
+}
+
+func biClause(m *Machine, args []term.Term, _ int, k Cont) Result {
+	pi, err := IndicatorOf(args[0])
+	if err != nil {
+		panic(typeError("callable", args[0]))
+	}
+	proc := m.lookupProc(pi)
+	if proc == nil {
+		return Fail
+	}
+	clauses, cerr := proc.candidates(term.Deref(args[0]))
+	if cerr != nil {
+		panic(prologError{ball: term.New("retrieval_error", term.Atom(pi.String()))})
+	}
+	for _, cl := range clauses {
+		mark := m.Trail.Mark()
+		h, b := cl.Renamed()
+		if unify.Unify(args[0], h, &m.Trail) && unify.Unify(args[1], b, &m.Trail) {
+			if r := k(); r != Fail {
+				return r
+			}
+		}
+		m.Trail.Undo(mark)
+	}
+	return Fail
+}
+
+func biWrite(m *Machine, args []term.Term, _ int, k Cont) Result {
+	fmt.Fprint(m.Out, unify.Resolve(args[0]).String())
+	return k()
+}
+
+func biWriteln(m *Machine, args []term.Term, _ int, k Cont) Result {
+	fmt.Fprintln(m.Out, unify.Resolve(args[0]).String())
+	return k()
+}
+
+func biNl(m *Machine, _ []term.Term, _ int, k Cont) Result {
+	fmt.Fprintln(m.Out)
+	return k()
+}
+
+func biTab(m *Machine, args []term.Term, _ int, k Cont) Result {
+	n, ok := term.Deref(args[0]).(term.Int)
+	if !ok {
+		panic(typeError("integer", args[0]))
+	}
+	fmt.Fprint(m.Out, strings.Repeat(" ", int(n)))
+	return k()
+}
+
+func biOp(m *Machine, args []term.Term, _ int, k Cont) Result {
+	prio, ok := term.Deref(args[0]).(term.Int)
+	if !ok {
+		panic(typeError("integer", args[0]))
+	}
+	typ, ok := term.Deref(args[1]).(term.Atom)
+	if !ok {
+		panic(typeError("atom", args[1]))
+	}
+	var ot parse.OpType
+	switch typ {
+	case "xfx":
+		ot = parse.XFX
+	case "xfy":
+		ot = parse.XFY
+	case "yfx":
+		ot = parse.YFX
+	case "fy":
+		ot = parse.FY
+	case "fx":
+		ot = parse.FX
+	case "xf":
+		ot = parse.XF
+	case "yf":
+		ot = parse.YF
+	default:
+		panic(domainError("operator_specifier", args[1]))
+	}
+	name, ok := term.Deref(args[2]).(term.Atom)
+	if !ok {
+		panic(typeError("atom", args[2]))
+	}
+	m.ops.Add(parse.Op{Priority: int(prio), Type: ot, Name: string(name)})
+	return k()
+}

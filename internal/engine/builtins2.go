@@ -1,0 +1,261 @@
+package engine
+
+// Additional built-ins: atom inspection (sub_atom/5), term/atom
+// conversion, key sorting, all-solutions with ^/2 witnesses, and
+// statistics.
+
+import (
+	"os"
+	"sort"
+	"strings"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+func (m *Machine) registerExtraBuiltins() {
+	reg := func(name string, arity int, fn Builtin) {
+		m.builtins[Indicator{Name: name, Arity: arity}] = fn
+	}
+	reg("sub_atom", 5, biSubAtom)
+	reg("consult", 1, biConsult)
+	reg("trace", 0, biTrace)
+	reg("notrace", 0, biNotrace)
+	reg("listing", 1, biListing)
+	reg("number_chars", 2, biNumberChars)
+	reg("term_to_atom", 2, biTermToAtom)
+	reg("keysort", 2, biKeysort)
+	reg("bagof", 3, biBagof)
+	reg("setof", 3, biSetof)
+	reg("statistics", 2, biStatistics)
+	reg("phrase", 2, biPhrase)
+	reg("phrase", 3, biPhrase)
+	reg("succ_or_zero", 1, func(m *Machine, args []term.Term, _ int, k Cont) Result {
+		if n, ok := term.Deref(args[0]).(term.Int); ok && n >= 0 {
+			return k()
+		}
+		return Fail
+	})
+}
+
+// biConsult loads a Prolog source file into the machine.
+func biConsult(m *Machine, args []term.Term, _ int, k Cont) Result {
+	file, ok := term.Deref(args[0]).(term.Atom)
+	if !ok {
+		panic(typeError("atom", args[0]))
+	}
+	src, err := os.ReadFile(string(file))
+	if err != nil {
+		panic(existenceError("source_file", file))
+	}
+	if err := m.ConsultString(string(src)); err != nil {
+		panic(prologError{ball: term.New("error",
+			term.New("consult_error", file), term.Atom(err.Error()))})
+	}
+	return k()
+}
+
+// biSubAtom enumerates sub-atoms: sub_atom(Atom, Before, Length, After,
+// SubAtom).
+func biSubAtom(m *Machine, args []term.Term, _ int, k Cont) Result {
+	whole, ok := term.Deref(args[0]).(term.Atom)
+	if !ok {
+		panic(typeError("atom", args[0]))
+	}
+	runes := []rune(string(whole))
+	n := len(runes)
+	// If SubAtom is ground, enumerate its occurrences directly.
+	if sub, ok := term.Deref(args[4]).(term.Atom); ok {
+		s := string(sub)
+		sl := len([]rune(s))
+		for b := 0; b+sl <= n; b++ {
+			if string(runes[b:b+sl]) != s {
+				continue
+			}
+			mark := m.Trail.Mark()
+			if unify.Unify(args[1], term.Int(b), &m.Trail) &&
+				unify.Unify(args[2], term.Int(sl), &m.Trail) &&
+				unify.Unify(args[3], term.Int(n-b-sl), &m.Trail) {
+				if r := k(); r != Fail {
+					return r
+				}
+			}
+			m.Trail.Undo(mark)
+		}
+		return Fail
+	}
+	for b := 0; b <= n; b++ {
+		for l := 0; b+l <= n; l++ {
+			mark := m.Trail.Mark()
+			if unify.Unify(args[1], term.Int(b), &m.Trail) &&
+				unify.Unify(args[2], term.Int(l), &m.Trail) &&
+				unify.Unify(args[3], term.Int(n-b-l), &m.Trail) &&
+				unify.Unify(args[4], term.Atom(string(runes[b:b+l])), &m.Trail) {
+				if r := k(); r != Fail {
+					return r
+				}
+			}
+			m.Trail.Undo(mark)
+		}
+	}
+	return Fail
+}
+
+func biNumberChars(m *Machine, args []term.Term, _ int, k Cont) Result {
+	switch v := term.Deref(args[0]).(type) {
+	case term.Int, term.Float:
+		s := v.String()
+		chars := make([]term.Term, 0, len(s))
+		for _, r := range s {
+			chars = append(chars, term.Atom(string(r)))
+		}
+		return unifyK(m, args[1], term.List(chars...), k)
+	}
+	elems, tail := term.ListSlice(args[1])
+	if !term.Equal(tail, term.NilAtom) {
+		panic(instantiationError())
+	}
+	var b strings.Builder
+	for _, e := range elems {
+		a, ok := term.Deref(e).(term.Atom)
+		if !ok {
+			panic(typeError("character", e))
+		}
+		b.WriteString(string(a))
+	}
+	v, err := parseNumber(b.String())
+	if err != nil {
+		panic(prologError{ball: term.New("error", term.New("syntax_error", term.Atom("number")), term.Atom(b.String()))})
+	}
+	return unifyK(m, args[0], v, k)
+}
+
+// biTermToAtom converts between a term and its canonical source text.
+func biTermToAtom(m *Machine, args []term.Term, _ int, k Cont) Result {
+	t := term.Deref(args[0])
+	if _, isVar := t.(*term.Var); !isVar {
+		return unifyK(m, args[1], term.Atom(unify.Resolve(t).String()), k)
+	}
+	a, ok := term.Deref(args[1]).(term.Atom)
+	if !ok {
+		panic(instantiationError())
+	}
+	p, err := parse.NewWithOps(string(a)+" .", m.ops)
+	if err != nil {
+		panic(prologError{ball: term.New("error", term.New("syntax_error", term.Atom("term")), a)})
+	}
+	parsed, err := p.ReadTerm()
+	if err != nil {
+		panic(prologError{ball: term.New("error", term.New("syntax_error", term.Atom("term")), a)})
+	}
+	return unifyK(m, args[0], parsed, k)
+}
+
+// biKeysort sorts a list of Key-Value pairs by key, stably.
+func biKeysort(m *Machine, args []term.Term, _ int, k Cont) Result {
+	elems, tail := term.ListSlice(args[0])
+	if !term.Equal(tail, term.NilAtom) {
+		panic(typeError("list", args[0]))
+	}
+	pairs := make([]term.Term, len(elems))
+	for i, e := range elems {
+		c, ok := term.Deref(e).(*term.Compound)
+		if !ok || c.Functor != "-" || len(c.Args) != 2 {
+			panic(typeError("pair", e))
+		}
+		pairs[i] = unify.Resolve(e)
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		ci := pairs[i].(*term.Compound)
+		cj := pairs[j].(*term.Compound)
+		return term.Compare(ci.Args[0], cj.Args[0]) < 0
+	})
+	return unifyK(m, args[1], term.List(pairs...), k)
+}
+
+// stripCarets removes V^Goal witness prefixes (bagof/setof).
+func stripCarets(goal term.Term) term.Term {
+	for {
+		c, ok := term.Deref(goal).(*term.Compound)
+		if !ok || c.Functor != "^" || len(c.Args) != 2 {
+			return goal
+		}
+		goal = c.Args[1]
+	}
+}
+
+// biBagof is a practical bagof/3: ^/2 witnesses are stripped (treated as
+// existentially quantified), solutions collected in order, failure on an
+// empty bag. Grouping by free variables is not performed (documented
+// simplification).
+func biBagof(m *Machine, args []term.Term, depth int, k Cont) Result {
+	goal := stripCarets(args[1])
+	var results []term.Term
+	mark := m.Trail.Mark()
+	r := m.solve(goal, depth+1, func() Result {
+		results = append(results, term.Rename(unify.Resolve(args[0])))
+		return Fail
+	})
+	m.Trail.Undo(mark)
+	if r == Stop {
+		return Stop
+	}
+	if len(results) == 0 {
+		return Fail
+	}
+	return unifyK(m, args[2], term.List(results...), k)
+}
+
+// biSetof is bagof + sort with duplicate removal.
+func biSetof(m *Machine, args []term.Term, depth int, k Cont) Result {
+	goal := stripCarets(args[1])
+	var results []term.Term
+	mark := m.Trail.Mark()
+	r := m.solve(goal, depth+1, func() Result {
+		results = append(results, term.Rename(unify.Resolve(args[0])))
+		return Fail
+	})
+	m.Trail.Undo(mark)
+	if r == Stop {
+		return Stop
+	}
+	if len(results) == 0 {
+		return Fail
+	}
+	term.SortTerms(results)
+	dedup := results[:0]
+	for i, e := range results {
+		if i == 0 || term.Compare(results[i-1], e) != 0 {
+			dedup = append(dedup, e)
+		}
+	}
+	return unifyK(m, args[2], term.List(dedup...), k)
+}
+
+// biStatistics reports engine counters: statistics(inferences, N) and
+// statistics(clauses, N).
+func biStatistics(m *Machine, args []term.Term, _ int, k Cont) Result {
+	key, ok := term.Deref(args[0]).(term.Atom)
+	if !ok {
+		panic(typeError("atom", args[0]))
+	}
+	var v term.Term
+	switch key {
+	case "inferences":
+		v = term.Int(m.inferences)
+	case "clauses":
+		n := 0
+		m.mu.RLock()
+		for _, mod := range m.modules {
+			for _, p := range mod.procs {
+				n += len(p.Clauses)
+			}
+		}
+		m.mu.RUnlock()
+		v = term.Int(int64(n))
+	default:
+		panic(domainError("statistics_key", args[0]))
+	}
+	return unifyK(m, args[1], v, k)
+}

@@ -1,0 +1,286 @@
+package engine
+
+// Tests targeting the less-travelled built-ins and API surface.
+
+import (
+	"strings"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+func TestArithmeticFunctions(t *testing.T) {
+	m := newMachine(t)
+	cases := map[string]string{
+		"X is sqrt(16.0)":               "4.0",
+		"X is sin(0)":                   "0.0",
+		"X is cos(0)":                   "1.0",
+		"X is exp(0)":                   "1.0",
+		"X is log(e)":                   "1.0",
+		"X is abs(3.5)":                 "3.5",
+		"X is abs(-3.5)":                "3.5",
+		"X is sign(-9)":                 "-1",
+		"X is sign(0.0)":                "0.0",
+		"X is float(3)":                 "3.0",
+		"X is integer(3.6)":             "4",
+		"X is truncate(-3.6)":           "-3",
+		"X is round(2.5)":               "3",
+		"X is ceiling(2.1)":             "3",
+		"X is floor(2.9)":               "2",
+		"X is float_integer_part(2.75)": "2.0",
+		"X is \\ 0":                     "-1",
+		"X is msb(1024)":                "10",
+		"X is pi":                       term.Float(3.141592653589793).String(),
+		"X is min(2.5, 2)":              "2",
+		"X is max(2.5, 2)":              "2.5",
+		"X is atan(1.0, 1.0)":           term.Float(0.7853981633974483).String(),
+		"X is 2.0 ** 3":                 "8.0",
+		"X is -(5)":                     "-5",
+		"X is +(5)":                     "5",
+		"X is 1 >> 3":                   "0",
+	}
+	for q, want := range cases {
+		sols := solutions(t, m, q)
+		if len(sols) != 1 || sols[0]["X"].String() != want {
+			t.Errorf("%s = %v, want %s", q, sols, want)
+		}
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	m := newMachine(t)
+	for _, q := range []string{
+		"X is log(0)",
+		"X is log(-1)",
+		"X is 1 // 0",
+		"X is 1 mod 0",
+		"X is 1 rem 0",
+		"X is foo",
+		"X is unknown_fn(1)",
+		"X is unknown_fn(1, 2)",
+		"X is f(1, 2, 3)",
+		"X is 1.5 /\\ 2",
+		"X is 1.5 << 2",
+		"X is msb(0)",
+		"X is \\ 1.5",
+		"X is Y + 1",
+	} {
+		if _, err := m.Query(q, 1); err == nil {
+			t.Errorf("%s should raise", q)
+		}
+	}
+}
+
+func TestNotAndUnifyOC(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "p(1).")
+	if !proves(t, m, "not(p(2))") {
+		t.Error("not/1 should succeed")
+	}
+	if proves(t, m, "not(p(1))") {
+		t.Error("not/1 should fail")
+	}
+	if !proves(t, m, "unify_with_occurs_check(X, f(a)), X == f(a)") {
+		t.Error("unify_with_occurs_check should bind")
+	}
+	if proves(t, m, "unify_with_occurs_check(X, f(X))") {
+		t.Error("occurs check should reject X = f(X)")
+	}
+}
+
+func TestSuccAndTab(t *testing.T) {
+	m := New()
+	var out strings.Builder
+	m.Out = &out
+	if ok, _ := m.ProveString("succ(3, S), S == 4"); !ok {
+		t.Error("succ(3, S) failed")
+	}
+	if ok, _ := m.ProveString("succ(P, 4), P == 3"); !ok {
+		t.Error("succ(P, 4) failed")
+	}
+	if ok, _ := m.ProveString("succ(P, 0)"); ok {
+		t.Error("succ(P, 0) should fail")
+	}
+	if ok, _ := m.ProveString("tab(3), write(x)"); !ok {
+		t.Error("tab failed")
+	}
+	if out.String() != "   x" {
+		t.Errorf("tab output = %q", out.String())
+	}
+}
+
+func TestArgEnumeration(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "arg(N, f(a, b), V)")
+	if len(sols) != 2 {
+		t.Fatalf("arg enumeration = %v", sols)
+	}
+	if sols[0]["N"].String() != "1" || sols[0]["V"].String() != "a" {
+		t.Errorf("first = %v", sols[0])
+	}
+	if proves(t, m, "arg(3, f(a, b), _)") {
+		t.Error("out-of-range arg should fail")
+	}
+	if proves(t, m, "arg(0, f(a), _)") {
+		t.Error("arg 0 should fail")
+	}
+}
+
+func TestAtomCharsReverse(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "atom_chars(A, [h, i])")
+	if len(sols) != 1 || sols[0]["A"].String() != "hi" {
+		t.Errorf("atom_chars reverse = %v", sols)
+	}
+	sols = solutions(t, m, "char_code(C, 98)")
+	if len(sols) != 1 || sols[0]["C"].String() != "b" {
+		t.Errorf("char_code reverse = %v", sols)
+	}
+	sols = solutions(t, m, "number_codes(N, \"42\")")
+	if len(sols) != 1 || sols[0]["N"].String() != "42" {
+		t.Errorf("number_codes reverse = %v", sols)
+	}
+	if _, err := m.Query("number_codes(N, \"junk\")", 1); err == nil {
+		t.Error("number_codes on junk should raise syntax error")
+	}
+	sols = solutions(t, m, "atom_number(A, 7)")
+	if len(sols) != 1 || sols[0]["A"].String() != "'7'" {
+		t.Errorf("atom_number reverse = %v", sols)
+	}
+	if proves(t, m, "atom_number(not_a_number, _)") {
+		t.Error("atom_number on non-number should fail")
+	}
+}
+
+func TestLengthModes(t *testing.T) {
+	m := newMachine(t)
+	// Partial list with bound length: extend.
+	sols := solutions(t, m, "L = [a|T], length(L, 3)")
+	if len(sols) != 1 {
+		t.Fatalf("length extension = %v", sols)
+	}
+	elems, tail := term.ListSlice(sols[0]["L"])
+	if len(elems) != 3 || !term.Equal(tail, term.NilAtom) {
+		t.Errorf("extended list = %v", sols[0]["L"])
+	}
+	if proves(t, m, "L = [a, b], length(L, 1)") {
+		t.Error("length mismatch should fail")
+	}
+	// Enumeration mode (bounded by max solutions).
+	sols, err := m.Query("length(L, N)", 3)
+	if err != nil || len(sols) != 3 {
+		t.Fatalf("length enumeration = %v, %v", sols, err)
+	}
+	if sols[2]["N"].String() != "2" {
+		t.Errorf("third length = %v", sols[2])
+	}
+}
+
+func TestOpDirectiveErrors(t *testing.T) {
+	m := newMachine(t)
+	for _, q := range []string{
+		"op(foo, xfx, ==>)",
+		"op(700, bogus, ==>)",
+		"op(700, xfx, 3)",
+	} {
+		if _, err := m.Query(q, 1); err == nil {
+			t.Errorf("%s should raise", q)
+		}
+	}
+	// Postfix operator via op/3.
+	if !proves(t, m, "op(500, xf, bang)") {
+		t.Fatal("op xf failed")
+	}
+	consult(t, m, "loud(X bang) :- atom(X).")
+	if !proves(t, m, "loud(hello bang)") {
+		t.Error("postfix operator clause failed")
+	}
+}
+
+func TestRetractAPI(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "d(1). d(2).")
+	removed, err := m.Retract(parse.MustTerm("d(1)"))
+	if err != nil || !removed {
+		t.Fatalf("Retract = %v, %v", removed, err)
+	}
+	if proves(t, m, "d(1)") {
+		t.Error("retracted clause still visible")
+	}
+	removed, err = m.Retract(parse.MustTerm("d(99)"))
+	if err != nil || removed {
+		t.Errorf("Retract of absent clause = %v, %v", removed, err)
+	}
+}
+
+func TestMachineIntrospection(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, ":- module(zoo).\nanimal(cat).")
+	mods := m.Modules()
+	found := false
+	for _, name := range mods {
+		if name == "zoo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Modules() = %v", mods)
+	}
+	pis := m.Module("zoo").Procedures()
+	if len(pis) != 1 || pis[0].String() != "animal/1" {
+		t.Errorf("Procedures = %v", pis)
+	}
+	if m.Ops() == nil {
+		t.Error("Ops() returned nil")
+	}
+}
+
+func TestThrowAPI(t *testing.T) {
+	m := newMachine(t)
+	m.builtins[Indicator{Name: "go_throw", Arity: 0}] = func(m *Machine, _ []term.Term, _ int, _ Cont) Result {
+		Throw(term.Atom("from_go"))
+		return Fail
+	}
+	_, err := m.Query("go_throw", 1)
+	if err == nil {
+		t.Fatal("expected exception")
+	}
+	ball, ok := IsPrologError(err)
+	if !ok || ball.String() != "from_go" {
+		t.Errorf("ball = %v, %v", ball, ok)
+	}
+	if err.Error() == "" {
+		t.Error("empty error text")
+	}
+	if !proves(t, m, "catch(go_throw, from_go, true)") {
+		t.Error("Go-thrown ball not catchable")
+	}
+}
+
+func TestDCGErrorCases(t *testing.T) {
+	m := newMachine(t)
+	// Push-back heads unsupported.
+	if err := m.ConsultString("(h, [x]) --> [y]."); err == nil {
+		t.Error("push-back DCG head should be rejected")
+	}
+	// Improper terminal list.
+	if err := m.ConsultString("bad --> [a|b]."); err == nil {
+		t.Error("improper terminal list should be rejected")
+	}
+	// Negation and variable bodies translate.
+	consult(t, m, `
+		not_x --> \+ [x], [_].
+		delegate(B) --> B.
+		xx --> [x].
+	`)
+	if !proves(t, m, "phrase(not_x, [y])") {
+		t.Error("\\+ in DCG failed")
+	}
+	if proves(t, m, "phrase(not_x, [x])") {
+		t.Error("\\+ in DCG should reject [x]")
+	}
+	if !proves(t, m, "phrase(delegate(xx), [x])") {
+		t.Error("variable DCG body failed")
+	}
+}

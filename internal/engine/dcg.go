@@ -1,0 +1,138 @@
+package engine
+
+// DCG translation: Prolog-X uses Edinburgh syntax "with extension", and
+// grammar rules (H --> B) are standard Edinburgh practice. Consulting a
+// -->/2 clause translates it into an ordinary clause threading a
+// difference list through the body; phrase/2 and phrase/3 run a
+// nonterminal over a list.
+
+import (
+	"fmt"
+
+	"clare/internal/term"
+)
+
+// translateDCG turns `head --> body` into an ordinary clause.
+func translateDCG(rule *term.Compound) (term.Term, error) {
+	s0 := term.NewVar("S0")
+	s := term.NewVar("S")
+	head, err := dcgHead(rule.Args[0], s0, s)
+	if err != nil {
+		return nil, err
+	}
+	body, err := dcgBody(rule.Args[1], s0, s)
+	if err != nil {
+		return nil, err
+	}
+	return term.New(":-", head, body), nil
+}
+
+// dcgHead appends the difference-list pair to the nonterminal.
+func dcgHead(h term.Term, s0, s term.Term) (term.Term, error) {
+	switch h := term.Deref(h).(type) {
+	case term.Atom:
+		return term.New(string(h), s0, s), nil
+	case *term.Compound:
+		if h.Functor == "," {
+			return nil, fmt.Errorf("engine: push-back DCG heads are not supported")
+		}
+		args := append(append([]term.Term{}, h.Args...), s0, s)
+		return term.New(h.Functor, args...), nil
+	default:
+		return nil, fmt.Errorf("engine: %v is not a valid DCG head", h)
+	}
+}
+
+// dcgBody translates a grammar body between list positions s0 and s.
+func dcgBody(b term.Term, s0, s term.Term) (term.Term, error) {
+	b = term.Deref(b)
+	switch b := b.(type) {
+	case term.Atom:
+		switch b {
+		case "[]":
+			return term.New("=", s0, s), nil
+		case "!":
+			// Cut stays a cut; the list position is unchanged.
+			return term.New(",", term.Atom("!"), term.New("=", s0, s)), nil
+		default:
+			return term.New(string(b), s0, s), nil
+		}
+	case *term.Var:
+		// A variable body becomes phrase(V, S0, S).
+		return term.New("phrase", b, s0, s), nil
+	case *term.Compound:
+		switch {
+		case b.Functor == "," && len(b.Args) == 2:
+			mid := term.NewVar("S")
+			left, err := dcgBody(b.Args[0], s0, mid)
+			if err != nil {
+				return nil, err
+			}
+			right, err := dcgBody(b.Args[1], mid, s)
+			if err != nil {
+				return nil, err
+			}
+			return term.New(",", left, right), nil
+		case b.Functor == ";" && len(b.Args) == 2:
+			left, err := dcgBody(b.Args[0], s0, s)
+			if err != nil {
+				return nil, err
+			}
+			right, err := dcgBody(b.Args[1], s0, s)
+			if err != nil {
+				return nil, err
+			}
+			return term.New(";", left, right), nil
+		case b.Functor == "->" && len(b.Args) == 2:
+			mid := term.NewVar("S")
+			cond, err := dcgBody(b.Args[0], s0, mid)
+			if err != nil {
+				return nil, err
+			}
+			then, err := dcgBody(b.Args[1], mid, s)
+			if err != nil {
+				return nil, err
+			}
+			return term.New("->", cond, then), nil
+		case b.Functor == "{}" && len(b.Args) == 1:
+			// Plain goal: list position unchanged.
+			return term.New(",", b.Args[0], term.New("=", s0, s)), nil
+		case b.Functor == term.ConsFunctor && len(b.Args) == 2:
+			// Terminal list: S0 = [t1, t2, ... | S].
+			elems, tail := term.ListSlice(b)
+			if !term.Equal(tail, term.NilAtom) {
+				return nil, fmt.Errorf("engine: DCG terminal list must be proper, got %v", b)
+			}
+			return term.New("=", s0, term.ListTail(s, elems...)), nil
+		case b.Functor == "\\+" && len(b.Args) == 1:
+			inner, err := dcgBody(b.Args[0], s0, term.NewVar("_"))
+			if err != nil {
+				return nil, err
+			}
+			return term.New(",", term.New("\\+", inner), term.New("=", s0, s)), nil
+		default:
+			// Nonterminal with arguments.
+			args := append(append([]term.Term{}, b.Args...), s0, s)
+			return term.New(b.Functor, args...), nil
+		}
+	}
+	return nil, fmt.Errorf("engine: cannot translate DCG body %v", b)
+}
+
+// biPhrase implements phrase/2 and phrase/3.
+func biPhrase(m *Machine, args []term.Term, depth int, k Cont) Result {
+	list := args[1]
+	rest := term.Term(term.NilAtom)
+	if len(args) == 3 {
+		rest = args[2]
+	}
+	body, err := dcgBody(args[0], list, rest)
+	if err != nil {
+		panic(typeError("dcg_body", args[0]))
+	}
+	r := m.solve(body, depth+1, k)
+	if r == Cut {
+		return Fail
+	}
+	return r
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDCGBasicGrammar(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		greeting --> [hello], name.
+		name --> [world].
+		name --> [prolog].
+	`)
+	if !proves(t, m, "phrase(greeting, [hello, world])") {
+		t.Error("greeting should parse [hello, world]")
+	}
+	if !proves(t, m, "phrase(greeting, [hello, prolog])") {
+		t.Error("greeting should parse [hello, prolog]")
+	}
+	if proves(t, m, "phrase(greeting, [hello])") {
+		t.Error("incomplete input should fail")
+	}
+	if proves(t, m, "phrase(greeting, [goodbye, world])") {
+		t.Error("wrong terminal should fail")
+	}
+}
+
+func TestDCGNonterminalArguments(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		digits([D|T]) --> digit(D), digits(T).
+		digits([D]) --> digit(D).
+		digit(D) --> [D], { integer(D) }.
+	`)
+	sols := solutions(t, m, "phrase(digits(L), [1,2,3])")
+	if len(sols) != 1 || sols[0]["L"].String() != "[1,2,3]" {
+		t.Errorf("digits = %v", sols)
+	}
+}
+
+func TestDCGPhrase3Rest(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `ab --> [a], [b].`)
+	sols := solutions(t, m, "phrase(ab, [a,b,c,d], Rest)")
+	if len(sols) != 1 || sols[0]["Rest"].String() != "[c,d]" {
+		t.Errorf("Rest = %v", sols)
+	}
+}
+
+func TestDCGDisjunctionAndCurly(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		sign(pos) --> [+].
+		sign(neg) --> [-].
+		num(N) --> ( sign(pos) ; sign(neg) ), [D], { N is D }.
+	`)
+	sols := solutions(t, m, "phrase(num(N), [+, 7])")
+	if len(sols) != 1 || sols[0]["N"].String() != "7" {
+		t.Errorf("num = %v", sols)
+	}
+	if !proves(t, m, "phrase(num(_), [-, 3])") {
+		t.Error("negative sign branch failed")
+	}
+}
+
+func TestDCGEmptyProduction(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		opt_ws --> [ws], opt_ws.
+		opt_ws --> [].
+	`)
+	for _, input := range []string{"[]", "[ws]", "[ws, ws, ws]"} {
+		if !proves(t, m, "phrase(opt_ws, "+input+")") {
+			t.Errorf("opt_ws should accept %s", input)
+		}
+	}
+}
+
+func TestDCGGeneration(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		greeting --> [hello], name.
+		name --> [world].
+		name --> [prolog].
+	`)
+	sols := solutions(t, m, "phrase(greeting, L)")
+	if len(sols) != 2 {
+		t.Fatalf("generation gave %d solutions", len(sols))
+	}
+	if sols[0]["L"].String() != "[hello,world]" {
+		t.Errorf("first generated = %v", sols[0]["L"])
+	}
+}
+
+func TestStatisticsInferences(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "p(1). p(2). p(3).")
+	sols := solutions(t, m, "statistics(inferences, N)")
+	if len(sols) != 1 {
+		t.Fatal("statistics failed")
+	}
+	before := sols[0]["N"].String()
+	solutions(t, m, "findall(X, p(X), _)")
+	sols = solutions(t, m, "statistics(inferences, N)")
+	if sols[0]["N"].String() == before {
+		t.Error("inference counter should advance")
+	}
+	if !proves(t, m, "statistics(clauses, C), C > 0") {
+		t.Error("clause count should be positive")
+	}
+}
+
+func TestSubAtom(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "sub_atom(hello, 1, 3, A, S)")
+	if len(sols) != 1 || sols[0]["S"].String() != "ell" || sols[0]["A"].String() != "1" {
+		t.Errorf("sub_atom = %v", sols)
+	}
+	// Ground sub-atom: find occurrences.
+	sols = solutions(t, m, "sub_atom(banana, B, _, _, an)")
+	if len(sols) != 2 {
+		t.Fatalf("an occurrences = %d, want 2", len(sols))
+	}
+	if sols[0]["B"].String() != "1" || sols[1]["B"].String() != "3" {
+		t.Errorf("positions = %v", sols)
+	}
+	// Full enumeration count: (n+1)(n+2)/2 substrings for n=2 → 6.
+	sols = solutions(t, m, "sub_atom(ab, _, _, _, S)")
+	if len(sols) != 6 {
+		t.Errorf("ab substrings = %d, want 6", len(sols))
+	}
+}
+
+func TestTermToAtom(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "term_to_atom(f(X, [1,2]), A)")
+	if len(sols) != 1 || sols[0]["A"].String() != "'f(X,[1,2])'" {
+		t.Errorf("term_to_atom = %v", sols)
+	}
+	sols = solutions(t, m, "term_to_atom(T, 'g(a, B)')")
+	if len(sols) != 1 || sols[0]["T"].Indicator() != "g/2" {
+		t.Errorf("reverse term_to_atom = %v", sols)
+	}
+}
+
+func TestKeysort(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "keysort([b-2, a-1, c-3, a-0], L)")
+	// Canonical printing is functional; the order is what matters: stable
+	// by key.
+	if len(sols) != 1 || sols[0]["L"].String() != "[-(a,1),-(a,0),-(b,2),-(c,3)]" {
+		t.Errorf("keysort = %v", sols)
+	}
+}
+
+func TestBagofSetof(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "age(tom, 30). age(ann, 25). age(bob, 30).")
+	sols := solutions(t, m, "bagof(P, A^age(P, A), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[tom,ann,bob]" {
+		t.Errorf("bagof = %v", sols)
+	}
+	sols = solutions(t, m, "setof(A, P^age(P, A), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[25,30]" {
+		t.Errorf("setof = %v", sols)
+	}
+	// Empty: bagof/setof fail where findall gives [].
+	if proves(t, m, "bagof(X, age(X, 99), _)") {
+		t.Error("bagof on empty solution set should fail")
+	}
+	if !proves(t, m, "findall(X, age(X, 99), [])") {
+		t.Error("findall on empty solution set should give []")
+	}
+}
+
+func TestNumberChars(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "number_chars(42, L)")
+	// The character atoms quote when printed ('4' would read as a number).
+	if len(sols) != 1 || sols[0]["L"].String() != "['4','2']" {
+		t.Errorf("number_chars = %v", sols)
+	}
+	sols = solutions(t, m, "number_chars(N, ['3', '.', '5'])")
+	if len(sols) != 1 || sols[0]["N"].String() != "3.5" {
+		t.Errorf("number_chars reverse = %v", sols)
+	}
+}
+
+func TestConsultBuiltin(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/facts.pl"
+	if err := os.WriteFile(path, []byte("fact_from_file(42).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := newMachine(t)
+	if !proves(t, m, "consult('"+path+"')") {
+		t.Fatal("consult/1 failed")
+	}
+	if !proves(t, m, "fact_from_file(42)") {
+		t.Error("consulted fact not visible")
+	}
+	// Missing file raises a catchable existence error.
+	if !proves(t, m, "catch(consult('/nonexistent/file.pl'), error(existence_error(_,_),_), true)") {
+		t.Error("missing file should raise existence_error")
+	}
+}

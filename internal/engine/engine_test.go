@@ -1,0 +1,620 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+// newMachine returns a machine with output discarded.
+func newMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := New()
+	m.Out = &strings.Builder{}
+	return m
+}
+
+func consult(t *testing.T, m *Machine, src string) {
+	t.Helper()
+	if err := m.ConsultString(src); err != nil {
+		t.Fatalf("consult: %v", err)
+	}
+}
+
+// solutions runs a query and returns all its solutions (capped at 1000).
+func solutions(t *testing.T, m *Machine, q string) []Solution {
+	t.Helper()
+	sols, err := m.Query(q, 1000)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return sols
+}
+
+func proves(t *testing.T, m *Machine, q string) bool {
+	t.Helper()
+	ok, err := m.ProveString(q)
+	if err != nil {
+		t.Fatalf("prove %q: %v", q, err)
+	}
+	return ok
+}
+
+func TestFactsAndRules(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		parent(tom, bob).
+		parent(tom, liz).
+		parent(bob, ann).
+		parent(bob, pat).
+		grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+	`)
+	sols := solutions(t, m, "grandparent(tom, W)")
+	if len(sols) != 2 {
+		t.Fatalf("got %d solutions: %v", len(sols), sols)
+	}
+	if sols[0]["W"].String() != "ann" || sols[1]["W"].String() != "pat" {
+		t.Errorf("solutions = %v", sols)
+	}
+}
+
+func TestClauseOrderPreserved(t *testing.T) {
+	// The paper stresses that user clause order is semantically
+	// significant (§1). Solutions must come in clause order.
+	m := newMachine(t)
+	consult(t, m, "c(3). c(1). c(2).")
+	sols := solutions(t, m, "c(X)")
+	got := []string{sols[0]["X"].String(), sols[1]["X"].String(), sols[2]["X"].String()}
+	if got[0] != "3" || got[1] != "1" || got[2] != "2" {
+		t.Errorf("solution order = %v, want [3 1 2]", got)
+	}
+}
+
+func TestBacktrackingUndoesBindings(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		p(1). p(2).
+		q(2).
+		r(X) :- p(X), q(X).
+	`)
+	sols := solutions(t, m, "r(X)")
+	if len(sols) != 1 || sols[0]["X"].String() != "2" {
+		t.Errorf("solutions = %v", sols)
+	}
+}
+
+func TestCutCommitsToClause(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		first(X) :- member(X, [a,b,c]), !.
+	`)
+	sols := solutions(t, m, "first(X)")
+	if len(sols) != 1 || sols[0]["X"].String() != "a" {
+		t.Errorf("cut failed: %v", sols)
+	}
+}
+
+func TestCutPrunesClauses(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		max(X, Y, X) :- X >= Y, !.
+		max(_, Y, Y).
+	`)
+	sols := solutions(t, m, "max(3, 2, M)")
+	if len(sols) != 1 || sols[0]["M"].String() != "3" {
+		t.Errorf("max(3,2) = %v", sols)
+	}
+	sols = solutions(t, m, "max(2, 3, M)")
+	if len(sols) != 1 || sols[0]["M"].String() != "3" {
+		t.Errorf("max(2,3) = %v", sols)
+	}
+}
+
+func TestCutLocalToCall(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "p(1). p(2).")
+	// Cut inside call/1 must not prune p's alternatives.
+	sols := solutions(t, m, "p(X), call((!, true))")
+	if len(sols) != 2 {
+		t.Errorf("cut leaked through call/1: %d solutions", len(sols))
+	}
+}
+
+func TestIfThenElse(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		classify(X, neg) :- ( X < 0 -> true ; fail ).
+		sign_of(X, S) :- ( X < 0 -> S = neg ; X =:= 0 -> S = zero ; S = pos ).
+	`)
+	for q, want := range map[string]string{
+		"sign_of(-5, S)": "neg",
+		"sign_of(0, S)":  "zero",
+		"sign_of(7, S)":  "pos",
+	} {
+		sols := solutions(t, m, q)
+		if len(sols) != 1 || sols[0]["S"].String() != want {
+			t.Errorf("%s = %v, want %s", q, sols, want)
+		}
+	}
+	// Condition commits to first solution.
+	consult(t, m, "t(1). t(2).")
+	sols := solutions(t, m, "( t(X) -> true ; true )")
+	if len(sols) != 1 {
+		t.Errorf("-> should commit to first condition solution, got %d", len(sols))
+	}
+}
+
+func TestNegationAsFailure(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "p(1).")
+	if !proves(t, m, "\\+ p(2)") {
+		t.Error("\\+ p(2) should succeed")
+	}
+	if proves(t, m, "\\+ p(1)") {
+		t.Error("\\+ p(1) should fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := newMachine(t)
+	cases := map[string]string{
+		"X is 1 + 2":         "3",
+		"X is 2 * 3 + 4":     "10",
+		"X is 10 / 4":        "2.5",
+		"X is 10 / 5":        "2",
+		"X is 7 // 2":        "3",
+		"X is 7 mod 3":       "1",
+		"X is -7 mod 3":      "2",
+		"X is -7 rem 3":      "-1",
+		"X is 2 ** 10":       "1024.0",
+		"X is 2 ^ 10":        "1024",
+		"X is abs(-5)":       "5",
+		"X is min(3, 8)":     "3",
+		"X is max(3, 8)":     "8",
+		"X is truncate(3.7)": "3",
+		"X is 5 /\\ 3":       "1",
+		"X is 5 \\/ 3":       "7",
+		"X is 5 xor 3":       "6",
+		"X is 1 << 4":        "16",
+		"X is gcd(12, 18)":   "6",
+	}
+	for q, want := range cases {
+		sols := solutions(t, m, q)
+		if len(sols) != 1 || sols[0]["X"].String() != want {
+			t.Errorf("%s = %v, want %s", q, sols, want)
+		}
+	}
+}
+
+func TestArithmeticComparisons(t *testing.T) {
+	m := newMachine(t)
+	for _, q := range []string{"1 < 2", "2 =< 2", "3 > 2", "3 >= 3", "1 =:= 1.0", "1 =\\= 2"} {
+		if !proves(t, m, q) {
+			t.Errorf("%s should succeed", q)
+		}
+	}
+	for _, q := range []string{"2 < 1", "1 =:= 2"} {
+		if proves(t, m, q) {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	m := newMachine(t)
+	_, err := m.Query("X is 1 / 0", 1)
+	if err == nil {
+		t.Fatal("expected evaluation error")
+	}
+	if ball, ok := IsPrologError(err); !ok || !strings.Contains(ball.String(), "zero_divisor") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestTypeTests(t *testing.T) {
+	m := newMachine(t)
+	yes := []string{
+		"var(_)", "nonvar(a)", "atom(foo)", "atom([])", "integer(3)",
+		"float(3.5)", "number(3)", "number(3.5)", "atomic(a)", "atomic(3)",
+		"compound(f(x))", "compound([a])", "callable(foo)", "callable(f(x))",
+		"is_list([1,2])", "ground(f(a))",
+	}
+	for _, q := range yes {
+		if !proves(t, m, q) {
+			t.Errorf("%s should succeed", q)
+		}
+	}
+	no := []string{
+		"var(a)", "atom(3)", "atom(f(x))", "integer(3.5)", "compound(a)",
+		"is_list([1|_])", "ground(f(_))",
+	}
+	for _, q := range no {
+		if proves(t, m, q) {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestTermOrderBuiltins(t *testing.T) {
+	m := newMachine(t)
+	for _, q := range []string{
+		"a == a", "a \\== b", "a @< b", "f(a) @> a", "1.5 @< 1",
+		"compare(<, a, b)", "compare(=, f(X), f(X))",
+	} {
+		if !proves(t, m, q) {
+			t.Errorf("%s should succeed", q)
+		}
+	}
+}
+
+func TestFunctorArgUniv(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "functor(f(a,b), N, A)")
+	if len(sols) != 1 || sols[0]["N"].String() != "f" || sols[0]["A"].String() != "2" {
+		t.Errorf("functor decompose = %v", sols)
+	}
+	sols = solutions(t, m, "functor(T, foo, 3)")
+	if len(sols) != 1 || sols[0]["T"].Indicator() != "foo/3" {
+		t.Errorf("functor construct = %v", sols)
+	}
+	sols = solutions(t, m, "arg(2, f(a,b,c), X)")
+	if len(sols) != 1 || sols[0]["X"].String() != "b" {
+		t.Errorf("arg = %v", sols)
+	}
+	sols = solutions(t, m, "f(a,b) =.. L")
+	if len(sols) != 1 || sols[0]["L"].String() != "[f,a,b]" {
+		t.Errorf("univ decompose = %v", sols)
+	}
+	sols = solutions(t, m, "T =.. [g, 1, 2]")
+	if len(sols) != 1 || sols[0]["T"].String() != "g(1,2)" {
+		t.Errorf("univ construct = %v", sols)
+	}
+}
+
+func TestCopyTerm(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "copy_term(f(X, X, Y), C)")
+	if len(sols) != 1 {
+		t.Fatal("copy_term failed")
+	}
+	c := sols[0]["C"].(*term.Compound)
+	if !term.Equal(c.Args[0], c.Args[1]) {
+		t.Error("copy lost sharing")
+	}
+	if term.Equal(c.Args[0], c.Args[2]) {
+		t.Error("distinct vars merged")
+	}
+}
+
+func TestFindall(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "num(1). num(2). num(3).")
+	sols := solutions(t, m, "findall(X, num(X), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[1,2,3]" {
+		t.Errorf("findall = %v", sols)
+	}
+	// Empty result.
+	sols = solutions(t, m, "findall(X, (num(X), X > 10), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[]" {
+		t.Errorf("findall empty = %v", sols)
+	}
+	// Bindings inside goal do not leak.
+	sols = solutions(t, m, "findall(Y, num(Y), _), Y = free")
+	if len(sols) != 1 || sols[0]["Y"].String() != "free" {
+		t.Errorf("findall leaked bindings: %v", sols)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "between(1, 4, X)")
+	if len(sols) != 4 {
+		t.Errorf("between gave %d solutions", len(sols))
+	}
+	if !proves(t, m, "between(1, 10, 5)") {
+		t.Error("between check failed")
+	}
+	if proves(t, m, "between(1, 10, 50)") {
+		t.Error("between out of range succeeded")
+	}
+}
+
+func TestAssertRetract(t *testing.T) {
+	m := newMachine(t)
+	if proves(t, m, "catch(dyn(_), _, fail)") {
+		t.Error("dyn should be undefined initially")
+	}
+	if !proves(t, m, "assertz(dyn(1)), assertz(dyn(2)), asserta(dyn(0))") {
+		t.Fatal("assert failed")
+	}
+	sols := solutions(t, m, "dyn(X)")
+	got := make([]string, len(sols))
+	for i, s := range sols {
+		got[i] = s["X"].String()
+	}
+	if strings.Join(got, ",") != "0,1,2" {
+		t.Errorf("dyn order = %v, want 0,1,2", got)
+	}
+	if !proves(t, m, "retract(dyn(1))") {
+		t.Fatal("retract failed")
+	}
+	sols = solutions(t, m, "dyn(X)")
+	if len(sols) != 2 {
+		t.Errorf("after retract: %v", sols)
+	}
+	// Assert a rule.
+	if !proves(t, m, "assertz((even(X) :- 0 is X mod 2))") {
+		t.Fatal("assert rule failed")
+	}
+	if !proves(t, m, "even(4)") || proves(t, m, "even(3)") {
+		t.Error("asserted rule misbehaves")
+	}
+}
+
+func TestClauseBuiltin(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "p(1). p(X) :- q(X).")
+	sols := solutions(t, m, "clause(p(Y), B)")
+	if len(sols) != 2 {
+		t.Fatalf("clause/2 gave %d solutions", len(sols))
+	}
+	if sols[0]["B"].String() != "true" {
+		t.Errorf("first body = %v", sols[0]["B"])
+	}
+	if sols[1]["B"].Indicator() != "q/1" {
+		t.Errorf("second body = %v", sols[1]["B"])
+	}
+}
+
+func TestCatchThrow(t *testing.T) {
+	m := newMachine(t)
+	sols := solutions(t, m, "catch(throw(my_ball), B, true)")
+	if len(sols) != 1 || sols[0]["B"].String() != "my_ball" {
+		t.Errorf("catch = %v", sols)
+	}
+	// Uncaught: different catcher rethrows.
+	_, err := m.Query("catch(throw(a), b, true)", 1)
+	if err == nil {
+		t.Error("mismatched catcher should rethrow")
+	}
+	// Undefined procedure raises existence_error, catchable.
+	if !proves(t, m, "catch(undefined_pred_xyz, error(existence_error(_, _), _), true)") {
+		t.Error("existence error not catchable")
+	}
+}
+
+func TestHalt(t *testing.T) {
+	m := newMachine(t)
+	_, err := m.Query("halt(3)", 1)
+	if err != ErrHalt {
+		t.Fatalf("err = %v, want ErrHalt", err)
+	}
+	halted, code := m.Halted()
+	if !halted || code != 3 {
+		t.Errorf("Halted = %v, %d", halted, code)
+	}
+}
+
+func TestAtomBuiltins(t *testing.T) {
+	m := newMachine(t)
+	cases := map[string]string{
+		"atom_codes(abc, L)":       "[97,98,99]",
+		"atom_codes(A, [104,105])": "",
+		"atom_chars(abc, L)":       "[a,b,c]",
+		"atom_length(hello, L)":    "5",
+		"atom_concat(foo, bar, A)": "",
+		"char_code(a, C)":          "97",
+		"number_codes(42, L)":      "[52,50]",
+		"atom_number('17', N)":     "17",
+		"atom_number('3.5', N)":    "3.5",
+	}
+	for q := range cases {
+		if !proves(t, m, q) {
+			t.Errorf("%s should succeed", q)
+		}
+	}
+	sols := solutions(t, m, "atom_concat(foo, bar, A)")
+	if sols[0]["A"].String() != "foobar" {
+		t.Errorf("atom_concat = %v", sols)
+	}
+	// Decomposition mode enumerates splits.
+	sols = solutions(t, m, "atom_concat(X, Y, ab)")
+	if len(sols) != 3 {
+		t.Errorf("atom_concat splits = %d, want 3", len(sols))
+	}
+}
+
+func TestListBuiltins(t *testing.T) {
+	m := newMachine(t)
+	cases := map[string]string{
+		"length([a,b,c], N)":   "N = 3",
+		"length(L, 2)":         "",
+		"msort([c,a,b,a], L)":  "L = [a,a,b,c]",
+		"sort([c,a,b,a], L)":   "L = [a,b,c]",
+		"append([1,2],[3],L)":  "L = [1,2,3]",
+		"reverse([1,2,3], R)":  "R = [3,2,1]",
+		"nth0(1, [a,b,c], E)":  "E = b",
+		"nth1(1, [a,b,c], E)":  "E = a",
+		"last([1,2,3], X)":     "X = 3",
+		"sum_list([1,2,3], S)": "S = 6",
+		"max_list([3,9,2], M)": "M = 9",
+		"min_list([3,9,2], M)": "M = 2",
+		"numlist(1, 4, L)":     "L = [1,2,3,4]",
+	}
+	for q, want := range cases {
+		sols := solutions(t, m, q)
+		if len(sols) == 0 {
+			t.Errorf("%s failed", q)
+			continue
+		}
+		if want != "" && sols[0].String() != want {
+			t.Errorf("%s = %v, want %s", q, sols[0], want)
+		}
+	}
+	// append in generative mode.
+	sols := solutions(t, m, "append(X, Y, [1,2])")
+	if len(sols) != 3 {
+		t.Errorf("append generative = %d solutions, want 3", len(sols))
+	}
+	// member enumeration.
+	sols = solutions(t, m, "member(X, [a,b])")
+	if len(sols) != 2 {
+		t.Errorf("member = %d solutions", len(sols))
+	}
+}
+
+func TestForallOnceIgnore(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "n(1). n(2). n(3).")
+	if !proves(t, m, "forall(n(X), X > 0)") {
+		t.Error("forall should succeed")
+	}
+	if proves(t, m, "forall(n(X), X > 1)") {
+		t.Error("forall should fail (n(1) violates)")
+	}
+	sols := solutions(t, m, "once(n(X))")
+	if len(sols) != 1 || sols[0]["X"].String() != "1" {
+		t.Errorf("once = %v", sols)
+	}
+	if !proves(t, m, "ignore(fail)") {
+		t.Error("ignore(fail) should succeed")
+	}
+}
+
+func TestModuleDirective(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		:- module(zoo).
+		animal(lion).
+	`)
+	if m.CurrentModule != "zoo" {
+		t.Fatalf("CurrentModule = %s", m.CurrentModule)
+	}
+	if !proves(t, m, "animal(lion)") {
+		t.Error("predicate in current module not found")
+	}
+	// Fall back to user for library predicates.
+	if !proves(t, m, "append([a],[b],[a,b])") {
+		t.Error("user-module library not visible from zoo")
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "loop :- loop.")
+	_, err := m.Query("loop", 1)
+	if err == nil {
+		t.Fatal("infinite recursion should error, not hang or crash")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	m := New()
+	var buf strings.Builder
+	m.Out = &buf
+	if ok, err := m.ProveString("write(f(a,1)), nl, writeln(done)"); err != nil || !ok {
+		t.Fatalf("write query: %v %v", ok, err)
+	}
+	if got := buf.String(); got != "f(a,1)\ndone\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestOpDirective(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, ":- op(700, xfx, ===).")
+	consult(t, m, "eq(X === Y) :- X = Y.")
+	if !proves(t, m, "eq(a === a)") {
+		t.Error("custom operator clause failed")
+	}
+}
+
+func TestQueryMaxSolutions(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "b(1). b(2). b(3). b(4).")
+	sols, err := m.Query("b(X)", 2)
+	if err != nil || len(sols) != 2 {
+		t.Errorf("Query max=2 gave %d, err %v", len(sols), err)
+	}
+}
+
+func TestSolveBindingsUndoneAfter(t *testing.T) {
+	m := newMachine(t)
+	goal := parse.MustTerm("X = 1")
+	x := goal.(*term.Compound).Args[0]
+	err := m.Solve(goal, func() bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, unbound := term.Deref(x).(*term.Var); !unbound {
+		t.Error("Solve leaked bindings after return")
+	}
+}
+
+func TestCallWithExtraArgs(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "add(X, Y, Z) :- Z is X + Y.")
+	sols := solutions(t, m, "call(add(1), 2, Z)")
+	if len(sols) != 1 || sols[0]["Z"].String() != "3" {
+		t.Errorf("call/3 = %v", sols)
+	}
+}
+
+func TestMaplist(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "double(X, Y) :- Y is 2 * X.")
+	sols := solutions(t, m, "maplist(double, [1,2,3], L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[2,4,6]" {
+		t.Errorf("maplist = %v", sols)
+	}
+}
+
+func TestSetofSimple(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, "c(3). c(1). c(3). c(2).")
+	sols := solutions(t, m, "setof_simple(X, c(X), L)")
+	if len(sols) != 1 || sols[0]["L"].String() != "[1,2,3]" {
+		t.Errorf("setof_simple = %v", sols)
+	}
+}
+
+func TestEvalAPI(t *testing.T) {
+	n, err := Eval(parse.MustTerm("3 * 7"))
+	if err != nil || n.IsFloat || n.I != 21 {
+		t.Errorf("Eval = %+v, %v", n, err)
+	}
+	if _, err := Eval(parse.MustTerm("foo + 1")); err == nil {
+		t.Error("Eval of non-evaluable should error")
+	}
+}
+
+func TestNestedControl(t *testing.T) {
+	m := newMachine(t)
+	consult(t, m, `
+		fizzbuzz(N, fizzbuzz) :- 0 is N mod 15, !.
+		fizzbuzz(N, fizz) :- 0 is N mod 3, !.
+		fizzbuzz(N, buzz) :- 0 is N mod 5, !.
+		fizzbuzz(N, N).
+	`)
+	for n, want := range map[string]string{"15": "fizzbuzz", "9": "fizz", "10": "buzz", "7": "7"} {
+		sols := solutions(t, m, "fizzbuzz("+n+", R)")
+		if len(sols) != 1 || sols[0]["R"].String() != want {
+			t.Errorf("fizzbuzz(%s) = %v, want %s", n, sols, want)
+		}
+	}
+}
+
+func TestNaiveReverseBenchmarkProgram(t *testing.T) {
+	// The classic LIPS benchmark program runs correctly.
+	m := newMachine(t)
+	consult(t, m, `
+		nrev([], []).
+		nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+	`)
+	sols := solutions(t, m, "nrev([1,2,3,4,5], R)")
+	if len(sols) != 1 || sols[0]["R"].String() != "[5,4,3,2,1]" {
+		t.Errorf("nrev = %v", sols)
+	}
+}

@@ -1,0 +1,115 @@
+package engine
+
+// First-argument indexing for memory-resident procedures: the standard
+// Prolog implementation technique (and the in-memory analogue of what
+// CLARE does for disk-resident predicates). A procedure's clauses are
+// bucketed by the principal functor of their first head argument; a call
+// with a ground first argument only tries the matching bucket plus the
+// clauses whose first argument is a variable, in original clause order.
+//
+// Indexing is transparent: it never changes the solution set or order,
+// only how many clause heads are attempted. The index is built lazily and
+// invalidated by assert/retract.
+
+import (
+	"fmt"
+
+	"clare/internal/term"
+)
+
+// indexKey identifies a first-argument shape.
+type indexKey string
+
+const noKey indexKey = ""
+
+// firstArgKey returns the index key for a term, or noKey for variables
+// (which match every bucket).
+func firstArgKey(t term.Term) indexKey {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return indexKey("a:" + string(t))
+	case term.Int:
+		return indexKey(fmt.Sprintf("i:%d", int64(t)))
+	case term.Float:
+		return indexKey(fmt.Sprintf("f:%g", float64(t)))
+	case *term.Compound:
+		return indexKey(fmt.Sprintf("c:%s/%d", t.Functor, len(t.Args)))
+	default:
+		return noKey
+	}
+}
+
+// procIndex is a procedure's lazily built first-argument index.
+type procIndex struct {
+	// buckets maps a first-argument key to the clauses that could match
+	// it (same-key clauses plus variable-first-argument clauses), in
+	// original order.
+	buckets map[indexKey][]*Clause
+	// varOnly holds the clauses whose first argument is a variable; used
+	// for keys with no bucket entry.
+	varOnly []*Clause
+}
+
+// buildIndex constructs the index for the current clause list.
+func buildIndex(clauses []*Clause) *procIndex {
+	ix := &procIndex{buckets: make(map[indexKey][]*Clause)}
+	// Collect the distinct keys first.
+	keys := make([]indexKey, 0, 8)
+	seen := make(map[indexKey]bool)
+	for _, cl := range clauses {
+		k := clauseFirstArgKey(cl)
+		if k != noKey && !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, cl := range clauses {
+		k := clauseFirstArgKey(cl)
+		if k == noKey {
+			// Variable first argument: belongs to every bucket.
+			ix.varOnly = append(ix.varOnly, cl)
+			for _, key := range keys {
+				ix.buckets[key] = append(ix.buckets[key], cl)
+			}
+			continue
+		}
+		ix.buckets[k] = append(ix.buckets[k], cl)
+	}
+	return ix
+}
+
+func clauseFirstArgKey(cl *Clause) indexKey {
+	c, ok := term.Deref(cl.Head).(*term.Compound)
+	if !ok || len(c.Args) == 0 {
+		return noKey
+	}
+	return firstArgKey(c.Args[0])
+}
+
+// candidatesIndexed returns the candidate clauses for goal using the
+// first-argument index when profitable.
+func (p *Procedure) candidatesIndexed(goal term.Term) ([]*Clause, error) {
+	if p.Source != nil {
+		return p.Source.Candidates(goal)
+	}
+	// Small procedures are not worth indexing.
+	const indexThreshold = 8
+	if len(p.Clauses) < indexThreshold {
+		return p.Clauses, nil
+	}
+	g, ok := term.Deref(goal).(*term.Compound)
+	if !ok || len(g.Args) == 0 {
+		return p.Clauses, nil
+	}
+	key := firstArgKey(g.Args[0])
+	if key == noKey {
+		return p.Clauses, nil
+	}
+	if p.index == nil {
+		p.index = buildIndex(p.Clauses)
+	}
+	if bucket, hit := p.index.buckets[key]; hit {
+		return bucket, nil
+	}
+	return p.index.varOnly, nil
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFirstArgIndexTransparent(t *testing.T) {
+	// Build two machines: one with the index threshold exceeded, one tiny;
+	// behaviour must be identical regardless.
+	src := ""
+	for i := 0; i < 100; i++ {
+		src += fmt.Sprintf("big(k%d, %d).\n", i%10, i)
+	}
+	src += "big(V, var_clause) :- nonvar(V).\n"
+	src += "big(k3, late).\n"
+	m := newMachine(t)
+	consult(t, m, src)
+
+	sols := solutions(t, m, "big(k3, V)")
+	// k3 occurs at i=3,13,...,93 (10 facts) + var clause + the late k3.
+	if len(sols) != 12 {
+		t.Fatalf("solutions = %d, want 12", len(sols))
+	}
+	// Order: facts in user order, var clause, then the late clause.
+	if sols[0]["V"].String() != "3" || sols[1]["V"].String() != "13" {
+		t.Errorf("first solutions = %v", sols[:2])
+	}
+	if sols[10]["V"].String() != "var_clause" || sols[11]["V"].String() != "late" {
+		t.Errorf("tail solutions = %v", sols[10:])
+	}
+
+	// Variable probes still see everything in order (the var clause's
+	// nonvar/1 guard fails for an unbound key, so 100 facts + late).
+	all := solutions(t, m, "big(K, V)")
+	if len(all) != 101 {
+		t.Errorf("all solutions = %d, want 101", len(all))
+	}
+
+	// A key with no bucket: only the variable clause applies.
+	sols = solutions(t, m, "big(nokey, V)")
+	if len(sols) != 1 || sols[0]["V"].String() != "var_clause" {
+		t.Errorf("nokey solutions = %v", sols)
+	}
+}
+
+func TestFirstArgIndexInvalidation(t *testing.T) {
+	m := newMachine(t)
+	src := ""
+	for i := 0; i < 20; i++ {
+		src += fmt.Sprintf("dynp(a%d, %d).\n", i, i)
+	}
+	consult(t, m, src)
+	// Prime the index.
+	if len(solutions(t, m, "dynp(a5, V)")) != 1 {
+		t.Fatal("prime failed")
+	}
+	// Assert a new clause with the same key; it must appear.
+	if !proves(t, m, "assertz(dynp(a5, extra))") {
+		t.Fatal("assert failed")
+	}
+	sols := solutions(t, m, "dynp(a5, V)")
+	if len(sols) != 2 || sols[1]["V"].String() != "extra" {
+		t.Errorf("after assert = %v", sols)
+	}
+	// Retract the original; only the new one remains.
+	if !proves(t, m, "retract(dynp(a5, 5))") {
+		t.Fatal("retract failed")
+	}
+	sols = solutions(t, m, "dynp(a5, V)")
+	if len(sols) != 1 || sols[0]["V"].String() != "extra" {
+		t.Errorf("after retract = %v", sols)
+	}
+}
+
+func TestIndexStructureKeys(t *testing.T) {
+	m := newMachine(t)
+	src := ""
+	for i := 0; i < 10; i++ {
+		src += fmt.Sprintf("shp(f(%d), fkey%d).\n", i, i)
+		src += fmt.Sprintf("shp(g(%d), gkey%d).\n", i, i)
+	}
+	consult(t, m, src)
+	// f/1 probe: the key is the principal functor, so every f/1 clause is
+	// a candidate, but g/1 clauses are not tried. Behaviour check only:
+	sols := solutions(t, m, "shp(f(4), V)")
+	if len(sols) != 1 || sols[0]["V"].String() != "fkey4" {
+		t.Errorf("struct key solutions = %v", sols)
+	}
+	sols = solutions(t, m, "shp(g(X), V)")
+	if len(sols) != 10 {
+		t.Errorf("g enumeration = %d", len(sols))
+	}
+}
+
+// BenchmarkFirstArgIndex measures the candidate-set reduction on a keyed
+// fact base (in-memory analogue of the paper's disk-side filtering).
+func BenchmarkFirstArgIndex(b *testing.B) {
+	m := New()
+	src := ""
+	for i := 0; i < 2000; i++ {
+		src += fmt.Sprintf("kf(key%d, %d).\n", i, i)
+	}
+	if err := m.ConsultString(src); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := m.ProveString("kf(key1500, _)")
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+// Package engine implements the Prolog resolution engine of the PDBM
+// substrate: a Prolog-X–style system with modules, a clause store that
+// preserves user clause order, a standard-order solver with cut, exceptions
+// and a practical set of built-in predicates.
+//
+// The engine is deliberately structured around the paper's division of
+// labour: procedures may be memory resident (small modules) or backed by a
+// ClauseSource (large, disk-resident modules). A ClauseSource returns
+// *candidate* clauses for a goal — in the paper that candidate set is
+// produced by the CLARE two-stage filter — and the engine performs full
+// unification on the candidates, exactly as the host Prolog does in §2.2.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// Indicator names a procedure: functor/arity.
+type Indicator struct {
+	Name  string
+	Arity int
+}
+
+func (pi Indicator) String() string { return fmt.Sprintf("%s/%d", pi.Name, pi.Arity) }
+
+// IndicatorOf returns the procedure indicator of a callable term.
+func IndicatorOf(t term.Term) (Indicator, error) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return Indicator{Name: string(t)}, nil
+	case *term.Compound:
+		return Indicator{Name: t.Functor, Arity: len(t.Args)}, nil
+	default:
+		return Indicator{}, fmt.Errorf("engine: %v is not callable", t)
+	}
+}
+
+// Clause is one stored clause. Facts have Body == true.
+type Clause struct {
+	Head term.Term
+	Body term.Term
+	// Seq is the clause's position in user order within its procedure at
+	// assert time; retrieval preserves this order (§1: clause ordering is
+	// semantically significant and must survive disk residency).
+	Seq int
+}
+
+// Renamed returns a fresh copy of the clause with variables renamed apart.
+func (c *Clause) Renamed() (head, body term.Term) {
+	m := make(map[*term.Var]*term.Var)
+	return term.RenameWith(c.Head, m), term.RenameWith(c.Body, m)
+}
+
+// String renders the clause in source form.
+func (c *Clause) String() string {
+	if term.Equal(c.Body, term.Atom("true")) {
+		return c.Head.String() + "."
+	}
+	return c.Head.String() + " :- " + c.Body.String() + "."
+}
+
+// ClauseSource supplies candidate clauses for a goal. Implementations may
+// filter: every clause that truly unifies with the goal MUST be included
+// (in user order), and extras (false drops) are permitted — the engine
+// weeds them out with full unification.
+type ClauseSource interface {
+	// Candidates returns candidate clauses for goal in user order.
+	Candidates(goal term.Term) ([]*Clause, error)
+}
+
+// Procedure is a named predicate: an ordered clause list or an external
+// source.
+type Procedure struct {
+	Ind     Indicator
+	Clauses []*Clause    // memory-resident clauses, user order
+	Source  ClauseSource // non-nil for disk-resident procedures
+	nextSeq int
+	index   *procIndex // lazy first-argument index; nil when stale
+}
+
+func (p *Procedure) candidates(goal term.Term) ([]*Clause, error) {
+	if p.Source != nil {
+		return p.Source.Candidates(goal)
+	}
+	return p.Clauses, nil
+}
+
+// Module is a named collection of procedures — the Prolog-X unit of
+// compilation. Small modules live in memory; large ones mark DiskResident
+// and their procedures carry a ClauseSource.
+type Module struct {
+	Name         string
+	DiskResident bool
+	procs        map[Indicator]*Procedure
+}
+
+func newModule(name string) *Module {
+	return &Module{Name: name, procs: make(map[Indicator]*Procedure)}
+}
+
+// Proc returns the procedure for pi, creating it if create is set.
+func (mod *Module) Proc(pi Indicator, create bool) *Procedure {
+	p, ok := mod.procs[pi]
+	if !ok && create {
+		p = &Procedure{Ind: pi}
+		mod.procs[pi] = p
+	}
+	return p
+}
+
+// Procedures returns the module's procedure indicators in sorted order.
+func (mod *Module) Procedures() []Indicator {
+	out := make([]Indicator, 0, len(mod.procs))
+	for pi := range mod.procs {
+		out = append(out, pi)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Arity < out[j].Arity
+	})
+	return out
+}
+
+// Builtin is the Go implementation of a built-in predicate. args are the
+// goal's arguments (not dereferenced), depth the current call depth (for
+// builtins that re-enter the solver). k is the success continuation; a
+// builtin that succeeds once calls k() once and returns its result.
+type Builtin func(m *Machine, args []term.Term, depth int, k Cont) Result
+
+// Machine is a Prolog engine instance.
+type Machine struct {
+	mu       sync.RWMutex
+	modules  map[string]*Module
+	builtins map[Indicator]Builtin
+	ops      *parse.OpTable
+
+	// Out receives output from write/1, nl/0 etc. Defaults to os.Stdout.
+	Out io.Writer
+	// Trail is the global binding trail.
+	Trail unify.Trail
+	// CurrentModule is the module that consults and queries target.
+	CurrentModule string
+
+	halted     bool
+	haltCode   int
+	inferences int64     // predicate calls since machine start (statistics/2)
+	trace      io.Writer // port tracing; nil = off
+}
+
+// New returns a machine with the standard built-ins and library loaded into
+// module "user".
+func New() *Machine {
+	m := &Machine{
+		modules:       map[string]*Module{"user": newModule("user")},
+		builtins:      make(map[Indicator]Builtin),
+		ops:           parse.NewOpTable(),
+		Out:           os.Stdout,
+		CurrentModule: "user",
+	}
+	m.registerBuiltins()
+	m.registerExtraBuiltins()
+	if err := m.ConsultString(bootstrapLibrary); err != nil {
+		panic(fmt.Sprintf("engine: bootstrap library: %v", err))
+	}
+	return m
+}
+
+// Module returns the named module, creating it on demand.
+func (m *Machine) Module(name string) *Module {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mod, ok := m.modules[name]
+	if !ok {
+		mod = newModule(name)
+		m.modules[name] = mod
+	}
+	return mod
+}
+
+// Modules lists the module names in sorted order.
+func (m *Machine) Modules() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.modules))
+	for n := range m.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ops returns the machine's operator table (mutated by op/3).
+func (m *Machine) Ops() *parse.OpTable { return m.ops }
+
+// Halted reports whether halt/0 or halt/1 has been executed, and the code.
+func (m *Machine) Halted() (bool, int) { return m.halted, m.haltCode }
+
+// lookupProc finds the procedure for pi, searching the current module then
+// "user". Returns nil if undefined.
+func (m *Machine) lookupProc(pi Indicator) *Procedure {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if mod, ok := m.modules[m.CurrentModule]; ok {
+		if p, ok := mod.procs[pi]; ok {
+			return p
+		}
+	}
+	if m.CurrentModule != "user" {
+		if p, ok := m.modules["user"].procs[pi]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// ConsultString loads Prolog source text into the machine, handling
+// :- module(Name) and other directives.
+func (m *Machine) ConsultString(src string) error {
+	p, err := parse.NewWithOps(src, m.ops)
+	if err != nil {
+		return err
+	}
+	for {
+		t, err := p.ReadTerm()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := m.consultTerm(t); err != nil {
+			return err
+		}
+	}
+}
+
+func (m *Machine) consultTerm(t term.Term) error {
+	if c, ok := t.(*term.Compound); ok {
+		// Directive?
+		if c.Functor == ":-" && len(c.Args) == 1 {
+			return m.runDirective(c.Args[0])
+		}
+		// Grammar rule?
+		if c.Functor == "-->" && len(c.Args) == 2 {
+			clause, err := translateDCG(c)
+			if err != nil {
+				return err
+			}
+			return m.Assertz(clause)
+		}
+	}
+	return m.Assertz(t)
+}
+
+func (m *Machine) runDirective(goal term.Term) error {
+	// module/1 and module/2 switch the consult target.
+	if c, ok := term.Deref(goal).(*term.Compound); ok && c.Functor == "module" {
+		if name, ok := term.Deref(c.Args[0]).(term.Atom); ok {
+			m.Module(string(name)) // ensure it exists
+			m.CurrentModule = string(name)
+			return nil
+		}
+		return fmt.Errorf("engine: bad module directive %v", goal)
+	}
+	ok, err := m.Prove(goal)
+	if err != nil {
+		return fmt.Errorf("engine: directive %v: %w", goal, err)
+	}
+	if !ok {
+		return fmt.Errorf("engine: directive %v failed", goal)
+	}
+	return nil
+}
+
+// Assertz appends a clause (term form, possibly H :- B) to its procedure.
+func (m *Machine) Assertz(t term.Term) error { return m.assert(t, false) }
+
+// Asserta prepends a clause to its procedure.
+func (m *Machine) Asserta(t term.Term) error { return m.assert(t, true) }
+
+func (m *Machine) assert(t term.Term, front bool) error {
+	head, body, err := splitClause(t)
+	if err != nil {
+		return err
+	}
+	pi, err := IndicatorOf(head)
+	if err != nil {
+		return err
+	}
+	if _, isBI := m.builtins[pi]; isBI {
+		return fmt.Errorf("engine: cannot modify builtin %v", pi)
+	}
+	mod := m.Module(m.CurrentModule)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := mod.Proc(pi, true)
+	if p.Source != nil {
+		return fmt.Errorf("engine: %v is backed by an external source; assert unsupported", pi)
+	}
+	// Store a renamed copy so caller-held variables cannot mutate the DB.
+	rm := make(map[*term.Var]*term.Var)
+	cl := &Clause{
+		Head: term.RenameWith(unify.Resolve(head), rm),
+		Body: term.RenameWith(unify.Resolve(body), rm),
+		Seq:  p.nextSeq,
+	}
+	p.nextSeq++
+	if front {
+		p.Clauses = append([]*Clause{cl}, p.Clauses...)
+	} else {
+		p.Clauses = append(p.Clauses, cl)
+	}
+	p.index = nil // invalidate the first-argument index
+	return nil
+}
+
+// splitClause separates a clause term into head and body.
+func splitClause(t term.Term) (head, body term.Term, err error) {
+	t = term.Deref(t)
+	if c, ok := t.(*term.Compound); ok && c.Functor == ":-" && len(c.Args) == 2 {
+		return c.Args[0], c.Args[1], nil
+	}
+	switch t.(type) {
+	case term.Atom, *term.Compound:
+		return t, term.Atom("true"), nil
+	}
+	return nil, nil, fmt.Errorf("engine: %v cannot be a clause head", t)
+}
+
+// Retract removes the first clause matching t (head or head:-body).
+// Reports whether a clause was removed.
+func (m *Machine) Retract(t term.Term) (bool, error) {
+	head, body, err := splitClause(t)
+	if err != nil {
+		return false, err
+	}
+	pi, err := IndicatorOf(head)
+	if err != nil {
+		return false, err
+	}
+	mod := m.Module(m.CurrentModule)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := mod.Proc(pi, false)
+	if p == nil {
+		return false, nil
+	}
+	for i, cl := range p.Clauses {
+		h, b := cl.Renamed()
+		mark := m.Trail.Mark()
+		if unify.Unify(head, h, &m.Trail) && unify.Unify(body, b, &m.Trail) {
+			m.Trail.Undo(mark)
+			p.Clauses = append(p.Clauses[:i:i], p.Clauses[i+1:]...)
+			p.index = nil
+			return true, nil
+		}
+		m.Trail.Undo(mark)
+	}
+	return false, nil
+}
+
+// Solution is one answer: resolved bindings for the query's named
+// variables.
+type Solution map[string]term.Term
+
+func (s Solution) String() string {
+	if len(s) == 0 {
+		return "true"
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s = %v", k, s[k])
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Query parses src as a goal and returns up to max solutions (max <= 0
+// means all; beware nonterminating programs).
+func (m *Machine) Query(src string, max int) ([]Solution, error) {
+	p, err := parse.NewWithOps(src+" .", m.ops)
+	if err != nil {
+		return nil, err
+	}
+	goal, err := p.ReadTerm()
+	if err != nil {
+		return nil, err
+	}
+	named := p.NamedVars()
+
+	var sols []Solution
+	err = m.Solve(goal, func() bool {
+		s := make(Solution, len(named))
+		for name, v := range named {
+			s[name] = unify.Resolve(v)
+		}
+		sols = append(sols, s)
+		return max > 0 && len(sols) >= max
+	})
+	return sols, err
+}
+
+// Prove runs goal and reports whether it has at least one solution.
+func (m *Machine) Prove(goal term.Term) (bool, error) {
+	found := false
+	err := m.Solve(goal, func() bool {
+		found = true
+		return true
+	})
+	return found, err
+}
+
+// ProveString parses and proves a goal given as source text, using the
+// machine's operator table.
+func (m *Machine) ProveString(src string) (bool, error) {
+	p, err := parse.NewWithOps(src+" .", m.ops)
+	if err != nil {
+		return false, err
+	}
+	g, err := p.ReadTerm()
+	if err != nil {
+		return false, err
+	}
+	return m.Prove(g)
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// Result is the outcome of exploring a proof branch.
+type Result uint8
+
+const (
+	// Fail: this branch is exhausted; the caller should try alternatives.
+	Fail Result = iota
+	// Stop: the solution consumer asked to end the whole search.
+	Stop
+	// Cut: a cut was backtracked into; alternatives up to the enclosing
+	// predicate-call barrier must be discarded.
+	Cut
+)
+
+// Cont is a success continuation. It returns Stop to end the search or
+// Fail to request more solutions (backtracking).
+type Cont func() Result
+
+// prologError carries a thrown Prolog term through Go panics so catch/3 can
+// intercept it.
+type prologError struct{ ball term.Term }
+
+func (e prologError) Error() string { return "uncaught exception: " + e.ball.String() }
+
+// ErrHalt is returned from Solve when halt/0 or halt/1 executes.
+var ErrHalt = errors.New("engine: halted")
+
+type haltSignal struct{ code int }
+
+// Solve proves goal, invoking onSolution for every solution found (with
+// bindings live in the trail). The search ends when onSolution returns
+// true, when alternatives are exhausted, or on error. Bindings are undone
+// before Solve returns.
+func (m *Machine) Solve(goal term.Term, onSolution func() (stop bool)) (err error) {
+	mark := m.Trail.Mark()
+	defer m.Trail.Undo(mark)
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case prologError:
+				err = sig
+			case haltSignal:
+				m.halted, m.haltCode = true, sig.code
+				err = ErrHalt
+			default:
+				panic(r)
+			}
+		}
+	}()
+	k := func() Result {
+		if onSolution() {
+			return Stop
+		}
+		return Fail
+	}
+	r := m.solve(goal, 0, k)
+	if r == Cut {
+		// A cut with no enclosing call barrier: treated as a plain
+		// failure of the top-level goal, matching call/1 semantics.
+		r = Fail
+	}
+	_ = r
+	return nil
+}
+
+// maxDepth caps recursion to turn runaway programs into errors instead of
+// stack exhaustion. The CPS solver burns a few Go frames per Prolog call,
+// so this must stay comfortably below the Go stack ceiling.
+const maxDepth = 250_000
+
+// solve explores goal depth-first. depth counts call-frame nesting.
+func (m *Machine) solve(goal term.Term, depth int, k Cont) Result {
+	if depth > maxDepth {
+		panic(prologError{ball: term.New("resource_error", term.Atom("depth_limit_exceeded"))})
+	}
+	goal = term.Deref(goal)
+
+	switch g := goal.(type) {
+	case *term.Var:
+		panic(instantiationError())
+	case term.Int, term.Float:
+		panic(typeError("callable", goal))
+	case term.Atom:
+		return m.call(string(g), nil, depth, k)
+	case *term.Compound:
+		switch g.Functor {
+		case ",":
+			if len(g.Args) == 2 {
+				return m.solve(g.Args[0], depth, func() Result {
+					return m.solve(g.Args[1], depth, k)
+				})
+			}
+		case ";":
+			if len(g.Args) == 2 {
+				return m.solveDisjunction(g, depth, k)
+			}
+		case "->":
+			if len(g.Args) == 2 {
+				// Bare if-then: (C -> T) ≡ (C -> T ; fail).
+				return m.solveIfThenElse(g.Args[0], g.Args[1], term.Atom("fail"), depth, k)
+			}
+		case "\\+":
+			if len(g.Args) == 1 {
+				return m.solveNegation(g.Args[0], depth, k)
+			}
+		}
+		return m.call(g.Functor, g.Args, depth, k)
+	}
+	panic(typeError("callable", goal))
+}
+
+func (m *Machine) solveDisjunction(g *term.Compound, depth int, k Cont) Result {
+	// (C -> T ; E)
+	if ite, ok := term.Deref(g.Args[0]).(*term.Compound); ok && ite.Functor == "->" && len(ite.Args) == 2 {
+		return m.solveIfThenElse(ite.Args[0], ite.Args[1], g.Args[1], depth, k)
+	}
+	mark := m.Trail.Mark()
+	if r := m.solve(g.Args[0], depth, k); r != Fail {
+		return r
+	}
+	m.Trail.Undo(mark)
+	return m.solve(g.Args[1], depth, k)
+}
+
+func (m *Machine) solveIfThenElse(cond, then, els term.Term, depth int, k Cont) Result {
+	mark := m.Trail.Mark()
+	condMet := false
+	// The condition is opaque to cut and committed to its first solution.
+	r := m.solve(cond, depth+1, func() Result {
+		condMet = true
+		return Stop
+	})
+	if r == Stop && !condMet {
+		return Stop // consumer stop propagated from within cond — cannot happen with our cont, kept for safety
+	}
+	if condMet {
+		return m.solve(then, depth, k)
+	}
+	m.Trail.Undo(mark)
+	return m.solve(els, depth, k)
+}
+
+func (m *Machine) solveNegation(goal term.Term, depth int, k Cont) Result {
+	mark := m.Trail.Mark()
+	proved := false
+	m.solve(goal, depth+1, func() Result {
+		proved = true
+		return Stop
+	})
+	m.Trail.Undo(mark)
+	if proved {
+		return Fail
+	}
+	return k()
+}
+
+// call dispatches a predicate call: builtin or user-defined.
+func (m *Machine) call(name string, args []term.Term, depth int, k Cont) Result {
+	m.inferences++
+	pi := Indicator{Name: name, Arity: len(args)}
+
+	if m.trace != nil && name != "trace" && name != "notrace" {
+		goal := traceGoal(name, args)
+		m.tracef("CALL", goal, depth)
+		inner := k
+		k = func() Result {
+			m.tracef("EXIT", traceGoal(name, args), depth)
+			r := inner()
+			if r == Fail {
+				m.tracef("REDO", goal, depth)
+			}
+			return r
+		}
+	}
+
+	if bi, ok := m.builtins[pi]; ok {
+		r := bi(m, args, depth, k)
+		if r == Fail && m.trace != nil {
+			m.tracef("FAIL", traceGoal(name, args), depth)
+		}
+		return r
+	}
+
+	proc := m.lookupProc(pi)
+	if proc == nil {
+		panic(existenceError("procedure", term.Atom(pi.String())))
+	}
+
+	goal := term.New(name, args...)
+	clauses, err := proc.candidatesIndexed(goal)
+	if err != nil {
+		panic(prologError{ball: term.New("retrieval_error", term.Atom(pi.String()), term.Atom(err.Error()))})
+	}
+
+	for _, cl := range clauses {
+		mark := m.Trail.Mark()
+		head, body := cl.Renamed()
+		if !unify.Unify(goal, head, &m.Trail) {
+			m.Trail.Undo(mark)
+			continue
+		}
+		r := m.solve(body, depth+1, k)
+		switch r {
+		case Stop:
+			return Stop
+		case Cut:
+			// The clause body cut away the remaining clauses.
+			m.Trail.Undo(mark)
+			if m.trace != nil {
+				m.tracef("FAIL", traceGoal(name, args), depth)
+			}
+			return Fail
+		}
+		m.Trail.Undo(mark)
+	}
+	if m.trace != nil {
+		m.tracef("FAIL", traceGoal(name, args), depth)
+	}
+	return Fail
+}
+
+// Errors in ISO style (simplified: error(Kind, Culprit)).
+
+func instantiationError() prologError {
+	return prologError{ball: term.New("error", term.Atom("instantiation_error"), term.Atom("?"))}
+}
+
+func typeError(expected string, culprit term.Term) prologError {
+	return prologError{ball: term.New("error",
+		term.New("type_error", term.Atom(expected), unify.Resolve(culprit)),
+		term.Atom("?"))}
+}
+
+func existenceError(kind string, what term.Term) prologError {
+	return prologError{ball: term.New("error",
+		term.New("existence_error", term.Atom(kind), what),
+		term.Atom("?"))}
+}
+
+func domainError(domain string, culprit term.Term) prologError {
+	return prologError{ball: term.New("error",
+		term.New("domain_error", term.Atom(domain), unify.Resolve(culprit)),
+		term.Atom("?"))}
+}
+
+func evaluationError(what string) prologError {
+	return prologError{ball: term.New("error",
+		term.New("evaluation_error", term.Atom(what)),
+		term.Atom("?"))}
+}
+
+// Throw raises a Prolog exception carrying ball.
+func Throw(ball term.Term) {
+	panic(prologError{ball: unify.Resolve(ball)})
+}
+
+// IsPrologError reports whether err is a Prolog exception and returns the
+// thrown term.
+func IsPrologError(err error) (term.Term, bool) {
+	var pe prologError
+	if errors.As(err, &pe) {
+		return pe.ball, true
+	}
+	return nil, false
+}
+
+var _ = fmt.Sprintf // keep fmt import if error helpers change

@@ -1,0 +1,91 @@
+package engine
+
+// Port tracing in the classic Byrd box model: CALL when a predicate is
+// invoked, EXIT on each solution, REDO when backtracking asks it for more,
+// FAIL when it runs out. Enabled by setting Machine.Trace to a writer (the
+// trace/0 and notrace/0 built-ins toggle it onto Machine.Out).
+
+import (
+	"fmt"
+	"io"
+
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// SetTrace directs port tracing to w (nil disables).
+func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
+
+// traceGoal renders a goal for the trace with current bindings resolved.
+func traceGoal(name string, args []term.Term) string {
+	if len(args) == 0 {
+		return name
+	}
+	return unify.Resolve(term.New(name, args...)).String()
+}
+
+func (m *Machine) tracef(port, goal string, depth int) {
+	if m.trace == nil {
+		return
+	}
+	fmt.Fprintf(m.trace, "%*s%s: %s\n", depth%40, "", port, goal)
+}
+
+// biTrace enables tracing to the machine's output stream.
+func biTrace(m *Machine, _ []term.Term, _ int, k Cont) Result {
+	m.trace = m.Out
+	return k()
+}
+
+// biNotrace disables tracing.
+func biNotrace(m *Machine, _ []term.Term, _ int, k Cont) Result {
+	m.trace = nil
+	return k()
+}
+
+// biListing prints the clauses of a predicate: listing(name) lists every
+// arity, listing(name/arity) one procedure.
+func biListing(m *Machine, args []term.Term, _ int, k Cont) Result {
+	var name string
+	arity := -1
+	switch spec := term.Deref(args[0]).(type) {
+	case term.Atom:
+		name = string(spec)
+	case *term.Compound:
+		if spec.Functor != "/" || len(spec.Args) != 2 {
+			panic(domainError("predicate_indicator", args[0]))
+		}
+		a, okA := term.Deref(spec.Args[0]).(term.Atom)
+		n, okN := term.Deref(spec.Args[1]).(term.Int)
+		if !okA || !okN {
+			panic(domainError("predicate_indicator", args[0]))
+		}
+		name, arity = string(a), int(n)
+	default:
+		panic(domainError("predicate_indicator", args[0]))
+	}
+
+	m.mu.RLock()
+	var clauses []*Clause
+	for _, modName := range []string{m.CurrentModule, "user"} {
+		mod, ok := m.modules[modName]
+		if !ok {
+			continue
+		}
+		for pi, p := range mod.procs {
+			if pi.Name != name || (arity >= 0 && pi.Arity != arity) {
+				continue
+			}
+			clauses = append(clauses, p.Clauses...)
+		}
+		if len(clauses) > 0 {
+			break
+		}
+	}
+	m.mu.RUnlock()
+
+	for _, cl := range clauses {
+		fmt.Fprintln(m.Out, cl.String())
+	}
+	return k()
+}

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracePorts(t *testing.T) {
+	m := New()
+	var out strings.Builder
+	m.Out = &out
+	consult(t, m, "p(1). p(2). q(2).")
+	var tr strings.Builder
+	m.SetTrace(&tr)
+	if _, err := m.Query("p(X), q(X)", 0); err != nil {
+		t.Fatal(err)
+	}
+	m.SetTrace(nil)
+	got := tr.String()
+	for _, want := range []string{
+		"CALL: p(X)",
+		"EXIT: p(1)",
+		"CALL: q(1)",
+		"FAIL: q(1)",
+		"REDO: p(X)",
+		"EXIT: p(2)",
+		"EXIT: q(2)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceBuiltinsToggle(t *testing.T) {
+	m := New()
+	var out strings.Builder
+	m.Out = &out
+	consult(t, m, "r(7).")
+	if !proves(t, m, "trace, r(_), notrace") {
+		t.Fatal("traced query failed")
+	}
+	if !strings.Contains(out.String(), "CALL: r(") {
+		t.Errorf("trace/0 did not emit ports: %q", out.String())
+	}
+	out.Reset()
+	if !proves(t, m, "r(_)") {
+		t.Fatal("query failed")
+	}
+	if strings.Contains(out.String(), "CALL") {
+		t.Error("notrace/0 did not disable tracing")
+	}
+}
+
+func TestListing(t *testing.T) {
+	m := New()
+	var out strings.Builder
+	m.Out = &out
+	consult(t, m, `
+		lfact(a).
+		lfact(b).
+		lrule(X) :- lfact(X).
+	`)
+	if !proves(t, m, "listing(lfact/1)") {
+		t.Fatal("listing failed")
+	}
+	got := out.String()
+	if !strings.Contains(got, "lfact(a).") || !strings.Contains(got, "lfact(b).") {
+		t.Errorf("listing output = %q", got)
+	}
+	if strings.Contains(got, "lrule") {
+		t.Error("listing(lfact/1) leaked other predicates")
+	}
+	out.Reset()
+	if !proves(t, m, "listing(lrule)") {
+		t.Fatal("listing by name failed")
+	}
+	if !strings.Contains(out.String(), "lrule(X) :- lfact(X).") {
+		t.Errorf("rule listing = %q", out.String())
+	}
+	// Bad specs raise domain errors.
+	if !proves(t, m, "catch(listing(3), error(domain_error(_, _), _), true)") {
+		t.Error("bad listing spec should raise domain_error")
+	}
+}

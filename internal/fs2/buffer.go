@@ -1,0 +1,84 @@
+package fs2
+
+// Double Buffer and Result Memory models (§3.2, Figure 4).
+
+// ResultSlotBytes is one Result Memory satisfier slot: the address
+// generator's lower 9 bits (A0–A8) give 512 bytes per clause.
+const ResultSlotBytes = 512
+
+// ResultSlots is the satisfier capacity: the upper 6 bits (A9–A14) of the
+// address generator count satisfiers, so 64 slots — 32 KB total, "large
+// enough to contain all clause satisfiers of one disk track, the worst
+// case of a single FS2 search call".
+const ResultSlots = 64
+
+// ResultMemoryBytes is the total Result Memory capacity (32 KB).
+const ResultMemoryBytes = ResultSlotBytes * ResultSlots
+
+// DoubleBuffer models the two alternating input banks. One bank fills from
+// disk while the other is matched; the toggle flip-flop alternates roles
+// whenever the input side fills (§3.2).
+type DoubleBuffer struct {
+	// inputBank is the bank currently receiving disk data (0 or 1).
+	inputBank int
+	// Loads counts clauses accepted; Toggles counts bank switches.
+	Loads   int
+	Toggles int
+	// MaxClauseBytes is the largest clause seen (bank occupancy).
+	MaxClauseBytes int
+}
+
+// Load accepts one clause of the given size into the input bank and
+// toggles the banks, making the clause available for matching.
+func (b *DoubleBuffer) Load(sizeBytes int) {
+	b.Loads++
+	b.Toggles++
+	b.inputBank = 1 - b.inputBank
+	if sizeBytes > b.MaxClauseBytes {
+		b.MaxClauseBytes = sizeBytes
+	}
+}
+
+// InputBank reports which bank is currently wired for input.
+func (b *DoubleBuffer) InputBank() int { return b.inputBank }
+
+// ResultMemory models the 32 KB satisfier store with its two-counter
+// address generator: a 6-bit satisfier counter (incremented per match) and
+// a 9-bit offset counter (reset after every clause).
+type ResultMemory struct {
+	addrs []uint32
+	// BytesStored is the satisfier bytes written.
+	BytesStored int
+}
+
+// Reset clears the memory for a new search call.
+func (r *ResultMemory) Reset() {
+	r.addrs = r.addrs[:0]
+	r.BytesStored = 0
+}
+
+// Capture stores one satisfier. It reports false when the clause exceeds
+// the slot size or the satisfier counter is exhausted — the §3.2 capacity
+// limits.
+func (r *ResultMemory) Capture(addr uint32, sizeBytes int) bool {
+	if sizeBytes > ResultSlotBytes {
+		return false
+	}
+	if len(r.addrs) >= ResultSlots {
+		return false
+	}
+	r.addrs = append(r.addrs, addr)
+	r.BytesStored += sizeBytes
+	return true
+}
+
+// Count returns the satisfier counter value — "the value of this counter
+// at the end of a retrieval indicates the number of clause satisfiers".
+func (r *ResultMemory) Count() int { return len(r.addrs) }
+
+// Addresses returns the captured satisfier addresses in stream order.
+func (r *ResultMemory) Addresses() []uint32 {
+	out := make([]uint32, len(r.addrs))
+	copy(out, r.addrs)
+	return out
+}

@@ -1,0 +1,63 @@
+package fs2
+
+import "testing"
+
+func TestResultMemoryGeometry(t *testing.T) {
+	// §3.2: 6-bit satisfier counter, 9-bit offset counter, 32 KB total.
+	if ResultSlots != 1<<6 {
+		t.Errorf("ResultSlots = %d, want 64 (6-bit counter)", ResultSlots)
+	}
+	if ResultSlotBytes != 1<<9 {
+		t.Errorf("ResultSlotBytes = %d, want 512 (9-bit counter)", ResultSlotBytes)
+	}
+	if ResultMemoryBytes != 32*1024 {
+		t.Errorf("ResultMemoryBytes = %d, want 32768", ResultMemoryBytes)
+	}
+}
+
+func TestResultMemoryCapture(t *testing.T) {
+	var rm ResultMemory
+	if !rm.Capture(10, 100) {
+		t.Fatal("capture failed")
+	}
+	if rm.Count() != 1 || rm.BytesStored != 100 {
+		t.Errorf("count=%d bytes=%d", rm.Count(), rm.BytesStored)
+	}
+	// Oversized clause rejected.
+	if rm.Capture(11, ResultSlotBytes+1) {
+		t.Error("oversized clause should not be captured")
+	}
+	// Fill to capacity.
+	for i := rm.Count(); i < ResultSlots; i++ {
+		if !rm.Capture(uint32(i), 10) {
+			t.Fatalf("capture %d failed early", i)
+		}
+	}
+	if rm.Capture(99, 10) {
+		t.Error("capture beyond the satisfier counter should fail")
+	}
+	addrs := rm.Addresses()
+	if len(addrs) != ResultSlots || addrs[0] != 10 {
+		t.Errorf("addresses = %d, first %d", len(addrs), addrs[0])
+	}
+	rm.Reset()
+	if rm.Count() != 0 || rm.BytesStored != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDoubleBufferAlternates(t *testing.T) {
+	var db DoubleBuffer
+	start := db.InputBank()
+	db.Load(100)
+	if db.InputBank() == start {
+		t.Error("banks should alternate per load")
+	}
+	db.Load(300)
+	if db.InputBank() != start {
+		t.Error("banks should alternate back")
+	}
+	if db.Loads != 2 || db.Toggles != 2 || db.MaxClauseBytes != 300 {
+		t.Errorf("stats = %+v", db)
+	}
+}

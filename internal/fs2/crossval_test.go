@@ -1,0 +1,201 @@
+package fs2
+
+// Cross-validation of the hardware simulation against the software
+// reference (package ptu) and the unification oracle (package unify):
+//
+//  1. SOUNDNESS: if query and head unify, FS2 must pass the clause —
+//     under every microprogram.
+//  2. REFERENCE AGREEMENT: whenever the ptu level-3+XB reference passes a
+//     pair, FS2 must pass it too (FS2 works on PIF words and sees strictly
+//     less than the term-level reference, so it may pass more — never
+//     less).
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/ptu"
+	"clare/internal/symtab"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// fs2Match runs one query/head pair through a fresh engine.
+func fs2Match(t testing.TB, query, head term.Term, mp Microprogram) bool {
+	t.Helper()
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+	e := New()
+	e.SetMode(ModeMicroprogramming)
+	if err := e.LoadMicroprogram(mp); err != nil {
+		t.Fatal(err)
+	}
+	q, err := enc.Encode(query, pif.QuerySide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMode(ModeSetQuery)
+	if err := e.SetQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	h, err := enc.Encode(head, pif.DBSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SizeBytes() > ResultSlotBytes {
+		// The compiled-clause store rejects records beyond one Result
+		// Memory slot (clausefile.MaxRecordBytes), so the board never
+		// sees them; the generator occasionally builds such monsters.
+		return true
+	}
+	e.SetMode(ModeSearch)
+	res, err := e.Search([]Record{{Addr: 0, Enc: h}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(res.Matches) == 1
+}
+
+var crossValPairs = []struct{ q, h string }{
+	{"p(a)", "p(a)"},
+	{"p(a)", "p(b)"},
+	{"p(X)", "p(a)"},
+	{"p(a)", "p(Y)"},
+	{"p(X, X)", "p(a, a)"},
+	{"p(X, X)", "p(a, b)"},
+	{"p(X, X)", "p(A, A)"},
+	{"p(X, X)", "p(A, b)"},
+	{"p(X, Y)", "p(A, A)"},
+	{"f(X, a, b)", "f(A, a, A)"},
+	{"f(c, a, b)", "f(A, a, A)"},
+	{"p(f(1))", "p(f(1))"},
+	{"p(f(1))", "p(f(2))"},
+	{"p(f(g(1)))", "p(f(g(2)))"},
+	{"p([1,2,3])", "p([1,2,3])"},
+	{"p([1,2,3])", "p([1,2])"},
+	{"p([1,2|T])", "p([1,2,3,4])"},
+	{"p([1,2|T])", "p([1])"},
+	{"p([X|T], X)", "p([a,b], a)"},
+	{"p([X|T], X)", "p([a,b], c)"},
+	{"p(_, _)", "p(q, r)"},
+	{"mc(S, S)", "mc(fred, wilma)"},
+	{"mc(S, S)", "mc(pat, pat)"},
+	{"p(2.5)", "p(2.5)"},
+	{"p(2.5)", "p(3)"},
+	{"p(X, f(X))", "p(a, f(a))"},
+	{"p(X, f(X))", "p(a, f(b))"},
+	{"p(X, f(X))", "p(A, f(B))"},
+}
+
+func TestSoundnessAgainstUnification(t *testing.T) {
+	mps := []Microprogram{MPLevel1, MPLevel2, MPLevel3, MPLevel3XB}
+	for _, pr := range crossValPairs {
+		qt, ht := parse.MustTerm(pr.q), parse.MustTerm(pr.h)
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			continue
+		}
+		for _, mp := range mps {
+			if !fs2Match(t, qt, ht, mp) {
+				t.Errorf("%s: FS2 rejected true unifier (%s, %s)", mp.Name, pr.q, pr.h)
+			}
+		}
+	}
+}
+
+func TestAgreementWithPTUReference(t *testing.T) {
+	for _, pr := range crossValPairs {
+		qt, ht := parse.MustTerm(pr.q), parse.MustTerm(pr.h)
+		ref := ptu.Match(qt, ht, ptu.FS2Config)
+		got := fs2Match(t, qt, ht, MPLevel3XB)
+		if ref && !got {
+			t.Errorf("reference passes (%s, %s) but FS2 rejects", pr.q, pr.h)
+		}
+		// The interesting diagnostic: where they disagree, FS2 must be
+		// the more permissive one AND the pair must be a non-unifier.
+		if got && !ref {
+			if unify.Unifiable(qt, term.Rename(ht)) {
+				t.Errorf("FS2 passes a unifier (%s, %s) the reference rejects — reference unsound?", pr.q, pr.h)
+			}
+		}
+	}
+}
+
+// TestQuickSoundness drives generated term pairs through the full chain:
+// parse-free generation → PIF encode → FS2 search, checked against the
+// unification oracle.
+func TestQuickSoundness(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0), genXTerm(int(s2), 1))
+		ht := term.New("p", genXTerm(int(s2), 2), genXTerm(int(s1), 3))
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			return true
+		}
+		return fs2Match(t, qt, ht, MPLevel3XB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReferenceAgreement: ptu-pass ⇒ fs2-pass over generated pairs.
+func TestQuickReferenceAgreement(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0), genXTerm(int(s2), 1))
+		ht := term.New("p", genXTerm(int(s2), 2), genXTerm(int(s1), 3))
+		if !ptu.Match(qt, ht, ptu.FS2Config) {
+			return true
+		}
+		return fs2Match(t, qt, ht, MPLevel3XB)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevelMonotone: over generated pairs, each stronger microprogram
+// passes a subset of the weaker one's survivors.
+func TestQuickLevelMonotone(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0))
+		ht := term.New("p", genXTerm(int(s2), 1))
+		l1 := fs2Match(t, qt, ht, MPLevel1)
+		l2 := fs2Match(t, qt, ht, MPLevel2)
+		l3 := fs2Match(t, qt, ht, MPLevel3)
+		xb := fs2Match(t, qt, ht, MPLevel3XB)
+		// l2 ⇒ l1, l3 ⇒ l2, xb ⇒ l3.
+		return (!l2 || l1) && (!l3 || l2) && (!xb || l3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genXTerm builds deterministic terms with shared variables and every PIF
+// category, from a seed.
+func genXTerm(seed, salt int) term.Term {
+	v := term.NewVar("V")
+	switch (seed + salt) % 10 {
+	case 0:
+		return term.Atom([]string{"a", "b", "c"}[seed%3])
+	case 1:
+		return term.Int(int64(seed%7 - 3))
+	case 2:
+		return term.Float(float64(seed%3) + 0.25)
+	case 3:
+		return v
+	case 4:
+		return term.New("f", genXTerm(seed/2, salt+1))
+	case 5:
+		return term.New("g", v, v)
+	case 6:
+		return term.List(genXTerm(seed/2, salt+1), genXTerm(seed/3, salt+2))
+	case 7:
+		return term.ListTail(term.NewVar("T"), genXTerm(seed/2, salt+1))
+	case 8:
+		return term.New("h", genXTerm(seed/3, salt+1), genXTerm(seed/5, salt+2), v)
+	default:
+		return term.NewVar("_")
+	}
+}

@@ -1,0 +1,347 @@
+package fs2
+
+// Levels 4 and 5 in "hardware": the paper investigated matching levels up
+// to full-structure comparison with cross-binding checks but rejected
+// levels 4 and 5 because "the cost and complexity of the matching hardware
+// ... are high" (§2.2). This file implements those levels in the simulator
+// anyway — the natural what-if study: microprograms MPLevel4 and MPLevel5
+// walk pointer forms into the clause heap and keep position-based variable
+// bindings, so structure comparison is exact at any depth.
+//
+// The single remaining approximation is the binding of an open list's tail
+// variable, which binds to the remainder's SHAPE (as in level 3) rather
+// than the remainder itself — PIF has no word addressing the middle of an
+// in-line element run. The approximation only ever over-accepts, so the
+// soundness invariant is untouched.
+
+import (
+	"clare/internal/pif"
+)
+
+// Extended microprograms: the levels the hardware did not build.
+var (
+	// MPLevel4 compares full structures, no cross-binding checks.
+	MPLevel4 = Microprogram{Name: "level4", CompareContent: true, DescendElements: true, DescendFull: true}
+	// MPLevel5 is full-depth comparison plus cross-binding checks — the
+	// closest a filter can get to full unification.
+	MPLevel5 = Microprogram{Name: "level5", CompareContent: true, DescendElements: true, DescendFull: true, CrossBinding: true}
+)
+
+// ref addresses a term inside one side's encoded clause: a word slice (the
+// argument stream or the heap), the side's heap for following pointers,
+// and a position.
+type ref struct {
+	words []pif.Word
+	heap  []pif.Word
+	pos   int
+}
+
+func (r ref) word() pif.Word { return r.words[r.pos] }
+
+// deepMatchClause is the matchClause driver for DescendFull microprograms.
+func (e *Engine) deepMatchClause(db *pif.Encoded) bool {
+	m := &clauseMatch{e: e, db: db, q: e.query}
+	// Position-based variable stores.
+	e.dbRef = resizeRefs(e.dbRef, db.NumVars)
+	e.qRef = resizeRefs(e.qRef, e.query.NumVars)
+	e.dbRefBound = resizeBools(e.dbRefBound, db.NumVars)
+	e.qRefBound = resizeBools(e.qRefBound, e.query.NumVars)
+
+	qPos, dbPos := 0, 0
+	for i := 0; i < db.Arity; i++ {
+		dRef := ref{words: db.Args, heap: db.Heap, pos: dbPos}
+		qRef := ref{words: m.q.Args, heap: m.q.Heap, pos: qPos}
+		qNext := qPos + runLen(m.q.Args, qPos)
+		dbNext := dbPos + runLen(db.Args, dbPos)
+		if !m.deepRun(dRef, qRef) {
+			return false
+		}
+		qPos, dbPos = qNext, dbNext
+	}
+	return true
+}
+
+func resizeRefs(s []ref, n int) []ref {
+	if cap(s) < n {
+		return make([]ref, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = ref{}
+	}
+	return s
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// deepRun compares the terms at d and q to full depth.
+func (m *clauseMatch) deepRun(d, q ref) bool {
+	dw, qw := d.word(), q.word()
+	if dw.Tag() == pif.TagAnonVar || qw.Tag() == pif.TagAnonVar {
+		return true
+	}
+	if pif.IsVariable(dw.Tag()) {
+		return m.deepVar(dw, q, true)
+	}
+	if pif.IsVariable(qw.Tag()) {
+		return m.deepVar(qw, d, false)
+	}
+
+	dComplex, qComplex := pif.IsComplex(dw.Tag()), pif.IsComplex(qw.Tag())
+	if dComplex != qComplex {
+		return false
+	}
+	if !dComplex {
+		m.e.countOp(OpMatch)
+		return m.concreteEqual(dw, qw)
+	}
+	return m.deepComplex(d, q)
+}
+
+// shape is a normalised complex term: the pointer/in-line distinction
+// resolved away.
+type shape struct {
+	isList  bool
+	open    bool
+	functor uint32 // structures only
+	elems   []ref
+	tail    *ref // open lists: the tail variable word
+}
+
+// normalize loads a complex term's shape, following pointers into the heap.
+func normalize(r ref) (shape, bool) {
+	w := r.word()
+	t := w.Tag()
+	var sh shape
+	switch pif.Group(t) {
+	case pif.GroupStructInline:
+		sh.functor = w.Content()
+		n := pif.InlineArity(t)
+		p := r.pos + 1
+		for i := 0; i < n; i++ {
+			sh.elems = append(sh.elems, ref{words: r.words, heap: r.heap, pos: p})
+			p += runLen(r.words, p)
+		}
+		return sh, true
+	case pif.GroupStructPtr:
+		sh.functor = w.Content()
+		if r.pos+1 >= len(r.words) {
+			return sh, false
+		}
+		off := int(uint32(r.words[r.pos+1]))
+		if off+1 >= len(r.heap) {
+			return sh, false
+		}
+		n := int(r.heap[off])
+		p := off + 2
+		for i := 0; i < n; i++ {
+			sh.elems = append(sh.elems, ref{words: r.heap, heap: r.heap, pos: p})
+			p += runLen(r.heap, p)
+		}
+		return sh, true
+	case pif.GroupListInline, pif.GroupUListInline:
+		sh.isList = true
+		sh.open = pif.IsUnterminated(t)
+		n := pif.InlineArity(t)
+		p := r.pos + 1
+		for i := 0; i < n; i++ {
+			sh.elems = append(sh.elems, ref{words: r.words, heap: r.heap, pos: p})
+			p += runLen(r.words, p)
+		}
+		if sh.open {
+			tr := ref{words: r.words, heap: r.heap, pos: p}
+			sh.tail = &tr
+		}
+		return sh, true
+	case pif.GroupListPtr, pif.GroupUListPtr:
+		sh.isList = true
+		sh.open = pif.IsUnterminated(t)
+		off := int(w.Content())
+		if off >= len(r.heap) {
+			return sh, false
+		}
+		n := int(r.heap[off])
+		p := off + 1
+		for i := 0; i < n; i++ {
+			sh.elems = append(sh.elems, ref{words: r.heap, heap: r.heap, pos: p})
+			p += runLen(r.heap, p)
+		}
+		if sh.open {
+			tr := ref{words: r.heap, heap: r.heap, pos: p}
+			sh.tail = &tr
+		}
+		return sh, true
+	}
+	return sh, false
+}
+
+// deepComplex compares two complex terms exactly.
+func (m *clauseMatch) deepComplex(d, q ref) bool {
+	m.e.countOp(OpMatch) // header comparison
+	ds, ok := normalize(d)
+	if !ok {
+		return true // malformed encodings pass (defensive, sound)
+	}
+	qs, ok := normalize(q)
+	if !ok {
+		return true
+	}
+	if ds.isList != qs.isList {
+		return false
+	}
+	if !ds.isList {
+		if ds.functor != qs.functor && m.e.mp.CompareContent {
+			return false
+		}
+		if len(ds.elems) != len(qs.elems) {
+			return false
+		}
+		for i := range ds.elems {
+			if !m.deepRun(ds.elems[i], qs.elems[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	// Lists: exact length logic on the true element counts.
+	dn, qn := len(ds.elems), len(qs.elems)
+	switch {
+	case !ds.open && !qs.open:
+		if dn != qn {
+			return false
+		}
+	case ds.open && !qs.open:
+		if dn > qn {
+			return false
+		}
+	case !ds.open && qs.open:
+		if qn > dn {
+			return false
+		}
+	}
+	n := dn
+	if qn < n {
+		n = qn
+	}
+	for i := 0; i < n; i++ {
+		if !m.deepRun(ds.elems[i], qs.elems[i]) {
+			return false
+		}
+	}
+	if m.e.mp.CrossBinding {
+		// Open tails bind to the remainder's shape (see file comment).
+		if ds.open && ds.tail != nil {
+			remTag := pif.GroupListInline
+			if qs.open {
+				remTag = pif.GroupUListInline
+			}
+			rem := pif.MakeWord(remTag|pif.Tag(qn-n), 0)
+			if !m.deepVarWord(ds.tail.word(), rem, true) {
+				return false
+			}
+		}
+		if qs.open && !ds.open && qs.tail != nil {
+			rem := pif.MakeWord(pif.GroupListInline|pif.Tag(dn-n), 0)
+			if !m.deepVarWord(qs.tail.word(), rem, false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// deepVar handles a variable word against an opposing ref with
+// position-based bindings.
+func (m *clauseMatch) deepVar(v pif.Word, other ref, isDB bool) bool {
+	if !m.e.mp.CrossBinding {
+		if isDB {
+			m.e.countOp(OpDBStore)
+		} else {
+			m.e.countOp(OpQueryStore)
+		}
+		return true
+	}
+	cur := v
+	hops := 0
+	const limit = 2 * pif.MaxVarSlots
+	for hops < limit {
+		mem, bound, ok := m.refStoreFor(cur)
+		if !ok {
+			return true
+		}
+		slot := int(cur.Content())
+		if !bound[slot] {
+			m.chargeVarOps(v, false, hops)
+			if m.sameVarCell(cur, other.word()) {
+				return true
+			}
+			mem[slot] = other
+			bound[slot] = true
+			return true
+		}
+		target := mem[slot]
+		tw := target.word()
+		if pif.IsVariable(tw.Tag()) && tw.Tag() != pif.TagAnonVar {
+			cur = tw
+			hops++
+			continue
+		}
+		// Bound to a concrete term: compare it against other.
+		m.chargeVarOps(v, true, hops+1)
+		return m.deepRun(target, other)
+	}
+	return true // pathological cycle: pass (sound)
+}
+
+// deepVarWord is deepVar for synthesised value words that have no ref
+// (remainder shapes): consistency degrades to word-level comparison.
+func (m *clauseMatch) deepVarWord(v, value pif.Word, isDB bool) bool {
+	if !m.e.mp.CrossBinding {
+		return true
+	}
+	mem, bound, ok := m.refStoreFor(v)
+	if !ok {
+		return true
+	}
+	slot := int(v.Content())
+	if !bound[slot] {
+		m.chargeVarOps(v, false, 0)
+		// Synthesised words live in a one-word slice of their own.
+		mem[slot] = ref{words: []pif.Word{value}, heap: nil, pos: 0}
+		bound[slot] = true
+		return true
+	}
+	m.chargeVarOps(v, true, 1)
+	tw := mem[slot].word()
+	if pif.IsVariable(tw.Tag()) {
+		return true
+	}
+	return m.concreteEqual(tw, value)
+}
+
+// refStoreFor returns the position-based store for a variable word.
+func (m *clauseMatch) refStoreFor(v pif.Word) ([]ref, []bool, bool) {
+	slot := int(v.Content())
+	switch v.Tag() {
+	case pif.TagFirstDV, pif.TagSubDV:
+		if slot >= len(m.e.dbRef) {
+			return nil, nil, false
+		}
+		return m.e.dbRef, m.e.dbRefBound, true
+	case pif.TagFirstQV, pif.TagSubQV:
+		if slot >= len(m.e.qRef) {
+			return nil, nil, false
+		}
+		return m.e.qRef, m.e.qRefBound, true
+	}
+	return nil, nil, false
+}

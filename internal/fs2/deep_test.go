@@ -1,0 +1,182 @@
+package fs2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clare/internal/parse"
+	"clare/internal/ptu"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+func TestLevel4SeesFullDepth(t *testing.T) {
+	// The canonical level-3 blind spot: differences at depth 2.
+	r3 := newRig(t, "p(f(g(1)))", MPLevel3XB)
+	res3 := r3.search(t, "p(f(g(1)))", "p(f(g(2)))")
+	if len(res3.Matches) != 2 {
+		t.Fatalf("level 3 matches = %v, want both (depth-2 invisible)", res3.Matches)
+	}
+	r4 := newRig(t, "p(f(g(1)))", MPLevel4)
+	res4 := r4.search(t, "p(f(g(1)))", "p(f(g(2)))")
+	if len(res4.Matches) != 1 || res4.Matches[0] != 0 {
+		t.Errorf("level 4 matches = %v, want [0]", res4.Matches)
+	}
+}
+
+func TestLevel5CrossBindingDeep(t *testing.T) {
+	// Shared variable constraining nested content: only level 5 sees both
+	// the depth and the binding.
+	r := newRig(t, "p(X, f(g(X)))", MPLevel5)
+	res := r.search(t,
+		"p(a, f(g(a)))", // unifies
+		"p(a, f(g(b)))", // nested content contradicts the binding
+		"p(A, f(g(A)))", // unifies (A = X)
+	)
+	want := []uint32{0, 2}
+	if len(res.Matches) != len(want) {
+		t.Fatalf("matches = %v, want %v", res.Matches, want)
+	}
+	for i, w := range want {
+		if res.Matches[i] != w {
+			t.Errorf("matches = %v, want %v", res.Matches, want)
+		}
+	}
+	// Level 4 (no XB) passes the contradiction.
+	r4 := newRig(t, "p(X, f(g(X)))", MPLevel4)
+	res4 := r4.search(t, "p(a, f(g(b)))")
+	if len(res4.Matches) != 1 {
+		t.Error("level 4 without cross binding should pass the non-unifier")
+	}
+}
+
+func TestDeepNestedLists(t *testing.T) {
+	r := newRig(t, "p([[1,[2,3]],[4]])", MPLevel5)
+	res := r.search(t,
+		"p([[1,[2,3]],[4]])", // exact
+		"p([[1,[2,9]],[4]])", // depth-3 difference
+		"p([[1,[2,3]],[5]])", // depth-2 difference
+		"p([[1,[2,3,4]],[4]])",
+		"p([[1,[2|T]],[4]])", // open nested list, fits
+	)
+	want := []uint32{0, 4}
+	if len(res.Matches) != len(want) {
+		t.Fatalf("matches = %v, want %v", res.Matches, want)
+	}
+	for i, w := range want {
+		if res.Matches[i] != w {
+			t.Errorf("matches = %v, want %v", res.Matches, want)
+		}
+	}
+}
+
+func TestDeepBigStructures(t *testing.T) {
+	// Arity > 31 structures go through the heap pointer path.
+	mk := func(k string) string {
+		s := "p(big("
+		for i := 0; i < 35; i++ {
+			if i > 0 {
+				s += ","
+			}
+			if i == 17 {
+				s += k
+			} else {
+				s += "c"
+			}
+		}
+		return s + "))"
+	}
+	r := newRig(t, mk("x"), MPLevel5)
+	res := r.search(t, mk("x"), mk("y"), mk("Z"))
+	want := []uint32{0, 2}
+	if len(res.Matches) != len(want) {
+		t.Fatalf("matches = %v, want %v", res.Matches, want)
+	}
+	// Level 3 cannot see inside the pointer at all.
+	r3 := newRig(t, mk("x"), MPLevel3XB)
+	res3 := r3.search(t, mk("y"))
+	if len(res3.Matches) != 1 {
+		t.Error("level 3 should pass big structures on functor+arity alone")
+	}
+}
+
+// TestQuickLevel5Soundness: level 5 never rejects a true unifier.
+func TestQuickLevel5Soundness(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0), genXTerm(int(s2), 1))
+		ht := term.New("p", genXTerm(int(s2), 2), genXTerm(int(s1), 3))
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			return true
+		}
+		return fs2Match(t, qt, ht, MPLevel5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevelLadderExtended: level 4 accepts a subset of level 3's
+// survivors; level 5 a subset of level 4's.
+func TestQuickLevelLadderExtended(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0))
+		ht := term.New("p", genXTerm(int(s2), 1))
+		l3 := fs2Match(t, qt, ht, MPLevel3)
+		l4 := fs2Match(t, qt, ht, MPLevel4)
+		l5 := fs2Match(t, qt, ht, MPLevel5)
+		return (!l4 || l3) && (!l5 || l4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLevel4AgreesWithReference: the ptu level-4 reference passing
+// implies the hardware level 4 passes (the hardware may over-accept via
+// the tail-shape approximation, never under-accept).
+func TestQuickLevel4AgreesWithReference(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genXTerm(int(s1), 0), genXTerm(int(s2), 1))
+		ht := term.New("p", genXTerm(int(s2), 2), genXTerm(int(s1), 3))
+		if !ptu.Match(qt, ht, ptu.Config{Level: ptu.Level4}) {
+			return true
+		}
+		return fs2Match(t, qt, ht, MPLevel4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepGroundPairsMatchUnifiability(t *testing.T) {
+	// On ground pairs, level 5 must agree exactly with unifiability
+	// (equality): no tail approximations apply.
+	pairs := []struct {
+		q, h string
+		want bool
+	}{
+		{"p(f(g(h(1))))", "p(f(g(h(1))))", true},
+		{"p(f(g(h(1))))", "p(f(g(h(2))))", false},
+		{"p([1,[2,[3]]])", "p([1,[2,[3]]])", true},
+		{"p([1,[2,[3]]])", "p([1,[2,[4]]])", false},
+		{"p(f([a],g(b)))", "p(f([a],g(b)))", true},
+		{"p(f([a],g(b)))", "p(f([a],g(c)))", false},
+	}
+	for _, c := range pairs {
+		got := fs2Match(t, parse.MustTerm(c.q), parse.MustTerm(c.h), MPLevel5)
+		if got != c.want {
+			t.Errorf("level5 (%s, %s) = %v, want %v", c.q, c.h, got, c.want)
+		}
+	}
+}
+
+func TestDeepOpAccounting(t *testing.T) {
+	r := newRig(t, "p(f(g(1)))", MPLevel5)
+	r.search(t, "p(f(g(1)))")
+	if r.e.Stats.OpCount(OpMatch) < 3 {
+		t.Errorf("deep matching should charge per-level MATCH ops, got %d", r.e.Stats.OpCount(OpMatch))
+	}
+	if r.e.Stats.MatchTime <= 0 {
+		t.Error("no simulated time accounted")
+	}
+}

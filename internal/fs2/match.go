@@ -1,0 +1,482 @@
+package fs2
+
+import (
+	"clare/internal/pif"
+)
+
+// This file implements the matching microroutines: the Figure 1 algorithm
+// executed directly on PIF words, dispatched on the ⟨db-type, query-type⟩
+// pair the way the Map ROM drives the MPC (§3.1).
+//
+// The matcher is SOUND as a filter: it never rejects a clause whose head
+// truly unifies with the query. Its precision is that of level-3 partial
+// test unification with cross-binding (under microprogram MPLevel3XB);
+// weaker microprograms lower precision, never soundness.
+
+// matchClause runs partial test unification of the loaded query against
+// one clause. Resets per-clause state (DB Memory "is reset to pointing to
+// itself at the beginning of each clause input", §3.3; query variable
+// bindings are clause-local too).
+func (e *Engine) matchClause(db *pif.Encoded) bool {
+	if db.Functor != e.query.Functor || db.Arity != e.query.Arity {
+		// The compiled clause file groups one functor/arity (§2.1); a
+		// mismatched record cannot unify.
+		return false
+	}
+	if e.mp.DescendFull {
+		return e.deepMatchClause(db)
+	}
+	// Reset both variable stores.
+	if cap(e.dbMem) < db.NumVars {
+		e.dbMem = make([]pif.Word, db.NumVars)
+		e.dbBound = make([]bool, db.NumVars)
+	}
+	e.dbMem = e.dbMem[:db.NumVars]
+	e.dbBound = e.dbBound[:db.NumVars]
+	for i := range e.dbBound {
+		e.dbBound[i] = false
+	}
+	for i := range e.qBound {
+		e.qBound[i] = false
+	}
+
+	m := &clauseMatch{e: e, db: db, q: e.query}
+	qPos, dbPos := 0, 0
+	for i := 0; i < db.Arity; i++ {
+		qNext := qPos + runLen(m.q.Args, qPos)
+		dbNext := dbPos + runLen(db.Args, dbPos)
+		if !m.matchRun(m.q.Args, qPos, db.Args, dbPos) {
+			return false
+		}
+		qPos, dbPos = qNext, dbNext
+	}
+	return true
+}
+
+type clauseMatch struct {
+	e  *Engine
+	db *pif.Encoded
+	q  *pif.Encoded
+}
+
+// runLen returns the number of words the argument starting at pos
+// occupies: 1 for simple/variable/list-pointer words, 2 for structure
+// pointers, header+elements(+tail) for in-line complex runs.
+func runLen(words []pif.Word, pos int) int {
+	t := words[pos].Tag()
+	switch {
+	case pif.Group(t) == pif.GroupStructPtr:
+		return 2
+	case pif.Group(t) == pif.GroupStructInline,
+		pif.Group(t) == pif.GroupListInline,
+		pif.Group(t) == pif.GroupUListInline:
+		n := 1
+		for i := 0; i < pif.InlineArity(t); i++ {
+			n += runLen(words, pos+n)
+		}
+		if pif.Group(t) == pif.GroupUListInline {
+			n++ // tail variable word
+		}
+		return n
+	default:
+		return 1
+	}
+}
+
+// matchRun matches the query argument run at q[qPos] against the db run at
+// d[dPos]. Both runs may be in-line complex terms, whose elements are
+// matched pairwise (the §3.1 counter scheme).
+func (m *clauseMatch) matchRun(q []pif.Word, qPos int, d []pif.Word, dPos int) bool {
+	qw, dw := q[qPos], d[dPos]
+	qt, dt := qw.Tag(), dw.Tag()
+
+	qInline := isInlineComplex(qt)
+	dInline := isInlineComplex(dt)
+
+	// Only when BOTH sides are in-line complex terms can the hardware
+	// walk constituents pairwise; every other pairing is a single-word
+	// operation dispatched by type pair.
+	if qInline && dInline {
+		return m.matchInlinePair(q, qPos, d, dPos)
+	}
+	return m.compareWords(dw, qw)
+}
+
+func isInlineComplex(t pif.Tag) bool {
+	g := pif.Group(t)
+	return g == pif.GroupStructInline || g == pif.GroupListInline || g == pif.GroupUListInline
+}
+
+// matchInlinePair matches two in-line complex runs: header compatibility,
+// then constituent pairs "repeated until the counters reach zero" (§3.1).
+func (m *clauseMatch) matchInlinePair(q []pif.Word, qPos int, d []pif.Word, dPos int) bool {
+	qw, dw := q[qPos], d[dPos]
+	qt, dt := qw.Tag(), dw.Tag()
+
+	qIsList, dIsList := pif.IsList(qt), pif.IsList(dt)
+	if qIsList != dIsList {
+		return false // a list never unifies with a non-list structure
+	}
+
+	// Header comparison (one MATCH operation): functor content for
+	// structures, shape compatibility for lists.
+	m.e.countOp(OpMatch)
+	if !dIsList {
+		// Structures: arity (in the tag) from level 1, functor content
+		// from level 2.
+		if pif.InlineArity(qt) != pif.InlineArity(dt) {
+			return false
+		}
+		if m.e.mp.CompareContent && qw.Content() != dw.Content() {
+			return false
+		}
+	} else if !listShapesCompatible(dt, qt) {
+		return false
+	}
+
+	if !m.e.mp.DescendElements {
+		return true
+	}
+
+	// Load the counters and match constituent pairs.
+	qArity, dArity := pif.InlineArity(qt), pif.InlineArity(dt)
+	n := qArity
+	if dArity < n {
+		n = dArity
+	}
+	qp, dp := qPos+1, dPos+1
+	for i := 0; i < n; i++ {
+		if !m.compareWords(d[dp], q[qp]) {
+			return false
+		}
+		qp += runLen(q, qp)
+		dp += runLen(d, dp)
+	}
+
+	// Unterminated lists: bind the open side's tail variable to the
+	// remainder's shape so later occurrences stay consistent.
+	if dIsList && m.e.mp.CrossBinding {
+		dOpen, qOpen := pif.IsUnterminated(dt), pif.IsUnterminated(qt)
+		// Locate tail words: after the remaining elements of each side.
+		if dOpen {
+			dTailPos := dp
+			for i := n; i < dArity; i++ {
+				dTailPos += runLen(d, dTailPos)
+			}
+			rem := remainderHeader(qt, qArity-n)
+			if !m.bindOrCheck(d[dTailPos], rem) {
+				return false
+			}
+		}
+		if qOpen && !dOpen {
+			qTailPos := qp
+			for i := n; i < qArity; i++ {
+				qTailPos += runLen(q, qTailPos)
+			}
+			rem := remainderHeader(dt, dArity-n)
+			if !m.bindOrCheck(q[qTailPos], rem) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// remainderHeader synthesises a list header word describing "the rest of
+// the other side": its terminated-ness and remaining element count. Tail
+// variables bind to this shape word — a level-3 approximation of binding
+// to the actual remainder list.
+func remainderHeader(otherTag pif.Tag, remaining int) pif.Word {
+	g := pif.GroupListInline
+	if pif.IsUnterminated(otherTag) {
+		g = pif.GroupUListInline
+	}
+	return pif.MakeWord(g|pif.Tag(remaining), 0)
+}
+
+// bindOrCheck routes a tail-variable word through the ordinary variable
+// machinery against a synthesised value word.
+func (m *clauseMatch) bindOrCheck(varWord, value pif.Word) bool {
+	return m.compareWords(varWord, value)
+}
+
+// listShapesCompatible applies the sound length logic for list tags:
+// closed lengths must be equal; an open list needs at least its own length
+// on the other side; two open lists always fit. Pointer tags with arity
+// bits 0 mean "longer than 31": length unknown, so only closed×closed with
+// both lengths known can reject.
+func listShapesCompatible(a, b pif.Tag) bool {
+	aOpen, bOpen := pif.IsUnterminated(a), pif.IsUnterminated(b)
+	aN, aKnown := listArity(a)
+	bN, bKnown := listArity(b)
+	switch {
+	case !aKnown || !bKnown:
+		// Unknown length on either side: only an impossible open-side
+		// minimum could reject, and we cannot establish one. Pass.
+		return true
+	case !aOpen && !bOpen:
+		return aN == bN
+	case aOpen && !bOpen:
+		return aN <= bN
+	case !aOpen && bOpen:
+		return bN <= aN
+	default:
+		return true
+	}
+}
+
+// listArity extracts a list tag's element count. In-line tags always know
+// their arity (1..31; zero-element lists are the atom []); pointer tags
+// know it only when the arity bits are non-zero — zero means "longer than
+// 31".
+func listArity(t pif.Tag) (n int, known bool) {
+	n = pif.InlineArity(t)
+	g := pif.Group(t)
+	if g == pif.GroupListInline || g == pif.GroupUListInline {
+		return n, true
+	}
+	return n, n > 0
+}
+
+// compareWords is the single-word comparison: it resolves variable words
+// through the two stores (with cross-binding chases), binds unbound
+// variables, and compares concrete words. dw originates from the database
+// stream, qw from the query stream — but stored words may carry either
+// side's tags, and the logic follows the tags, exactly as the Map ROM
+// dispatches on the type fields regardless of which bus delivered them.
+func (m *clauseMatch) compareWords(dw, qw pif.Word) bool {
+	// Anonymous variables succeed immediately (§3.1).
+	if dw.Tag() == pif.TagAnonVar || qw.Tag() == pif.TagAnonVar {
+		return true
+	}
+
+	// Figure 1 case 5: database side variable first.
+	if pif.IsVariable(dw.Tag()) {
+		return m.varCase(dw, qw, true)
+	}
+	// Case 6: query side variable.
+	if pif.IsVariable(qw.Tag()) {
+		return m.varCase(qw, dw, false)
+	}
+
+	// Cases 1–4: concrete × concrete.
+	m.e.countOp(OpMatch)
+	return m.concreteEqual(dw, qw)
+}
+
+// varCase handles a variable word v against an opposing word other.
+// dbFirst records which side v came from for operation accounting.
+func (m *clauseMatch) varCase(v, other pif.Word, dbFirst bool) bool {
+	if !m.e.mp.CrossBinding {
+		// Without cross-binding checks a variable matches anything — the
+		// §2.1 shared-variable false-drop source. Still costs the store
+		// operation the hardware would do.
+		if dbFirst {
+			m.e.countOp(OpDBStore)
+		} else {
+			m.e.countOp(OpQueryStore)
+		}
+		return true
+	}
+
+	val, bound, hops := m.resolveVar(v)
+	m.chargeVarOps(v, bound, hops)
+	if !bound {
+		// Unbound: create the association (cases 5a/6a) — unless both
+		// sides are the same variable cell, where binding would create a
+		// self-cycle and there is nothing to check.
+		if !m.sameVarCell(val, other) {
+			m.bindSlot(val, other)
+		}
+		return true
+	}
+	// Bound: the ultimate association must be consistent with other.
+	// other may itself be a variable word — resolve it too.
+	if pif.IsVariable(other.Tag()) && other.Tag() != pif.TagAnonVar {
+		oval, obound, ohops := m.resolveVar(other)
+		m.chargeVarOps(other, obound, ohops)
+		if !obound {
+			m.bindSlot(oval, val)
+			return true
+		}
+		other = oval
+	} else if other.Tag() == pif.TagAnonVar {
+		return true
+	}
+	if pif.IsVariable(val.Tag()) {
+		// resolveVar returned an unbound variable word at the end of a
+		// chain (bound=true cannot coexist with var tag) — defensive.
+		return true
+	}
+	m.e.countOp(OpMatch)
+	return m.concreteEqual(val, other)
+}
+
+// resolveVar chases a variable word through the stores. It returns either
+// (unboundVarWord, false, hops) — the final unbound variable in the chain
+// — or (concreteWord, true, hops).
+func (m *clauseMatch) resolveVar(v pif.Word) (pif.Word, bool, int) {
+	hops := 0
+	const chaseLimit = 2 * pif.MaxVarSlots
+	for hops < chaseLimit {
+		if !pif.IsVariable(v.Tag()) || v.Tag() == pif.TagAnonVar {
+			return v, true, hops
+		}
+		mem, bound, ok := m.storeFor(v)
+		if !ok {
+			// Slot out of range: treat as unbound (defensive).
+			return v, false, hops
+		}
+		slot := int(v.Content())
+		if !bound[slot] {
+			return v, false, hops
+		}
+		v = mem[slot]
+		hops++
+	}
+	// Pathological cycle: report as bound-to-anonymous (always passes).
+	return pif.MakeWord(pif.TagAnonVar, 0), true, hops
+}
+
+// storeFor returns the memory arrays a variable word's slot lives in.
+func (m *clauseMatch) storeFor(v pif.Word) (mem []pif.Word, bound []bool, ok bool) {
+	slot := int(v.Content())
+	switch v.Tag() {
+	case pif.TagFirstDV, pif.TagSubDV:
+		if slot >= len(m.e.dbMem) {
+			return nil, nil, false
+		}
+		return m.e.dbMem, m.e.dbBound, true
+	case pif.TagFirstQV, pif.TagSubQV:
+		if slot >= len(m.e.qMem) {
+			return nil, nil, false
+		}
+		return m.e.qMem, m.e.qBound, true
+	}
+	return nil, nil, false
+}
+
+// sameVarCell reports whether a and b are variable words naming the same
+// store slot (the same logical variable).
+func (m *clauseMatch) sameVarCell(a, b pif.Word) bool {
+	if !pif.IsVariable(a.Tag()) || !pif.IsVariable(b.Tag()) {
+		return false
+	}
+	if a.Tag() == pif.TagAnonVar || b.Tag() == pif.TagAnonVar {
+		return false
+	}
+	aDB := a.Tag() == pif.TagFirstDV || a.Tag() == pif.TagSubDV
+	bDB := b.Tag() == pif.TagFirstDV || b.Tag() == pif.TagSubDV
+	return aDB == bDB && a.Content() == b.Content()
+}
+
+// bindSlot writes value into the store slot of the unbound variable word v.
+func (m *clauseMatch) bindSlot(v, value pif.Word) {
+	mem, bound, ok := m.storeFor(v)
+	if !ok {
+		return
+	}
+	slot := int(v.Content())
+	mem[slot] = value
+	bound[slot] = true
+}
+
+// chargeVarOps records the hardware operations a variable resolution
+// performed:
+//
+//   - hops == 0 (immediately unbound): a store (cases 5a/6a).
+//   - one hop ending on a concrete word: a plain fetch (cases 5b/6b).
+//   - any resolution that passes through another variable — including one
+//     whose ultimate cell is still unbound (it "points to itself") — is a
+//     cross-bound fetch, two memory reads per the §3.3.6/§3.3.7 routines;
+//     longer chains charge one cross-bound fetch per extra read pair.
+func (m *clauseMatch) chargeVarOps(v pif.Word, bound bool, hops int) {
+	isDB := v.Tag() == pif.TagFirstDV || v.Tag() == pif.TagSubDV
+	if hops == 0 {
+		if isDB {
+			m.e.countOp(OpDBStore)
+		} else {
+			m.e.countOp(OpQueryStore)
+		}
+		return
+	}
+	if bound && hops == 1 {
+		if isDB {
+			m.e.countOp(OpDBFetch)
+		} else {
+			m.e.countOp(OpQueryFetch)
+		}
+		return
+	}
+	xb := OpQueryCrossBoundFetch
+	if isDB {
+		xb = OpDBCrossBoundFetch
+	}
+	n := hops
+	if bound {
+		n = hops - 1
+	}
+	for i := 0; i < n; i++ {
+		m.e.countOp(xb)
+	}
+}
+
+// concreteEqual compares two concrete words under the loaded microprogram:
+// level-1 semantics compare type tags (which carry arity for complex
+// terms), level ≥ 2 adds the content field; list tags use the sound shape
+// logic instead of raw tag equality.
+func (m *clauseMatch) concreteEqual(a, b pif.Word) bool {
+	at, bt := a.Tag(), b.Tag()
+	aList, bList := pif.IsList(at), pif.IsList(bt)
+	if aList != bList {
+		return false
+	}
+	if aList {
+		// List words (in-line headers or pointers) compare by shape; the
+		// contents of pointer words are heap offsets, never compared.
+		return listShapesCompatible(at, bt)
+	}
+	switch {
+	case pif.IsInt(at) || pif.IsInt(bt):
+		// The integer tag carries the value's top nibble: tag+content
+		// equality is value equality.
+		return at == bt && (!m.e.mp.CompareContent || a.Content() == b.Content())
+	case pif.IsStruct(at) || pif.IsStruct(bt):
+		if !pif.IsStruct(at) || !pif.IsStruct(bt) {
+			return false
+		}
+		if !structAritiesCompatible(at, bt) {
+			return false
+		}
+		// Contents hold the functor symbol for both in-line and pointer
+		// structure words.
+		return !m.e.mp.CompareContent || a.Content() == b.Content()
+	default:
+		// Simple pointers: atoms and floats.
+		if at != bt {
+			return false
+		}
+		return !m.e.mp.CompareContent || a.Content() == b.Content()
+	}
+}
+
+// structAritiesCompatible compares structure arities across in-line and
+// pointer forms: in-line tags know their arity exactly (1..31); pointer
+// tags know it when the bits are non-zero, otherwise it exceeds 31.
+func structAritiesCompatible(a, b pif.Tag) bool {
+	aN, bN := pif.InlineArity(a), pif.InlineArity(b)
+	aPtr := pif.Group(a) == pif.GroupStructPtr
+	bPtr := pif.Group(b) == pif.GroupStructPtr
+	aKnown := !aPtr || aN > 0
+	bKnown := !bPtr || bN > 0
+	switch {
+	case aKnown && bKnown:
+		return aN == bN
+	case !aKnown && !bKnown:
+		return true // both >31: exact sizes unknown
+	case !aKnown:
+		return false // one >31, the other ≤31
+	default:
+		return false
+	}
+}

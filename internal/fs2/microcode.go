@@ -1,0 +1,375 @@
+package fs2
+
+// This file models the Writable Control Store at the microword level
+// (§3.1, Figure 3): 2048 microinstructions of 64 bits, a 2910A-style
+// microprogram controller, and the Map ROM whose address port is driven by
+// the type fields of the db-data and Q-data buses.
+//
+// The behavioural simulator in match.go is the authoritative matcher; the
+// microword layer underneath exists so the host-visible WCS protocol is
+// real: microprograms are ASSEMBLED into 64-bit words, loaded through
+// Microprogramming mode word by word, disassembled back, and bounded by
+// the 2048-word store. The standard microprograms (levels 1–3 ± cross
+// binding) are provided as source and their assembled forms drive the
+// matcher's configuration flags.
+
+import (
+	"fmt"
+	"strings"
+
+	"clare/internal/hw"
+)
+
+// WCS capacity: "The RAM can hold a maximum of 2048 microprogram
+// instructions, each 64 bits wide" (§3.1).
+const (
+	WCSWords      = 2048
+	MicrowordBits = 64
+)
+
+// MicroOp is the operation field of a microinstruction.
+type MicroOp uint8
+
+const (
+	// MIPoll busy-waits on conditional-code bit 0 (clause ready).
+	MIPoll MicroOp = iota
+	// MIDispatch jumps through the Map ROM on the ⟨db,query⟩ type pair.
+	MIDispatch
+	// MIExec executes one TUE hardware operation (OpCode in the A field).
+	MIExec
+	// MILoadCounters loads the db and query element counters.
+	MILoadCounters
+	// MIDecCounters decrements both counters; CC reflects zero.
+	MIDecCounters
+	// MIBranch jumps to the address field unconditionally.
+	MIBranch
+	// MIBranchCC jumps when the selected condition-code bit is set.
+	MIBranchCC
+	// MIAccept marks the clause a satisfier and returns to polling.
+	MIAccept
+	// MIReject abandons the clause and returns to polling.
+	MIReject
+	// MIHalt stops the sequencer (end of loaded program).
+	MIHalt
+)
+
+func (op MicroOp) String() string {
+	switch op {
+	case MIPoll:
+		return "POLL"
+	case MIDispatch:
+		return "DISPATCH"
+	case MIExec:
+		return "EXEC"
+	case MILoadCounters:
+		return "LDCNT"
+	case MIDecCounters:
+		return "DECCNT"
+	case MIBranch:
+		return "BR"
+	case MIBranchCC:
+		return "BRCC"
+	case MIAccept:
+		return "ACCEPT"
+	case MIReject:
+		return "REJECT"
+	case MIHalt:
+		return "HALT"
+	}
+	return fmt.Sprintf("MI?%d", uint8(op))
+}
+
+// Microword is one 64-bit WCS word. Field layout (bits, high to low):
+//
+//	63..56  op       MicroOp
+//	55..48  a        operand A (e.g. the TUE OpCode for EXEC, CC bit for BRCC)
+//	47..32  addr     branch / dispatch base address (16 bits; ≤ 2047 used)
+//	31..0   control  raw TUE control bits (selector paths, register enables)
+//
+// The control field documents the datapath setting of the cycle — the
+// microassembler fills it from the operation's routes so a disassembly
+// shows which selectors the cycle drives.
+type Microword uint64
+
+// MakeMicroword assembles the fields.
+func MakeMicroword(op MicroOp, a uint8, addr uint16, control uint32) Microword {
+	return Microword(uint64(op)<<56 | uint64(a)<<48 | uint64(addr)<<32 | uint64(control))
+}
+
+// Op returns the operation field.
+func (w Microword) Op() MicroOp { return MicroOp(w >> 56) }
+
+// A returns operand A.
+func (w Microword) A() uint8 { return uint8(w >> 48) }
+
+// Addr returns the branch address field.
+func (w Microword) Addr() uint16 { return uint16(w >> 32) }
+
+// Control returns the raw TUE control bits.
+func (w Microword) Control() uint32 { return uint32(w) }
+
+// String disassembles the word.
+func (w Microword) String() string {
+	switch w.Op() {
+	case MIExec:
+		return fmt.Sprintf("%-8s %v", w.Op(), OpCode(w.A()))
+	case MIBranch, MIBranchCC, MIDispatch:
+		return fmt.Sprintf("%-8s @%04x", w.Op(), w.Addr())
+	default:
+		return w.Op().String()
+	}
+}
+
+// TUE control bits for the control field: one bit per selector branch and
+// register enable, named after Figure 5.
+const (
+	CtrlSel1Left uint32 = 1 << iota
+	CtrlSel1Right
+	CtrlSel2Left
+	CtrlSel2Right
+	CtrlSel3Left
+	CtrlSel3Right
+	CtrlSel4Left
+	CtrlSel4Right
+	CtrlSel5Left
+	CtrlSel5Right
+	CtrlSel6Left
+	CtrlSel6Right
+	CtrlReg1En
+	CtrlReg3En
+	CtrlDBMemWrite
+	CtrlQMemWrite
+	CtrlCompareEn
+)
+
+// controlBitsFor derives the control field for one cycle of an operation
+// from its routes — purely documentary, but it makes disassembly faithful.
+func controlBitsFor(op OpCode, cycle int) uint32 {
+	var c uint32
+	ops := Operations()
+	def, ok := ops[op]
+	if !ok || cycle >= len(def.Cycles) {
+		return 0
+	}
+	steps := append([]hw.Component{}, def.Cycles[cycle].DBRoute.Steps...)
+	steps = append(steps, def.Cycles[cycle].QueryRoute.Steps...)
+	for _, comp := range steps {
+		switch comp.Name {
+		case "Sel1":
+			c |= CtrlSel1Left
+		case "Sel2":
+			c |= CtrlSel2Left
+		case "Sel3":
+			c |= CtrlSel3Right
+		case "Sel4":
+			c |= CtrlSel4Left
+		case "Sel5":
+			c |= CtrlSel5Right
+		case "Sel6":
+			c |= CtrlSel6Left
+		case "Reg1":
+			c |= CtrlReg1En
+		case "Reg3":
+			c |= CtrlReg3En
+		}
+	}
+	if cycle == len(def.Cycles)-1 {
+		switch def.Final.Name {
+		case "comparison":
+			c |= CtrlCompareEn
+		case "DB Memory write":
+			c |= CtrlDBMemWrite
+		case "Query Memory write":
+			c |= CtrlQMemWrite
+		}
+	}
+	return c
+}
+
+// MapROM is the jump-vector table addressed by the ⟨db type, query type⟩
+// pair: "Depending on the combination of the type fields, different
+// microprogram routines are invoked" (§3.1).
+type MapROM struct {
+	vectors map[uint16]uint16 // (dbClass<<8 | qClass) → routine address
+}
+
+// Type classes the Map ROM distinguishes (Appendix 1's three categories
+// plus the variable sub-kinds the routines need).
+const (
+	ClassAnon uint8 = iota
+	ClassFirstVar
+	ClassSubVar
+	ClassSimple
+	ClassComplex
+)
+
+// NewMapROM returns an empty ROM.
+func NewMapROM() *MapROM { return &MapROM{vectors: make(map[uint16]uint16)} }
+
+// Set installs a jump vector.
+func (m *MapROM) Set(dbClass, qClass uint8, addr uint16) {
+	m.vectors[uint16(dbClass)<<8|uint16(qClass)] = addr
+}
+
+// Lookup returns the routine address for a type-class pair.
+func (m *MapROM) Lookup(dbClass, qClass uint8) (uint16, bool) {
+	a, ok := m.vectors[uint16(dbClass)<<8|uint16(qClass)]
+	return a, ok
+}
+
+// Len reports the number of installed vectors.
+func (m *MapROM) Len() int { return len(m.vectors) }
+
+// Program is an assembled microprogram: the WCS image, the Map ROM, and
+// the behavioural flags the routines implement.
+type Program struct {
+	Name   string
+	Words  []Microword
+	ROM    *MapROM
+	Config Microprogram
+	// Routines maps routine labels to WCS addresses (for diagnostics).
+	Routines map[string]uint16
+}
+
+// Listing renders the assembled program like a microassembler listing.
+func (p *Program) Listing() string {
+	labels := make(map[uint16]string, len(p.Routines))
+	for name, addr := range p.Routines {
+		labels[addr] = name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; microprogram %q — %d words of %d\n", p.Name, len(p.Words), WCSWords)
+	for i, w := range p.Words {
+		if l, ok := labels[uint16(i)]; ok {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "  %04x  %016x  %s\n", i, uint64(w), w)
+	}
+	return b.String()
+}
+
+// Assemble builds the WCS image for a behavioural microprogram: a polling
+// loop, the Map ROM dispatch, and one routine per hardware operation (each
+// EXEC cycle per figure cycle), exactly the structure §3.1 describes.
+func Assemble(cfg Microprogram) (*Program, error) {
+	p := &Program{
+		Name:     cfg.Name,
+		ROM:      NewMapROM(),
+		Config:   cfg,
+		Routines: make(map[string]uint16),
+	}
+	emit := func(w Microword) uint16 {
+		addr := uint16(len(p.Words))
+		p.Words = append(p.Words, w)
+		return addr
+	}
+	label := func(name string) uint16 {
+		addr := uint16(len(p.Words))
+		p.Routines[name] = addr
+		return addr
+	}
+
+	// Entry: poll for a clause in the Double Buffer, then walk arguments
+	// by dispatching through the Map ROM; DISPATCH with no matching
+	// vector (end of clause) falls through to ACCEPT.
+	label("poll")
+	emit(MakeMicroword(MIPoll, 0, 0, 0))
+	walk := label("walk")
+	emit(MakeMicroword(MIDispatch, 0, walk, 0))
+	emit(MakeMicroword(MIAccept, 0, 0, 0))
+	label("reject")
+	rejectAddr := emit(MakeMicroword(MIReject, 0, 0, 0))
+
+	// One routine per hardware operation: EXEC each figure cycle, then
+	// branch on the comparator's HIT bit — back to the walk on hit,
+	// to reject otherwise. Store operations succeed unconditionally.
+	ops := Operations()
+	routineOrder := []OpCode{OpMatch, OpDBStore, OpQueryStore, OpDBFetch,
+		OpQueryFetch, OpDBCrossBoundFetch, OpQueryCrossBoundFetch}
+	addrs := make(map[OpCode]uint16, len(routineOrder))
+	for _, code := range routineOrder {
+		def := ops[code]
+		addrs[code] = label(def.Name)
+		for cyc := range def.Cycles {
+			emit(MakeMicroword(MIExec, uint8(code), 0, controlBitsFor(code, cyc)))
+		}
+		switch code {
+		case OpDBStore, OpQueryStore:
+			emit(MakeMicroword(MIBranch, 0, walk, 0))
+		default:
+			emit(MakeMicroword(MIBranchCC, 1 /* HIT */, walk, 0))
+			emit(MakeMicroword(MIBranch, 0, rejectAddr, 0))
+		}
+	}
+
+	// Complex-term element loop: load counters, per-element dispatch,
+	// decrement until either counter is zero (§3.1).
+	label("elements")
+	emit(MakeMicroword(MILoadCounters, 0, 0, 0))
+	elemLoop := label("element_loop")
+	emit(MakeMicroword(MIDispatch, 0, elemLoop, 0))
+	emit(MakeMicroword(MIDecCounters, 0, 0, 0))
+	emit(MakeMicroword(MIBranchCC, 0 /* counters zero */, walk, 0))
+	emit(MakeMicroword(MIBranch, 0, elemLoop, 0))
+	emit(MakeMicroword(MIHalt, 0, 0, 0))
+
+	if len(p.Words) > WCSWords {
+		return nil, fmt.Errorf("fs2: microprogram %q needs %d words, WCS holds %d", cfg.Name, len(p.Words), WCSWords)
+	}
+
+	// Map ROM vectors: the type-pair dispatch of the matching algorithm.
+	// Variable cases route to the store/fetch routines; concrete pairs to
+	// MATCH; complex pairs to the element loop (levels ≥ 3 only).
+	m := p.ROM
+	for _, q := range []uint8{ClassAnon, ClassFirstVar, ClassSubVar, ClassSimple, ClassComplex} {
+		m.Set(ClassFirstVar, q, addrs[OpDBStore])
+		m.Set(ClassSubVar, q, addrs[OpDBFetch])
+	}
+	m.Set(ClassSimple, ClassFirstVar, addrs[OpQueryStore])
+	m.Set(ClassComplex, ClassFirstVar, addrs[OpQueryStore])
+	m.Set(ClassSimple, ClassSubVar, addrs[OpQueryFetch])
+	m.Set(ClassComplex, ClassSubVar, addrs[OpQueryFetch])
+	m.Set(ClassSimple, ClassSimple, addrs[OpMatch])
+	if cfg.DescendElements {
+		m.Set(ClassComplex, ClassComplex, p.Routines["elements"])
+	} else {
+		m.Set(ClassComplex, ClassComplex, addrs[OpMatch])
+	}
+	return p, nil
+}
+
+// LoadAssembled assembles cfg and loads the image through the §3 protocol
+// word by word, verifying capacity. It then installs the behavioural
+// configuration exactly as LoadMicroprogram does. Requires
+// Microprogramming mode.
+func (e *Engine) LoadAssembled(cfg Microprogram) (*Program, error) {
+	if e.mode != ModeMicroprogramming {
+		return nil, fmt.Errorf("%w: LoadAssembled in %v", ErrWrongMode, e.mode)
+	}
+	prog, err := Assemble(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.wcs = e.wcs[:0]
+	for _, w := range prog.Words {
+		if len(e.wcs) >= WCSWords {
+			return nil, fmt.Errorf("fs2: WCS overflow during load")
+		}
+		e.wcs = append(e.wcs, w)
+	}
+	e.program = prog
+	e.mp = cfg
+	e.loaded = true
+	return prog, nil
+}
+
+// WCSImage returns a copy of the loaded control-store image (empty when
+// the microprogram was installed behaviourally via LoadMicroprogram).
+func (e *Engine) WCSImage() []Microword {
+	out := make([]Microword, len(e.wcs))
+	copy(out, e.wcs)
+	return out
+}
+
+// Program returns the assembled program if LoadAssembled was used.
+func (e *Engine) Program() *Program { return e.program }

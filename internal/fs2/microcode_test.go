@@ -1,0 +1,187 @@
+package fs2
+
+import (
+	"strings"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/symtab"
+)
+
+func TestMicrowordFields(t *testing.T) {
+	w := MakeMicroword(MIExec, uint8(OpDBStore), 0x0123, 0xDEADBEEF)
+	if w.Op() != MIExec {
+		t.Errorf("op = %v", w.Op())
+	}
+	if w.A() != uint8(OpDBStore) {
+		t.Errorf("a = %d", w.A())
+	}
+	if w.Addr() != 0x0123 {
+		t.Errorf("addr = %04x", w.Addr())
+	}
+	if w.Control() != 0xDEADBEEF {
+		t.Errorf("control = %08x", w.Control())
+	}
+}
+
+func TestMicrowordIs64Bits(t *testing.T) {
+	// Fields must tile the 64-bit word without overlap.
+	w := MakeMicroword(MicroOp(0xFF), 0xFF, 0xFFFF, 0xFFFFFFFF)
+	if uint64(w) != 0xFFFFFFFFFFFFFFFF {
+		t.Errorf("full word = %016x", uint64(w))
+	}
+	zero := MakeMicroword(0, 0, 0, 0)
+	if uint64(zero) != 0 {
+		t.Errorf("zero word = %016x", uint64(zero))
+	}
+}
+
+func TestAssembleStandardPrograms(t *testing.T) {
+	for _, cfg := range []Microprogram{MPLevel1, MPLevel2, MPLevel3, MPLevel3XB} {
+		p, err := Assemble(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if len(p.Words) == 0 || len(p.Words) > WCSWords {
+			t.Errorf("%s: %d words", cfg.Name, len(p.Words))
+		}
+		// Every hardware operation has a routine, with one EXEC per
+		// figure cycle.
+		ops := Operations()
+		for code, def := range ops {
+			addr, ok := p.Routines[def.Name]
+			if !ok {
+				t.Fatalf("%s: missing routine %s", cfg.Name, def.Name)
+			}
+			for cyc := 0; cyc < len(def.Cycles); cyc++ {
+				w := p.Words[int(addr)+cyc]
+				if w.Op() != MIExec || OpCode(w.A()) != code {
+					t.Errorf("%s: routine %s word %d = %v", cfg.Name, def.Name, cyc, w)
+				}
+			}
+		}
+		// The ROM must dispatch every class pair that can occur.
+		if p.ROM.Len() == 0 {
+			t.Errorf("%s: empty map ROM", cfg.Name)
+		}
+		if _, ok := p.ROM.Lookup(ClassSimple, ClassSimple); !ok {
+			t.Errorf("%s: no vector for simple×simple", cfg.Name)
+		}
+	}
+}
+
+func TestMapROMDispatchReflectsLevel(t *testing.T) {
+	p3, err := Assemble(MPLevel3XB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Assemble(MPLevel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, _ := p3.ROM.Lookup(ClassComplex, ClassComplex)
+	a2, _ := p2.ROM.Lookup(ClassComplex, ClassComplex)
+	if a3 != p3.Routines["elements"] {
+		t.Error("level 3 should dispatch complex pairs to the element loop")
+	}
+	if a2 != p2.Routines["MATCH"] {
+		t.Error("level 2 should dispatch complex pairs to plain MATCH")
+	}
+}
+
+func TestListingReadable(t *testing.T) {
+	p, err := Assemble(MPLevel3XB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listing()
+	for _, want := range []string{"poll:", "MATCH:", "QUERY_CROSS_BOUND_FETCH:", "EXEC", "DISPATCH", "element_loop:"} {
+		if !strings.Contains(l, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestLoadAssembledProtocol(t *testing.T) {
+	e := New()
+	if _, err := e.LoadAssembled(MPLevel3XB); err == nil {
+		t.Fatal("LoadAssembled outside Microprogramming mode should fail")
+	}
+	e.SetMode(ModeMicroprogramming)
+	prog, err := e.LoadAssembled(MPLevel3XB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := e.WCSImage()
+	if len(img) != len(prog.Words) {
+		t.Fatalf("WCS image %d words, program %d", len(img), len(prog.Words))
+	}
+	for i := range img {
+		if img[i] != prog.Words[i] {
+			t.Fatalf("WCS word %d differs", i)
+		}
+	}
+	if e.Program() != prog {
+		t.Error("Program() should return the loaded program")
+	}
+
+	// The assembled load is behaviourally identical to the direct load:
+	// run the shared-variable case through it.
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+	q, err := enc.Encode(parse.MustTerm("mc(S, S)"), pif.QuerySide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMode(ModeSetQuery)
+	if err := e.SetQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := enc.Encode(parse.MustTerm("mc(a, b)"), pif.DBSide)
+	h2, _ := enc.Encode(parse.MustTerm("mc(c, c)"), pif.DBSide)
+	e.SetMode(ModeSearch)
+	res, err := e.Search([]Record{{Addr: 0, Enc: h1}, {Addr: 1, Enc: h2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0] != 1 {
+		t.Errorf("matches = %v, want [1]", res.Matches)
+	}
+}
+
+func TestControlBitsDocumentRoutes(t *testing.T) {
+	// The MATCH cycle drives Sel1, Sel3, Sel6 and the comparator.
+	c := controlBitsFor(OpMatch, 0)
+	for _, bit := range []uint32{CtrlSel1Left, CtrlSel3Right, CtrlSel6Left, CtrlCompareEn} {
+		if c&bit == 0 {
+			t.Errorf("MATCH control bits missing %08x (got %08x)", bit, c)
+		}
+	}
+	if c&CtrlDBMemWrite != 0 {
+		t.Error("MATCH must not write DB memory")
+	}
+	// DB_STORE's final action is the DB memory write.
+	c = controlBitsFor(OpDBStore, 0)
+	if c&CtrlDBMemWrite == 0 {
+		t.Error("DB_STORE control bits missing the DB memory write")
+	}
+	// Out-of-range cycles yield zero.
+	if controlBitsFor(OpMatch, 5) != 0 {
+		t.Error("out-of-range cycle should have no control bits")
+	}
+}
+
+func TestMapROMLookupMiss(t *testing.T) {
+	m := NewMapROM()
+	if _, ok := m.Lookup(ClassSimple, ClassSimple); ok {
+		t.Error("empty ROM should miss")
+	}
+	m.Set(ClassSimple, ClassSimple, 42)
+	if a, ok := m.Lookup(ClassSimple, ClassSimple); !ok || a != 42 {
+		t.Errorf("lookup = %d, %v", a, ok)
+	}
+	if m.Len() != 1 {
+		t.Errorf("len = %d", m.Len())
+	}
+}

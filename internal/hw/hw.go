@@ -1,0 +1,135 @@
+// Package hw models the FS2 datapath components and their propagation
+// delays, exactly as the timing calculations under Figures 6–12 do.
+//
+// Every figure in the paper computes an operation's execution time by
+// summing component delays along the database and query routes, taking the
+// longer route per microprogram cycle, and adding the terminal action
+// (comparison or memory write). This package provides the component
+// catalogue and the route arithmetic so that package fs2 can DERIVE
+// Table 1 rather than hard-code it.
+package hw
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Component is one datapath element with its propagation delay.
+type Component struct {
+	Name  string
+	Delay time.Duration
+}
+
+// The FS2 component catalogue with the delays used in the paper's figures
+// (all values appear in the route tables under Figures 6–12).
+var (
+	// DoubleBuffer is the Double Buffer output register (20 ns).
+	DoubleBuffer = Component{"Double Buffer", 20 * time.Nanosecond}
+	// Sel1..Sel6 are the six TUE selectors (20 ns each).
+	Sel1 = Component{"Sel1", 20 * time.Nanosecond}
+	Sel2 = Component{"Sel2", 20 * time.Nanosecond}
+	Sel3 = Component{"Sel3", 20 * time.Nanosecond}
+	Sel4 = Component{"Sel4", 20 * time.Nanosecond}
+	Sel5 = Component{"Sel5", 20 * time.Nanosecond}
+	Sel6 = Component{"Sel6", 20 * time.Nanosecond}
+	// QueryMemRead is a Query Memory access (35 ns).
+	QueryMemRead = Component{"Query Memory", 35 * time.Nanosecond}
+	// QueryMemWrite is a Query Memory write (35 ns; Figure 8's total
+	// implies the write costs one memory access).
+	QueryMemWrite = Component{"Query Memory write", 35 * time.Nanosecond}
+	// DBMemRead is a DB Memory access (25 ns).
+	DBMemRead = Component{"DB Memory", 25 * time.Nanosecond}
+	// DBMemWrite is a DB Memory write (20 ns, Figure 7).
+	DBMemWrite = Component{"DB Memory write", 20 * time.Nanosecond}
+	// Reg1 and Reg3 are TUE registers (20 ns).
+	Reg1 = Component{"Reg1", 20 * time.Nanosecond}
+	Reg3 = Component{"Reg3", 20 * time.Nanosecond}
+	// Comparator is the ALS 8-bit comparator (30 ns).
+	Comparator = Component{"comparison", 30 * time.Nanosecond}
+)
+
+// Route is a data path through consecutive components, as drawn by the
+// thick dotted lines in Figures 6–12.
+type Route struct {
+	Steps []Component
+}
+
+// NewRoute builds a route through the given components in order.
+func NewRoute(steps ...Component) Route { return Route{Steps: steps} }
+
+// Time is the route's total propagation delay.
+func (r Route) Time() time.Duration {
+	var t time.Duration
+	for _, s := range r.Steps {
+		t += s.Delay
+	}
+	return t
+}
+
+// String renders the route like the figures: "Double Buffer → Sel1 (=40ns)".
+func (r Route) String() string {
+	if len(r.Steps) == 0 {
+		return "(idle)"
+	}
+	names := make([]string, len(r.Steps))
+	for i, s := range r.Steps {
+		names[i] = fmt.Sprintf("%s %dns", s.Name, s.Delay.Nanoseconds())
+	}
+	return fmt.Sprintf("%s (=%dns)", strings.Join(names, " → "), r.Time().Nanoseconds())
+}
+
+// Cycle is one microprogram cycle: the database and query routes run in
+// parallel, so the cycle costs the longer of the two ("although
+// information travels on both routes in parallel, the longest routing time
+// of the two should be taken", §3.3.1).
+type Cycle struct {
+	Name       string
+	DBRoute    Route
+	QueryRoute Route
+}
+
+// Time is the cycle's cost: max of the two parallel routes.
+func (c Cycle) Time() time.Duration {
+	db, q := c.DBRoute.Time(), c.QueryRoute.Time()
+	if db > q {
+		return db
+	}
+	return q
+}
+
+// Operation is one FS2 hardware operation: one or more cycles plus a
+// terminal action (a comparison or a memory write).
+type Operation struct {
+	Name   string
+	Figure int // the paper figure documenting it
+	Cycles []Cycle
+	Final  Component
+}
+
+// Time is the operation's execution time: the sum of cycle times plus the
+// terminal action — the formula each figure's caption applies.
+func (o Operation) Time() time.Duration {
+	t := o.Final.Delay
+	for _, c := range o.Cycles {
+		t += c.Time()
+	}
+	return t
+}
+
+// Breakdown renders the operation's timing calculation in the style of the
+// figures' tables.
+func (o Operation) Breakdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Timing Calculation for the %s Operation (Figure %d)\n", o.Name, o.Figure)
+	for _, c := range o.Cycles {
+		if len(o.Cycles) > 1 {
+			fmt.Fprintf(&b, "%s\n", c.Name)
+		}
+		fmt.Fprintf(&b, "  database route : %s\n", c.DBRoute)
+		fmt.Fprintf(&b, "  query route    : %s\n", c.QueryRoute)
+	}
+	fmt.Fprintf(&b, "  %-15s: (=%dns)\n", o.Final.Name, o.Final.Delay.Nanoseconds())
+	fmt.Fprintf(&b, "  execution time = %dns\n", o.Time().Nanoseconds())
+	return b.String()
+}

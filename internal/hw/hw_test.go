@@ -1,0 +1,122 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestComponentDelaysMatchFigures(t *testing.T) {
+	// The delays the figures' route tables use.
+	cases := []struct {
+		c    Component
+		want time.Duration
+	}{
+		{DoubleBuffer, 20 * time.Nanosecond},
+		{Sel1, 20 * time.Nanosecond},
+		{Sel6, 20 * time.Nanosecond},
+		{QueryMemRead, 35 * time.Nanosecond},
+		{DBMemRead, 25 * time.Nanosecond},
+		{DBMemWrite, 20 * time.Nanosecond},
+		{QueryMemWrite, 35 * time.Nanosecond},
+		{Reg1, 20 * time.Nanosecond},
+		{Reg3, 20 * time.Nanosecond},
+		{Comparator, 30 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if c.c.Delay != c.want {
+			t.Errorf("%s delay = %v, want %v", c.c.Name, c.c.Delay, c.want)
+		}
+	}
+}
+
+func TestRouteTime(t *testing.T) {
+	// The MATCH database route of Figure 6: Double Buffer → Sel1 = 40 ns.
+	r := NewRoute(DoubleBuffer, Sel1)
+	if r.Time() != 40*time.Nanosecond {
+		t.Errorf("db route = %v, want 40ns", r.Time())
+	}
+	// The MATCH query route: Sel6 → Query Memory → Sel3 = 75 ns.
+	q := NewRoute(Sel6, QueryMemRead, Sel3)
+	if q.Time() != 75*time.Nanosecond {
+		t.Errorf("query route = %v, want 75ns", q.Time())
+	}
+}
+
+func TestCycleTakesLongerRoute(t *testing.T) {
+	c := Cycle{
+		DBRoute:    NewRoute(DoubleBuffer, Sel1),       // 40
+		QueryRoute: NewRoute(Sel6, QueryMemRead, Sel3), // 75
+	}
+	if c.Time() != 75*time.Nanosecond {
+		t.Errorf("cycle time = %v, want 75ns (longer route)", c.Time())
+	}
+	rev := Cycle{DBRoute: c.QueryRoute, QueryRoute: c.DBRoute}
+	if rev.Time() != 75*time.Nanosecond {
+		t.Errorf("cycle time = %v, want 75ns regardless of side", rev.Time())
+	}
+}
+
+func TestOperationTimeMatchExample(t *testing.T) {
+	// Rebuild Figure 6's MATCH: max(40, 75) + 30 = 105 ns.
+	op := Operation{
+		Name:   "MATCH",
+		Figure: 6,
+		Cycles: []Cycle{{
+			DBRoute:    NewRoute(DoubleBuffer, Sel1),
+			QueryRoute: NewRoute(Sel6, QueryMemRead, Sel3),
+		}},
+		Final: Comparator,
+	}
+	if op.Time() != 105*time.Nanosecond {
+		t.Errorf("MATCH time = %v, want 105ns", op.Time())
+	}
+}
+
+func TestMultiCycleOperation(t *testing.T) {
+	// Figure 12's QUERY_CROSS_BOUND_FETCH shape: cycles 95 + 65 + 45 + 30.
+	op := Operation{
+		Name: "QUERY_CROSS_BOUND_FETCH",
+		Cycles: []Cycle{
+			{Name: "first cycle",
+				DBRoute:    NewRoute(DoubleBuffer, Sel1),
+				QueryRoute: NewRoute(Sel6, QueryMemRead, Sel3, Sel2)},
+			{Name: "second cycle",
+				QueryRoute: NewRoute(DBMemRead, Sel3, Sel2)},
+			{Name: "third cycle",
+				QueryRoute: NewRoute(DBMemRead, Sel3)},
+		},
+		Final: Comparator,
+	}
+	if op.Time() != 235*time.Nanosecond {
+		t.Errorf("time = %v, want 235ns", op.Time())
+	}
+}
+
+func TestBreakdownRendering(t *testing.T) {
+	op := Operation{
+		Name:   "MATCH",
+		Figure: 6,
+		Cycles: []Cycle{{
+			DBRoute:    NewRoute(DoubleBuffer, Sel1),
+			QueryRoute: NewRoute(Sel6, QueryMemRead, Sel3),
+		}},
+		Final: Comparator,
+	}
+	s := op.Breakdown()
+	for _, want := range []string{"MATCH", "Figure 6", "Double Buffer", "execution time = 105ns"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestEmptyRoute(t *testing.T) {
+	var r Route
+	if r.Time() != 0 {
+		t.Errorf("empty route time = %v", r.Time())
+	}
+	if r.String() != "(idle)" {
+		t.Errorf("empty route string = %q", r.String())
+	}
+}

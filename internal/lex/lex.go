@@ -1,0 +1,477 @@
+// Package lex tokenizes Edinburgh Prolog source text for the Prolog-X–style
+// front end of the PDBM substrate.
+//
+// The token classes follow Clocksin & Mellish syntax: alphanumeric and
+// quoted and symbolic atoms, variables, integers (decimal, 0x/0o/0b radix
+// and 0'c character codes), floats, double-quoted strings (read as code
+// lists by the parser), punctuation, and the clause-terminating full stop.
+// Comments (% to end of line, /* ... */) are skipped.
+package lex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	// EOF marks the end of input.
+	EOF Kind = iota
+	// AtomTok is an atom: alphanumeric (foo), quoted ('Foo bar') or
+	// symbolic (+, =.., -->). The Text field holds the unquoted value.
+	AtomTok
+	// VarTok is a variable (X, _Foo, _).
+	VarTok
+	// IntTok is an integer literal; Int holds the value.
+	IntTok
+	// FloatTok is a float literal; Float holds the value.
+	FloatTok
+	// StrTok is a double-quoted string; Text holds the unescaped contents.
+	StrTok
+	// Punct is one of ( ) [ ] { } , |  — Text holds the character.
+	Punct
+	// FunctorParen is an atom immediately followed by '(' (no space):
+	// the start of a compound term. Text holds the atom.
+	FunctorParen
+	// End is the clause-terminating full stop.
+	End
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "eof"
+	case AtomTok:
+		return "atom"
+	case VarTok:
+		return "variable"
+	case IntTok:
+		return "integer"
+	case FloatTok:
+		return "float"
+	case StrTok:
+		return "string"
+	case Punct:
+		return "punctuation"
+	case FunctorParen:
+		return "functor("
+	case End:
+		return "end"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical item.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Int   int64
+	Float float64
+	Line  int // 1-based line of the token's first character
+	Col   int // 1-based column
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IntTok:
+		return fmt.Sprintf("%d", t.Int)
+	case FloatTok:
+		return fmt.Sprintf("%g", t.Float)
+	case EOF:
+		return "<eof>"
+	case End:
+		return "."
+	default:
+		return t.Text
+	}
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("lex: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans Prolog source text.
+type Lexer struct {
+	src       []rune
+	pos       int
+	line, col int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+const symbolChars = "+-*/\\^<>=~:.?@#&$"
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return -1
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return -1
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next token, or an error.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipLayout(); err != nil {
+		return Token{}, err
+	}
+	startLine, startCol := l.line, l.col
+	mk := func(k Kind, text string) Token {
+		return Token{Kind: k, Text: text, Line: startLine, Col: startCol}
+	}
+	r := l.peek()
+	if r < 0 {
+		return mk(EOF, ""), nil
+	}
+
+	switch {
+	case r == '(' || r == ')' || r == '[' || r == ']' || r == '{' || r == '}' || r == ',' || r == '|':
+		l.advance()
+		return mk(Punct, string(r)), nil
+
+	case r == '!' || r == ';':
+		l.advance()
+		if l.peek() == '(' {
+			l.advance()
+			return mk(FunctorParen, string(r)), nil
+		}
+		return mk(AtomTok, string(r)), nil
+
+	case r == '\'':
+		text, err := l.scanQuoted('\'')
+		if err != nil {
+			return Token{}, err
+		}
+		if l.peek() == '(' {
+			l.advance()
+			return mk(FunctorParen, text), nil
+		}
+		return mk(AtomTok, text), nil
+
+	case r == '"':
+		text, err := l.scanQuoted('"')
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(StrTok, text), nil
+
+	case unicode.IsDigit(r):
+		return l.scanNumber(startLine, startCol)
+
+	case r == '_' || unicode.IsUpper(r):
+		name := l.scanAlnum()
+		return mk(VarTok, name), nil
+
+	case unicode.IsLower(r):
+		name := l.scanAlnum()
+		if l.peek() == '(' {
+			l.advance()
+			return mk(FunctorParen, name), nil
+		}
+		return mk(AtomTok, name), nil
+
+	case strings.ContainsRune(symbolChars, r):
+		sym := l.scanSymbolic()
+		// A lone '.' followed by layout or EOF is the end token.
+		if sym == "." {
+			return mk(End, "."), nil
+		}
+		if l.peek() == '(' {
+			l.advance()
+			return mk(FunctorParen, sym), nil
+		}
+		return mk(AtomTok, sym), nil
+	}
+	return Token{}, l.errf("unexpected character %q", r)
+}
+
+// All tokenizes the entire input.
+func (l *Lexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipLayout() error {
+	for {
+		r := l.peek()
+		switch {
+		case r < 0:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.peek() >= 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekAt(1) == '*':
+			openLine, openCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.peek() < 0 {
+					return &Error{Line: openLine, Col: openCol, Msg: "unterminated block comment"}
+				}
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) scanAlnum() string {
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(l.advance())
+			continue
+		}
+		return b.String()
+	}
+}
+
+func (l *Lexer) scanSymbolic() string {
+	var b strings.Builder
+	for strings.ContainsRune(symbolChars, l.peek()) {
+		b.WriteRune(l.advance())
+		// "." terminates a clause when followed by layout/EOF/%; detect
+		// that case so "X = Y." lexes the final dot as End not part of a
+		// symbolic atom, while "=.." still lexes as one atom.
+		if b.String() == "." {
+			nxt := l.peek()
+			if nxt < 0 || unicode.IsSpace(nxt) || nxt == '%' {
+				return "."
+			}
+		}
+	}
+	return b.String()
+}
+
+func (l *Lexer) scanQuoted(quote rune) (string, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r := l.peek()
+		if r < 0 {
+			return "", l.errf("unterminated quoted token")
+		}
+		l.advance()
+		switch {
+		case r == quote:
+			// Doubled quote is an escaped quote.
+			if l.peek() == quote {
+				l.advance()
+				b.WriteRune(quote)
+				continue
+			}
+			return b.String(), nil
+		case r == '\\':
+			e := l.peek()
+			if e < 0 {
+				return "", l.errf("unterminated escape")
+			}
+			l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'a':
+				b.WriteByte(7)
+			case 'b':
+				b.WriteByte(8)
+			case 'f':
+				b.WriteByte(12)
+			case 'v':
+				b.WriteByte(11)
+			case '0':
+				b.WriteByte(0)
+			case '\\', '\'', '"', '`':
+				b.WriteRune(e)
+			case '\n': // line continuation
+			default:
+				return "", l.errf("unknown escape \\%c", e)
+			}
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (l *Lexer) scanNumber(startLine, startCol int) (Token, error) {
+	mk := func(k Kind) Token { return Token{Kind: k, Line: startLine, Col: startCol} }
+
+	// Radix and character-code forms start with 0.
+	if l.peek() == '0' {
+		switch l.peekAt(1) {
+		case '\'':
+			l.advance()
+			l.advance()
+			r := l.peek()
+			if r < 0 {
+				return Token{}, l.errf("unterminated character code")
+			}
+			l.advance()
+			if r == '\\' {
+				e := l.peek()
+				if e < 0 {
+					return Token{}, l.errf("unterminated character escape")
+				}
+				l.advance()
+				switch e {
+				case 'n':
+					r = '\n'
+				case 't':
+					r = '\t'
+				case 'r':
+					r = '\r'
+				case 'a':
+					r = 7
+				case 'b':
+					r = 8
+				case 'f':
+					r = 12
+				case 'v':
+					r = 11
+				case '\\', '\'', '"', '`':
+					r = e
+				default:
+					return Token{}, l.errf("unknown character escape \\%c", e)
+				}
+			}
+			t := mk(IntTok)
+			t.Int = int64(r)
+			return t, nil
+		case 'x', 'o', 'b':
+			base := map[rune]int64{'x': 16, 'o': 8, 'b': 2}[l.peekAt(1)]
+			digits := func(r rune) bool {
+				switch base {
+				case 16:
+					return unicode.Is(unicode.ASCII_Hex_Digit, r)
+				case 8:
+					return r >= '0' && r <= '7'
+				default:
+					return r == '0' || r == '1'
+				}
+			}
+			if !digits(l.peekAt(2)) {
+				break // plain 0 followed by an atom like x
+			}
+			l.advance()
+			l.advance()
+			var v int64
+			for digits(l.peek()) {
+				d := l.advance()
+				var dv int64
+				switch {
+				case d >= '0' && d <= '9':
+					dv = int64(d - '0')
+				case d >= 'a' && d <= 'f':
+					dv = int64(d-'a') + 10
+				case d >= 'A' && d <= 'F':
+					dv = int64(d-'A') + 10
+				}
+				v = v*base + dv
+			}
+			t := mk(IntTok)
+			t.Int = v
+			return t, nil
+		}
+	}
+
+	var b strings.Builder
+	for unicode.IsDigit(l.peek()) {
+		b.WriteRune(l.advance())
+	}
+	isFloat := false
+	// Fraction: '.' must be followed by a digit, else it is the end token.
+	if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+		isFloat = true
+		b.WriteRune(l.advance())
+		for unicode.IsDigit(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+	}
+	// Exponent.
+	if e := l.peek(); e == 'e' || e == 'E' {
+		next := l.peekAt(1)
+		nextNext := l.peekAt(2)
+		if unicode.IsDigit(next) || ((next == '+' || next == '-') && unicode.IsDigit(nextNext)) {
+			isFloat = true
+			b.WriteRune(l.advance())
+			if l.peek() == '+' || l.peek() == '-' {
+				b.WriteRune(l.advance())
+			}
+			for unicode.IsDigit(l.peek()) {
+				b.WriteRune(l.advance())
+			}
+		}
+	}
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(b.String(), "%g", &f); err != nil {
+			return Token{}, l.errf("bad float %q: %v", b.String(), err)
+		}
+		t := mk(FloatTok)
+		t.Float = f
+		return t, nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(b.String(), "%d", &v); err != nil {
+		return Token{}, l.errf("bad integer %q: %v", b.String(), err)
+	}
+	t := mk(IntTok)
+	t.Int = v
+	return t, nil
+}

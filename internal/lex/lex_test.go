@@ -1,0 +1,281 @@
+package lex
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestSimpleFact(t *testing.T) {
+	toks := lexAll(t, "likes(mary, wine).")
+	want := []Kind{FunctorParen, AtomTok, Punct, AtomTok, Punct, End, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: %v want %v (%v)", i, got[i], want[i], toks[i])
+		}
+	}
+	if toks[0].Text != "likes" {
+		t.Errorf("functor text = %q", toks[0].Text)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	toks := lexAll(t, "X _Y _ Abc")
+	for i, want := range []string{"X", "_Y", "_", "Abc"} {
+		if toks[i].Kind != VarTok || toks[i].Text != want {
+			t.Errorf("token %d = %v, want var %q", i, toks[i], want)
+		}
+	}
+}
+
+func TestIntegers(t *testing.T) {
+	cases := map[string]int64{
+		"42":     42,
+		"0":      0,
+		"0xff":   255,
+		"0o17":   15,
+		"0b101":  5,
+		"0'a":    'a',
+		"0' ":    ' ',
+		"0'\\n":  '\n',
+		"0'\\\\": '\\',
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if toks[0].Kind != IntTok || toks[0].Int != want {
+			t.Errorf("lex %q = %v (int=%d), want %d", src, toks[0].Kind, toks[0].Int, want)
+		}
+	}
+}
+
+func TestFloats(t *testing.T) {
+	cases := map[string]float64{
+		"3.14":   3.14,
+		"1.0e3":  1000,
+		"2.5E-2": 0.025,
+		"7e2":    700,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if toks[0].Kind != FloatTok || toks[0].Float != want {
+			t.Errorf("lex %q = kind %v float %v, want %v", src, toks[0].Kind, toks[0].Float, want)
+		}
+	}
+}
+
+func TestIntDotEndNotFloat(t *testing.T) {
+	toks := lexAll(t, "foo(1).")
+	if toks[1].Kind != IntTok || toks[1].Int != 1 {
+		t.Fatalf("expected integer 1, got %v", toks[1])
+	}
+	if toks[3].Kind != End {
+		t.Fatalf("expected End after ')', got %v", toks[3])
+	}
+}
+
+func TestQuotedAtoms(t *testing.T) {
+	toks := lexAll(t, `'Hello world' 'don''t' 'a\nb'`)
+	want := []string{"Hello world", "don't", "a\nb"}
+	for i, w := range want {
+		if toks[i].Kind != AtomTok || toks[i].Text != w {
+			t.Errorf("token %d = %q (%v), want %q", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestQuotedFunctor(t *testing.T) {
+	toks := lexAll(t, "'My Functor'(x)")
+	if toks[0].Kind != FunctorParen || toks[0].Text != "My Functor" {
+		t.Errorf("token = %v", toks[0])
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := lexAll(t, `"abc" "with ""quote"""`)
+	if toks[0].Kind != StrTok || toks[0].Text != "abc" {
+		t.Errorf("token 0 = %v", toks[0])
+	}
+	if toks[1].Kind != StrTok || toks[1].Text != `with "quote"` {
+		t.Errorf("token 1 = %q", toks[1].Text)
+	}
+}
+
+func TestSymbolicAtoms(t *testing.T) {
+	toks := lexAll(t, "X =.. Y, A - B :- C --> D")
+	texts := []string{}
+	for _, tok := range toks {
+		if tok.Kind == AtomTok {
+			texts = append(texts, tok.Text)
+		}
+	}
+	want := []string{"=..", "-", ":-", "-->"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Errorf("symbolic atoms = %v, want %v", texts, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+% a line comment
+foo. /* block
+comment */ bar.
+`
+	toks := lexAll(t, src)
+	var atoms []string
+	for _, tok := range toks {
+		if tok.Kind == AtomTok {
+			atoms = append(atoms, tok.Text)
+		}
+	}
+	if len(atoms) != 2 || atoms[0] != "foo" || atoms[1] != "bar" {
+		t.Errorf("atoms = %v", atoms)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, err := New("/* never ends").All()
+	if err == nil {
+		t.Fatal("expected error for unterminated block comment")
+	}
+}
+
+func TestUnterminatedQuote(t *testing.T) {
+	if _, err := New("'abc").All(); err == nil {
+		t.Fatal("expected error for unterminated quote")
+	}
+}
+
+func TestPunctuation(t *testing.T) {
+	toks := lexAll(t, "[a|B] {x} (y)")
+	var ps []string
+	for _, tok := range toks {
+		if tok.Kind == Punct {
+			ps = append(ps, tok.Text)
+		}
+	}
+	want := "[ | ] { } ( )"
+	if strings.Join(ps, " ") != want {
+		t.Errorf("punct = %v, want %v", ps, want)
+	}
+}
+
+func TestLineColTracking(t *testing.T) {
+	toks := lexAll(t, "a.\nbcd.")
+	// "bcd" starts at line 2 col 1.
+	var bcd Token
+	for _, tok := range toks {
+		if tok.Kind == AtomTok && tok.Text == "bcd" {
+			bcd = tok
+		}
+	}
+	if bcd.Line != 2 || bcd.Col != 1 {
+		t.Errorf("bcd at %d:%d, want 2:1", bcd.Line, bcd.Col)
+	}
+}
+
+func TestEndVsDotInAtom(t *testing.T) {
+	// "=.." must stay one atom; final "." must be End even at EOF.
+	toks := lexAll(t, "=..")
+	if toks[0].Kind != AtomTok || toks[0].Text != "=.." {
+		t.Fatalf("=.. lexed as %v", toks[0])
+	}
+	toks = lexAll(t, "a.")
+	if toks[1].Kind != End {
+		t.Fatalf("trailing dot lexed as %v", toks[1])
+	}
+}
+
+func TestCutAndSemicolon(t *testing.T) {
+	toks := lexAll(t, "! ; ;(a,b)")
+	if toks[0].Kind != AtomTok || toks[0].Text != "!" {
+		t.Errorf("cut = %v", toks[0])
+	}
+	if toks[1].Kind != AtomTok || toks[1].Text != ";" {
+		t.Errorf("semicolon = %v", toks[1])
+	}
+	if toks[2].Kind != FunctorParen || toks[2].Text != ";" {
+		t.Errorf(";( = %v", toks[2])
+	}
+}
+
+func TestNegativeHandledByParserNotLexer(t *testing.T) {
+	// "-1" lexes as atom '-' then integer 1; the parser folds prefix minus.
+	toks := lexAll(t, "-1")
+	if toks[0].Kind != AtomTok || toks[0].Text != "-" {
+		t.Fatalf("token 0 = %v", toks[0])
+	}
+	if toks[1].Kind != IntTok || toks[1].Int != 1 {
+		t.Fatalf("token 1 = %v", toks[1])
+	}
+}
+
+func TestTokenAndKindStrings(t *testing.T) {
+	toks := lexAll(t, "foo(X, 42, 2.5, \"s\").")
+	var parts []string
+	for _, tok := range toks {
+		parts = append(parts, tok.String(), tok.Kind.String())
+	}
+	joined := strings.Join(parts, " ")
+	for _, want := range []string{"foo", "functor(", "X", "variable", "42", "integer", "2.5", "float", "string", ".", "end", "<eof>", "eof"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token strings missing %q in %q", want, joined)
+		}
+	}
+}
+
+func TestLexErrorMessage(t *testing.T) {
+	_, err := New("'unterminated").All()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "lex:") || !strings.Contains(err.Error(), "1:") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestQuotedEscapes(t *testing.T) {
+	toks := lexAll(t, `'a\r\a\b\f\v\0\`+"\n"+`z'`)
+	want := "a\r\x07\x08\x0c\x0b\x00z"
+	if toks[0].Text != want {
+		t.Errorf("escapes = %q, want %q", toks[0].Text, want)
+	}
+	if _, err := New(`'bad \q escape'`).All(); err == nil {
+		t.Error("unknown escape should fail")
+	}
+	if _, err := New(`'trailing \`).All(); err == nil {
+		t.Error("unterminated escape should fail")
+	}
+}
+
+func TestCharCodeEscapes(t *testing.T) {
+	cases := map[string]int64{`0'\r`: '\r', `0'\a`: 7, `0'\b`: 8, `0'\f`: 12, `0'\v`: 11, `0''`: '\''}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if toks[0].Kind != IntTok || toks[0].Int != want {
+			t.Errorf("%s = %v (%d), want %d", src, toks[0].Kind, toks[0].Int, want)
+		}
+	}
+	if _, err := New(`0'\q`).All(); err == nil {
+		t.Error("unknown char escape should fail")
+	}
+}

@@ -1,0 +1,168 @@
+package parse
+
+// Operator types, following Edinburgh Prolog op/3.
+type OpType uint8
+
+const (
+	XFX OpType = iota // infix, both args strictly lower priority
+	XFY               // infix, right arg may be equal priority
+	YFX               // infix, left arg may be equal priority
+	FY                // prefix, arg may be equal priority
+	FX                // prefix, arg strictly lower priority
+	XF                // postfix, arg strictly lower priority
+	YF                // postfix, arg may be equal priority
+)
+
+func (t OpType) String() string {
+	switch t {
+	case XFX:
+		return "xfx"
+	case XFY:
+		return "xfy"
+	case YFX:
+		return "yfx"
+	case FY:
+		return "fy"
+	case FX:
+		return "fx"
+	case XF:
+		return "xf"
+	case YF:
+		return "yf"
+	}
+	return "op?"
+}
+
+// Op is one operator definition.
+type Op struct {
+	Priority int // 1..1200
+	Type     OpType
+	Name     string
+}
+
+// OpTable holds the operator definitions in force while parsing. A nil
+// *OpTable means the default table.
+type OpTable struct {
+	infix   map[string]Op
+	prefix  map[string]Op
+	postfix map[string]Op
+}
+
+// NewOpTable returns a table preloaded with the standard Edinburgh
+// operators used by Prolog-X.
+func NewOpTable() *OpTable {
+	t := &OpTable{
+		infix:   make(map[string]Op),
+		prefix:  make(map[string]Op),
+		postfix: make(map[string]Op),
+	}
+	std := []Op{
+		{1200, XFX, ":-"},
+		{1200, XFX, "-->"},
+		{1200, FX, ":-"},
+		{1200, FX, "?-"},
+		{1100, XFY, ";"},
+		{1100, XFY, "|"},
+		{1050, XFY, "->"},
+		{1000, XFY, ","},
+		{990, XFX, ":="},
+		{900, FY, "\\+"},
+		{700, XFX, "="},
+		{700, XFX, "\\="},
+		{700, XFX, "=="},
+		{700, XFX, "\\=="},
+		{700, XFX, "@<"},
+		{700, XFX, "@>"},
+		{700, XFX, "@=<"},
+		{700, XFX, "@>="},
+		{700, XFX, "is"},
+		{700, XFX, "=:="},
+		{700, XFX, "=\\="},
+		{700, XFX, "<"},
+		{700, XFX, ">"},
+		{700, XFX, "=<"},
+		{700, XFX, ">="},
+		{700, XFX, "=.."},
+		{500, YFX, "+"},
+		{500, YFX, "-"},
+		{500, YFX, "/\\"},
+		{500, YFX, "\\/"},
+		{500, YFX, "xor"},
+		{400, YFX, "*"},
+		{400, YFX, "/"},
+		{400, YFX, "//"},
+		{400, YFX, "mod"},
+		{400, YFX, "rem"},
+		{400, YFX, "<<"},
+		{400, YFX, ">>"},
+		{200, XFX, "**"},
+		{200, XFY, "^"},
+		{200, FY, "-"},
+		{200, FY, "+"},
+		{200, FY, "\\"},
+		{100, YFX, "."}, // not used for lists; kept out of conflict by the lexer's End rule
+		{1, FX, "$"},
+	}
+	for _, op := range std {
+		t.Add(op)
+	}
+	// Remove the '.' infix: it collides with the end token in practice and
+	// Prolog-X does not use it. (Added above only to document the decision.)
+	delete(t.infix, ".")
+	return t
+}
+
+// Add installs (or replaces) an operator definition. Priority 0 removes the
+// operator of that fixity class.
+func (t *OpTable) Add(op Op) {
+	var m map[string]Op
+	switch op.Type {
+	case XFX, XFY, YFX:
+		m = t.infix
+	case FX, FY:
+		m = t.prefix
+	case XF, YF:
+		m = t.postfix
+	}
+	if op.Priority == 0 {
+		delete(m, op.Name)
+		return
+	}
+	m[op.Name] = op
+}
+
+// Infix returns the infix operator definition for name, if any.
+func (t *OpTable) Infix(name string) (Op, bool) {
+	op, ok := t.infix[name]
+	return op, ok
+}
+
+// Prefix returns the prefix operator definition for name, if any.
+func (t *OpTable) Prefix(name string) (Op, bool) {
+	op, ok := t.prefix[name]
+	return op, ok
+}
+
+// Postfix returns the postfix operator definition for name, if any.
+func (t *OpTable) Postfix(name string) (Op, bool) {
+	op, ok := t.postfix[name]
+	return op, ok
+}
+
+// argPriorities returns the maximum priorities permitted for the left and
+// right arguments of op.
+func argPriorities(op Op) (left, right int) {
+	switch op.Type {
+	case XFX:
+		return op.Priority - 1, op.Priority - 1
+	case XFY:
+		return op.Priority - 1, op.Priority
+	case YFX:
+		return op.Priority, op.Priority - 1
+	case FY, YF:
+		return op.Priority, op.Priority
+	case FX, XF:
+		return op.Priority - 1, op.Priority - 1
+	}
+	return 0, 0
+}

@@ -1,0 +1,231 @@
+// Package pdbmbench implements a Prolog-database benchmark suite in the
+// spirit of Williams, Massey & Crammond ("Benchmarks for Prolog from a
+// Database Viewpoint", refs [6,7] of the paper): the benchmark programs
+// that motivated the PDBM project by showing contemporary Prolog systems
+// "were unable to cope with more than about 60k clauses".
+//
+// The suite measures, on the simulated system:
+//
+//   - Selection: ground-probe retrieval latency as the clause count grows,
+//     per search mode.
+//   - Join: a conjunctive rule over two disk-resident relations.
+//   - Update: assert throughput through CRS transactions.
+//   - LIPS: naive-reverse logical inferences per (wall-clock) second on
+//     the host engine — the classic Prolog speed figure.
+package pdbmbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"clare/internal/core"
+	"clare/internal/crs"
+	"clare/internal/engine"
+	"clare/internal/term"
+	"clare/internal/workload"
+)
+
+// SelectionPoint is one measurement of the selection benchmark.
+type SelectionPoint struct {
+	Clauses    int
+	Mode       core.SearchMode
+	Candidates int
+	TrueUnif   int
+	SimTime    time.Duration
+}
+
+// Selection runs ground probes against KBs of the given sizes in every
+// mode.
+func Selection(sizes []int, modes []core.SearchMode) ([]SelectionPoint, error) {
+	var out []SelectionPoint
+	for _, n := range sizes {
+		rel := workload.Relation{Name: "rel", Facts: n, Domain: n / 8, Arity: 3, Seed: 77}
+		r, err := core.New(core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.AddClauses("bench", rel.Clauses()); err != nil {
+			return nil, err
+		}
+		goal := rel.Probe(3)
+		for _, m := range modes {
+			rt, err := r.Retrieve(goal, m)
+			if err != nil {
+				return nil, err
+			}
+			trueU, _, err := rt.Evaluate()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SelectionPoint{
+				Clauses:    n,
+				Mode:       m,
+				Candidates: len(rt.Candidates),
+				TrueUnif:   trueU,
+				SimTime:    rt.Stats.Total,
+			})
+		}
+	}
+	return out, nil
+}
+
+// JoinResult reports the join benchmark.
+type JoinResult struct {
+	LeftFacts, RightFacts int
+	Answers               int
+	Inferences            int64
+}
+
+// Join builds employee/department relations on disk and runs the
+// conjunctive query through the engine:
+//
+//	works_in(Name, DeptName) :- emp(Name, D), dept(D, DeptName).
+func Join(leftFacts, rightFacts int) (*JoinResult, error) {
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var emps []core.ClauseTerm
+	for i := 0; i < leftFacts; i++ {
+		emps = append(emps, core.ClauseTerm{
+			Head: term.New("emp",
+				term.Atom(fmt.Sprintf("e%d", i)),
+				term.Int(int64(i%rightFacts))),
+		})
+	}
+	var depts []core.ClauseTerm
+	for i := 0; i < rightFacts; i++ {
+		depts = append(depts, core.ClauseTerm{
+			Head: term.New("dept", term.Int(int64(i)), term.Atom(fmt.Sprintf("d%d", i))),
+		})
+	}
+	if _, err := r.AddClauses("b", emps); err != nil {
+		return nil, err
+	}
+	if _, err := r.AddClauses("b", depts); err != nil {
+		return nil, err
+	}
+
+	m := engine.New()
+	m.Out = &strings.Builder{}
+	for _, pi := range []engine.Indicator{{Name: "emp", Arity: 2}, {Name: "dept", Arity: 2}} {
+		proc := m.Module("user").Proc(pi, true)
+		proc.Source = &core.Source{R: r}
+	}
+	if err := m.ConsultString(`works_in(N, DN) :- emp(N, D), dept(D, DN).`); err != nil {
+		return nil, err
+	}
+	sols, err := m.Query("works_in(N, DN)", 0)
+	if err != nil {
+		return nil, err
+	}
+	var inf int64
+	infSols, err := m.Query("statistics(inferences, I)", 1)
+	if err == nil && len(infSols) == 1 {
+		if v, ok := infSols[0]["I"].(term.Int); ok {
+			inf = int64(v)
+		}
+	}
+	return &JoinResult{
+		LeftFacts:  leftFacts,
+		RightFacts: rightFacts,
+		Answers:    len(sols),
+		Inferences: inf,
+	}, nil
+}
+
+// UpdateResult reports the update benchmark.
+type UpdateResult struct {
+	Asserted     int
+	Transactions int
+	FinalClauses int
+}
+
+// Update commits batches of asserts through a CRS session.
+func Update(initial, batches, perBatch int) (*UpdateResult, error) {
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	srv := crs.NewServer(r)
+	fam := workload.Family{Couples: initial}
+	if err := srv.Load("family", fam.Clauses()); err != nil {
+		return nil, err
+	}
+	sess := srv.OpenSession()
+	defer sess.Close()
+	n := 0
+	for b := 0; b < batches; b++ {
+		if err := sess.Begin(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < perBatch; i++ {
+			h := term.New("married_couple",
+				term.Atom(fmt.Sprintf("nh%d_%d", b, i)),
+				term.Atom(fmt.Sprintf("nw%d_%d", b, i)))
+			if err := sess.Assert(h, term.Atom("true")); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		if err := sess.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	rt, err := sess.Retrieve(term.New("married_couple", term.NewVar("A"), term.NewVar("B")), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateResult{
+		Asserted:     n,
+		Transactions: batches,
+		FinalClauses: rt.Stats.TotalClauses,
+	}, nil
+}
+
+// LIPSResult reports the naive-reverse benchmark.
+type LIPSResult struct {
+	ListLength int
+	Inferences int64
+	Wall       time.Duration
+	LIPS       float64
+}
+
+// NaiveReverse runs the classic nrev LIPS benchmark on the host engine.
+// For nrev on a list of length n the canonical inference count is
+// (n²+3n+2)/2.
+func NaiveReverse(n, repeats int) (*LIPSResult, error) {
+	m := engine.New()
+	m.Out = &strings.Builder{}
+	err := m.ConsultString(`
+		nrev([], []).
+		nrev([H|T], R) :- nrev(T, RT), append_(RT, [H], R).
+		append_([], L, L).
+		append_([H|T], L, [H|R]) :- append_(T, L, R).
+	`)
+	if err != nil {
+		return nil, err
+	}
+	elems := make([]string, n)
+	for i := range elems {
+		elems[i] = fmt.Sprintf("%d", i)
+	}
+	goal := "nrev([" + strings.Join(elems, ",") + "], _)"
+	start := time.Now()
+	for i := 0; i < repeats; i++ {
+		ok, err := m.ProveString(goal)
+		if err != nil || !ok {
+			return nil, fmt.Errorf("pdbmbench: nrev failed: %v", err)
+		}
+	}
+	wall := time.Since(start)
+	perCall := int64(n*n+3*n+2) / 2
+	total := perCall * int64(repeats)
+	return &LIPSResult{
+		ListLength: n,
+		Inferences: total,
+		Wall:       wall,
+		LIPS:       float64(total) / wall.Seconds(),
+	}, nil
+}

@@ -1,0 +1,87 @@
+package pdbmbench
+
+import (
+	"testing"
+
+	"clare/internal/core"
+)
+
+func TestSelectionScales(t *testing.T) {
+	pts, err := Selection([]int{256, 1024}, []core.SearchMode{core.ModeFS1FS2, core.ModeSoftware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byKey := map[string]SelectionPoint{}
+	for _, p := range pts {
+		byKey[p.Mode.String()+"-"+itoa(p.Clauses)] = p
+		if p.TrueUnif == 0 {
+			t.Errorf("%v @%d: no true unifiers — probe misconfigured", p.Mode, p.Clauses)
+		}
+		if p.Candidates < p.TrueUnif {
+			t.Errorf("%v @%d: filter lost unifiers", p.Mode, p.Clauses)
+		}
+		if p.SimTime <= 0 {
+			t.Errorf("%v @%d: no simulated time", p.Mode, p.Clauses)
+		}
+	}
+	// Software mode must slow down with KB size; the two-stage filter's
+	// growth should be milder than software's.
+	swGrowth := float64(byKey["software-1024"].SimTime) / float64(byKey["software-256"].SimTime)
+	hwGrowth := float64(byKey["fs1+fs2-1024"].SimTime) / float64(byKey["fs1+fs2-256"].SimTime)
+	if swGrowth <= 1 {
+		t.Errorf("software mode did not slow with size (growth %.2f)", swGrowth)
+	}
+	if hwGrowth > swGrowth {
+		t.Errorf("two-stage filter grew faster than software: %.2f vs %.2f", hwGrowth, swGrowth)
+	}
+}
+
+func itoa(n int) string {
+	if n == 256 {
+		return "256"
+	}
+	return "1024"
+}
+
+func TestJoin(t *testing.T) {
+	res, err := Join(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers != 64 {
+		t.Errorf("join answers = %d, want 64 (every employee has a department)", res.Answers)
+	}
+	if res.Inferences <= 0 {
+		t.Error("inference counter not advancing")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	res, err := Update(50, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Asserted != 40 || res.Transactions != 4 {
+		t.Errorf("update = %+v", res)
+	}
+	if res.FinalClauses != 90 {
+		t.Errorf("final clauses = %d, want 90", res.FinalClauses)
+	}
+}
+
+func TestNaiveReverse(t *testing.T) {
+	res, err := NaiveReverse(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (20² + 3·20 + 2)/2 = 231 inferences per call.
+	if res.Inferences != 231*3 {
+		t.Errorf("inferences = %d, want 693", res.Inferences)
+	}
+	if res.LIPS <= 0 {
+		t.Errorf("LIPS = %f", res.LIPS)
+	}
+}

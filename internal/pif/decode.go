@@ -1,0 +1,204 @@
+package pif
+
+import (
+	"fmt"
+
+	"clare/internal/symtab"
+	"clare/internal/term"
+)
+
+// Decoder reconstructs terms from PIF against the symbol table used at
+// encode time. Decoding is used by the software search mode (the CRS doing
+// everything itself, §2.2 mode (a)) and by the test suite's round-trip
+// properties.
+type Decoder struct {
+	Symbols *symtab.Table
+}
+
+// NewDecoder returns a decoder resolving symbols from symbols.
+func NewDecoder(symbols *symtab.Table) *Decoder { return &Decoder{Symbols: symbols} }
+
+type decodeState struct {
+	d    *Decoder
+	e    *Encoded
+	vars []*term.Var // slot -> variable
+}
+
+// Decode reconstructs the callable term from e. Variables regain their
+// source names; each anonymous-variable word becomes a fresh variable.
+func (d *Decoder) Decode(e *Encoded) (term.Term, error) {
+	st := &decodeState{d: d, e: e, vars: make([]*term.Var, e.NumVars)}
+	args := make([]term.Term, 0, e.Arity)
+	pos := 0
+	for i := 0; i < e.Arity; i++ {
+		t, next, err := st.decodeAt(e.Args, pos)
+		if err != nil {
+			return nil, fmt.Errorf("pif: decoding arg %d of %s/%d: %w", i, e.Functor, e.Arity, err)
+		}
+		args = append(args, t)
+		pos = next
+	}
+	if pos != len(e.Args) {
+		return nil, fmt.Errorf("pif: %d trailing words after %s/%d", len(e.Args)-pos, e.Functor, e.Arity)
+	}
+	return term.New(e.Functor, args...), nil
+}
+
+// decodeAt decodes the term starting at words[pos], returning it and the
+// index of the next word.
+func (st *decodeState) decodeAt(words []Word, pos int) (term.Term, int, error) {
+	if pos >= len(words) {
+		return nil, 0, fmt.Errorf("truncated stream at word %d", pos)
+	}
+	w := words[pos]
+	tag := w.Tag()
+
+	switch {
+	case tag == TagAnonVar:
+		return term.NewVar("_"), pos + 1, nil
+
+	case IsVariable(tag):
+		slot := int(w.Content())
+		if slot >= len(st.vars) {
+			return nil, 0, fmt.Errorf("variable slot %d out of range (%d slots)", slot, len(st.vars))
+		}
+		if st.vars[slot] == nil {
+			name := "_V"
+			if slot < len(st.e.VarNames) {
+				name = st.e.VarNames[slot]
+			}
+			st.vars[slot] = term.NewVar(name)
+		}
+		return st.vars[slot], pos + 1, nil
+
+	case tag == TagAtomPtr:
+		name, err := st.d.Symbols.Name(symtab.Ref(w.Content()))
+		if err != nil {
+			return nil, 0, err
+		}
+		return term.Atom(name), pos + 1, nil
+
+	case tag == TagFloatPtr:
+		v, err := st.d.Symbols.FloatValue(symtab.Ref(w.Content()))
+		if err != nil {
+			return nil, 0, err
+		}
+		return term.Float(v), pos + 1, nil
+
+	case IsInt(tag):
+		raw := uint32(tag&0x0F)<<24 | w.Content()
+		// Sign-extend from bit 27.
+		v := int32(raw << 4)
+		return term.Int(v >> 4), pos + 1, nil
+
+	case Group(tag) == GroupStructInline:
+		arity := InlineArity(tag)
+		name, err := st.d.Symbols.Name(symtab.Ref(w.Content()))
+		if err != nil {
+			return nil, 0, err
+		}
+		args := make([]term.Term, 0, arity)
+		p := pos + 1
+		for i := 0; i < arity; i++ {
+			var a term.Term
+			a, p, err = st.decodeAt(words, p)
+			if err != nil {
+				return nil, 0, err
+			}
+			args = append(args, a)
+		}
+		return term.New(name, args...), p, nil
+
+	case Group(tag) == GroupListInline, Group(tag) == GroupUListInline:
+		arity := InlineArity(tag)
+		elems := make([]term.Term, 0, arity)
+		p := pos + 1
+		var err error
+		for i := 0; i < arity; i++ {
+			var e term.Term
+			e, p, err = st.decodeAt(words, p)
+			if err != nil {
+				return nil, 0, err
+			}
+			elems = append(elems, e)
+		}
+		tail := term.Term(term.NilAtom)
+		if Group(tag) == GroupUListInline {
+			tail, p, err = st.decodeAt(words, p)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		return term.ListTail(tail, elems...), p, nil
+
+	case Group(tag) == GroupStructPtr:
+		if pos+1 >= len(words) {
+			return nil, 0, fmt.Errorf("structure pointer missing extension at word %d", pos)
+		}
+		off := uint32(words[pos+1])
+		t, err := st.decodeHeapStruct(off)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, pos + 2, nil
+
+	case Group(tag) == GroupListPtr, Group(tag) == GroupUListPtr:
+		t, err := st.decodeHeapList(w.Content(), Group(tag) == GroupUListPtr)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, pos + 1, nil
+	}
+	return nil, 0, fmt.Errorf("invalid tag 0x%02x at word %d", uint8(tag), pos)
+}
+
+func (st *decodeState) decodeHeapStruct(off uint32) (term.Term, error) {
+	heap := st.e.Heap
+	if int(off)+1 >= len(heap) {
+		return nil, fmt.Errorf("heap structure offset %d out of range", off)
+	}
+	arity := int(heap[off])
+	fw := heap[off+1]
+	name, err := st.d.Symbols.Name(symtab.Ref(fw.Content()))
+	if err != nil {
+		return nil, err
+	}
+	args := make([]term.Term, 0, arity)
+	p := int(off) + 2
+	for i := 0; i < arity; i++ {
+		var a term.Term
+		a, p, err = st.decodeAt(heap, p)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return term.New(name, args...), nil
+}
+
+func (st *decodeState) decodeHeapList(off uint32, unterminated bool) (term.Term, error) {
+	heap := st.e.Heap
+	if int(off) >= len(heap) {
+		return nil, fmt.Errorf("heap list offset %d out of range", off)
+	}
+	n := int(heap[off])
+	elems := make([]term.Term, 0, n)
+	p := int(off) + 1
+	var err error
+	for i := 0; i < n; i++ {
+		var e term.Term
+		e, p, err = st.decodeAt(heap, p)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	tail := term.Term(term.NilAtom)
+	if unterminated {
+		tail, _, err = st.decodeAt(heap, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return term.ListTail(tail, elems...), nil
+}

@@ -1,0 +1,170 @@
+package pif
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Binary record layout for a compiled clause as stored on (simulated) disk
+// and streamed into the FS2 Double Buffer. All integers are big-endian.
+//
+//	magic      uint16  0xC1A5 ("clause")
+//	side       uint8
+//	arity      uint8
+//	functorLen uint16
+//	numVars    uint16
+//	numArgs    uint32  (words)
+//	numHeap    uint32  (words)
+//	functor    [functorLen]byte
+//	varNames   numVars x {uint16 len, bytes}
+//	args       numArgs x uint32
+//	heap       numHeap x uint32
+
+const recordMagic = 0xC1A5
+
+// MarshalBinary serialises the encoded clause to its on-disk record form.
+func (e *Encoded) MarshalBinary() ([]byte, error) {
+	if len(e.Functor) > 0xFFFF {
+		return nil, fmt.Errorf("pif: functor too long (%d bytes)", len(e.Functor))
+	}
+	if e.Arity > 0xFF {
+		return nil, fmt.Errorf("pif: arity %d exceeds record limit", e.Arity)
+	}
+	if e.NumVars > 0xFFFF {
+		return nil, fmt.Errorf("pif: too many variables (%d)", e.NumVars)
+	}
+	size := 2 + 1 + 1 + 2 + 2 + 4 + 4 + len(e.Functor)
+	for _, n := range e.VarNames {
+		size += 2 + len(n)
+	}
+	size += 4 * (len(e.Args) + len(e.Heap))
+
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put16(recordMagic)
+	buf = append(buf, byte(e.Side), byte(e.Arity))
+	put16(uint16(len(e.Functor)))
+	put16(uint16(e.NumVars))
+	put32(uint32(len(e.Args)))
+	put32(uint32(len(e.Heap)))
+	buf = append(buf, e.Functor...)
+	for _, n := range e.VarNames {
+		put16(uint16(len(n)))
+		buf = append(buf, n...)
+	}
+	for _, w := range e.Args {
+		put32(uint32(w))
+	}
+	for _, w := range e.Heap {
+		put32(uint32(w))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary parses a record produced by MarshalBinary.
+func (e *Encoded) UnmarshalBinary(data []byte) error {
+	r := reader{data: data}
+	if m := r.u16(); m != recordMagic {
+		return fmt.Errorf("pif: bad record magic 0x%04x", m)
+	}
+	e.Side = Side(r.u8())
+	e.Arity = int(r.u8())
+	funLen := int(r.u16())
+	e.NumVars = int(r.u16())
+	nArgs := int(r.u32())
+	nHeap := int(r.u32())
+	fun := r.bytes(funLen)
+	if r.err != nil {
+		return r.err
+	}
+	e.Functor = string(fun)
+	e.VarNames = make([]string, e.NumVars)
+	for i := range e.VarNames {
+		n := int(r.u16())
+		e.VarNames[i] = string(r.bytes(n))
+	}
+	e.Args = make([]Word, nArgs)
+	for i := range e.Args {
+		e.Args[i] = Word(r.u32())
+	}
+	e.Heap = make([]Word, nHeap)
+	for i := range e.Heap {
+		e.Heap[i] = Word(r.u32())
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("pif: %d trailing bytes in record", len(data)-r.pos)
+	}
+	return nil
+}
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("pif: truncated record at byte %d", r.pos)
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.data[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return v
+}
+
+// Indicator returns "functor/arity" for the encoded clause.
+func (e *Encoded) Indicator() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d", e.Functor, e.Arity)
+	return b.String()
+}

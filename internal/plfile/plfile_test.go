@@ -1,0 +1,63 @@
+package plfile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clare/internal/term"
+)
+
+func TestReadClauses(t *testing.T) {
+	cls, err := ReadClauses(`
+		fact(a).
+		rule(X) :- fact(X).
+		fact(b).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 3 {
+		t.Fatalf("clauses = %d", len(cls))
+	}
+	if cls[0].Body != nil {
+		t.Error("fact should have nil body")
+	}
+	if cls[1].Body == nil || cls[1].Body.Indicator() != "fact/1" {
+		t.Errorf("rule body = %v", cls[1].Body)
+	}
+	// User order preserved.
+	if cls[2].Head.String() != "fact(b)" {
+		t.Errorf("order broken: %v", cls[2].Head)
+	}
+}
+
+func TestReadClausesRejectsDirectives(t *testing.T) {
+	if _, err := ReadClauses(":- module(zoo).\nanimal(lion)."); err == nil {
+		t.Error("directives should be rejected in predicate files")
+	}
+}
+
+func TestReadClausesSyntaxError(t *testing.T) {
+	if _, err := ReadClauses("broken(."); err == nil {
+		t.Error("syntax error should be reported")
+	}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pl")
+	if err := os.WriteFile(path, []byte("p(1).\np(2).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cls, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls) != 2 || !term.Equal(cls[0].Head, term.New("p", term.Int(1))) {
+		t.Errorf("clauses = %v", cls)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.pl")); err == nil {
+		t.Error("missing file should error")
+	}
+}

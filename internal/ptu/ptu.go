@@ -1,0 +1,386 @@
+// Package ptu is the software reference implementation of the paper's
+// partial test unification algorithm (Figure 1) at the five investigated
+// matching levels (§2.2):
+//
+//	Level 1 — type only.
+//	Level 2 — type and content, ignoring complex structures.
+//	Level 3 — type and content, catering for first level structures.
+//	Level 4 — type and content, including full structures.
+//	Level 5 — type, content, full structures and variable cross-binding
+//	          checks.
+//
+// The paper's FS2 hardware implements level 3 *plus* cross-binding checks;
+// package fs2 simulates that hardware, and this package is the executable
+// specification it is validated against.
+//
+// The defining invariant of every level is SOUNDNESS as a filter: if the
+// query goal truly unifies with a clause head, Match must return true.
+// Levels only differ in how many non-unifiers they additionally let
+// through (false drops).
+package ptu
+
+import (
+	"fmt"
+
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+// Level selects the matching depth.
+type Level int
+
+// The five matching levels of §2.2.
+const (
+	Level1 Level = 1 + iota
+	Level2
+	Level3
+	Level4
+	Level5
+)
+
+func (l Level) String() string { return fmt.Sprintf("level%d", int(l)) }
+
+// Config selects a partial-test-unification variant.
+type Config struct {
+	Level Level
+	// CrossBinding enables the variable cross-binding consistency checks
+	// that the paper adds to the level-3 algorithm. Level 5 implies it.
+	CrossBinding bool
+}
+
+// FS2Config is the variant the paper adopts for the hardware: level three
+// with cross-binding checks (§2.2).
+var FS2Config = Config{Level: Level3, CrossBinding: true}
+
+func (c Config) String() string {
+	if c.CrossBinding && c.Level != Level5 {
+		return fmt.Sprintf("%v+xb", c.Level)
+	}
+	return c.Level.String()
+}
+
+// matcher carries the two variable stores of Figure 1: the DB variable
+// store (db var → query-side term) and the Query variable store (query var
+// → db-side term).
+type matcher struct {
+	cfg     Config
+	dbStore map[*term.Var]term.Term
+	qStore  map[*term.Var]term.Term
+}
+
+func (c Config) xb() bool { return c.CrossBinding || c.Level == Level5 }
+
+// Match reports whether the query goal and the clause head pass partial
+// test unification under cfg. Both must be callable; differing principal
+// functors fail immediately (in the paper the clause file already groups
+// clauses by functor and arity, §2.1).
+func Match(query, head term.Term, cfg Config) bool {
+	qf, qa, ok := principal(query)
+	if !ok {
+		return false
+	}
+	hf, ha, ok := principal(head)
+	if !ok {
+		return false
+	}
+	if qf != hf || len(qa) != len(ha) {
+		return false
+	}
+	m := &matcher{cfg: cfg}
+	if m.cfg.xb() {
+		m.dbStore = make(map[*term.Var]term.Term)
+		m.qStore = make(map[*term.Var]term.Term)
+	}
+	for i := range qa {
+		if !m.match(ha[i], qa[i], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchArgs runs the argument-pair matching only (functor assumed equal).
+func MatchArgs(queryArgs, headArgs []term.Term, cfg Config) bool {
+	if len(queryArgs) != len(headArgs) {
+		return false
+	}
+	m := &matcher{cfg: cfg}
+	if m.cfg.xb() {
+		m.dbStore = make(map[*term.Var]term.Term)
+		m.qStore = make(map[*term.Var]term.Term)
+	}
+	for i := range queryArgs {
+		if !m.match(headArgs[i], queryArgs[i], 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func principal(t term.Term) (string, []term.Term, bool) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return string(t), nil, true
+	case *term.Compound:
+		return t.Functor, t.Args, true
+	}
+	return "", nil, false
+}
+
+// maxElementDepth returns how deep the level descends into complex terms:
+// depth 0 is the argument itself, depth 1 its top-level elements, etc.
+func (m *matcher) maxElementDepth() int {
+	switch m.cfg.Level {
+	case Level1, Level2:
+		return 0
+	case Level3:
+		return 1
+	default:
+		return 1 << 30 // levels 4 and 5: unbounded
+	}
+}
+
+// compareContent reports whether contents are compared at all (level ≥ 2).
+func (m *matcher) compareContent() bool { return m.cfg.Level >= Level2 }
+
+// match implements Figure 1 for one db/query term pair at the given
+// structural depth. It returns true when the pair passes (potential
+// unifier) — over-approximating but never under-approximating true
+// unifiability.
+func (m *matcher) match(db, q term.Term, depth int) bool {
+	db, q = term.Deref(db), term.Deref(q)
+
+	// Variable cases (Figure 1 cases 5 and 6) take priority: a variable
+	// matches anything, with the cross-binding consistency obligation.
+	if dv, ok := db.(*term.Var); ok {
+		return m.dbVar(dv, q, depth)
+	}
+	if qv, ok := q.(*term.Var); ok {
+		return m.qVar(qv, db, depth)
+	}
+
+	switch db := db.(type) {
+	case term.Int:
+		// Case 1: both integers → compare contents.
+		qi, ok := q.(term.Int)
+		if !ok {
+			return false
+		}
+		return !m.compareContent() || db == qi
+	case term.Atom:
+		// Case 2 (atoms): compare hashed symbol values.
+		qa, ok := q.(term.Atom)
+		if !ok {
+			return false
+		}
+		return !m.compareContent() || db == qa
+	case term.Float:
+		// Case 2 (floats).
+		qf, ok := q.(term.Float)
+		if !ok {
+			return false
+		}
+		return !m.compareContent() || db == qf
+	case *term.Compound:
+		qc, ok := q.(*term.Compound)
+		if !ok {
+			return false
+		}
+		if isList(db) && isList(qc) {
+			return m.matchListPair(db, qc, depth)
+		}
+		// Mixed list/structure pairs (e.g. '.'(a,b) against f(a,b)) fall
+		// through to structure matching, which compares functor and arity
+		// — sound, since such pairs only unify when those agree.
+		return m.matchStructPair(db, qc, depth)
+	}
+	return false
+}
+
+func isList(c *term.Compound) bool {
+	return c.Functor == term.ConsFunctor && len(c.Args) == 2
+}
+
+// matchStructPair implements case 3: compare functor names and arities and
+// (level permitting) the top-level elements.
+func (m *matcher) matchStructPair(db, q *term.Compound, depth int) bool {
+	// Arity is part of the PIF type tag, so it participates from level 1.
+	if len(db.Args) != len(q.Args) {
+		return false
+	}
+	// Functor is the content field: compared from level 2.
+	if m.compareContent() && db.Functor != q.Functor {
+		return false
+	}
+	if depth >= m.maxElementDepth() {
+		return true
+	}
+	for i := range db.Args {
+		if !m.match(db.Args[i], q.Args[i], depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchListPair implements case 4: compare lengths (respecting
+// unterminated "unlimited" lists) and the top-level element pairs, walking
+// the repetitive-matching scheme of §3.1: counters run until either side is
+// exhausted.
+func (m *matcher) matchListPair(db, q *term.Compound, depth int) bool {
+	dElems, dTail := term.ListSlice(db)
+	qElems, qTail := term.ListSlice(q)
+	dOpen := !term.Equal(dTail, term.NilAtom)
+	qOpen := !term.Equal(qTail, term.NilAtom)
+
+	// Length compatibility is type-level information (the arity bits).
+	switch {
+	case !dOpen && !qOpen:
+		if len(dElems) != len(qElems) {
+			return false
+		}
+	case dOpen && !qOpen:
+		if len(dElems) > len(qElems) {
+			return false
+		}
+	case !dOpen && qOpen:
+		if len(qElems) > len(dElems) {
+			return false
+		}
+	}
+
+	if depth >= m.maxElementDepth() {
+		return true
+	}
+	n := len(dElems)
+	if len(qElems) < n {
+		n = len(qElems)
+	}
+	for i := 0; i < n; i++ {
+		if !m.match(dElems[i], qElems[i], depth+1) {
+			return false
+		}
+	}
+	// Bind open tails at levels with cross-binding so later occurrences of
+	// the tail variable stay consistent.
+	if m.cfg.xb() {
+		if dOpen {
+			if dv, ok := term.Deref(dTail).(*term.Var); ok {
+				rest := term.ListTail(qTail, qElems[n:]...)
+				if !m.dbVar(dv, rest, depth+1) {
+					return false
+				}
+			}
+		}
+		if qOpen && !dOpen {
+			if qv, ok := term.Deref(qTail).(*term.Var); ok {
+				rest := term.ListTail(dTail, dElems[n:]...)
+				if !m.qVar(qv, rest, depth+1) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// dbVar implements case 5: the database term is a variable.
+func (m *matcher) dbVar(dv *term.Var, q term.Term, depth int) bool {
+	if !m.cfg.xb() {
+		// Without cross-binding checks, a variable matches anything —
+		// the §2.1 shared-variable false-drop source.
+		return true
+	}
+	if dv.Name == "_" {
+		return true
+	}
+	assoc, seen := m.dbStore[dv]
+	if !seen {
+		// 5a: create a new entry, associate with the query term.
+		m.dbStore[dv] = q
+		return true
+	}
+	// 5b: extract the association; 5c: chase variable chains to the
+	// ultimate association.
+	return m.compareAssoc(assoc, q, depth, true)
+}
+
+// qVar implements case 6: the query term is a variable.
+func (m *matcher) qVar(qv *term.Var, db term.Term, depth int) bool {
+	if !m.cfg.xb() {
+		return true
+	}
+	if qv.Name == "_" {
+		return true
+	}
+	assoc, seen := m.qStore[qv]
+	if !seen {
+		// 6a: create a new entry, associate with the database term.
+		m.qStore[qv] = db
+		return true
+	}
+	// 6b/6c.
+	return m.compareAssoc(assoc, db, depth, false)
+}
+
+// compareAssoc compares a stored association with the current opposing
+// term, chasing cross-bound variable chains (cases 5c/6c). assocIsQuerySide
+// tells which store the assoc came from: a db var's assoc is a query-side
+// term, and vice versa.
+func (m *matcher) compareAssoc(assoc, cur term.Term, depth int, assocIsQuerySide bool) bool {
+	const chaseLimit = 1024 // variable chains are bounded by slot count
+	for i := 0; i < chaseLimit; i++ {
+		v, isVar := term.Deref(assoc).(*term.Var)
+		if !isVar {
+			break
+		}
+		// The association is itself a variable: fetch its ultimate
+		// association from the appropriate store.
+		var next term.Term
+		var seen bool
+		if assocIsQuerySide {
+			next, seen = m.qStore[v]
+		} else {
+			next, seen = m.dbStore[v]
+		}
+		if !seen {
+			// Unbound cross-bound variable: bind it to cur now.
+			if assocIsQuerySide {
+				m.qStore[v] = cur
+			} else {
+				m.dbStore[v] = cur
+			}
+			return true
+		}
+		assoc = next
+		assocIsQuerySide = !assocIsQuerySide
+	}
+	if _, isVar := term.Deref(assoc).(*term.Var); isVar {
+		// Chase limit hit on a pathological variable cycle: pass. Sound
+		// (over-approximates) and guarantees termination.
+		return true
+	}
+	// Sides no longer matter for the comparison itself: both terms are
+	// unifiable with the same variable under any successful substitution,
+	// so a sound partial comparison between them must pass for true
+	// unifiers regardless of which side plays "db".
+	return m.match(assoc, cur, depth)
+}
+
+// FalseDropRate is a convenience for experiments: given a query and a set
+// of clause heads, it returns how many heads pass the filter, how many of
+// those are true unifiers, and how many are false drops.
+func FalseDropRate(query term.Term, heads []term.Term, cfg Config) (pass, trueUnifiers, falseDrops int) {
+	for _, h := range heads {
+		if !Match(query, h, cfg) {
+			continue
+		}
+		pass++
+		if unify.Unifiable(query, term.Rename(h)) {
+			trueUnifiers++
+		} else {
+			falseDrops++
+		}
+	}
+	return pass, trueUnifiers, falseDrops
+}

@@ -1,0 +1,351 @@
+package ptu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+var allConfigs = []Config{
+	{Level: Level1},
+	{Level: Level2},
+	{Level: Level3},
+	{Level: Level3, CrossBinding: true}, // the FS2 configuration
+	{Level: Level4},
+	{Level: Level4, CrossBinding: true},
+	{Level: Level5},
+}
+
+func q(t *testing.T, src string) term.Term {
+	t.Helper()
+	return parse.MustTerm(src)
+}
+
+func TestGroundFactsExactMatch(t *testing.T) {
+	query := q(t, "likes(mary, wine)")
+	for _, cfg := range allConfigs[1:] { // content compared from level 2
+		if !Match(query, q(t, "likes(mary, wine)"), cfg) {
+			t.Errorf("%v: identical ground fact should pass", cfg)
+		}
+		if Match(query, q(t, "likes(mary, beer)"), cfg) {
+			t.Errorf("%v: different constant should fail", cfg)
+		}
+		if Match(query, q(t, "likes(john, wine)"), cfg) {
+			t.Errorf("%v: different constant should fail", cfg)
+		}
+	}
+	// Level 1 sees only types: every atom/atom pair passes.
+	if !Match(query, q(t, "likes(john, beer)"), Config{Level: Level1}) {
+		t.Error("level 1 should pass on type-compatible constants")
+	}
+	if Match(query, q(t, "likes(john, 42)"), Config{Level: Level1}) {
+		t.Error("level 1 must fail on type-incompatible constants")
+	}
+}
+
+func TestDifferentFunctorOrArity(t *testing.T) {
+	for _, cfg := range allConfigs {
+		if Match(q(t, "f(a)"), q(t, "g(a)"), cfg) {
+			t.Errorf("%v: different functor should fail", cfg)
+		}
+		if Match(q(t, "f(a)"), q(t, "f(a,b)"), cfg) {
+			t.Errorf("%v: different arity should fail", cfg)
+		}
+	}
+}
+
+func TestVariablesPassWithoutXB(t *testing.T) {
+	for _, cfg := range []Config{{Level: Level1}, {Level: Level2}, {Level: Level3}, {Level: Level4}} {
+		if !Match(q(t, "p(X)"), q(t, "p(anything)"), cfg) {
+			t.Errorf("%v: query var should pass", cfg)
+		}
+		if !Match(q(t, "p(a)"), q(t, "p(Y)"), cfg) {
+			t.Errorf("%v: db var should pass", cfg)
+		}
+		if !Match(q(t, "p(_, 1)"), q(t, "p(k, 1)"), cfg) {
+			t.Errorf("%v: anonymous var should pass", cfg)
+		}
+	}
+}
+
+// TestSharedVariablePathology reproduces the §2.1 example: the query
+// married_couple(S,S) must reject couples with different partners — but
+// only configurations with cross-binding checks can see that.
+func TestSharedVariablePathology(t *testing.T) {
+	query := q(t, "married_couple(S, S)")
+	differ := q(t, "married_couple(fred, wilma)")
+	same := q(t, "married_couple(pat, pat)")
+
+	noXB := Config{Level: Level3}
+	if !Match(query, differ, noXB) {
+		t.Error("without cross-binding the filter cannot reject (fred, wilma) — it should pass as a false drop")
+	}
+	for _, cfg := range []Config{{Level: Level3, CrossBinding: true}, {Level: Level5}} {
+		if Match(query, differ, cfg) {
+			t.Errorf("%v: cross-binding check should reject (fred, wilma)", cfg)
+		}
+		if !Match(query, same, cfg) {
+			t.Errorf("%v: (pat, pat) should pass", cfg)
+		}
+	}
+}
+
+// TestDBSideCrossBinding mirrors the paper's f(X,a,b) vs f(A,a,A) example
+// (§3.3.6): the db clause shares variable A across arguments 1 and 3.
+func TestDBSideCrossBinding(t *testing.T) {
+	cfg := FS2Config
+	// f(X,a,b) against f(A,a,A): A binds to X (query var), then A occurs
+	// again against b. Cross-bound: X ultimately compared with b — X is
+	// unbound, so it binds and the match passes (true unifier: X=b, A=b).
+	if !Match(q(t, "f(X, a, b)"), q(t, "f(A, a, A)"), cfg) {
+		t.Error("f(X,a,b) vs f(A,a,A) unifies and must pass")
+	}
+	// f(c,a,b) against f(A,a,A): A binds c then must equal b → reject.
+	if Match(q(t, "f(c, a, b)"), q(t, "f(A, a, A)"), cfg) {
+		t.Error("f(c,a,b) vs f(A,a,A) cannot unify; cross-binding should reject")
+	}
+	// Same without XB: passes (false drop).
+	if !Match(q(t, "f(c, a, b)"), q(t, "f(A, a, A)"), Config{Level: Level3}) {
+		t.Error("without XB the pair should pass as a false drop")
+	}
+}
+
+func TestQueryCrossBoundFetchCase(t *testing.T) {
+	// §3.3.7: query variable initially bound to a db variable and used
+	// again: query f(X, X) vs clause f(A, b) — X binds A (a var), then X
+	// again vs b: ultimate association chases A, binds it to b. Passes
+	// (true unifier).
+	if !Match(q(t, "f(X, X)"), q(t, "f(A, b)"), FS2Config) {
+		t.Error("f(X,X) vs f(A,b) unifies and must pass")
+	}
+	// f(X, X) vs f(c, b): X binds c, then X vs b → c vs b → reject.
+	if Match(q(t, "f(X, X)"), q(t, "f(c, b)"), FS2Config) {
+		t.Error("f(X,X) vs f(c,b) cannot unify; should be rejected")
+	}
+}
+
+func TestLevelDepthBehaviour(t *testing.T) {
+	// Structures differing only at nesting depth 2.
+	query := q(t, "p(f(g(1)))")
+	deepDiff := q(t, "p(f(g(2)))")
+
+	// Level 2 ignores structure internals entirely: passes.
+	if !Match(query, deepDiff, Config{Level: Level2}) {
+		t.Error("level 2 should ignore structure elements")
+	}
+	// Level 3 compares first-level elements g(1) vs g(2) by type+content
+	// only — both are g/1 structures, contents (functor) equal: passes.
+	if !Match(query, deepDiff, Config{Level: Level3}) {
+		t.Error("level 3 looks one level deep only; g/1 vs g/1 passes")
+	}
+	// Level 4 descends fully: 1 vs 2 differs → fails.
+	if Match(query, deepDiff, Config{Level: Level4}) {
+		t.Error("level 4 should compare full structures")
+	}
+
+	// First-level difference: p(f(1)) vs p(f(2)).
+	firstDiff := q(t, "p(f(2))")
+	query2 := q(t, "p(f(1))")
+	if Match(query2, firstDiff, Config{Level: Level3}) {
+		t.Error("level 3 should catch first-level element differences")
+	}
+	if !Match(query2, firstDiff, Config{Level: Level2}) {
+		t.Error("level 2 should not catch first-level differences")
+	}
+}
+
+func TestListMatching(t *testing.T) {
+	cfg := FS2Config
+	cases := []struct {
+		q, h string
+		want bool
+	}{
+		{"p([1,2,3])", "p([1,2,3])", true},
+		{"p([1,2,3])", "p([1,2,4])", false},
+		{"p([1,2,3])", "p([1,2])", false},    // closed lengths differ
+		{"p([1,2|T])", "p([1,2,3,4])", true}, // unlimited list
+		{"p([1,2|T])", "p([1])", false},      // open needs ≥ 2
+		{"p([1,2|T])", "p([9,2,3])", false},  // element mismatch
+		{"p([X,2|T])", "p([9,2,3])", true},   // var element
+		{"p([1|A])", "p([1|B])", true},       // both open
+		{"p([])", "p([])", true},
+		{"p([])", "p([1])", false}, // [] is an atom vs a list
+	}
+	for _, c := range cases {
+		if got := Match(q(t, c.q), q(t, c.h), cfg); got != c.want {
+			t.Errorf("Match(%s, %s) = %v, want %v", c.q, c.h, got, c.want)
+		}
+	}
+}
+
+func TestIntFloatDoNotMatch(t *testing.T) {
+	for _, cfg := range allConfigs {
+		if Match(q(t, "p(1)"), q(t, "p(1.0)"), cfg) {
+			t.Errorf("%v: int and float must not match", cfg)
+		}
+	}
+}
+
+// TestSoundness is the core filter invariant: no level may reject a true
+// unifier.
+func TestSoundness(t *testing.T) {
+	pairs := []struct{ q, h string }{
+		{"p(X)", "p(a)"},
+		{"p(a)", "p(X)"},
+		{"p(X, X)", "p(a, a)"},
+		{"p(X, X)", "p(A, A)"},
+		{"p(X, Y)", "p(A, A)"},
+		{"p(f(X), X)", "p(f(a), a)"},
+		{"p([1,2|T])", "p([1,2,3])"},
+		{"p(f(g(h(1))))", "p(f(g(h(1))))"},
+		{"p(X, f(X))", "p(a, f(a))"},
+		{"p(X, f(X))", "p(A, f(b))"},
+		{"married_couple(S, S)", "married_couple(W, W)"},
+		{"p(X, X, X)", "p(A, B, c)"},
+		{"p([H|T], T)", "p([1,2,3], [2,3])"},
+		{"p(3, 2.5, atom)", "p(3, 2.5, atom)"},
+	}
+	for _, pr := range pairs {
+		qt, ht := q(t, pr.q), q(t, pr.h)
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			t.Fatalf("test pair (%s, %s) does not unify — bad test data", pr.q, pr.h)
+		}
+		for _, cfg := range allConfigs {
+			if !Match(qt, ht, cfg) {
+				t.Errorf("%v rejected true unifier (%s, %s)", cfg, pr.q, pr.h)
+			}
+		}
+	}
+}
+
+// TestMonotoneSelectivity: raising the level can only remove survivors.
+func TestMonotoneSelectivity(t *testing.T) {
+	queries := []string{
+		"p(a, X)", "p(X, X)", "p(f(1), [a,b])", "p(g(h(2)), [1|T])",
+	}
+	heads := []string{
+		"p(a, b)", "p(A, A)", "p(f(1), [a,b])", "p(f(2), [a,c])",
+		"p(g(h(3)), [1,2])", "p(X, Y)", "p(a, [b])", "p(f(Z), Z)",
+	}
+	ladder := []Config{
+		{Level: Level1}, {Level: Level2}, {Level: Level3},
+		{Level: Level4}, {Level: Level5},
+	}
+	for _, qs := range queries {
+		prev := -1
+		for _, cfg := range ladder {
+			count := 0
+			for _, hs := range heads {
+				if Match(q(t, qs), q(t, hs), cfg) {
+					count++
+				}
+			}
+			if prev >= 0 && count > prev {
+				t.Errorf("query %s: %v passes %d > previous level's %d", qs, cfg, count, prev)
+			}
+			prev = count
+		}
+	}
+}
+
+// TestLevel5MatchesUnifiability: with full depth and cross-binding, the
+// filter agrees exactly with unifiability on every pair we generate.
+func TestLevel5MatchesUnifiability(t *testing.T) {
+	cfg := Config{Level: Level5}
+	f := func(s1, s2 uint16) bool {
+		a := term.New("p", genTerm(int(s1), 0), genTerm(int(s1)/5, 2))
+		b := term.New("p", genTerm(int(s2), 1), genTerm(int(s2)/3, 4))
+		return Match(a, b, cfg) == unify.Unifiable(a, term.Rename(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSoundnessAllLevels: property form of the soundness invariant
+// over generated pairs.
+func TestQuickSoundnessAllLevels(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		a := term.New("p", genTerm(int(s1), 0), genTerm(int(s2), 1))
+		b := term.New("p", genTerm(int(s2), 2), genTerm(int(s1), 3))
+		if !unify.Unifiable(a, term.Rename(b)) {
+			return true // only unifiable pairs constrain the filter
+		}
+		for _, cfg := range allConfigs {
+			if !Match(a, b, cfg) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFalseDropRate(t *testing.T) {
+	heads := []term.Term{
+		q(t, "mc(fred, wilma)"),
+		q(t, "mc(pat, pat)"),
+		q(t, "mc(sam, sam)"),
+		q(t, "mc(barney, betty)"),
+	}
+	query := q(t, "mc(S, S)")
+	pass, trueU, falseD := FalseDropRate(query, heads, Config{Level: Level3})
+	if pass != 4 || trueU != 2 || falseD != 2 {
+		t.Errorf("no-XB: pass=%d true=%d false=%d, want 4/2/2", pass, trueU, falseD)
+	}
+	pass, trueU, falseD = FalseDropRate(query, heads, FS2Config)
+	if pass != 2 || trueU != 2 || falseD != 0 {
+		t.Errorf("FS2: pass=%d true=%d false=%d, want 2/2/0", pass, trueU, falseD)
+	}
+}
+
+func TestNonCallable(t *testing.T) {
+	if Match(term.Int(3), q(t, "p(a)"), FS2Config) {
+		t.Error("non-callable query should fail")
+	}
+	if Match(q(t, "p(a)"), term.Int(3), FS2Config) {
+		t.Error("non-callable head should fail")
+	}
+}
+
+func TestMatchArgs(t *testing.T) {
+	qa := []term.Term{q(t, "a"), term.NewVar("X")}
+	ha := []term.Term{q(t, "a"), q(t, "b")}
+	if !MatchArgs(qa, ha, FS2Config) {
+		t.Error("MatchArgs should pass")
+	}
+	if MatchArgs(qa, ha[:1], FS2Config) {
+		t.Error("MatchArgs with different lengths should fail")
+	}
+}
+
+// genTerm builds a small deterministic term from a seed; shared shape with
+// the other packages' generators but with shared variables included.
+func genTerm(seed, salt int) term.Term {
+	v := term.NewVar("V")
+	switch (seed + salt) % 9 {
+	case 0:
+		return term.Atom([]string{"a", "b", "c"}[seed%3])
+	case 1:
+		return term.Int(int64(seed % 5))
+	case 2:
+		return term.Float(float64(seed%3) + 0.5)
+	case 3:
+		return v
+	case 4:
+		return term.New("f", genTerm(seed/2, salt+1))
+	case 5:
+		return term.New("g", v, v) // shared variable
+	case 6:
+		return term.List(genTerm(seed/2, salt+1), genTerm(seed/3, salt+2))
+	case 7:
+		return term.ListTail(term.NewVar("T"), genTerm(seed/2, salt+1))
+	default:
+		return term.New("h", genTerm(seed/2, salt+1), term.Int(int64(salt%4)))
+	}
+}

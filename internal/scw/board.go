@@ -1,0 +1,105 @@
+package scw
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clare/internal/term"
+)
+
+// Board models FS1 as the host sees it: a register-programmed index
+// scanner on the shared VME window (selected by control-register bit b2=0,
+// §2.2). The protocol mirrors FS2's: load the query descriptor, start a
+// scan over a secondary file, read the matching addresses back.
+//
+// Unlike FS2, FS1 is combinational (PLA + MSI parts, §2.1) and has no
+// microprogramming mode; its two states are "idle" and "scanning".
+type Board struct {
+	enc *Encoder
+
+	queryLoaded bool
+	query       QueryDescriptor
+	lastResult  ScanResult
+	scanned     bool
+
+	// Stats accumulates across scans.
+	Stats BoardStats
+}
+
+// BoardStats accumulates FS1 activity.
+type BoardStats struct {
+	Scans          int
+	EntriesScanned int64
+	BytesScanned   int64
+	MatchesFound   int64
+	Elapsed        time.Duration
+}
+
+// NewBoard returns an FS1 board using the given codeword parameters.
+func NewBoard(p Params) (*Board, error) {
+	enc, err := NewEncoder(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Board{enc: enc}, nil
+}
+
+// Encoder exposes the board's codeword encoder (the host uses the same
+// parameters to build secondary files).
+func (b *Board) Encoder() *Encoder { return b.enc }
+
+// Errors.
+var (
+	ErrNoQueryLoaded = errors.New("scw: no query descriptor loaded")
+	ErrNoScanRun     = errors.New("scw: no scan has run")
+)
+
+// LoadQuery builds and latches the query descriptor for goal.
+func (b *Board) LoadQuery(goal term.Term) error {
+	qd, err := b.enc.EncodeQuery(goal)
+	if err != nil {
+		return err
+	}
+	b.query = qd
+	b.queryLoaded = true
+	b.scanned = false
+	return nil
+}
+
+// Scan streams the secondary file through the matcher. Requires a loaded
+// query.
+func (b *Board) Scan(ix *Index) (ScanResult, error) {
+	if !b.queryLoaded {
+		return ScanResult{}, ErrNoQueryLoaded
+	}
+	if ix.enc.Params() != b.enc.Params() {
+		return ScanResult{}, fmt.Errorf("scw: index parameters %+v do not match board %+v",
+			ix.enc.Params(), b.enc.Params())
+	}
+	res := ix.Scan(b.query)
+	b.lastResult = res
+	b.scanned = true
+	b.Stats.Scans++
+	b.Stats.EntriesScanned += int64(res.EntriesScanned)
+	b.Stats.BytesScanned += int64(res.BytesScanned)
+	b.Stats.MatchesFound += int64(len(res.Addrs))
+	b.Stats.Elapsed += res.Elapsed
+	return res, nil
+}
+
+// MatchFound reports whether the last scan found any address (the FS1
+// analogue of FS2's b7).
+func (b *Board) MatchFound() bool {
+	return b.scanned && len(b.lastResult.Addrs) > 0
+}
+
+// ReadResult returns the last scan's addresses.
+func (b *Board) ReadResult() ([]uint32, error) {
+	if !b.scanned {
+		return nil, ErrNoScanRun
+	}
+	out := make([]uint32, len(b.lastResult.Addrs))
+	copy(out, b.lastResult.Addrs)
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package scw
+
+import (
+	"fmt"
+	"testing"
+
+	"clare/internal/parse"
+)
+
+func TestBoardProtocol(t *testing.T) {
+	b, err := NewBoard(DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(b.Encoder())
+	for i := 0; i < 20; i++ {
+		if err := ix.Add(parse.MustTerm(fmt.Sprintf("n(k%d, %d)", i%5, i)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Scan before loading a query fails.
+	if _, err := b.Scan(ix); err != ErrNoQueryLoaded {
+		t.Errorf("scan without query = %v", err)
+	}
+	if _, err := b.ReadResult(); err != ErrNoScanRun {
+		t.Errorf("read before scan = %v", err)
+	}
+	if b.MatchFound() {
+		t.Error("match bit set before any scan")
+	}
+
+	if err := b.LoadQuery(parse.MustTerm("n(k2, X)")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Scan(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Addrs) < 4 { // k2 occurs for i = 2,7,12,17
+		t.Errorf("addrs = %v, want ≥ 4", res.Addrs)
+	}
+	if !b.MatchFound() {
+		t.Error("match bit should be set")
+	}
+	got, err := b.ReadResult()
+	if err != nil || len(got) != len(res.Addrs) {
+		t.Errorf("ReadResult = %v, %v", got, err)
+	}
+	if b.Stats.Scans != 1 || b.Stats.EntriesScanned != 20 || b.Stats.Elapsed <= 0 {
+		t.Errorf("stats = %+v", b.Stats)
+	}
+
+	// Loading a new query clears the scanned state.
+	if err := b.LoadQuery(parse.MustTerm("n(k0, X)")); err != nil {
+		t.Fatal(err)
+	}
+	if b.MatchFound() {
+		t.Error("match bit should clear on new query")
+	}
+}
+
+func TestBoardParamMismatch(t *testing.T) {
+	b, err := NewBoard(DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherEnc, err := NewEncoder(Params{Width: 16, BitsPerKey: 2, MaskBits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(otherEnc)
+	if err := ix.Add(parse.MustTerm("n(a)"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadQuery(parse.MustTerm("n(a)")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Scan(ix); err == nil {
+		t.Error("parameter mismatch should be rejected")
+	}
+}

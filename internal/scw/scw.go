@@ -1,0 +1,313 @@
+// Package scw implements the first CLARE filtering stage (FS1): index
+// searching by superimposed codewords plus mask bits (SCW+MB, §2.1).
+//
+// Every fact or rule head gets a codeword: the bitwise superimposition of
+// hash-selected bit positions contributed by its (up to MaxEncodedArgs)
+// arguments. Codewords live in a secondary index file that FS1 scans on
+// the fly, emitting the addresses of clauses whose codewords cover the
+// query's. Variables contribute no bits; a data/knowledge-base argument
+// containing a variable sets the argument's MASK BIT, telling the matcher
+// to ignore the query's demands on that argument (otherwise clauses with
+// variable arguments would be unsoundly rejected).
+//
+// The scheme is a partial match: survivors are only potential unifiers.
+// The three §2.1 false-drop sources are all present by construction:
+// non-unique encoding (hash collisions / superimposition saturation),
+// truncated encoding (arguments beyond MaxEncodedArgs are not encoded),
+// and ignored variables (shared-variable queries such as
+// married_couple(S,S) place no constraint at all on the index).
+package scw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+
+	"clare/internal/term"
+)
+
+// MaxEncodedArgs is the hardware encoding limit: "only 12 arguments of a
+// query is encoded" (§2.1).
+const MaxEncodedArgs = 12
+
+// Params configures the codeword scheme.
+type Params struct {
+	// Width is the codeword width in bits (1..64).
+	Width int
+	// BitsPerKey is how many bit positions each hashed key sets.
+	BitsPerKey int
+	// MaskBits enables the mask-bit extension. Disabling it reverts to
+	// plain superimposed codewords, which is UNSOUND for clauses with
+	// variable arguments — kept as an ablation (BenchmarkAblationMaskBits).
+	MaskBits bool
+}
+
+// DefaultParams matches a plausible hardware configuration: 64-bit
+// codewords, 3 bits per key, mask bits on.
+var DefaultParams = Params{Width: 64, BitsPerKey: 3, MaskBits: true}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.Width < 1 || p.Width > 64 {
+		return fmt.Errorf("scw: width %d out of range 1..64", p.Width)
+	}
+	if p.BitsPerKey < 1 || p.BitsPerKey > p.Width {
+		return fmt.Errorf("scw: bits-per-key %d out of range 1..%d", p.BitsPerKey, p.Width)
+	}
+	return nil
+}
+
+// Codeword is a superimposed codeword of up to 64 bits.
+type Codeword uint64
+
+// PopCount returns the number of set bits (codeword weight).
+func (c Codeword) PopCount() int { return bits.OnesCount64(uint64(c)) }
+
+// Mask is the per-argument mask-bit field: bit i set means "ignore the
+// query's constraints on argument i".
+type Mask uint16
+
+// Entry is one secondary-file record: the clause's codeword, its mask
+// bits, and the clause address in the compiled clause file.
+type Entry struct {
+	Code Codeword
+	Mask Mask
+	Addr uint32
+}
+
+// EntrySize is the on-disk size of an Entry in bytes: 8 (codeword) +
+// 2 (mask) + 4 (address).
+const EntrySize = 14
+
+// MarshalBinary serialises the entry (big-endian).
+func (e Entry) MarshalBinary() []byte {
+	var b [EntrySize]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(e.Code))
+	binary.BigEndian.PutUint16(b[8:10], uint16(e.Mask))
+	binary.BigEndian.PutUint32(b[10:14], e.Addr)
+	return b[:]
+}
+
+// UnmarshalEntry parses an entry from b.
+func UnmarshalEntry(b []byte) (Entry, error) {
+	if len(b) < EntrySize {
+		return Entry{}, fmt.Errorf("scw: entry record too short (%d bytes)", len(b))
+	}
+	return Entry{
+		Code: Codeword(binary.BigEndian.Uint64(b[0:8])),
+		Mask: Mask(binary.BigEndian.Uint16(b[8:10])),
+		Addr: binary.BigEndian.Uint32(b[10:14]),
+	}, nil
+}
+
+// Encoder builds codewords under fixed parameters.
+type Encoder struct {
+	p Params
+}
+
+// NewEncoder returns an encoder for p.
+func NewEncoder(p Params) (*Encoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{p: p}, nil
+}
+
+// Params returns the encoder's parameters.
+func (e *Encoder) Params() Params { return e.p }
+
+// hashKey turns a key string into BitsPerKey bit positions.
+func (e *Encoder) hashKey(key string) Codeword {
+	var cw Codeword
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	seed := h.Sum64()
+	for i := 0; i < e.p.BitsPerKey; i++ {
+		// Derive independent positions by re-mixing the seed.
+		seed = seed*0x9E3779B97F4A7C15 + uint64(i) + 1
+		pos := int((seed >> 17) % uint64(e.p.Width))
+		cw |= 1 << pos
+	}
+	return cw
+}
+
+// argKeys collects the hash keys contributed by one argument. Query and
+// clause sides use identical keys, which is what makes the subset test
+// sound for ground positions. hasVar reports whether the argument contains
+// any variable (the clause side turns that into a mask bit).
+func (e *Encoder) argKeys(argIdx int, t term.Term) (keys []string, hasVar bool) {
+	t = term.Deref(t)
+	switch t := t.(type) {
+	case *term.Var:
+		return nil, true
+	case term.Atom:
+		return []string{fmt.Sprintf("%d/a:%s", argIdx, string(t))}, false
+	case term.Int:
+		return []string{fmt.Sprintf("%d/i:%d", argIdx, int64(t))}, false
+	case term.Float:
+		return []string{fmt.Sprintf("%d/f:%g", argIdx, float64(t))}, false
+	case *term.Compound:
+		if isListTerm(t) {
+			return e.listKeys(argIdx, t)
+		}
+		keys = append(keys, fmt.Sprintf("%d/s:%s/%d", argIdx, t.Functor, len(t.Args)))
+		for i, el := range t.Args {
+			ks, hv := e.elementKeys(argIdx, i, el)
+			keys = append(keys, ks...)
+			hasVar = hasVar || hv
+		}
+		return keys, hasVar
+	}
+	return nil, false
+}
+
+func isListTerm(c *term.Compound) bool {
+	return c.Functor == term.ConsFunctor && len(c.Args) == 2
+}
+
+// listKeys encodes a list argument: a list marker, a length key for closed
+// lists, and element keys. Open (tail-variable) lists assert no length.
+func (e *Encoder) listKeys(argIdx int, c *term.Compound) (keys []string, hasVar bool) {
+	elems, tail := term.ListSlice(c)
+	keys = append(keys, fmt.Sprintf("%d/L", argIdx))
+	_, open := term.Deref(tail).(*term.Var)
+	if open {
+		hasVar = true
+	} else {
+		keys = append(keys, fmt.Sprintf("%d/len:%d", argIdx, len(elems)))
+	}
+	for i, el := range elems {
+		ks, hv := e.elementKeys(argIdx, i, el)
+		keys = append(keys, ks...)
+		hasVar = hasVar || hv
+	}
+	return keys, hasVar
+}
+
+// elementKeys encodes a first-level element of a complex argument. Nested
+// complex elements contribute only their principal functor — the codeword
+// analogue of level-3 matching depth.
+func (e *Encoder) elementKeys(argIdx, elemIdx int, t term.Term) (keys []string, hasVar bool) {
+	t = term.Deref(t)
+	switch t := t.(type) {
+	case *term.Var:
+		return nil, true
+	case term.Atom:
+		return []string{fmt.Sprintf("%d.%d/a:%s", argIdx, elemIdx, string(t))}, false
+	case term.Int:
+		return []string{fmt.Sprintf("%d.%d/i:%d", argIdx, elemIdx, int64(t))}, false
+	case term.Float:
+		return []string{fmt.Sprintf("%d.%d/f:%g", argIdx, elemIdx, float64(t))}, false
+	case *term.Compound:
+		if isListTerm(t) {
+			// Nested list: marker only; its contents may hide variables.
+			_, tail := term.ListSlice(t)
+			_, open := term.Deref(tail).(*term.Var)
+			return []string{fmt.Sprintf("%d.%d/L", argIdx, elemIdx)}, open || nestedHasVar(t)
+		}
+		return []string{fmt.Sprintf("%d.%d/s:%s/%d", argIdx, elemIdx, t.Functor, len(t.Args))},
+			nestedHasVar(t)
+	}
+	return nil, false
+}
+
+func nestedHasVar(t term.Term) bool { return !term.Ground(t) }
+
+// EncodeClause builds the secondary-file entry for a clause head at the
+// given clause address.
+func (e *Encoder) EncodeClause(head term.Term, addr uint32) (Entry, error) {
+	_, args, ok := principal(head)
+	if !ok {
+		return Entry{}, fmt.Errorf("scw: %v is not callable", head)
+	}
+	var ent Entry
+	ent.Addr = addr
+	for i, a := range args {
+		if i >= MaxEncodedArgs {
+			break // hardware truncation: a §2.1 false-drop source
+		}
+		keys, hasVar := e.argKeys(i, a)
+		if hasVar && e.p.MaskBits {
+			ent.Mask |= 1 << i
+			// A masked argument's ground parts still contribute bits:
+			// harmless (the matcher ignores the argument) and keeps the
+			// codeword discriminating for other schemes. The paper is
+			// silent here; we contribute nothing to keep weights low.
+			continue
+		}
+		for _, k := range keys {
+			ent.Code |= e.hashKey(k)
+		}
+	}
+	return ent, nil
+}
+
+// QueryDescriptor is the query side of the match: per-argument codewords,
+// kept separate so clause mask bits can cancel individual arguments.
+type QueryDescriptor struct {
+	PerArg [MaxEncodedArgs]Codeword
+	NArgs  int
+}
+
+// Unconstrained reports whether the query places no demand on the index —
+// e.g. every argument is a variable (the married_couple(S,S) pathology):
+// FS1 will then retrieve the entire predicate.
+func (q QueryDescriptor) Unconstrained() bool {
+	for i := 0; i < q.NArgs && i < MaxEncodedArgs; i++ {
+		if q.PerArg[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeQuery builds the query descriptor for a goal.
+func (e *Encoder) EncodeQuery(goal term.Term) (QueryDescriptor, error) {
+	_, args, ok := principal(goal)
+	if !ok {
+		return QueryDescriptor{}, fmt.Errorf("scw: %v is not callable", goal)
+	}
+	var qd QueryDescriptor
+	qd.NArgs = len(args)
+	for i, a := range args {
+		if i >= MaxEncodedArgs {
+			break
+		}
+		keys, _ := e.argKeys(i, a)
+		// Variables in the query are simply ignored in the encoding
+		// (§2.1) — they demand nothing.
+		for _, k := range keys {
+			qd.PerArg[i] |= e.hashKey(k)
+		}
+	}
+	return qd, nil
+}
+
+// Matches applies the SCW+MB test: for every encoded argument either the
+// clause masks it or the clause codeword covers the query argument's bits.
+func (e *Encoder) Matches(ent Entry, qd QueryDescriptor) bool {
+	n := qd.NArgs
+	if n > MaxEncodedArgs {
+		n = MaxEncodedArgs
+	}
+	for i := 0; i < n; i++ {
+		if e.p.MaskBits && ent.Mask&(1<<i) != 0 {
+			continue
+		}
+		if q := qd.PerArg[i]; q&Codeword(ent.Code) != q {
+			return false
+		}
+	}
+	return true
+}
+
+func principal(t term.Term) (string, []term.Term, bool) {
+	switch t := term.Deref(t).(type) {
+	case term.Atom:
+		return string(t), nil, true
+	case *term.Compound:
+		return t.Functor, t.Args, true
+	}
+	return "", nil, false
+}

@@ -1,0 +1,398 @@
+package scw
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+func newEnc(t *testing.T) *Encoder {
+	t.Helper()
+	enc, err := NewEncoder(DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func mustMatch(t *testing.T, enc *Encoder, query, head string, want bool) {
+	t.Helper()
+	ent, err := enc.EncodeClause(parse.MustTerm(head), 0)
+	if err != nil {
+		t.Fatalf("encode clause %s: %v", head, err)
+	}
+	qd, err := enc.EncodeQuery(parse.MustTerm(query))
+	if err != nil {
+		t.Fatalf("encode query %s: %v", query, err)
+	}
+	if got := enc.Matches(ent, qd); got != want {
+		t.Errorf("Matches(%s, %s) = %v, want %v", query, head, got, want)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Width: 0, BitsPerKey: 1},
+		{Width: 65, BitsPerKey: 1},
+		{Width: 8, BitsPerKey: 0},
+		{Width: 8, BitsPerKey: 9},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("params %+v should be invalid", p)
+		}
+	}
+	if DefaultParams.Validate() != nil {
+		t.Error("default params invalid")
+	}
+}
+
+func TestGroundExactMatch(t *testing.T) {
+	enc := newEnc(t)
+	mustMatch(t, enc, "p(a, 1)", "p(a, 1)", true)
+	mustMatch(t, enc, "p(a, 1)", "p(b, 1)", false)
+	mustMatch(t, enc, "p(a, 1)", "p(a, 2)", false)
+}
+
+func TestQueryVariablesDemandNothing(t *testing.T) {
+	enc := newEnc(t)
+	mustMatch(t, enc, "p(X, 1)", "p(whatever, 1)", true)
+	mustMatch(t, enc, "p(X, Y)", "p(a, b)", true)
+	mustMatch(t, enc, "p(X, 2)", "p(a, 1)", false)
+}
+
+func TestMaskBitsForDBVariables(t *testing.T) {
+	enc := newEnc(t)
+	// Clause argument is a variable: without mask bits the clause
+	// codeword lacks the query's bits and the clause would be lost.
+	mustMatch(t, enc, "p(groundval, 1)", "p(X, 1)", true)
+	ent, _ := enc.EncodeClause(parse.MustTerm("p(X, 1)"), 0)
+	if ent.Mask&1 == 0 {
+		t.Error("variable argument 0 should set mask bit 0")
+	}
+	if ent.Mask&2 != 0 {
+		t.Error("ground argument 1 should not set a mask bit")
+	}
+}
+
+func TestMaskBitsOffIsUnsound(t *testing.T) {
+	// The ablation case: plain SCW without mask bits loses clauses with
+	// variable arguments — demonstrating why the paper's scheme needs MB.
+	enc, err := NewEncoder(Params{Width: 64, BitsPerKey: 3, MaskBits: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, _ := enc.EncodeClause(parse.MustTerm("p(X, 1)"), 0)
+	qd, _ := enc.EncodeQuery(parse.MustTerm("p(groundval, 1)"))
+	if enc.Matches(ent, qd) {
+		t.Skip("hash coincidence covered the query bits; nothing to assert")
+	}
+	// The miss above is exactly the unsoundness: p(groundval,1) unifies
+	// with p(X,1) but the filter rejected it.
+}
+
+func TestSharedVariableQueryRetrievesEverything(t *testing.T) {
+	// §2.1: married_couple(Same,Same) "would result in the retrieval of
+	// the entire predicate".
+	enc := newEnc(t)
+	qd, err := enc.EncodeQuery(parse.MustTerm("married_couple(S, S)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qd.Unconstrained() {
+		t.Error("shared-variable query should be unconstrained")
+	}
+	for _, head := range []string{
+		"married_couple(fred, wilma)",
+		"married_couple(pat, pat)",
+		"married_couple(a, b)",
+	} {
+		mustMatch(t, enc, "married_couple(S, S)", head, true)
+	}
+}
+
+func TestStructureArguments(t *testing.T) {
+	enc := newEnc(t)
+	mustMatch(t, enc, "p(f(1, 2))", "p(f(1, 2))", true)
+	mustMatch(t, enc, "p(f(1, 2))", "p(f(1, 3))", false)
+	mustMatch(t, enc, "p(f(1, 2))", "p(g(1, 2))", false)
+	mustMatch(t, enc, "p(f(X, 2))", "p(f(1, 2))", true)
+	mustMatch(t, enc, "p(f(1))", "p(f(X))", true) // mask via nested var
+}
+
+func TestListArguments(t *testing.T) {
+	enc := newEnc(t)
+	mustMatch(t, enc, "p([1,2])", "p([1,2])", true)
+	mustMatch(t, enc, "p([1,2])", "p([1,3])", false)
+	mustMatch(t, enc, "p([1,2])", "p([1,2,3])", false) // closed lengths differ
+	mustMatch(t, enc, "p([1|T])", "p([1,2,3])", true)  // open query list
+	mustMatch(t, enc, "p([9|T])", "p([1,2,3])", false)
+	mustMatch(t, enc, "p([1,2])", "p([1|T])", true) // open clause list masks
+}
+
+func TestTruncationBeyond12Args(t *testing.T) {
+	enc := newEnc(t)
+	// Two clauses differing only in argument 13 (index 12): the codeword
+	// cannot tell them apart — a deliberate false-drop source (§2.1).
+	mk := func(last string) string {
+		args := make([]string, 13)
+		for i := range args {
+			args[i] = fmt.Sprintf("a%d", i)
+		}
+		args[12] = last
+		out := "p("
+		for i, a := range args {
+			if i > 0 {
+				out += ","
+			}
+			out += a
+		}
+		return out + ")"
+	}
+	mustMatch(t, enc, mk("x"), mk("y"), true) // differs only past the limit
+	mustMatch(t, enc, mk("x"), mk("x"), true)
+	// A difference inside the first 12 is still caught.
+	differentEarly := "p(ZZZ" + mk("x")[4:]
+	_ = differentEarly
+	mustMatch(t, enc, "p(b0,a1,a2,a3,a4,a5,a6,a7,a8,a9,a10,a11,x)", mk("x"), false)
+}
+
+// TestSoundness: the index must never lose a true unifier.
+func TestSoundness(t *testing.T) {
+	enc := newEnc(t)
+	pairs := []struct{ q, h string }{
+		{"p(X)", "p(a)"},
+		{"p(a)", "p(X)"},
+		{"p(a, f(b, Y))", "p(a, f(b, c))"},
+		{"p(f(X))", "p(f(a))"},
+		{"p([1,2|T])", "p([1,2,3])"},
+		{"p([A,B])", "p([1,2])"},
+		{"p(g(h(1)))", "p(g(h(1)))"},
+		{"mc(S, S)", "mc(w, w)"},
+		{"p(X, X)", "p(a, a)"},
+	}
+	for _, pr := range pairs {
+		qt, ht := parse.MustTerm(pr.q), parse.MustTerm(pr.h)
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			t.Fatalf("bad test pair (%s, %s): does not unify", pr.q, pr.h)
+		}
+		ent, err := enc.EncodeClause(ht, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qd, err := enc.EncodeQuery(qt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !enc.Matches(ent, qd) {
+			t.Errorf("FS1 rejected true unifier (%s, %s)", pr.q, pr.h)
+		}
+	}
+}
+
+// TestQuickSoundness is the property form over generated pairs.
+func TestQuickSoundness(t *testing.T) {
+	enc := newEnc(t)
+	f := func(s1, s2 uint16) bool {
+		qt := term.New("p", genTerm(int(s1), 0), genTerm(int(s2), 1))
+		ht := term.New("p", genTerm(int(s2), 2), genTerm(int(s1), 3))
+		if !unify.Unifiable(qt, term.Rename(ht)) {
+			return true
+		}
+		ent, err := enc.EncodeClause(ht, 0)
+		if err != nil {
+			return false
+		}
+		qd, err := enc.EncodeQuery(qt)
+		if err != nil {
+			return false
+		}
+		return enc.Matches(ent, qd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexScan(t *testing.T) {
+	enc := newEnc(t)
+	ix := NewIndex(enc)
+	heads := []string{
+		"city(edinburgh, scotland)",
+		"city(glasgow, scotland)",
+		"city(london, england)",
+		"city(cardiff, wales)",
+	}
+	for i, h := range heads {
+		if err := ix.Add(parse.MustTerm(h), uint32(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qd, _ := enc.EncodeQuery(parse.MustTerm("city(X, scotland)"))
+	res := ix.Scan(qd)
+	if res.EntriesScanned != 4 || res.BytesScanned != 4*EntrySize {
+		t.Errorf("scan stats = %+v", res)
+	}
+	// Both Scottish cities must survive; false drops possible but with 64
+	// bits and 4 entries, astronomically unlikely.
+	if len(res.Addrs) < 2 {
+		t.Fatalf("survivors = %v, want at least the 2 true matches", res.Addrs)
+	}
+	found := map[uint32]bool{}
+	for _, a := range res.Addrs {
+		found[a] = true
+	}
+	if !found[0] || !found[100] {
+		t.Errorf("true matches missing from %v", res.Addrs)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("scan should consume simulated time")
+	}
+}
+
+func TestScanPreservesClauseOrder(t *testing.T) {
+	enc := newEnc(t)
+	ix := NewIndex(enc)
+	for i := 0; i < 10; i++ {
+		if err := ix.Add(parse.MustTerm(fmt.Sprintf("n(%d)", i)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qd, _ := enc.EncodeQuery(parse.MustTerm("n(X)"))
+	res := ix.Scan(qd)
+	if len(res.Addrs) != 10 {
+		t.Fatalf("all-variable query should match everything: %v", res.Addrs)
+	}
+	for i, a := range res.Addrs {
+		if a != uint32(i) {
+			t.Fatalf("order broken: %v", res.Addrs)
+		}
+	}
+}
+
+func TestIndexSerialisation(t *testing.T) {
+	enc := newEnc(t)
+	ix := NewIndex(enc)
+	for i := 0; i < 5; i++ {
+		if err := ix.Add(parse.MustTerm(fmt.Sprintf("f(k%d, %d)", i, i)), uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := ix.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := UnmarshalIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != ix.Len() {
+		t.Fatalf("len = %d, want %d", ix2.Len(), ix.Len())
+	}
+	for i := range ix.entries {
+		if ix.entries[i] != ix2.entries[i] {
+			t.Errorf("entry %d differs", i)
+		}
+	}
+	// Same scan results.
+	qd, _ := enc.EncodeQuery(parse.MustTerm("f(k2, X)"))
+	r1, r2 := ix.Scan(qd), ix2.Scan(qd)
+	if len(r1.Addrs) != len(r2.Addrs) {
+		t.Error("scan results differ after round trip")
+	}
+	// Corruption detection.
+	if _, err := UnmarshalIndex(data[:len(data)-1]); err == nil {
+		t.Error("truncated index should fail")
+	}
+	if _, err := UnmarshalIndex([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage index should fail")
+	}
+}
+
+func TestEntryMarshal(t *testing.T) {
+	e := Entry{Code: 0xDEADBEEFCAFEF00D, Mask: 0x0A5A, Addr: 0x12345678}
+	b := e.MarshalBinary()
+	if len(b) != EntrySize {
+		t.Fatalf("entry size = %d", len(b))
+	}
+	got, err := UnmarshalEntry(b)
+	if err != nil || got != e {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+	if _, err := UnmarshalEntry(b[:5]); err == nil {
+		t.Error("short entry should fail")
+	}
+}
+
+func TestScanTime(t *testing.T) {
+	// 4.5 MB at 4.5 MB/s must take 1 simulated second.
+	if got := ScanTime(4_500_000); got.Seconds() < 0.999 || got.Seconds() > 1.001 {
+		t.Errorf("ScanTime(4.5MB) = %v", got)
+	}
+}
+
+func TestCodewordWeightGrowsWithArgs(t *testing.T) {
+	enc := newEnc(t)
+	e1, _ := enc.EncodeClause(parse.MustTerm("p(a)"), 0)
+	e3, _ := enc.EncodeClause(parse.MustTerm("p(a, b, c)"), 0)
+	if e3.Code.PopCount() < e1.Code.PopCount() {
+		t.Errorf("3-arg weight %d < 1-arg weight %d", e3.Code.PopCount(), e1.Code.PopCount())
+	}
+}
+
+func TestNarrowCodewordsFalseDropMore(t *testing.T) {
+	// With very narrow codewords, distinct constants frequently collide:
+	// the §2.1 "non-unique encoding" false-drop source. Statistically, an
+	// 8-bit 2-bit-per-key scheme must pass some non-unifiers that the
+	// 64-bit scheme rejects.
+	wide := newEnc(t)
+	narrow, err := NewEncoder(Params{Width: 8, BitsPerKey: 2, MaskBits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wideFD, narrowFD := 0, 0
+	for i := 0; i < 200; i++ {
+		head := parse.MustTerm(fmt.Sprintf("k(c%d)", i))
+		query := parse.MustTerm("k(c99999)") // unifies with nothing here
+		for _, tc := range []struct {
+			enc *Encoder
+			ctr *int
+		}{{wide, &wideFD}, {narrow, &narrowFD}} {
+			ent, _ := tc.enc.EncodeClause(head, 0)
+			qd, _ := tc.enc.EncodeQuery(query)
+			if tc.enc.Matches(ent, qd) {
+				*tc.ctr++
+			}
+		}
+	}
+	if narrowFD <= wideFD {
+		t.Errorf("narrow codewords should false-drop more: narrow=%d wide=%d", narrowFD, wideFD)
+	}
+}
+
+// genTerm builds a small deterministic term from a seed.
+func genTerm(seed, salt int) term.Term {
+	v := term.NewVar("V")
+	switch (seed + salt) % 8 {
+	case 0:
+		return term.Atom([]string{"a", "b", "c"}[seed%3])
+	case 1:
+		return term.Int(int64(seed % 5))
+	case 2:
+		return term.Float(float64(seed%3) + 0.5)
+	case 3:
+		return v
+	case 4:
+		return term.New("f", genTerm(seed/2, salt+1))
+	case 5:
+		return term.List(genTerm(seed/2, salt+1))
+	case 6:
+		return term.ListTail(term.NewVar("T"), genTerm(seed/2, salt+1))
+	default:
+		return term.New("g", v, genTerm(seed/3, salt+2))
+	}
+}

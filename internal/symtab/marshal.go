@@ -1,0 +1,108 @@
+package symtab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Serialised layout (big-endian):
+//
+//	magic  uint16 0x57AB
+//	count  uint32
+//	per entry: kind uint8, then
+//	    atom:  len uint16, bytes
+//	    float: 8 bytes IEEE-754
+//
+// Refs are positional (entry i has Ref i+1), so the table round-trips with
+// identical references — required for PIF content fields to stay valid.
+
+const tableMagic = 0x57AB
+
+// MarshalBinary serialises the table.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	buf := make([]byte, 0, 8+len(t.entries)*12)
+	var tmp [8]byte
+	binary.BigEndian.PutUint16(tmp[:2], tableMagic)
+	buf = append(buf, tmp[:2]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(t.entries)))
+	buf = append(buf, tmp[:4]...)
+	for _, e := range t.entries {
+		buf = append(buf, byte(e.kind))
+		switch e.kind {
+		case KindAtom:
+			if len(e.name) > 0xFFFF {
+				return nil, fmt.Errorf("symtab: atom too long (%d bytes)", len(e.name))
+			}
+			binary.BigEndian.PutUint16(tmp[:2], uint16(len(e.name)))
+			buf = append(buf, tmp[:2]...)
+			buf = append(buf, e.name...)
+		case KindFloat:
+			binary.BigEndian.PutUint64(tmp[:8], math.Float64bits(e.fval))
+			buf = append(buf, tmp[:8]...)
+		default:
+			return nil, fmt.Errorf("symtab: unknown kind %d", e.kind)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalTable parses a serialised table. Refs are identical to the
+// table that was marshalled.
+func UnmarshalTable(data []byte) (*Table, error) {
+	if len(data) < 6 {
+		return nil, fmt.Errorf("symtab: table blob too short")
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != tableMagic {
+		return nil, fmt.Errorf("symtab: bad table magic")
+	}
+	count := int(binary.BigEndian.Uint32(data[2:6]))
+	t := New()
+	pos := 6
+	need := func(n int) error {
+		if pos+n > len(data) {
+			return fmt.Errorf("symtab: truncated table at byte %d", pos)
+		}
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		kind := Kind(data[pos])
+		pos++
+		switch kind {
+		case KindAtom:
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			n := int(binary.BigEndian.Uint16(data[pos:]))
+			pos += 2
+			if err := need(n); err != nil {
+				return nil, err
+			}
+			name := string(data[pos : pos+n])
+			pos += n
+			if got := t.Atom(name); got != Ref(i+1) {
+				return nil, fmt.Errorf("symtab: duplicate atom %q breaks ref stability", name)
+			}
+		case KindFloat:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			v := math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))
+			pos += 8
+			if got := t.Float(v); got != Ref(i+1) {
+				return nil, fmt.Errorf("symtab: duplicate float %v breaks ref stability", v)
+			}
+		default:
+			return nil, fmt.Errorf("symtab: unknown entry kind %d", kind)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("symtab: %d trailing bytes", len(data)-pos)
+	}
+	return t, nil
+}

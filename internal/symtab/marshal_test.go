@@ -1,0 +1,78 @@
+package symtab
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableRoundTrip(t *testing.T) {
+	tb := New()
+	refs := map[string]Ref{}
+	for _, s := range []string{"alpha", "beta", "", "with space", "unicode λ"} {
+		refs[s] = tb.Atom(s)
+	}
+	f1 := tb.Float(3.25)
+	f2 := tb.Float(math.Copysign(0, -1)) // genuine -0.0 (the literal -0.0 is +0)
+	mid := tb.Atom("interleaved")
+
+	data, err := tb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTable(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), tb.Len())
+	}
+	// Refs must be IDENTICAL (PIF content fields depend on it).
+	for s, r := range refs {
+		if got.Atom(s) != r {
+			t.Errorf("atom %q ref = %d, want %d", s, got.Atom(s), r)
+		}
+	}
+	if got.Float(3.25) != f1 || got.Float(math.Copysign(0, -1)) != f2 {
+		t.Error("float refs changed")
+	}
+	if got.Atom("interleaved") != mid {
+		t.Error("interleaved atom ref changed")
+	}
+	// New interning continues from the same point.
+	if got.Atom("fresh") != tb.Atom("fresh") {
+		t.Error("post-load interning diverged")
+	}
+}
+
+func TestUnmarshalTableErrors(t *testing.T) {
+	if _, err := UnmarshalTable(nil); err == nil {
+		t.Error("nil blob should fail")
+	}
+	if _, err := UnmarshalTable([]byte{0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("bad magic should fail")
+	}
+	tb := New()
+	tb.Atom("x")
+	tb.Float(1.5)
+	data, err := tb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalTable(data[:len(data)-2]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+	if _, err := UnmarshalTable(append(data, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestEmptyTableRoundTrip(t *testing.T) {
+	data, err := New().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTable(data)
+	if err != nil || got.Len() != 0 {
+		t.Errorf("empty round trip: %v, len %d", err, got.Len())
+	}
+}

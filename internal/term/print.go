@@ -1,0 +1,179 @@
+package term
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders the term in Edinburgh syntax with list notation and atom
+// quoting. Operators are not reconstructed; compound terms print in
+// canonical functional notation, which the parser accepts back.
+
+func (a Atom) String() string { return quoteAtom(string(a)) }
+
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+func (f Float) String() string {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 64)
+	// Ensure the token reads back as a float, not an integer.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func (v *Var) String() string {
+	if v.Ref != nil {
+		return Deref(v).String()
+	}
+	return v.displayName()
+}
+
+func (c *Compound) String() string {
+	var b strings.Builder
+	writeTerm(&b, c)
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, t Term) {
+	t = Deref(t)
+	c, ok := t.(*Compound)
+	if !ok {
+		b.WriteString(t.String())
+		return
+	}
+	if c.Functor == ConsFunctor && len(c.Args) == 2 {
+		writeList(b, c)
+		return
+	}
+	// The control constructs print infix, parenthesised, so bodies read
+	// naturally and re-parse exactly.
+	if len(c.Args) == 2 && controlOp(c.Functor) {
+		b.WriteByte('(')
+		writeTerm(b, c.Args[0])
+		b.WriteString(c.Functor)
+		writeTerm(b, c.Args[1])
+		b.WriteByte(')')
+		return
+	}
+	b.WriteString(quoteAtom(c.Functor))
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeTerm(b, a)
+	}
+	b.WriteByte(')')
+}
+
+func writeList(b *strings.Builder, c *Compound) {
+	b.WriteByte('[')
+	writeTerm(b, c.Args[0])
+	t := Deref(c.Args[1])
+	for {
+		if t == NilAtom {
+			b.WriteByte(']')
+			return
+		}
+		if cc, ok := t.(*Compound); ok && cc.Functor == ConsFunctor && len(cc.Args) == 2 {
+			b.WriteByte(',')
+			writeTerm(b, cc.Args[0])
+			t = Deref(cc.Args[1])
+			continue
+		}
+		b.WriteByte('|')
+		writeTerm(b, t)
+		b.WriteByte(']')
+		return
+	}
+}
+
+// controlOp reports whether f is one of the control operators printed
+// infix.
+func controlOp(f string) bool {
+	switch f {
+	case ",", ";", "->", ":-":
+		return true
+	}
+	return false
+}
+
+// quoteAtom returns the atom in valid Edinburgh source form, adding quotes
+// when the bare text would not read back as a single atom token.
+func quoteAtom(s string) string {
+	if atomNeedsNoQuotes(s) {
+		return s
+	}
+	var b strings.Builder
+	b.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'':
+			b.WriteString(`\'`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('\'')
+	return b.String()
+}
+
+func atomNeedsNoQuotes(s string) bool {
+	if s == "" {
+		return false
+	}
+	switch s {
+	case "[]", "{}", "!", ";":
+		return true
+	}
+	if isSoloLower(s) {
+		return true
+	}
+	return isSymbolicAtom(s)
+}
+
+func isSoloLower(s string) bool {
+	for i, r := range s {
+		if i == 0 {
+			if !(r >= 'a' && r <= 'z') {
+				return false
+			}
+			continue
+		}
+		if !isAlnum(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isAlnum(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+}
+
+const symbolChars = "+-*/\\^<>=~:.?@#&$"
+
+func isSymbolicAtom(s string) bool {
+	for _, r := range s {
+		if !strings.ContainsRune(symbolChars, r) {
+			return false
+		}
+	}
+	return s != "."
+}
+
+// Format implements fmt.Formatter-ish convenience: %v and %s both print the
+// term; other verbs fall back to the default behaviour via Sprintf on the
+// string form. Only *Compound needs it explicitly — the scalar types already
+// print correctly — but declaring on Compound keeps %d etc. from exploding.
+func (c *Compound) Format(f fmt.State, verb rune) {
+	fmt.Fprint(f, c.String())
+}

@@ -1,0 +1,143 @@
+// Package unify implements full Prolog unification with a binding trail.
+//
+// This is the "full unification" that, in the paper's architecture, runs on
+// the host AFTER CLARE's two filtering stages have cut the candidate set
+// down (§1, §2.2). It also serves as the level-5 oracle against which the
+// partial test unification levels are validated: a candidate clause is a
+// true unifier iff Unify succeeds on (query, renamed clause head).
+package unify
+
+import (
+	"clare/internal/term"
+)
+
+// Trail records variable bindings so they can be undone on backtracking.
+type Trail struct {
+	bound []*term.Var
+}
+
+// Mark returns the current trail position; Undo(mark) unbinds everything
+// bound since.
+func (tr *Trail) Mark() int { return len(tr.bound) }
+
+// Undo unbinds all variables bound after mark.
+func (tr *Trail) Undo(mark int) {
+	for i := len(tr.bound) - 1; i >= mark; i-- {
+		tr.bound[i].Ref = nil
+	}
+	tr.bound = tr.bound[:mark]
+}
+
+// Len reports the number of bindings currently recorded.
+func (tr *Trail) Len() int { return len(tr.bound) }
+
+// Bind binds v to t and records it on the trail.
+func (tr *Trail) Bind(v *term.Var, t term.Term) {
+	v.Ref = t
+	tr.bound = append(tr.bound, v)
+}
+
+// Unify attempts to unify a and b, recording bindings on tr. On failure the
+// bindings made during the attempt are already undone. No occurs check is
+// performed (standard Prolog behaviour).
+func Unify(a, b term.Term, tr *Trail) bool {
+	return unify(a, b, tr, false)
+}
+
+// UnifyOC is Unify with the occurs check (sound unification).
+func UnifyOC(a, b term.Term, tr *Trail) bool {
+	return unify(a, b, tr, true)
+}
+
+func unify(a, b term.Term, tr *Trail, oc bool) bool {
+	mark := tr.Mark()
+	if unify1(a, b, tr, oc) {
+		return true
+	}
+	tr.Undo(mark)
+	return false
+}
+
+func unify1(a, b term.Term, tr *Trail, oc bool) bool {
+	a, b = term.Deref(a), term.Deref(b)
+	if a == b {
+		return true
+	}
+	if av, ok := a.(*term.Var); ok {
+		if oc && occurs(av, b) {
+			return false
+		}
+		tr.Bind(av, b)
+		return true
+	}
+	if bv, ok := b.(*term.Var); ok {
+		if oc && occurs(bv, a) {
+			return false
+		}
+		tr.Bind(bv, a)
+		return true
+	}
+	switch a := a.(type) {
+	case term.Atom:
+		b, ok := b.(term.Atom)
+		return ok && a == b
+	case term.Int:
+		b, ok := b.(term.Int)
+		return ok && a == b
+	case term.Float:
+		b, ok := b.(term.Float)
+		return ok && a == b
+	case *term.Compound:
+		b, ok := b.(*term.Compound)
+		if !ok || a.Functor != b.Functor || len(a.Args) != len(b.Args) {
+			return false
+		}
+		for i := range a.Args {
+			if !unify1(a.Args[i], b.Args[i], tr, oc) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func occurs(v *term.Var, t term.Term) bool {
+	switch t := term.Deref(t).(type) {
+	case *term.Var:
+		return t == v
+	case *term.Compound:
+		for _, a := range t.Args {
+			if occurs(v, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unifiable reports whether a and b unify, leaving no bindings behind.
+// This is the oracle used to classify filter outputs as true unifiers or
+// false drops.
+func Unifiable(a, b term.Term) bool {
+	var tr Trail
+	ok := Unify(a, b, &tr)
+	tr.Undo(0)
+	return ok
+}
+
+// Resolve returns a copy of t with every bound variable replaced by its
+// value and unbound variables left in place. The result shares no mutable
+// state with the trail, so it survives backtracking.
+func Resolve(t term.Term) term.Term {
+	switch t := term.Deref(t).(type) {
+	case *term.Compound:
+		args := make([]term.Term, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Resolve(a)
+		}
+		return &term.Compound{Functor: t.Functor, Args: args}
+	default:
+		return t
+	}
+}

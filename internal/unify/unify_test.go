@@ -1,0 +1,227 @@
+package unify
+
+import (
+	"testing"
+	"testing/quick"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+func TestUnifyConstants(t *testing.T) {
+	var tr Trail
+	cases := []struct {
+		a, b term.Term
+		want bool
+	}{
+		{term.Atom("a"), term.Atom("a"), true},
+		{term.Atom("a"), term.Atom("b"), false},
+		{term.Int(1), term.Int(1), true},
+		{term.Int(1), term.Int(2), false},
+		{term.Int(1), term.Float(1.0), false}, // ints and floats do not unify
+		{term.Float(2.5), term.Float(2.5), true},
+		{term.Atom("a"), term.Int(1), false},
+	}
+	for _, c := range cases {
+		if got := Unify(c.a, c.b, &tr); got != c.want {
+			t.Errorf("Unify(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("constants left %d bindings", tr.Len())
+		}
+	}
+}
+
+func TestUnifyVarBinding(t *testing.T) {
+	var tr Trail
+	x := term.NewVar("X")
+	if !Unify(x, term.Atom("a"), &tr) {
+		t.Fatal("X = a failed")
+	}
+	if term.Deref(x) != term.Atom("a") {
+		t.Errorf("X bound to %v", term.Deref(x))
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trail length = %d, want 1", tr.Len())
+	}
+}
+
+func TestUnifyVarVar(t *testing.T) {
+	var tr Trail
+	x, y := term.NewVar("X"), term.NewVar("Y")
+	if !Unify(x, y, &tr) {
+		t.Fatal("X = Y failed")
+	}
+	// Binding one now binds both.
+	if !Unify(x, term.Int(7), &tr) {
+		t.Fatal("X = 7 failed after X = Y")
+	}
+	if term.Deref(y) != term.Int(7) {
+		t.Errorf("Y = %v, want 7", term.Deref(y))
+	}
+}
+
+func TestUnifyCompound(t *testing.T) {
+	var tr Trail
+	a := parse.MustTerm("f(X, g(Y), 3)")
+	b := parse.MustTerm("f(1, g(hello), 3)")
+	if !Unify(a, b, &tr) {
+		t.Fatal("compound unify failed")
+	}
+	res := Resolve(a)
+	if res.String() != "f(1,g(hello),3)" {
+		t.Errorf("resolved = %v", res)
+	}
+}
+
+func TestUnifyFailureUndoesBindings(t *testing.T) {
+	var tr Trail
+	a := parse.MustTerm("f(X, b)")
+	b := parse.MustTerm("f(a, c)")
+	if Unify(a, b, &tr) {
+		t.Fatal("should fail")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("failed unification left %d bindings", tr.Len())
+	}
+	x := a.(*term.Compound).Args[0]
+	if _, ok := term.Deref(x).(*term.Var); !ok {
+		t.Error("X still bound after failed unification")
+	}
+}
+
+func TestTrailUndoToMark(t *testing.T) {
+	var tr Trail
+	x, y := term.NewVar("X"), term.NewVar("Y")
+	Unify(x, term.Atom("a"), &tr)
+	mark := tr.Mark()
+	Unify(y, term.Atom("b"), &tr)
+	tr.Undo(mark)
+	if _, ok := term.Deref(y).(*term.Var); !ok {
+		t.Error("Y still bound after Undo")
+	}
+	if term.Deref(x) != term.Atom("a") {
+		t.Error("X lost its binding from before the mark")
+	}
+}
+
+func TestSharedVariableConstraint(t *testing.T) {
+	// The married_couple(S,S) case: a clause head with two distinct
+	// constants must NOT unify with a query sharing one variable.
+	var tr Trail
+	q := parse.MustTerm("married_couple(S, S)")
+	head1 := parse.MustTerm("married_couple(fred, wilma)")
+	if Unify(q, head1, &tr) {
+		t.Error("married_couple(S,S) unified with (fred,wilma)")
+	}
+	q2 := parse.MustTerm("married_couple(S, S)")
+	head2 := parse.MustTerm("married_couple(pat, pat)")
+	if !Unify(q2, head2, &tr) {
+		t.Error("married_couple(S,S) failed against (pat,pat)")
+	}
+}
+
+func TestOccursCheck(t *testing.T) {
+	var tr Trail
+	x := term.NewVar("X")
+	cyclic := term.New("f", x)
+	if !Unify(x, cyclic, &tr) {
+		t.Error("plain Unify performs no occurs check (standard Prolog)")
+	}
+	tr.Undo(0)
+	if UnifyOC(x, cyclic, &tr) {
+		t.Error("UnifyOC should reject X = f(X)")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("failed OC unification left %d bindings", tr.Len())
+	}
+}
+
+func TestUnifiableLeavesNoBindings(t *testing.T) {
+	a := parse.MustTerm("f(X, Y)")
+	if !Unifiable(a, parse.MustTerm("f(1, 2)")) {
+		t.Fatal("should be unifiable")
+	}
+	for _, arg := range a.(*term.Compound).Args {
+		if _, ok := term.Deref(arg).(*term.Var); !ok {
+			t.Error("Unifiable left a binding")
+		}
+	}
+}
+
+func TestUnifyPartialLists(t *testing.T) {
+	var tr Trail
+	a := parse.MustTerm("[1,2|T]")
+	b := parse.MustTerm("[1,2,3,4]")
+	if !Unify(a, b, &tr) {
+		t.Fatal("partial list unify failed")
+	}
+	if got := Resolve(a).String(); got != "[1,2,3,4]" {
+		t.Errorf("resolved = %s", got)
+	}
+}
+
+func TestUnifyDifferentArity(t *testing.T) {
+	var tr Trail
+	if Unify(parse.MustTerm("f(a)"), parse.MustTerm("f(a,b)"), &tr) {
+		t.Error("different arities unified")
+	}
+	if Unify(parse.MustTerm("f(a)"), parse.MustTerm("g(a)"), &tr) {
+		t.Error("different functors unified")
+	}
+}
+
+func TestResolveDeep(t *testing.T) {
+	var tr Trail
+	x := term.NewVar("X")
+	y := term.NewVar("Y")
+	Unify(x, term.New("g", y), &tr)
+	Unify(y, term.Int(5), &tr)
+	top := term.New("f", x)
+	got := Resolve(top)
+	tr.Undo(0)
+	// The resolved copy must survive the undo.
+	if got.String() != "f(g(5))" {
+		t.Errorf("resolved = %v", got)
+	}
+}
+
+// Property: unification is symmetric in success for renamed-apart terms.
+func TestQuickUnifySymmetric(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := genTerm(int(seed), 0)
+		b := genTerm(int(seed/3), 1)
+		return Unifiable(a, b) == Unifiable(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a term always unifies with a renamed copy of itself.
+func TestQuickSelfUnifiable(t *testing.T) {
+	f := func(seed uint8) bool {
+		a := genTerm(int(seed), 0)
+		return Unifiable(a, term.Rename(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genTerm builds a small deterministic term from a seed.
+func genTerm(seed, salt int) term.Term {
+	atoms := []string{"a", "b", "c"}
+	switch (seed + salt) % 5 {
+	case 0:
+		return term.Atom(atoms[seed%3])
+	case 1:
+		return term.Int(int64(seed % 4))
+	case 2:
+		return term.NewVar("V")
+	case 3:
+		return term.New("f", genTerm(seed/2, salt), genTerm(seed/3, salt+1))
+	default:
+		return term.List(genTerm(seed/2, salt+2))
+	}
+}

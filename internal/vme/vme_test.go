@@ -1,0 +1,118 @@
+package vme
+
+import (
+	"testing"
+
+	"clare/internal/fs2"
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/symtab"
+)
+
+func TestWindowBounds(t *testing.T) {
+	if !InWindow(WindowBase) || !InWindow(WindowEnd) {
+		t.Error("window endpoints should be inside")
+	}
+	if InWindow(WindowBase-1) || InWindow(WindowEnd+1) {
+		t.Error("addresses outside the window accepted")
+	}
+	if WindowBase != 0xffff7e00 || WindowEnd != 0xffff7fff {
+		t.Error("window must match the §2.2 constants")
+	}
+}
+
+func TestBoardSelectionBit(t *testing.T) {
+	b := NewBus(fs2.New())
+	// b2 = 0 selects FS1, 1 selects FS2 (§2.2).
+	b.WriteControl(0b000)
+	if b.Selected() != BoardFS1 {
+		t.Error("b2=0 should select FS1")
+	}
+	b.WriteControl(0b100)
+	if b.Selected() != BoardFS2 {
+		t.Error("b2=1 should select FS2")
+	}
+	b.SelectFS1()
+	if b.Selected() != BoardFS1 {
+		t.Error("SelectFS1 failed")
+	}
+}
+
+func TestModeBitsDriveFS2(t *testing.T) {
+	e := fs2.New()
+	b := NewBus(e)
+	cases := map[fs2.Mode]uint8{
+		fs2.ModeReadResult:       0b100,
+		fs2.ModeSearch:           0b110, // b1=1 b0=0
+		fs2.ModeMicroprogramming: 0b101, // b1=0 b0=1
+		fs2.ModeSetQuery:         0b111,
+	}
+	for mode, want := range cases {
+		got := b.SelectFS2(mode)
+		if got != want {
+			t.Errorf("SelectFS2(%v) wrote 0b%03b, want 0b%03b", mode, got, want)
+		}
+		if e.Mode() != mode {
+			t.Errorf("engine mode = %v, want %v", e.Mode(), mode)
+		}
+	}
+}
+
+func TestMatchBitReadOnly(t *testing.T) {
+	e := fs2.New()
+	b := NewBus(e)
+	// Writing b7 must not stick.
+	b.WriteControl(1 << BitMatch)
+	if b.ReadControl()&(1<<BitMatch) != 0 {
+		t.Error("b7 should be read-only")
+	}
+}
+
+func TestFullProtocolSequence(t *testing.T) {
+	// The §3 search protocol end-to-end through the register interface:
+	// microprogram → set query → search → read result.
+	e := fs2.New()
+	bus := NewBus(e)
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+
+	bus.SelectFS2(fs2.ModeMicroprogramming)
+	if err := e.LoadMicroprogram(fs2.MPLevel3XB); err != nil {
+		t.Fatal(err)
+	}
+	q, err := enc.Encode(parse.MustTerm("p(a, X)"), pif.QuerySide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.SelectFS2(fs2.ModeSetQuery)
+	if err := e.SetQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	h1, _ := enc.Encode(parse.MustTerm("p(a, 1)"), pif.DBSide)
+	h2, _ := enc.Encode(parse.MustTerm("p(b, 2)"), pif.DBSide)
+	bus.SelectFS2(fs2.ModeSearch)
+	if _, err := e.Search([]fs2.Record{{Addr: 0, Enc: h1}, {Addr: 10, Enc: h2}}); err != nil {
+		t.Fatal(err)
+	}
+	// b7 should now read set.
+	if bus.ReadControl()&(1<<BitMatch) == 0 {
+		t.Error("match bit b7 not visible through the bus")
+	}
+	bus.SelectFS2(fs2.ModeReadResult)
+	addrs, err := e.ReadResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != 0 {
+		t.Errorf("result = %v", addrs)
+	}
+}
+
+func TestStringDiagnostics(t *testing.T) {
+	b := NewBus(fs2.New())
+	b.SelectFS2(fs2.ModeSearch)
+	s := b.String()
+	if s == "" {
+		t.Error("empty diagnostics")
+	}
+}

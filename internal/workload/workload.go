@@ -1,0 +1,296 @@
+// Package workload generates the synthetic knowledge bases and query
+// streams the experiments run on, standing in for the Prolog database
+// benchmark suite of Williams, Massey & Crammond ([6,7] in the paper) and
+// for Warren's "medium-size knowledge based system" sizing (§1: "of the
+// order of 3000 predicates, 30000 rules, 3000000 facts, and 30 Mbytes
+// total size").
+//
+// All generators are deterministic in their seed, so experiment tables are
+// reproducible run to run.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clare/internal/core"
+	"clare/internal/term"
+)
+
+// Family generates the §2.1 married_couple workload: N couples of which
+// every SameEvery-th shares one name (so shared-variable queries have a
+// small true resolution set).
+type Family struct {
+	Couples   int
+	SameEvery int // 0 disables same-name couples
+}
+
+// Clauses returns the married_couple/2 facts.
+func (f Family) Clauses() []core.ClauseTerm {
+	out := make([]core.ClauseTerm, f.Couples)
+	for i := 0; i < f.Couples; i++ {
+		h := term.Atom(fmt.Sprintf("husband%d", i))
+		w := term.Atom(fmt.Sprintf("wife%d", i))
+		if f.SameEvery > 0 && i%f.SameEvery == 0 {
+			w = h
+		}
+		out[i] = core.ClauseTerm{Head: term.New("married_couple", h, w)}
+	}
+	return out
+}
+
+// SameNameCount is the number of couples a married_couple(S,S) query truly
+// resolves to.
+func (f Family) SameNameCount() int {
+	if f.SameEvery <= 0 {
+		return 0
+	}
+	return (f.Couples + f.SameEvery - 1) / f.SameEvery
+}
+
+// Relation generates a fact-intensive predicate with controllable
+// selectivity: Facts rows over Domain distinct key values, so a ground
+// probe on the first argument matches ≈Facts/Domain clauses.
+type Relation struct {
+	Name   string
+	Facts  int
+	Domain int
+	Arity  int // ≥ 2: key, payloads
+	Seed   int64
+}
+
+// Clauses returns the generated facts.
+func (rl Relation) Clauses() []core.ClauseTerm {
+	rng := rand.New(rand.NewSource(rl.Seed))
+	arity := rl.Arity
+	if arity < 2 {
+		arity = 2
+	}
+	out := make([]core.ClauseTerm, rl.Facts)
+	for i := 0; i < rl.Facts; i++ {
+		args := make([]term.Term, arity)
+		args[0] = term.Atom(fmt.Sprintf("k%d", rng.Intn(rl.Domain)))
+		for j := 1; j < arity; j++ {
+			args[j] = term.Int(int64(rng.Intn(1000)))
+		}
+		out[i] = core.ClauseTerm{Head: term.New(rl.Name, args...)}
+	}
+	return out
+}
+
+// Probe returns a query goal on key k with fresh variables elsewhere.
+func (rl Relation) Probe(k int) term.Term {
+	arity := rl.Arity
+	if arity < 2 {
+		arity = 2
+	}
+	args := make([]term.Term, arity)
+	args[0] = term.Atom(fmt.Sprintf("k%d", k))
+	for j := 1; j < arity; j++ {
+		args[j] = term.NewVar(fmt.Sprintf("V%d", j))
+	}
+	return term.New(rl.Name, args...)
+}
+
+// Structured generates a predicate whose arguments carry nested structures
+// and lists — the workload that separates the matching levels (§2.2).
+// Each clause is shape(kI, point(X,Y,Z), [tagA,tagB], addr(street(S),N)).
+type Structured struct {
+	Name  string
+	Facts int
+	// DeepVariety controls how many distinct depth-2 values exist: small
+	// values mean level 3 can rarely discriminate (more false drops).
+	DeepVariety int
+	Seed        int64
+}
+
+// Clauses returns the generated facts.
+func (s Structured) Clauses() []core.ClauseTerm {
+	rng := rand.New(rand.NewSource(s.Seed))
+	dv := s.DeepVariety
+	if dv < 1 {
+		dv = 4
+	}
+	out := make([]core.ClauseTerm, s.Facts)
+	for i := 0; i < s.Facts; i++ {
+		out[i] = core.ClauseTerm{Head: term.New(s.Name,
+			term.Atom(fmt.Sprintf("k%d", i)),
+			term.New("point",
+				term.Int(int64(rng.Intn(10))),
+				term.Int(int64(rng.Intn(10))),
+				term.New("depth", term.Int(int64(rng.Intn(dv))))),
+			term.List(
+				term.Atom(fmt.Sprintf("tag%d", rng.Intn(5))),
+				term.Atom(fmt.Sprintf("tag%d", rng.Intn(5)))),
+		)}
+	}
+	return out
+}
+
+// ProbeExact returns a fully ground probe equal to clause i's head shape
+// with the given sub-values.
+func (s Structured) ProbeStructure(x, y, d, t1, t2 int) term.Term {
+	return term.New(s.Name,
+		term.NewVar("K"),
+		term.New("point", term.Int(int64(x)), term.Int(int64(y)),
+			term.New("depth", term.Int(int64(d)))),
+		term.List(term.Atom(fmt.Sprintf("tag%d", t1)), term.Atom(fmt.Sprintf("tag%d", t2))),
+	)
+}
+
+// Rules generates a rule-intensive predicate: heads with variable
+// arguments and real bodies, plus a few ground facts mixed in user order —
+// the §1 "mixed relation" a coupled system cannot store.
+type Rules struct {
+	Name  string
+	Rules int
+	Facts int
+	Seed  int64
+}
+
+// Clauses returns rules and facts interleaved deterministically.
+func (r Rules) Clauses() []core.ClauseTerm {
+	rng := rand.New(rand.NewSource(r.Seed))
+	total := r.Rules + r.Facts
+	out := make([]core.ClauseTerm, 0, total)
+	ri, fi := 0, 0
+	for len(out) < total {
+		mkRule := ri < r.Rules && (fi >= r.Facts || rng.Intn(total) < r.Rules)
+		if mkRule {
+			x := term.NewVar("X")
+			out = append(out, core.ClauseTerm{
+				Head: term.New(r.Name, x, term.Atom(fmt.Sprintf("class%d", ri%7))),
+				Body: term.New("helper", x, term.Int(int64(ri))),
+			})
+			ri++
+		} else {
+			out = append(out, core.ClauseTerm{
+				Head: term.New(r.Name, term.Atom(fmt.Sprintf("c%d", fi)), term.Atom(fmt.Sprintf("class%d", fi%7))),
+			})
+			fi++
+		}
+	}
+	return out
+}
+
+// WarrenKB scales Warren's medium-size knowledge base (§1). Scale 1.0
+// means 3000 predicates / 30000 rules / 3,000,000 facts; the default
+// experiments run a documented fraction of it.
+type WarrenKB struct {
+	Scale float64
+	Seed  int64
+}
+
+// Dimensions returns the scaled predicate/rule/fact counts.
+func (w WarrenKB) Dimensions() (preds, rules, facts int) {
+	s := w.Scale
+	if s <= 0 {
+		s = 0.01
+	}
+	preds = max(1, int(3000*s))
+	rules = max(1, int(30000*s))
+	facts = max(1, int(3_000_000*s))
+	return preds, rules, facts
+}
+
+// Predicate is one generated predicate's clause set.
+type Predicate struct {
+	Name    string
+	Clauses []core.ClauseTerm
+}
+
+// Generate materialises the scaled knowledge base: facts and rules are
+// spread over the predicates with a skew (some predicates much larger than
+// others, as real KBs are).
+func (w WarrenKB) Generate() []Predicate {
+	preds, rules, facts := w.Dimensions()
+	rng := rand.New(rand.NewSource(w.Seed))
+	out := make([]Predicate, preds)
+	for i := range out {
+		out[i].Name = fmt.Sprintf("pred%d", i)
+	}
+	// Zipf-ish skew: predicate i gets weight 1/(i+1).
+	weights := make([]float64, preds)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+		sum += weights[i]
+	}
+	alloc := func(total int, f func(p *Predicate, n int)) {
+		for i := range out {
+			n := int(float64(total) * weights[i] / sum)
+			if n == 0 && total > 0 {
+				n = 1
+			}
+			f(&out[i], n)
+		}
+	}
+	alloc(facts, func(p *Predicate, n int) {
+		for j := 0; j < n; j++ {
+			p.Clauses = append(p.Clauses, core.ClauseTerm{
+				Head: term.New(p.Name,
+					term.Atom(fmt.Sprintf("e%d", rng.Intn(n+1))),
+					term.Int(int64(j))),
+			})
+		}
+	})
+	alloc(rules, func(p *Predicate, n int) {
+		for j := 0; j < n; j++ {
+			x := term.NewVar("X")
+			p.Clauses = append(p.Clauses, core.ClauseTerm{
+				Head: term.New(p.Name, x, term.Int(int64(-j-1))),
+				Body: term.New("aux", x),
+			})
+		}
+	})
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WideFacts generates facts of the given arity — the arity sweep used to
+// demonstrate the 12-argument encoding truncation (§2.1).
+type WideFacts struct {
+	Name  string
+	Facts int
+	Arity int
+	// DifferOnlyAt makes all facts identical except at this 0-based
+	// argument index (so probes past the FS1 limit false-drop).
+	DifferOnlyAt int
+}
+
+// Clauses returns the generated facts.
+func (wf WideFacts) Clauses() []core.ClauseTerm {
+	out := make([]core.ClauseTerm, wf.Facts)
+	for i := 0; i < wf.Facts; i++ {
+		args := make([]term.Term, wf.Arity)
+		for j := range args {
+			if j == wf.DifferOnlyAt {
+				args[j] = term.Atom(fmt.Sprintf("v%d", i))
+			} else {
+				args[j] = term.Atom(fmt.Sprintf("const%d", j))
+			}
+		}
+		out[i] = core.ClauseTerm{Head: term.New(wf.Name, args...)}
+	}
+	return out
+}
+
+// Probe returns a goal selecting the fact whose distinguishing argument is
+// vI.
+func (wf WideFacts) Probe(i int) term.Term {
+	args := make([]term.Term, wf.Arity)
+	for j := range args {
+		if j == wf.DifferOnlyAt {
+			args[j] = term.Atom(fmt.Sprintf("v%d", i))
+		} else {
+			args[j] = term.Atom(fmt.Sprintf("const%d", j))
+		}
+	}
+	return term.New(wf.Name, args...)
+}

@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"clare/internal/term"
+	"clare/internal/unify"
+)
+
+func TestFamilyGeneration(t *testing.T) {
+	f := Family{Couples: 20, SameEvery: 4}
+	cls := f.Clauses()
+	if len(cls) != 20 {
+		t.Fatalf("clauses = %d", len(cls))
+	}
+	same := 0
+	for _, c := range cls {
+		cc := c.Head.(*term.Compound)
+		if cc.Functor != "married_couple" || len(cc.Args) != 2 {
+			t.Fatalf("bad head %v", c.Head)
+		}
+		if term.Equal(cc.Args[0], cc.Args[1]) {
+			same++
+		}
+	}
+	if same != f.SameNameCount() || same != 5 {
+		t.Errorf("same-name couples = %d, want %d", same, f.SameNameCount())
+	}
+	if (Family{Couples: 10}).SameNameCount() != 0 {
+		t.Error("SameEvery=0 should have no same-name couples")
+	}
+}
+
+func TestRelationSelectivity(t *testing.T) {
+	rl := Relation{Name: "emp", Facts: 1000, Domain: 50, Arity: 3, Seed: 7}
+	cls := rl.Clauses()
+	if len(cls) != 1000 {
+		t.Fatalf("facts = %d", len(cls))
+	}
+	probe := rl.Probe(7)
+	hits := 0
+	for _, c := range cls {
+		if unify.Unifiable(probe, term.Rename(c.Head)) {
+			hits++
+		}
+	}
+	// Expected ≈ Facts/Domain = 20; allow generous statistical slack.
+	if hits < 5 || hits > 60 {
+		t.Errorf("probe hits = %d, expected ≈20", hits)
+	}
+	// Determinism.
+	again := Relation{Name: "emp", Facts: 1000, Domain: 50, Arity: 3, Seed: 7}.Clauses()
+	for i := range cls {
+		if cls[i].Head.String() != again[i].Head.String() {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestStructuredShapes(t *testing.T) {
+	s := Structured{Name: "shape", Facts: 50, DeepVariety: 3, Seed: 1}
+	cls := s.Clauses()
+	if len(cls) != 50 {
+		t.Fatalf("facts = %d", len(cls))
+	}
+	h := cls[0].Head.(*term.Compound)
+	if len(h.Args) != 3 {
+		t.Fatalf("arity = %d", len(h.Args))
+	}
+	if term.Depth(h) < 3 {
+		t.Errorf("depth = %d, want ≥3 (nested depth marker)", term.Depth(h))
+	}
+	probe := s.ProbeStructure(1, 2, 0, 1, 2)
+	if term.Depth(probe) < 3 {
+		t.Error("probe should be deep")
+	}
+}
+
+func TestRulesMix(t *testing.T) {
+	r := Rules{Name: "fly", Rules: 10, Facts: 30, Seed: 3}
+	cls := r.Clauses()
+	if len(cls) != 40 {
+		t.Fatalf("clauses = %d", len(cls))
+	}
+	rules, facts := 0, 0
+	for _, c := range cls {
+		if c.Body != nil {
+			rules++
+		} else {
+			facts++
+		}
+	}
+	if rules != 10 || facts != 30 {
+		t.Errorf("mix = %d rules, %d facts", rules, facts)
+	}
+	// Rule heads carry variables (mask-bit material).
+	foundVarHead := false
+	for _, c := range cls {
+		if c.Body != nil && !term.Ground(c.Head) {
+			foundVarHead = true
+		}
+	}
+	if !foundVarHead {
+		t.Error("rule heads should contain variables")
+	}
+}
+
+func TestWarrenDimensions(t *testing.T) {
+	w := WarrenKB{Scale: 1.0}
+	p, r, f := w.Dimensions()
+	if p != 3000 || r != 30000 || f != 3_000_000 {
+		t.Errorf("full scale = %d/%d/%d, want 3000/30000/3000000 (§1)", p, r, f)
+	}
+	w = WarrenKB{Scale: 0.001}
+	p, r, f = w.Dimensions()
+	if p != 3 || r != 30 || f != 3000 {
+		t.Errorf("milli scale = %d/%d/%d", p, r, f)
+	}
+}
+
+func TestWarrenGenerate(t *testing.T) {
+	w := WarrenKB{Scale: 0.001, Seed: 11}
+	preds := w.Generate()
+	if len(preds) != 3 {
+		t.Fatalf("predicates = %d", len(preds))
+	}
+	total := 0
+	for _, p := range preds {
+		if len(p.Clauses) == 0 {
+			t.Errorf("predicate %s empty", p.Name)
+		}
+		total += len(p.Clauses)
+	}
+	// Skew: first predicate largest.
+	if len(preds[0].Clauses) <= len(preds[2].Clauses) {
+		t.Error("expected size skew across predicates")
+	}
+	if total < 3000 {
+		t.Errorf("total clauses = %d, want ≥ scaled facts", total)
+	}
+}
+
+func TestWideFactsProbe(t *testing.T) {
+	wf := WideFacts{Name: "wide", Facts: 10, Arity: 14, DifferOnlyAt: 13}
+	cls := wf.Clauses()
+	probe := wf.Probe(3)
+	hits := 0
+	for _, c := range cls {
+		if unify.Unifiable(probe, term.Rename(c.Head)) {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Errorf("true unifiers = %d, want 1", hits)
+	}
+	// All facts agree on the first 13 arguments.
+	h0 := cls[0].Head.(*term.Compound)
+	h1 := cls[1].Head.(*term.Compound)
+	for j := 0; j < 13; j++ {
+		if !term.Equal(h0.Args[j], h1.Args[j]) {
+			t.Errorf("arg %d differs between facts", j)
+		}
+	}
+	if term.Equal(h0.Args[13], h1.Args[13]) {
+		t.Error("distinguishing argument should differ")
+	}
+}
