@@ -15,7 +15,10 @@ package clare
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clare/internal/core"
 	"clare/internal/disk"
@@ -613,6 +616,111 @@ func BenchmarkAblationDispatch(b *testing.B) {
 		}
 		_ = sink
 	})
+}
+
+// --- CONC: multi-board concurrent retrieval scaling ------------------------
+
+// BenchmarkConcurrentRetrieval measures aggregate retrieval throughput
+// over the Warren-style KB as the chassis grows from the paper's single
+// board to 8 boards, under 1..16 concurrent clients. Every concurrent
+// result is checked byte-identical (by candidate address list) to the
+// serial single-board path.
+//
+// Two throughput figures come out of each run: wall-clock queries/s
+// (the Go simulator's own speed — bounded by the host's cores) and
+// sim-q/s, the modeled hardware throughput obtained by scheduling each
+// retrieval's simulated service time over the chassis (core.Makespan).
+// sim-q/s is the paper-comparable scaling curve: it grows near-linearly
+// with the board count until the client count is the limit.
+func BenchmarkConcurrentRetrieval(b *testing.B) {
+	w := workload.WarrenKB{Scale: 0.001, Seed: 1}
+	preds := w.Generate()
+
+	// Serial reference: candidates per goal from a single-board chassis.
+	ref, err := core.New(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range preds {
+		if _, err := ref.AddClauses("warren", p.Clauses); err != nil {
+			b.Fatal(err)
+		}
+	}
+	nGoals := len(preds)
+	if nGoals > 8 {
+		nGoals = 8
+	}
+	goals := make([]term.Term, nGoals)
+	want := make([]string, nGoals)
+	for i := 0; i < nGoals; i++ {
+		goals[i] = term.New(preds[i].Name, term.Atom("e1"), term.NewVar("V"))
+		rt, err := ref.Retrieve(goals[i], core.ModeFS1FS2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want[i] = fmt.Sprint(candidateAddrs(rt))
+	}
+
+	for _, boards := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig()
+		cfg.Boards = boards
+		r, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range preds {
+			if _, err := r.AddClauses("warren", p.Clauses); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, clients := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("boards%d/clients%d", boards, clients), func(b *testing.B) {
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				var mu sync.Mutex
+				service := make([]time.Duration, b.N)
+				b.ResetTimer()
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(b.N) {
+								return
+							}
+							g := int(i) % nGoals
+							rt, err := r.Retrieve(goals[g], core.ModeFS1FS2)
+							if err != nil {
+								b.Error(err)
+								return
+							}
+							if got := fmt.Sprint(candidateAddrs(rt)); got != want[g] {
+								b.Errorf("goal %d: candidates %s, want %s", g, got, want[g])
+								return
+							}
+							mu.Lock()
+							service[i] = rt.Stats.Total
+							mu.Unlock()
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+				makespan := core.Makespan(service, boards, clients)
+				b.ReportMetric(float64(b.N)/makespan.Seconds(), "sim-q/s")
+			})
+		}
+	}
+}
+
+func candidateAddrs(rt *core.Retrieval) []uint32 {
+	out := make([]uint32, len(rt.Candidates))
+	for i, sc := range rt.Candidates {
+		out[i] = sc.Addr
+	}
+	return out
 }
 
 // --- PDBM database benchmark suite (refs [6,7]) ----------------------------

@@ -68,6 +68,18 @@ type Options struct {
 	// Mode pins the search mode for every retrieval; nil selects per
 	// query via the CRS heuristic.
 	Mode *SearchMode
+	// Boards is the number of FS2 board + drive units in the simulated
+	// chassis (0 means 1 — the paper's single-board setup). Each
+	// concurrent retrieval leases one unit, so N boards serve N
+	// retrievals in parallel.
+	Boards int
+	// StreamChunkEntries sets how many secondary-file entries FS1 hands
+	// downstream per pipeline chunk in fs1+fs2 mode (0 derives one disk
+	// track's worth).
+	StreamChunkEntries int
+	// QueryCacheSize bounds the query-encoding cache (0 means the
+	// default; negative disables it).
+	QueryCacheSize int
 	// Out receives Prolog output (write/1 etc.); nil means os.Stdout.
 	Out io.Writer
 }
@@ -113,7 +125,10 @@ func NewKB(opts Options) (*KB, error) {
 			BitsPerKey: opts.CodewordBits,
 			MaskBits:   opts.MaskBits,
 		},
-		Microprogram: mp,
+		Microprogram:       mp,
+		Boards:             opts.Boards,
+		StreamChunkEntries: opts.StreamChunkEntries,
+		QueryCacheSize:     opts.QueryCacheSize,
 	}
 	r, err := core.New(cfg)
 	if err != nil {
@@ -213,11 +228,16 @@ func (kb *KB) RetrieveAuto(goal string) (*Retrieval, error) {
 	return kb.session.Retrieve(g, nil)
 }
 
-// FS2Stats exposes the FS2 board's accumulated statistics.
-func (kb *KB) FS2Stats() fs2.Stats { return kb.Retriever.Board().Stats }
+// FS2Stats exposes the accumulated FS2 statistics, aggregated across
+// every board in the chassis.
+func (kb *KB) FS2Stats() fs2.Stats { return kb.Retriever.FS2Stats() }
 
-// DiskStats exposes the simulated drive's accumulated statistics.
-func (kb *KB) DiskStats() disk.Stats { return kb.Retriever.Drive().Stats }
+// DiskStats exposes the accumulated simulated-disk statistics, aggregated
+// across every drive in the chassis.
+func (kb *KB) DiskStats() disk.Stats { return kb.Retriever.DiskStats() }
+
+// QueryCacheStats reports the query-encoding cache's hit/miss counters.
+func (kb *KB) QueryCacheStats() core.QueryCacheStats { return kb.Retriever.QueryCache() }
 
 // Table1 returns the derived FS2 operation times (the paper's Table 1).
 func Table1() map[string]time.Duration {

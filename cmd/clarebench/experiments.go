@@ -296,6 +296,7 @@ func expM1() error {
 			us := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
 			fmt.Fprintf(w, "%v\t%d\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
 				m, s.AfterFS1, s.AfterFS2, trueU, us(s.FS1Scan), us(s.DiskFetch), us(s.FS2Match), us(s.HostMatch), us(s.Total))
+			record("M1", fmt.Sprintf("%s_%v_sim_us", label[:4], m), float64(s.Total.Microseconds()), "us")
 		}
 		if err := w.Flush(); err != nil {
 			return err
@@ -343,6 +344,8 @@ func expW1() error {
 		}
 		fmt.Fprintf(w, "%g\t%d\t%d\t%d\t%d\t%v\n",
 			scale, len(preds), clauses, bytes, len(rt.Candidates), rt.Stats.Total.Round(time.Microsecond))
+		record("W1", fmt.Sprintf("scale%g_sim_us_per_probe", scale),
+			float64(rt.Stats.Total.Microseconds()), "us")
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -628,4 +631,96 @@ func expOPS() error {
 		fmt.Fprintf(w, "\t%v\n", e.Stats.MatchTime)
 	}
 	return w.Flush()
+}
+
+// expCONC sweeps the multi-board chassis: aggregate simulated retrieval
+// throughput over the Warren-style KB for 1/2/4/8 boards × 1..16 clients.
+// Service times come from real retrievals; the closed-system schedule
+// (core.Makespan) turns them into the chassis' aggregate throughput.
+// Candidates are verified identical to the single-board serial path.
+func expCONC() error {
+	const queries = 64
+	wk := workload.WarrenKB{Scale: 0.001, Seed: 1}
+	preds := wk.Generate()
+
+	build := func(boards int) (*core.Retriever, error) {
+		cfg := core.DefaultConfig()
+		cfg.Boards = boards
+		r, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range preds {
+			if _, err := r.AddClauses("warren", p.Clauses); err != nil {
+				return nil, err
+			}
+		}
+		return r, nil
+	}
+	nGoals := len(preds)
+	if nGoals > 8 {
+		nGoals = 8
+	}
+	goals := make([]term.Term, nGoals)
+	for i := range goals {
+		goals[i] = term.New(preds[i].Name, term.Atom("e1"), term.NewVar("V"))
+	}
+
+	single, err := build(1)
+	if err != nil {
+		return err
+	}
+	reference := make([]string, nGoals)
+	for i, g := range goals {
+		rt, err := single.Retrieve(g, core.ModeFS1FS2)
+		if err != nil {
+			return err
+		}
+		reference[i] = fmt.Sprint(addrList(rt))
+	}
+
+	w := tab()
+	fmt.Fprintln(w, "boards\tclients\tmakespan (sim)\tsim queries/s\tspeedup")
+	var baseline float64
+	for _, boards := range []int{1, 2, 4, 8} {
+		r, err := build(boards)
+		if err != nil {
+			return err
+		}
+		service := make([]time.Duration, queries)
+		for i := 0; i < queries; i++ {
+			g := i % nGoals
+			rt, err := r.Retrieve(goals[g], core.ModeFS1FS2)
+			if err != nil {
+				return err
+			}
+			if got := fmt.Sprint(addrList(rt)); got != reference[g] {
+				return fmt.Errorf("CONC: boards=%d goal %d: candidates diverge from serial path", boards, g)
+			}
+			service[i] = rt.Stats.Total
+		}
+		for _, clients := range []int{1, 2, 4, 8, 16} {
+			makespan := core.Makespan(service, boards, clients)
+			qps := float64(queries) / makespan.Seconds()
+			if boards == 1 && clients == 1 {
+				baseline = qps
+			}
+			fmt.Fprintf(w, "%d\t%d\t%v\t%.1f\t%.2fx\n",
+				boards, clients, makespan.Round(time.Millisecond), qps, qps/baseline)
+			record("CONC", fmt.Sprintf("boards%d_clients%d_sim_qps", boards, clients), qps, "queries/s")
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println("(service times measured on real retrievals; schedule is the closed multi-client model)")
+	return nil
+}
+
+func addrList(rt *core.Retrieval) []uint32 {
+	out := make([]uint32, len(rt.Candidates))
+	for i, sc := range rt.Candidates {
+		out[i] = sc.Addr
+	}
+	return out
 }

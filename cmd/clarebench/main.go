@@ -5,7 +5,8 @@
 // Usage:
 //
 //	clarebench            # run every experiment
-//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 AB1 AB2
+//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2
+//	clarebench -json      # also write machine-readable BENCH_<exp>.json
 package main
 
 import (
@@ -24,6 +25,7 @@ type experiment struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
+	jsonOut := flag.Bool("json", false, "write recorded metrics to BENCH_<exp>.json")
 	flag.Parse()
 
 	exps := []experiment{
@@ -37,6 +39,7 @@ func main() {
 		{"D2", "§2.1 — the shared-variable pathology (married_couple(S,S))", expD2},
 		{"M1", "§2.2 — the four CRS search modes", expM1},
 		{"W1", "§1 — Warren-scale knowledge base sweep", expW1},
+		{"CONC", "Multi-board chassis — concurrent retrieval scaling", expCONC},
 		{"L15", "§2.2 — matching levels 1–5 selectivity/cost trade-off", expL15},
 		{"B1", "Refs [6,7] — PDBM database benchmark suite", expB1},
 		{"WCS", "§3.1 — assembled Writable Control Store microprogram", expWCS},
@@ -65,5 +68,13 @@ func main() {
 		sort.Strings(ids)
 		fmt.Fprintf(os.Stderr, "clarebench: unknown experiment %q (have %s)\n", *exp, strings.Join(ids, " "))
 		os.Exit(2)
+	}
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", strings.ReplaceAll(*exp, "/", "_"))
+		if err := writeJSON(path); err != nil {
+			fmt.Fprintf(os.Stderr, "clarebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d metrics)\n", path, len(recorded))
 	}
 }

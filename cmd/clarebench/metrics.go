@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Metric is one machine-readable result: experiments record the same
+// headline numbers they print, so the perf trajectory can be tracked
+// across commits by diffing BENCH_*.json files.
+type Metric struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	Value      float64 `json:"value"`
+	Unit       string  `json:"unit,omitempty"`
+}
+
+var recorded []Metric
+
+// record appends one metric to the run's machine-readable output.
+func record(exp, name string, value float64, unit string) {
+	recorded = append(recorded, Metric{Experiment: exp, Name: name, Value: value, Unit: unit})
+}
+
+// benchReport is the BENCH_*.json document.
+type benchReport struct {
+	Generated string   `json:"generated"`
+	Command   string   `json:"command"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// writeJSON writes the recorded metrics to path.
+func writeJSON(path string) error {
+	rep := benchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Command:   fmt.Sprintf("clarebench %v", os.Args[1:]),
+		Metrics:   recorded,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

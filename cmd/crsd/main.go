@@ -25,13 +25,16 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7071", "listen address")
+	boards := flag.Int("boards", 1, "FS2 board/drive units in the simulated chassis (concurrent retrievals)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] predicate.pl ...")
+		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-boards n] predicate.pl ...")
 		os.Exit(2)
 	}
 
-	r, err := core.New(core.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Boards = *boards
+	r, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"clare/internal/clausefile"
@@ -67,6 +68,18 @@ type Config struct {
 	// M68020-class host). It only shapes mode comparisons; all hardware
 	// times are derived from the component models.
 	SoftwareMatchCost time.Duration
+	// Boards is the number of FS2 board + bus + drive units in the
+	// simulated chassis (0 means 1 — the paper's configuration). Each
+	// retrieval leases one unit, so up to Boards retrievals proceed in
+	// parallel.
+	Boards int
+	// StreamChunkEntries is how many secondary-file entries FS1 hands to
+	// the fetch+FS2 stage per pipeline chunk in fs1+fs2 mode (0 derives
+	// one disk track's worth — the paper's unit of transfer, §3.2).
+	StreamChunkEntries int
+	// QueryCacheSize bounds the query-encoding cache (distinct goal
+	// shapes). 0 means DefaultQueryCacheSize; negative disables caching.
+	QueryCacheSize int
 }
 
 // DefaultConfig mirrors the paper's hardware: the faster SMD disk, 64-bit
@@ -115,17 +128,20 @@ func (p *Predicate) FractionMasked() float64 {
 	return float64(p.MaskedClauses) / float64(p.File.Len())
 }
 
-// Retriever is the CLARE engine instance: one FS2 board behind a VME bus,
-// a disk drive, and the managed predicates.
+// Retriever is the CLARE engine instance: a chassis of FS2 boards behind
+// VME buses (one or more — the paper built one), each with its own disk
+// spindle, and the managed predicates. Retrieve is safe for concurrent
+// callers: each retrieval leases a board unit from the pool.
 type Retriever struct {
-	cfg   Config
-	syms  *symtab.Table
-	penc  *pif.Encoder
-	ienc  *scw.Encoder
-	board *fs2.Engine
-	bus   *vme.Bus
-	drive *disk.Drive
-	preds map[Indicator]*Predicate
+	cfg    Config
+	syms   *symtab.Table
+	penc   *pif.Encoder
+	ienc   *scw.Encoder
+	pool   *boardPool
+	qcache *queryCache
+
+	predsMu sync.RWMutex
+	preds   map[Indicator]*Predicate
 }
 
 // New builds a retriever with its own symbol table.
@@ -146,32 +162,65 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 	if cfg.SoftwareMatchCost <= 0 {
 		cfg.SoftwareMatchCost = DefaultConfig().SoftwareMatchCost
 	}
-	board := fs2.New()
-	bus := vme.NewBus(board)
-	bus.SelectFS2(fs2.ModeMicroprogramming)
-	if err := board.LoadMicroprogram(cfg.Microprogram); err != nil {
+	pool, err := newBoardPool(cfg, cfg.Boards)
+	if err != nil {
 		return nil, err
 	}
 	return &Retriever{
-		cfg:   cfg,
-		syms:  syms,
-		penc:  pif.NewEncoder(syms),
-		ienc:  ienc,
-		board: board,
-		bus:   bus,
-		drive: disk.NewDrive(cfg.Disk),
-		preds: make(map[Indicator]*Predicate),
+		cfg:    cfg,
+		syms:   syms,
+		penc:   pif.NewEncoder(syms),
+		ienc:   ienc,
+		pool:   pool,
+		qcache: newQueryCache(cfg.QueryCacheSize),
+		preds:  make(map[Indicator]*Predicate),
 	}, nil
 }
 
 // Symbols returns the shared symbol table.
 func (r *Retriever) Symbols() *symtab.Table { return r.syms }
 
-// Board exposes the FS2 engine (statistics, ablation).
-func (r *Retriever) Board() *fs2.Engine { return r.board }
+// Board exposes slot 0's FS2 engine (statistics, ablation). With a
+// multi-board chassis, FS2Stats aggregates across all boards.
+func (r *Retriever) Board() *fs2.Engine { return r.pool.all[0].board }
 
-// Drive exposes the disk drive (statistics).
-func (r *Retriever) Drive() *disk.Drive { return r.drive }
+// Drive exposes slot 0's disk drive (statistics). With a multi-board
+// chassis, DiskStats aggregates across all spindles.
+func (r *Retriever) Drive() *disk.Drive { return r.pool.all[0].drive }
+
+// Chassis exposes the VME chassis holding the filter boards.
+func (r *Retriever) Chassis() *vme.Chassis { return r.pool.chassis }
+
+// Boards reports the chassis size.
+func (r *Retriever) Boards() int { return len(r.pool.all) }
+
+// FS2Stats aggregates FS2 statistics across every board in the chassis.
+// It quiesces the pool, so the snapshot is consistent: in-flight
+// retrievals finish before their board is read.
+func (r *Retriever) FS2Stats() fs2.Stats {
+	var out fs2.Stats
+	r.pool.quiesce(func(units []*boardUnit) {
+		for _, u := range units {
+			out.Add(u.board.Stats)
+		}
+	})
+	return out
+}
+
+// DiskStats aggregates disk statistics across every spindle, quiescing
+// the pool for a consistent snapshot.
+func (r *Retriever) DiskStats() disk.Stats {
+	var out disk.Stats
+	r.pool.quiesce(func(units []*boardUnit) {
+		for _, u := range units {
+			out.Add(u.drive.Stats)
+		}
+	})
+	return out
+}
+
+// QueryCache reports the query-encoding cache's counters.
+func (r *Retriever) QueryCache() QueryCacheStats { return r.qcache.stats() }
 
 // AddClauses compiles clauses into a new predicate file under module. The
 // clauses must all share one functor/arity; bodies use term.Atom("true")
@@ -208,7 +257,9 @@ func (r *Retriever) AddClauses(module string, clauses []ClauseTerm) (*Predicate,
 			pred.MaskedClauses++
 		}
 	}
+	r.predsMu.Lock()
 	r.preds[pi] = pred
+	r.predsMu.Unlock()
 	return pred, nil
 }
 
@@ -225,20 +276,21 @@ func (r *Retriever) Predicate(goal term.Term) (*Predicate, error) {
 		return nil, fmt.Errorf("core: %v is not callable", goal)
 	}
 	pi := Indicator{Functor: functor, Arity: len(args)}
+	r.predsMu.RLock()
 	p, ok := r.preds[pi]
+	r.predsMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown predicate %v", pi)
 	}
 	return p, nil
 }
 
-// Predicates lists the managed indicators.
+// Predicates lists the managed indicators, sorted by functor then arity
+// so tools and tests see a stable order.
 func (r *Retriever) Predicates() []Indicator {
-	out := make([]Indicator, 0, len(r.preds))
-	for pi := range r.preds {
-		out = append(out, pi)
-	}
-	return out
+	r.predsMu.RLock()
+	defer r.predsMu.RUnlock()
+	return sortedIndicators(r.preds)
 }
 
 func principal(t term.Term) (string, []term.Term, bool) {
@@ -270,13 +322,22 @@ type StageStats struct {
 	FS2Match  time.Duration // TUE operation time
 	HostMatch time.Duration // software-mode host matching
 	// Total is the retrieval's simulated wall time. Streaming stages
-	// overlap disk transfer with matching via the Double Buffer, so the
-	// slower of the two dominates.
+	// overlap disk transfer with matching via the Double Buffer, and in
+	// fs1+fs2 mode the FS1 scan of one chunk overlaps the fetch+match of
+	// the previous chunk, so per step the slower side dominates (the
+	// per-chunk max, not the sum).
 	Total time.Duration
 
 	// IndexBytes and ClauseBytes are the bytes each stage streamed.
 	IndexBytes  int
 	ClauseBytes int
+
+	// Chunks is the number of FS1→FS2 pipeline chunks the retrieval
+	// streamed (fs1+fs2 mode; 0 when stage streaming was not used).
+	Chunks int
+	// QueryCacheHit reports that the goal's encodings came from the
+	// query-encoding cache.
+	QueryCacheHit bool
 }
 
 // Retrieval is the outcome of one CLARE search call.
@@ -302,7 +363,9 @@ func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
 	return heads, bodies, nil
 }
 
-// Retrieve runs one search call in the given mode.
+// Retrieve runs one search call in the given mode. It is safe for
+// concurrent callers: each call leases one board unit (FS2 board, VME
+// bus, disk drive) from the chassis pool for its duration.
 func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error) {
 	pred, err := r.Predicate(goal)
 	if err != nil {
@@ -311,15 +374,18 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 	rt := &Retrieval{Mode: mode, Goal: goal, pred: pred}
 	rt.Stats.TotalClauses = pred.File.Len()
 
+	u := r.pool.lease()
+	defer r.pool.release(u)
+
 	switch mode {
 	case ModeSoftware:
-		err = r.retrieveSoftware(goal, pred, rt)
+		err = r.retrieveSoftware(goal, pred, rt, u)
 	case ModeFS1:
-		err = r.retrieveFS1(goal, pred, rt, false)
+		err = r.retrieveFS1(goal, pred, rt, u)
 	case ModeFS2:
-		err = r.retrieveFS2All(goal, pred, rt)
+		err = r.retrieveFS2All(goal, pred, rt, u)
 	case ModeFS1FS2:
-		err = r.retrieveFS1(goal, pred, rt, true)
+		err = r.retrieveFS1FS2(goal, pred, rt, u)
 	default:
 		err = fmt.Errorf("core: unknown mode %d", mode)
 	}
@@ -330,14 +396,43 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 	return rt, nil
 }
 
+// encodeQuery produces the goal's SCW query codeword and PIF query image,
+// memoised per goal shape in the query cache.
+func (r *Retriever) encodeQuery(goal term.Term, rt *Retrieval) (scw.QueryDescriptor, *pif.Encoded, error) {
+	var key string
+	if r.qcache != nil {
+		var cacheable bool
+		if key, cacheable = queryKey(goal); cacheable {
+			if c := r.qcache.get(key); c != nil {
+				rt.Stats.QueryCacheHit = true
+				return c.scw, c.pif, nil
+			}
+		} else {
+			key = ""
+		}
+	}
+	qd, err := r.ienc.EncodeQuery(goal)
+	if err != nil {
+		return scw.QueryDescriptor{}, nil, err
+	}
+	q, err := r.penc.Encode(goal, pif.QuerySide)
+	if err != nil {
+		return scw.QueryDescriptor{}, nil, err
+	}
+	if key != "" {
+		r.qcache.put(key, &cachedQuery{pif: q, scw: qd})
+	}
+	return qd, q, nil
+}
+
 // retrieveSoftware scans the whole clause file and matches in software —
 // mode (a): "the CRS performs all the search operations itself". The
 // software matcher runs the same level-3+XB algorithm (package ptu).
-func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrieval) error {
+func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
 	all := pred.File.All()
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
-	diskTime := r.drive.Scan(pred.File.SizeBytes())
+	diskTime := u.drive.Scan(pred.File.SizeBytes())
 	cfg := ptuConfigFor(r.cfg.Microprogram)
 	for _, sc := range all {
 		head, _, err := pred.File.DecodeClause(sc)
@@ -354,10 +449,10 @@ func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrie
 	return nil
 }
 
-// retrieveFS1 scans the secondary file, fetches the surviving clause
-// records, and optionally refines them through FS2 — modes (b) and (d).
-func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, thenFS2 bool) error {
-	qd, err := r.ienc.EncodeQuery(goal)
+// retrieveFS1 scans the secondary file and fetches the surviving clause
+// records — mode (b).
+func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
+	qd, _, err := r.encodeQuery(goal, rt)
 	if err != nil {
 		return err
 	}
@@ -365,7 +460,7 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	rt.Stats.IndexBytes = scan.BytesScanned
 	// The index streams from disk through FS1; FS1 (4.5 MB/s) outruns the
 	// disk, so delivery dominates.
-	diskIndex := r.drive.Scan(scan.BytesScanned)
+	diskIndex := u.drive.Scan(scan.BytesScanned)
 	fs1Time := scan.Elapsed
 	if diskIndex > fs1Time {
 		fs1Time = diskIndex
@@ -386,23 +481,94 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	if len(candidates) > 0 {
 		avg = fetchBytes / len(candidates)
 	}
-	rt.Stats.DiskFetch = r.drive.Fetch(len(candidates), avg)
+	rt.Stats.DiskFetch = u.drive.Fetch(len(candidates), avg)
+	rt.Candidates = candidates
+	rt.Stats.Total = rt.Stats.FS1Scan + rt.Stats.DiskFetch
+	return nil
+}
 
-	if !thenFS2 {
-		rt.Candidates = candidates
-		rt.Stats.Total = rt.Stats.FS1Scan + rt.Stats.DiskFetch
-		return nil
-	}
-	if _, err := r.runFS2(goal, candidates, rt); err != nil {
+// retrieveFS1FS2 is mode (d) restructured as a streaming pipeline: the
+// secondary file is consumed in chunks, and as soon as FS1 emits a
+// chunk's survivors their clause records are fetched and matched by FS2
+// — while FS1 is already scanning the next chunk. This lifts the
+// Double-Buffer idea (overlap transfer with matching) from the datapath
+// to the stage pipeline: per chunk the slower of {FS1 delivery} and
+// {fetch + FS2 match} dominates, accounted by pipelineTime.
+func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
+	qd, q, err := r.encodeQuery(goal, rt)
+	if err != nil {
 		return err
 	}
-	// The fetched stream passes through FS2 on the fly: the Double Buffer
-	// overlaps transfer and matching, so the slower side dominates.
-	stream := rt.Stats.DiskFetch
-	if rt.Stats.FS2Match > stream {
-		stream = rt.Stats.FS2Match
+	ix := pred.File.Index()
+	n := ix.Len()
+	if n == 0 {
+		return nil
 	}
-	rt.Stats.Total = rt.Stats.FS1Scan + stream
+	chunk := r.cfg.StreamChunkEntries
+	if chunk <= 0 {
+		// One disk track per chunk — the paper's worst-case unit of a
+		// single FS2 search call (§3.2).
+		chunk = r.cfg.Disk.TrackBytes / scw.EntrySize
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+
+	u.bus.SelectFS2(fs2.ModeSetQuery)
+	if err := u.board.SetQuery(q); err != nil {
+		return err
+	}
+
+	// One positioning access starts the sequential index stream; chunk
+	// transfers then continue at the sustained rate.
+	access := u.drive.Access()
+	var scanChunks, matchChunks []time.Duration
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		scan := ix.ScanRange(qd, lo, hi)
+		rt.Stats.IndexBytes += scan.BytesScanned
+		// FS1 outruns the disk, so chunk delivery dominates the scan.
+		sTime := scan.Elapsed
+		if dt := u.drive.Stream(scan.BytesScanned); dt > sTime {
+			sTime = dt
+		}
+		rt.Stats.FS1Scan += sTime
+		rt.Stats.AfterFS1 += len(scan.Addrs)
+		scanChunks = append(scanChunks, sTime)
+
+		candidates, err := pred.File.ByAddrs(scan.Addrs)
+		if err != nil {
+			return err
+		}
+		fetchBytes := 0
+		for _, sc := range candidates {
+			fetchBytes += sc.SizeBytes
+		}
+		rt.Stats.ClauseBytes += fetchBytes
+		avg := 0
+		if len(candidates) > 0 {
+			avg = fetchBytes / len(candidates)
+		}
+		fetch := u.drive.Fetch(len(candidates), avg)
+		rt.Stats.DiskFetch += fetch
+		match, _, err := r.searchFS2(u, candidates, rt)
+		if err != nil {
+			return err
+		}
+		// Within the chunk, the fetched stream passes through FS2 on the
+		// fly (the Double Buffer): the slower side dominates.
+		mTime := fetch
+		if match > mTime {
+			mTime = match
+		}
+		matchChunks = append(matchChunks, mTime)
+	}
+	rt.Stats.FS1Scan += access
+	rt.Stats.Chunks = len(scanChunks)
+	rt.Stats.Total = pipelineTime(access, scanChunks, matchChunks)
 	return nil
 }
 
@@ -411,12 +577,20 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 // clause's transfer, so the stream time is computed per clause:
 //
 //	access + xfer₀ + Σᵢ₌₁ max(xferᵢ, matchᵢ₋₁) + match_last
-func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieval) error {
+func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
 	all := pred.File.All()
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
-	diskTime := r.drive.Scan(pred.File.SizeBytes())
-	clauseTimes, err := r.runFS2(goal, all, rt)
+	diskTime := u.drive.Scan(pred.File.SizeBytes())
+	_, q, err := r.encodeQuery(goal, rt)
+	if err != nil {
+		return err
+	}
+	u.bus.SelectFS2(fs2.ModeSetQuery)
+	if err := u.board.SetQuery(q); err != nil {
+		return err
+	}
+	_, clauseTimes, err := r.searchFS2(u, all, rt)
 	if err != nil {
 		return err
 	}
@@ -449,18 +623,11 @@ func pipelineTime(access time.Duration, xfers, matches []time.Duration) time.Dur
 	return total
 }
 
-// runFS2 drives the §3 register protocol for one search call, fills
-// rt.Candidates with the satisfiers and returns the per-clause match
-// times (for pipeline accounting).
-func (r *Retriever) runFS2(goal term.Term, in []*clausefile.StoredClause, rt *Retrieval) ([]time.Duration, error) {
-	q, err := r.penc.Encode(goal, pif.QuerySide)
-	if err != nil {
-		return nil, err
-	}
-	r.bus.SelectFS2(fs2.ModeSetQuery)
-	if err := r.board.SetQuery(q); err != nil {
-		return nil, err
-	}
+// searchFS2 drives the §3 register protocol for one stream of clause
+// records through the leased board (the query must already be set),
+// appends the satisfiers to rt.Candidates and returns the stream's match
+// time plus per-clause times (for pipeline accounting).
+func (r *Retriever) searchFS2(u *boardUnit, in []*clausefile.StoredClause, rt *Retrieval) (time.Duration, []time.Duration, error) {
 	records := make([]fs2.Record, len(in))
 	for i, sc := range in {
 		records[i] = fs2.Record{Addr: sc.Addr, Enc: sc.Head}
@@ -477,27 +644,30 @@ func (r *Retriever) runFS2(goal term.Term, in []*clausefile.StoredClause, rt *Re
 		if end > len(records) {
 			end = len(records)
 		}
-		r.bus.SelectFS2(fs2.ModeSearch)
-		res, err := r.board.Search(records[start:end])
+		u.bus.SelectFS2(fs2.ModeSearch)
+		res, err := u.board.Search(records[start:end])
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		matchTime += res.MatchTime
 		clauseTimes = append(clauseTimes, res.ClauseTimes...)
 		if res.Overflowed {
 			rt.Stats.Overflowed = true
 		}
-		r.bus.SelectFS2(fs2.ModeReadResult)
-		batch, err := r.board.ReadResult()
+		u.bus.SelectFS2(fs2.ModeReadResult)
+		batch, err := u.board.ReadResult()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		addrs = append(addrs, batch...)
 	}
-	rt.Stats.FS2Match = matchTime
-	var err2 error
-	rt.Candidates, err2 = rt.pred.File.ByAddrs(addrs)
-	return clauseTimes, err2
+	rt.Stats.FS2Match += matchTime
+	matched, err := rt.pred.File.ByAddrs(addrs)
+	if err != nil {
+		return 0, nil, err
+	}
+	rt.Candidates = append(rt.Candidates, matched...)
+	return matchTime, clauseTimes, nil
 }
 
 // ptuConfigFor maps an FS2 microprogram to the equivalent software

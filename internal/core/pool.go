@@ -1,0 +1,96 @@
+package core
+
+import (
+	"sync"
+
+	"clare/internal/disk"
+	"clare/internal/fs2"
+	"clare/internal/vme"
+)
+
+// boardUnit is one slot of the simulated chassis: an FS2 board behind its
+// own VME bus, paired with the disk spindle that feeds it. The paper built
+// exactly one of these (§2.2); the pool generalises it to a multi-board
+// configuration so concurrent retrievals each get private hardware.
+type boardUnit struct {
+	slot  int
+	board *fs2.Engine
+	bus   *vme.Bus
+	drive *disk.Drive
+}
+
+// boardPool manages N boardUnits with blocking lease/release semantics.
+// The free list is a stack so a serial caller always reuses slot 0 —
+// single-board behaviour (and its accumulated statistics) is then
+// identical to the paper's one-board setup.
+type boardPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    []*boardUnit
+	all     []*boardUnit
+	chassis *vme.Chassis
+}
+
+func newBoardPool(cfg Config, n int) (*boardPool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &boardPool{}
+	p.cond = sync.NewCond(&p.mu)
+	buses := make([]*vme.Bus, 0, n)
+	for i := 0; i < n; i++ {
+		board := fs2.New()
+		bus := vme.NewBus(board)
+		bus.SelectFS2(fs2.ModeMicroprogramming)
+		if err := board.LoadMicroprogram(cfg.Microprogram); err != nil {
+			return nil, err
+		}
+		u := &boardUnit{slot: i, board: board, bus: bus, drive: disk.NewDrive(cfg.Disk)}
+		p.all = append(p.all, u)
+		buses = append(buses, bus)
+	}
+	p.chassis = vme.NewChassis(buses...)
+	// Stack the free list with slot 0 on top.
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, p.all[i])
+	}
+	return p, nil
+}
+
+// lease blocks until a unit is free and returns it. The caller owns the
+// unit exclusively until release.
+func (p *boardPool) lease() *boardUnit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.free) == 0 {
+		p.cond.Wait()
+	}
+	u := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return u
+}
+
+// release resets the board's protocol state (the recycled board must not
+// leak the previous retrieval's query or satisfiers) and returns the unit
+// to the pool.
+func (p *boardPool) release(u *boardUnit) {
+	u.board.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, u)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// quiesce acquires every unit (waiting out in-flight retrievals), runs fn
+// over the full chassis, then releases them. It gives statistics readers a
+// consistent snapshot without per-operation locking on the hot path.
+func (p *boardPool) quiesce(fn func(units []*boardUnit)) {
+	held := make([]*boardUnit, 0, len(p.all))
+	for range p.all {
+		held = append(held, p.lease())
+	}
+	fn(p.all)
+	for _, u := range held {
+		p.release(u)
+	}
+}

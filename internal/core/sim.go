@@ -1,0 +1,46 @@
+package core
+
+import "time"
+
+// Makespan is the simulated completion time of a closed multi-client
+// system over an N-board chassis: each of `clients` clients issues its
+// next retrieval the moment its previous one completes, and every
+// retrieval occupies the earliest-free of `boards` board units for its
+// service time. service[i] is query i's simulated retrieval time
+// (StageStats.Total), issued round-robin across the clients in order.
+//
+// Aggregate simulated throughput is then len(service) / Makespan: with
+// one board the queries serialise (the paper's configuration); with N
+// boards and at least N clients the makespan approaches the serial sum
+// divided by N until the client count, not the chassis, is the limit.
+func Makespan(service []time.Duration, boards, clients int) time.Duration {
+	if boards < 1 {
+		boards = 1
+	}
+	if clients < 1 {
+		clients = 1
+	}
+	clientFree := make([]time.Duration, clients)
+	boardFree := make([]time.Duration, boards)
+	var makespan time.Duration
+	for i, s := range service {
+		c := i % clients
+		b := 0
+		for j := 1; j < boards; j++ {
+			if boardFree[j] < boardFree[b] {
+				b = j
+			}
+		}
+		start := clientFree[c]
+		if boardFree[b] > start {
+			start = boardFree[b]
+		}
+		end := start + s
+		clientFree[c] = end
+		boardFree[b] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}

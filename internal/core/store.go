@@ -24,6 +24,8 @@ const kbMagic = 0xC1A7E0DB
 
 // SaveKB serialises the retriever's predicates and shared symbol table.
 func (r *Retriever) SaveKB(w io.Writer) error {
+	r.predsMu.RLock()
+	defer r.predsMu.RUnlock()
 	symBlob, err := r.syms.MarshalBinary()
 	if err != nil {
 		return err
@@ -148,7 +150,9 @@ func LoadRetriever(cfg Config, rd io.Reader) (*Retriever, error) {
 				pred.RuleCount++
 			}
 		}
+		r.predsMu.Lock()
 		r.preds[Indicator{Functor: f.Functor, Arity: f.Arity}] = pred
+		r.predsMu.Unlock()
 	}
 	return r, nil
 }

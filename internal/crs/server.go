@@ -15,9 +15,14 @@ import (
 )
 
 // Server owns a CLARE retriever and the clause data behind it, mediating
-// concurrent client access.
+// concurrent client access. Concurrency is layered: the server mutex
+// guards only the predicate and session registries; each predicate has
+// its own read/write lock (readers share, transactions exclude); and the
+// retriever's board pool hands every retrieval private hardware, so
+// sessions on different — or read-only same — predicates proceed in
+// parallel up to the chassis width.
 type Server struct {
-	mu        sync.RWMutex // guards preds, sessions and the retriever
+	mu        sync.RWMutex // guards preds and sessions registries only
 	retriever *core.Retriever
 	preds     map[core.Indicator]*predState
 	sessions  map[int64]*Session
@@ -53,7 +58,11 @@ var (
 	ErrClosed        = errors.New("crs: session closed")
 )
 
-// Load installs (or replaces) a predicate's clauses.
+// Load installs (or replaces) a predicate's clauses. The new predicate
+// state is published write-locked, so a concurrent Retrieve that finds
+// it blocks until the compiled clause file is built; only the registry
+// update itself holds the server mutex, so loads of different predicates
+// and retrievals on other predicates proceed in parallel.
 func (s *Server) Load(module string, clauses []core.ClauseTerm) error {
 	if len(clauses) == 0 {
 		return fmt.Errorf("crs: no clauses")
@@ -62,12 +71,22 @@ func (s *Server) Load(module string, clauses []core.ClauseTerm) error {
 	if err != nil {
 		return err
 	}
+	ps := &predState{module: module}
+	ps.lock.Lock() // fresh mutex: never blocks
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.preds[pi] = ps
+	s.mu.Unlock()
 	if _, err := s.retriever.AddClauses(module, clauses); err != nil {
+		s.mu.Lock()
+		if s.preds[pi] == ps {
+			delete(s.preds, pi)
+		}
+		s.mu.Unlock()
+		ps.lock.Unlock()
 		return err
 	}
-	s.preds[pi] = &predState{module: module, clauses: append([]core.ClauseTerm(nil), clauses...)}
+	ps.clauses = append([]core.ClauseTerm(nil), clauses...)
+	ps.lock.Unlock()
 	return nil
 }
 
@@ -180,11 +199,11 @@ func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retriev
 		}
 		m = core.ChooseMode(goal, pred)
 	}
-	// The retriever's board is a single shared hardware resource; the
-	// server serialises access to it (the real CRS queues search calls).
-	c.srv.mu.Lock()
+	// No server-wide lock here: the retriever leases a board unit from
+	// the chassis pool per call, so concurrent retrievals run in parallel
+	// up to the configured board count (the real CRS queues search calls
+	// only when all boards are busy).
 	rt, err := c.srv.retriever.Retrieve(goal, m)
-	c.srv.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -255,16 +274,18 @@ func (c *Session) Commit() error {
 		c.tx = nil
 	}()
 	for pi, appended := range txn.staged {
-		c.srv.mu.Lock()
+		// The predicate's write lock (held since first Assert) makes the
+		// rebuild exclusive; the server mutex is only needed to look the
+		// state up, not across the rebuild.
+		c.srv.mu.RLock()
 		ps := c.srv.preds[pi]
+		c.srv.mu.RUnlock()
 		newClauses := append(append([]core.ClauseTerm(nil), ps.clauses...), appended...)
 		_, err := c.srv.retriever.AddClauses(ps.module, newClauses)
 		if err != nil {
-			c.srv.mu.Unlock()
 			return fmt.Errorf("crs: commit failed for %v: %w", pi, err)
 		}
 		ps.clauses = newClauses
-		c.srv.mu.Unlock()
 	}
 	return nil
 }

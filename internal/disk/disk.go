@@ -115,6 +115,14 @@ type Stats struct {
 	Elapsed   time.Duration
 }
 
+// Add folds other into s — used to aggregate per-drive statistics across
+// a multi-drive chassis.
+func (s *Stats) Add(other Stats) {
+	s.BytesRead += other.BytesRead
+	s.Accesses += other.Accesses
+	s.Elapsed += other.Elapsed
+}
+
 // Drive is a stateful disk with accumulated statistics.
 type Drive struct {
 	Model Model
@@ -129,6 +137,29 @@ func (d *Drive) Scan(n int) time.Duration {
 	t := d.Model.ScanTime(n)
 	d.Stats.BytesRead += int64(n)
 	d.Stats.Accesses++
+	d.Stats.Elapsed += t
+	return t
+}
+
+// Access accounts for one positioning access (seek + rotational latency)
+// with no transfer — the start of a chunked sequential stream.
+func (d *Drive) Access() time.Duration {
+	t := d.Model.AccessTime()
+	d.Stats.Accesses++
+	d.Stats.Elapsed += t
+	return t
+}
+
+// Stream accounts for transferring n sequential bytes at the sustained
+// rate with no positioning — the continuation of a stream opened by
+// Access. A chunked scan is one Access plus a Stream per chunk, and costs
+// exactly what one Scan of the whole range would.
+func (d *Drive) Stream(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	t := d.Model.TransferTime(n)
+	d.Stats.BytesRead += int64(n)
 	d.Stats.Elapsed += t
 	return t
 }

@@ -119,6 +119,19 @@ type Stats struct {
 // OpCount returns the count for one op.
 func (s *Stats) OpCount(op OpCode) int64 { return s.OpCounts[op] }
 
+// Add folds other into s — used to aggregate per-board statistics across
+// a multi-board chassis.
+func (s *Stats) Add(other Stats) {
+	for i := range s.OpCounts {
+		s.OpCounts[i] += other.OpCounts[i]
+	}
+	s.MatchTime += other.MatchTime
+	s.ClausesExamined += other.ClausesExamined
+	s.ClausesMatched += other.ClausesMatched
+	s.BytesExamined += other.BytesExamined
+	s.ResultOverflows += other.ResultOverflows
+}
+
 // TotalOps sums all operation executions.
 func (s *Stats) TotalOps() int64 {
 	var n int64
@@ -208,6 +221,27 @@ func (e *Engine) SetQuery(q *pif.Encoded) error {
 	e.qMem = make([]pif.Word, q.NumVars)
 	e.qBound = make([]bool, q.NumVars)
 	return nil
+}
+
+// Reset clears the board's per-retrieval protocol state — loaded query,
+// result memory, match flag, and mode — so a pooled board can be handed
+// to the next retrieval without leaking the previous one's satisfiers.
+// The microprogram in the WCS and the accumulated Stats survive: reload
+// is a separate host decision (§3's Microprogramming mode), and the
+// statistics model a hardware counter the host reads out explicitly.
+func (e *Engine) Reset() {
+	e.mode = ModeReadResult
+	e.query = nil
+	e.qMem = nil
+	e.qBound = nil
+	e.dbMem = nil
+	e.dbBound = nil
+	e.dbRef = nil
+	e.qRef = nil
+	e.dbRefBound = nil
+	e.qRefBound = nil
+	e.result.Reset()
+	e.matched = false
 }
 
 // Record is one clause streamed from disk: its address in the compiled

@@ -78,6 +78,33 @@ func (ix *Index) Scan(qd QueryDescriptor) ScanResult {
 	return res
 }
 
+// ScanRange streams entries [lo, hi) through the matcher — the chunked
+// form of Scan for pipelined retrieval, where FS1 delivers survivors one
+// chunk at a time while downstream stages work on earlier chunks. Bounds
+// are clamped to the file.
+func (ix *Index) ScanRange(qd QueryDescriptor, lo, hi int) ScanResult {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ix.entries) {
+		hi = len(ix.entries)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	res := ScanResult{
+		EntriesScanned: hi - lo,
+		BytesScanned:   (hi - lo) * EntrySize,
+	}
+	for _, ent := range ix.entries[lo:hi] {
+		if ix.enc.Matches(ent, qd) {
+			res.Addrs = append(res.Addrs, ent.Addr)
+		}
+	}
+	res.Elapsed = ScanTime(res.BytesScanned)
+	return res
+}
+
 // indexMagic marks a serialised index file.
 const indexMagic = 0x5C37
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Term is a Prolog term. The concrete types are Atom, Int, Float, *Var and
@@ -54,12 +55,13 @@ const (
 	NilAtom     = Atom("[]")
 )
 
-var varCounter uint64
+// varCounter is atomic: concurrent sessions parse and rename terms in
+// parallel, and each fresh variable must still get a unique id.
+var varCounter atomic.Uint64
 
 // NewVar returns a fresh unbound variable with the given source name.
 func NewVar(name string) *Var {
-	varCounter++
-	return &Var{Name: name, id: varCounter}
+	return &Var{Name: name, id: varCounter.Add(1)}
 }
 
 // ID returns the variable's allocation number. Fresh variables have strictly
