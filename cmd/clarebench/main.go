@@ -75,6 +75,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "clarebench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %s (%d metrics)\n", path, len(recorded))
+		fmt.Printf("\nwrote %s (%d metrics)\n", path, recordedCount())
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"clare/internal/telemetry"
 )
 
 // Metric is one machine-readable result: experiments record the same
@@ -17,11 +19,27 @@ type Metric struct {
 	Unit       string  `json:"unit,omitempty"`
 }
 
-var recorded []Metric
+// benchRegistry backs record(): results live as gauge series in a
+// telemetry registry (family clarebench_result, one series per
+// experiment/name pair), and writeJSON re-reads them through Gather —
+// the same export path a live server's /metrics uses.
+var benchRegistry = telemetry.NewRegistry()
 
 // record appends one metric to the run's machine-readable output.
 func record(exp, name string, value float64, unit string) {
-	recorded = append(recorded, Metric{Experiment: exp, Name: name, Value: value, Unit: unit})
+	benchRegistry.Gauge("clarebench_result", "clarebench experiment results",
+		telemetry.Labels{"experiment": exp, "name": name, "unit": unit}).Set(value)
+}
+
+// recordedCount reports how many results the registry holds.
+func recordedCount() int {
+	n := 0
+	for _, sv := range benchRegistry.Gather() {
+		if sv.Name == "clarebench_result" {
+			n++
+		}
+	}
+	return n
 }
 
 // benchReport is the BENCH_*.json document.
@@ -31,12 +49,24 @@ type benchReport struct {
 	Metrics   []Metric `json:"metrics"`
 }
 
-// writeJSON writes the recorded metrics to path.
+// writeJSON writes the recorded metrics to path in registration order.
 func writeJSON(path string) error {
+	var metrics []Metric
+	for _, sv := range benchRegistry.Gather() {
+		if sv.Name != "clarebench_result" {
+			continue
+		}
+		metrics = append(metrics, Metric{
+			Experiment: sv.Labels["experiment"],
+			Name:       sv.Labels["name"],
+			Value:      sv.Value,
+			Unit:       sv.Labels["unit"],
+		})
+	}
 	rep := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Command:   fmt.Sprintf("clarebench %v", os.Args[1:]),
-		Metrics:   recorded,
+		Metrics:   metrics,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"clare/internal/crs"
 )
@@ -20,21 +21,29 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7071", "crsd address")
 	mode := flag.String("mode", "auto", "search mode: software|fs1|fs2|fs1+fs2|auto")
 	assert := flag.String("assert", "", "clause to assert in a transaction instead of querying")
-	stats := flag.Bool("stats", false, "print the server's per-mode service counters and exit")
+	stats := flag.Bool("stats", false, "print the server's service counters and exit")
+	timeout := flag.Duration("timeout", crs.DefaultTimeout, "per-operation wire timeout (0 disables)")
 	flag.Parse()
 
-	c, err := crs.Dial(*addr)
+	c, err := crs.DialTimeout(*addr, *timeout)
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer c.Close()
 
 	if *stats {
-		line, err := c.Stats()
+		kv, err := c.Stats()
 		if err != nil {
 			fatal("%v", err)
 		}
-		fmt.Println(line)
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-16s %d\n", k, kv[k])
+		}
 		return
 	}
 

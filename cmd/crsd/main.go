@@ -4,36 +4,51 @@
 //
 // Usage:
 //
-//	crsd -addr :7071 family.pl emp.pl
+//	crsd -addr :7071 -admin :7072 family.pl emp.pl
 //
 // Each file holds the clauses of one predicate; its base name becomes the
-// module name.
+// module name. The admin listener serves /metrics (Prometheus text
+// format), /trace?n=K (recent retrieval span trees as JSON lines) and
+// /debug/pprof; -admin "" disables it. SIGINT/SIGTERM drain the server:
+// new connections are refused and in-flight sessions get -drain to
+// finish before being force-closed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"clare/internal/core"
 	"clare/internal/crs"
 	"clare/internal/plfile"
+	"clare/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7071", "listen address")
+	admin := flag.String("admin", "", "admin HTTP address for /metrics, /trace and /debug/pprof (empty disables)")
 	boards := flag.Int("boards", 1, "FS2 board/drive units in the simulated chassis (concurrent retrievals)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
+	traces := flag.Int("traces", telemetry.DefaultTraceRing, "retrieval traces kept for /trace")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-boards n] predicate.pl ...")
+		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] predicate.pl ...")
 		os.Exit(2)
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.Boards = *boards
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Tracer = telemetry.NewTracer(*traces)
 	r, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -56,9 +71,46 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("crsd listening on %s\n", l.Addr())
-	if err := srv.Serve(l); err != nil {
-		fatal("serve: %v", err)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin: %v", err)
+		}
+		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer)}
+		fmt.Printf("crsd admin on http://%s/metrics\n", al.Addr())
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "crsd: admin: %v\n", err)
+			}
+		}()
 	}
+
+	// Serve until the listener closes; a signal triggers the drain.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		fatal("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("crsd: draining...")
+	l.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "crsd: drain: %v (connections force-closed)\n", err)
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	<-serveErr // Serve returns once the listener is closed and handlers drain
+	fmt.Println("crsd: bye")
 }
 
 func fatal(format string, args ...any) {

@@ -23,6 +23,7 @@ import (
 	"clare/internal/ptu"
 	"clare/internal/scw"
 	"clare/internal/symtab"
+	"clare/internal/telemetry"
 	"clare/internal/term"
 	"clare/internal/vme"
 )
@@ -80,6 +81,15 @@ type Config struct {
 	// QueryCacheSize bounds the query-encoding cache (distinct goal
 	// shapes). 0 means DefaultQueryCacheSize; negative disables caching.
 	QueryCacheSize int
+	// Metrics, when non-nil, receives per-stage counters and histograms
+	// (both wall-clock and simulated time) from the retriever, its board
+	// pool, the disk drives, the FS2 boards, the VME buses, and the query
+	// cache. Nil disables metrics at zero hot-path cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span tree per retrieval (encode,
+	// board lease, per-chunk FS1 scan / disk fetch / FS2 match, host
+	// match). Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig mirrors the paper's hardware: the faster SMD disk, 64-bit
@@ -139,6 +149,8 @@ type Retriever struct {
 	ienc   *scw.Encoder
 	pool   *boardPool
 	qcache *queryCache
+	met    *coreMetrics
+	tracer *telemetry.Tracer
 
 	predsMu sync.RWMutex
 	preds   map[Indicator]*Predicate
@@ -166,16 +178,28 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 	if err != nil {
 		return nil, err
 	}
+	qcache := newQueryCache(cfg.QueryCacheSize)
+	qcache.instrument(cfg.Metrics)
 	return &Retriever{
 		cfg:    cfg,
 		syms:   syms,
 		penc:   pif.NewEncoder(syms),
 		ienc:   ienc,
 		pool:   pool,
-		qcache: newQueryCache(cfg.QueryCacheSize),
+		qcache: qcache,
+		met:    newCoreMetrics(cfg.Metrics),
+		tracer: cfg.Tracer,
 		preds:  make(map[Indicator]*Predicate),
 	}, nil
 }
+
+// Metrics returns the registry the retriever was configured with (nil
+// when telemetry is off).
+func (r *Retriever) Metrics() *telemetry.Registry { return r.cfg.Metrics }
+
+// Tracer returns the trace recorder the retriever was configured with
+// (nil when tracing is off).
+func (r *Retriever) Tracer() *telemetry.Tracer { return r.tracer }
 
 // Symbols returns the shared symbol table.
 func (r *Retriever) Symbols() *symtab.Table { return r.syms }
@@ -195,29 +219,14 @@ func (r *Retriever) Chassis() *vme.Chassis { return r.pool.chassis }
 func (r *Retriever) Boards() int { return len(r.pool.all) }
 
 // FS2Stats aggregates FS2 statistics across every board in the chassis.
-// It quiesces the pool, so the snapshot is consistent: in-flight
-// retrievals finish before their board is read.
-func (r *Retriever) FS2Stats() fs2.Stats {
-	var out fs2.Stats
-	r.pool.quiesce(func(units []*boardUnit) {
-		for _, u := range units {
-			out.Add(u.board.Stats)
-		}
-	})
-	return out
-}
+// The snapshot is taken under the pool lock from per-slot copies captured
+// at board release, so it is race-free while retrievals are in flight; a
+// retrieval still holding a board contributes its work when it releases.
+func (r *Retriever) FS2Stats() fs2.Stats { return r.pool.fs2Snapshot() }
 
-// DiskStats aggregates disk statistics across every spindle, quiescing
-// the pool for a consistent snapshot.
-func (r *Retriever) DiskStats() disk.Stats {
-	var out disk.Stats
-	r.pool.quiesce(func(units []*boardUnit) {
-		for _, u := range units {
-			out.Add(u.drive.Stats)
-		}
-	})
-	return out
-}
+// DiskStats aggregates disk statistics across every spindle, with the
+// same release-time snapshot semantics as FS2Stats.
+func (r *Retriever) DiskStats() disk.Stats { return r.pool.diskSnapshot() }
 
 // QueryCache reports the query-encoding cache's counters.
 func (r *Retriever) QueryCache() QueryCacheStats { return r.qcache.stats() }
@@ -348,7 +357,14 @@ type Retrieval struct {
 	Candidates []*clausefile.StoredClause
 	Stats      StageStats
 	pred       *Predicate
+
+	trace *telemetry.Trace
+	wall  stageWallTimes
 }
+
+// Trace returns the retrieval's span tree (nil unless the retriever was
+// configured with a Tracer).
+func (rt *Retrieval) Trace() *telemetry.Trace { return rt.trace }
 
 // DecodeCandidates reconstructs the candidate clauses (head, body).
 func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
@@ -365,17 +381,44 @@ func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
 
 // Retrieve runs one search call in the given mode. It is safe for
 // concurrent callers: each call leases one board unit (FS2 board, VME
-// bus, disk drive) from the chassis pool for its duration.
+// bus, disk drive) from the chassis pool for its duration. When the
+// retriever carries telemetry, the call records per-stage metrics in both
+// clocks and one span tree into the tracer's ring buffer.
 func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error) {
+	wallStart := time.Now()
 	pred, err := r.Predicate(goal)
 	if err != nil {
+		r.met.errors.Inc()
 		return nil, err
 	}
 	rt := &Retrieval{Mode: mode, Goal: goal, pred: pred}
 	rt.Stats.TotalClauses = pred.File.Len()
 
+	tr := r.tracer.Start("retrieve")
+	rt.trace = tr
+	root := tr.Root()
+	if root != nil {
+		if functor, args, ok := principal(goal); ok {
+			root.SetAttr("predicate", Indicator{Functor: functor, Arity: len(args)}.String())
+		}
+		root.SetAttr("mode", mode.String())
+	}
+
+	leaseStart := time.Now()
 	u := r.pool.lease()
-	defer r.pool.release(u)
+	leaseWait := time.Since(leaseStart)
+	r.met.boardsBusy.Add(1)
+	r.met.leaseWait.ObserveDuration(leaseWait)
+	if sp := tr.Span(root, stageLease); sp != nil {
+		sp.Start = leaseStart
+		sp.Wall = leaseWait
+		sp.SetAttr("slot", fmt.Sprint(u.slot))
+	}
+	root.SetAttr("board", fmt.Sprint(u.slot))
+	defer func() {
+		r.pool.release(u)
+		r.met.boardsBusy.Add(-1)
+	}()
 
 	switch mode {
 	case ModeSoftware:
@@ -390,15 +433,38 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 		err = fmt.Errorf("core: unknown mode %d", mode)
 	}
 	if err != nil {
+		r.met.errors.Inc()
+		if root != nil {
+			root.SetAttr("error", err.Error())
+			root.End()
+			r.tracer.Finish(tr)
+		}
 		return nil, err
 	}
 	rt.Stats.AfterFS2 = len(rt.Candidates)
+
+	r.met.observe(rt, time.Since(wallStart))
+	if root != nil {
+		root.AddSim(rt.Stats.Total)
+		root.SetAttr("candidates", fmt.Sprint(len(rt.Candidates)))
+		root.End()
+		r.tracer.Finish(tr)
+	}
 	return rt, nil
 }
 
 // encodeQuery produces the goal's SCW query codeword and PIF query image,
 // memoised per goal shape in the query cache.
-func (r *Retriever) encodeQuery(goal term.Term, rt *Retrieval) (scw.QueryDescriptor, *pif.Encoded, error) {
+func (r *Retriever) encodeQuery(goal term.Term, rt *Retrieval) (qd scw.QueryDescriptor, q *pif.Encoded, err error) {
+	start := time.Now()
+	sp := rt.trace.Span(nil, stageEncode)
+	defer func() {
+		rt.wall.encode += time.Since(start)
+		if sp != nil {
+			sp.SetAttr("cache", map[bool]string{true: "hit", false: "miss"}[rt.Stats.QueryCacheHit])
+			sp.End()
+		}
+	}()
 	var key string
 	if r.qcache != nil {
 		var cacheable bool
@@ -411,11 +477,11 @@ func (r *Retriever) encodeQuery(goal term.Term, rt *Retrieval) (scw.QueryDescrip
 			key = ""
 		}
 	}
-	qd, err := r.ienc.EncodeQuery(goal)
+	qd, err = r.ienc.EncodeQuery(goal)
 	if err != nil {
 		return scw.QueryDescriptor{}, nil, err
 	}
-	q, err := r.penc.Encode(goal, pif.QuerySide)
+	q, err = r.penc.Encode(goal, pif.QuerySide)
 	if err != nil {
 		return scw.QueryDescriptor{}, nil, err
 	}
@@ -433,6 +499,13 @@ func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrie
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
 	diskTime := u.drive.Scan(pred.File.SizeBytes())
+	if sp := rt.trace.Span(nil, stageDiskFetch); sp != nil {
+		sp.AddSim(diskTime)
+		sp.SetAttr("bytes", fmt.Sprint(pred.File.SizeBytes()))
+		sp.End()
+	}
+	sp := rt.trace.Span(nil, stageHostMatch)
+	start := time.Now()
 	cfg := ptuConfigFor(r.cfg.Microprogram)
 	for _, sc := range all {
 		head, _, err := pred.File.DecodeClause(sc)
@@ -443,6 +516,12 @@ func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrie
 		if ptu.Match(goal, head, cfg) {
 			rt.Candidates = append(rt.Candidates, sc)
 		}
+	}
+	rt.wall.host += time.Since(start)
+	if sp != nil {
+		sp.AddSim(rt.Stats.HostMatch)
+		sp.SetAttr("clauses", fmt.Sprint(len(all)))
+		sp.End()
 	}
 	rt.Stats.DiskFetch = diskTime
 	rt.Stats.Total = diskTime + rt.Stats.HostMatch
@@ -456,6 +535,8 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	if err != nil {
 		return err
 	}
+	scanSpan := rt.trace.Span(nil, stageFS1Scan)
+	scanStart := time.Now()
 	scan := pred.File.Index().Scan(qd)
 	rt.Stats.IndexBytes = scan.BytesScanned
 	// The index streams from disk through FS1; FS1 (4.5 MB/s) outruns the
@@ -467,7 +548,15 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	}
 	rt.Stats.FS1Scan = fs1Time
 	rt.Stats.AfterFS1 = len(scan.Addrs)
+	rt.wall.fs1 += time.Since(scanStart)
+	if scanSpan != nil {
+		scanSpan.AddSim(fs1Time)
+		scanSpan.SetAttr("survivors", fmt.Sprint(len(scan.Addrs)))
+		scanSpan.End()
+	}
 
+	fetchSpan := rt.trace.Span(nil, stageDiskFetch)
+	fetchStart := time.Now()
 	candidates, err := pred.File.ByAddrs(scan.Addrs)
 	if err != nil {
 		return err
@@ -483,6 +572,12 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	}
 	rt.Stats.DiskFetch = u.drive.Fetch(len(candidates), avg)
 	rt.Candidates = candidates
+	rt.wall.fetch += time.Since(fetchStart)
+	if fetchSpan != nil {
+		fetchSpan.AddSim(rt.Stats.DiskFetch)
+		fetchSpan.SetAttr("bytes", fmt.Sprint(fetchBytes))
+		fetchSpan.End()
+	}
 	rt.Stats.Total = rt.Stats.FS1Scan + rt.Stats.DiskFetch
 	return nil
 }
@@ -528,6 +623,12 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		if hi > n {
 			hi = n
 		}
+		chunkSpan := rt.trace.Span(nil, "chunk")
+		if chunkSpan != nil {
+			chunkSpan.SetAttr("entries", fmt.Sprintf("%d-%d", lo, hi))
+		}
+		scanSpan := rt.trace.Span(chunkSpan, stageFS1Scan)
+		scanStart := time.Now()
 		scan := ix.ScanRange(qd, lo, hi)
 		rt.Stats.IndexBytes += scan.BytesScanned
 		// FS1 outruns the disk, so chunk delivery dominates the scan.
@@ -538,7 +639,15 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		rt.Stats.FS1Scan += sTime
 		rt.Stats.AfterFS1 += len(scan.Addrs)
 		scanChunks = append(scanChunks, sTime)
+		rt.wall.fs1 += time.Since(scanStart)
+		if scanSpan != nil {
+			scanSpan.AddSim(sTime)
+			scanSpan.SetAttr("survivors", fmt.Sprint(len(scan.Addrs)))
+			scanSpan.End()
+		}
 
+		fetchSpan := rt.trace.Span(chunkSpan, stageDiskFetch)
+		fetchStart := time.Now()
 		candidates, err := pred.File.ByAddrs(scan.Addrs)
 		if err != nil {
 			return err
@@ -554,9 +663,22 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		}
 		fetch := u.drive.Fetch(len(candidates), avg)
 		rt.Stats.DiskFetch += fetch
+		rt.wall.fetch += time.Since(fetchStart)
+		if fetchSpan != nil {
+			fetchSpan.AddSim(fetch)
+			fetchSpan.SetAttr("bytes", fmt.Sprint(fetchBytes))
+			fetchSpan.End()
+		}
+
+		matchSpan := rt.trace.Span(chunkSpan, stageFS2Match)
 		match, _, err := r.searchFS2(u, candidates, rt)
 		if err != nil {
 			return err
+		}
+		if matchSpan != nil {
+			matchSpan.AddSim(match)
+			matchSpan.SetAttr("examined", fmt.Sprint(len(candidates)))
+			matchSpan.End()
 		}
 		// Within the chunk, the fetched stream passes through FS2 on the
 		// fly (the Double Buffer): the slower side dominates.
@@ -565,6 +687,7 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 			mTime = match
 		}
 		matchChunks = append(matchChunks, mTime)
+		chunkSpan.End()
 	}
 	rt.Stats.FS1Scan += access
 	rt.Stats.Chunks = len(scanChunks)
@@ -582,6 +705,11 @@ func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieva
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
 	diskTime := u.drive.Scan(pred.File.SizeBytes())
+	if sp := rt.trace.Span(nil, stageDiskFetch); sp != nil {
+		sp.AddSim(diskTime)
+		sp.SetAttr("bytes", fmt.Sprint(pred.File.SizeBytes()))
+		sp.End()
+	}
 	_, q, err := r.encodeQuery(goal, rt)
 	if err != nil {
 		return err
@@ -590,9 +718,15 @@ func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieva
 	if err := u.board.SetQuery(q); err != nil {
 		return err
 	}
-	_, clauseTimes, err := r.searchFS2(u, all, rt)
+	matchSpan := rt.trace.Span(nil, stageFS2Match)
+	matchTime, clauseTimes, err := r.searchFS2(u, all, rt)
 	if err != nil {
 		return err
+	}
+	if matchSpan != nil {
+		matchSpan.AddSim(matchTime)
+		matchSpan.SetAttr("examined", fmt.Sprint(len(all)))
+		matchSpan.End()
 	}
 	xfers := make([]time.Duration, len(all))
 	for i, sc := range all {
@@ -628,6 +762,8 @@ func pipelineTime(access time.Duration, xfers, matches []time.Duration) time.Dur
 // appends the satisfiers to rt.Candidates and returns the stream's match
 // time plus per-clause times (for pipeline accounting).
 func (r *Retriever) searchFS2(u *boardUnit, in []*clausefile.StoredClause, rt *Retrieval) (time.Duration, []time.Duration, error) {
+	wallStart := time.Now()
+	defer func() { rt.wall.fs2 += time.Since(wallStart) }()
 	records := make([]fs2.Record, len(in))
 	for i, sc := range in {
 		records[i] = fs2.Record{Addr: sc.Addr, Enc: sc.Head}

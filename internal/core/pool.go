@@ -1,10 +1,12 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 
 	"clare/internal/disk"
 	"clare/internal/fs2"
+	"clare/internal/telemetry"
 	"clare/internal/vme"
 )
 
@@ -29,6 +31,14 @@ type boardPool struct {
 	free    []*boardUnit
 	all     []*boardUnit
 	chassis *vme.Chassis
+
+	// lastFS2/lastDisk are per-slot statistics copies captured under mu
+	// each time a unit is released. Aggregate readers (FS2Stats/DiskStats)
+	// sum these instead of touching a board a concurrent retrieval may be
+	// driving, so snapshots are race-free and never block behind the
+	// retrieval queue.
+	lastFS2  []fs2.Stats
+	lastDisk []disk.Stats
 }
 
 func newBoardPool(cfg Config, n int) (*boardPool, error) {
@@ -45,11 +55,20 @@ func newBoardPool(cfg Config, n int) (*boardPool, error) {
 		if err := board.LoadMicroprogram(cfg.Microprogram); err != nil {
 			return nil, err
 		}
-		u := &boardUnit{slot: i, board: board, bus: bus, drive: disk.NewDrive(cfg.Disk)}
+		drive := disk.NewDrive(cfg.Disk)
+		if cfg.Metrics != nil {
+			slot := telemetry.Labels{"slot": strconv.Itoa(i)}
+			board.Instrument(cfg.Metrics, slot)
+			bus.Instrument(cfg.Metrics, slot)
+			drive.Instrument(cfg.Metrics, slot)
+		}
+		u := &boardUnit{slot: i, board: board, bus: bus, drive: drive}
 		p.all = append(p.all, u)
 		buses = append(buses, bus)
 	}
 	p.chassis = vme.NewChassis(buses...)
+	p.lastFS2 = make([]fs2.Stats, n)
+	p.lastDisk = make([]disk.Stats, n)
 	// Stack the free list with slot 0 on top.
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, p.all[i])
@@ -71,26 +90,40 @@ func (p *boardPool) lease() *boardUnit {
 }
 
 // release resets the board's protocol state (the recycled board must not
-// leak the previous retrieval's query or satisfiers) and returns the unit
-// to the pool.
+// leak the previous retrieval's query or satisfiers), captures the unit's
+// statistics for race-free snapshot readers, and returns the unit to the
+// pool.
 func (p *boardPool) release(u *boardUnit) {
 	u.board.Reset()
+	// The releaser still owns the unit here, so these reads race nothing.
+	fsSnap := u.board.Stats
+	dSnap := u.drive.Stats
 	p.mu.Lock()
+	p.lastFS2[u.slot] = fsSnap
+	p.lastDisk[u.slot] = dSnap
 	p.free = append(p.free, u)
 	p.mu.Unlock()
 	p.cond.Signal()
 }
 
-// quiesce acquires every unit (waiting out in-flight retrievals), runs fn
-// over the full chassis, then releases them. It gives statistics readers a
-// consistent snapshot without per-operation locking on the hot path.
-func (p *boardPool) quiesce(fn func(units []*boardUnit)) {
-	held := make([]*boardUnit, 0, len(p.all))
-	for range p.all {
-		held = append(held, p.lease())
+// fs2Snapshot sums the per-slot FS2 statistics captured at release time.
+func (p *boardPool) fs2Snapshot() fs2.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out fs2.Stats
+	for i := range p.lastFS2 {
+		out.Add(p.lastFS2[i])
 	}
-	fn(p.all)
-	for _, u := range held {
-		p.release(u)
+	return out
+}
+
+// diskSnapshot sums the per-slot disk statistics captured at release time.
+func (p *boardPool) diskSnapshot() disk.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out disk.Stats
+	for i := range p.lastDisk {
+		out.Add(p.lastDisk[i])
 	}
+	return out
 }

@@ -8,6 +8,7 @@ import (
 
 	"clare/internal/pif"
 	"clare/internal/scw"
+	"clare/internal/telemetry"
 	"clare/internal/term"
 )
 
@@ -25,6 +26,21 @@ type queryCache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// registry handles (nil when uninstrumented; observations no-op).
+	hitC  *telemetry.Counter
+	missC *telemetry.Counter
+	sizeG *telemetry.Gauge
+}
+
+// instrument wires the cache's counters to a metrics registry.
+func (c *queryCache) instrument(reg *telemetry.Registry) {
+	if c == nil {
+		return
+	}
+	c.hitC = reg.Counter("clare_qcache_hits_total", "query-encoding cache hits", nil)
+	c.missC = reg.Counter("clare_qcache_misses_total", "query-encoding cache misses", nil)
+	c.sizeG = reg.Gauge("clare_qcache_entries", "query-encoding cache population", nil)
 }
 
 type cachedQuery struct {
@@ -55,8 +71,10 @@ func (c *queryCache) get(key string) *cachedQuery {
 	c.mu.RUnlock()
 	if e != nil {
 		c.hits.Add(1)
+		c.hitC.Inc()
 	} else {
 		c.misses.Add(1)
+		c.missC.Inc()
 	}
 	return e
 }
@@ -69,7 +87,9 @@ func (c *queryCache) put(key string, e *cachedQuery) {
 		c.entries = make(map[string]*cachedQuery)
 	}
 	c.entries[key] = e
+	n := len(c.entries)
 	c.mu.Unlock()
+	c.sizeG.Set(float64(n))
 }
 
 // QueryCacheStats reports the query-encoding cache's hit/miss counters and

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"clare/internal/telemetry"
+)
+
+// Stage names, shared by the stage histograms and the trace span
+// taxonomy. A retrieval's span tree is:
+//
+//	retrieve                       (root: predicate, mode, board slot)
+//	├─ encode                      (query-cache probe + SCW/PIF encode)
+//	├─ board_lease                 (wall time waiting for a free unit)
+//	├─ chunk[i]                    (fs1+fs2 mode: one pipeline chunk)
+//	│  ├─ fs1_scan                 (index scan through FS1, disk-bound)
+//	│  ├─ disk_fetch               (surviving clause records off disk)
+//	│  └─ fs2_match                (partial test unification on the board)
+//	└─ host_match                  (software mode only)
+//
+// Flat modes (software, fs1, fs2) attach the stage spans directly under
+// the root. Sim durations come from the component models; wall durations
+// from the host clock.
+const (
+	stageEncode    = "encode"
+	stageLease     = "board_lease"
+	stageFS1Scan   = "fs1_scan"
+	stageDiskFetch = "disk_fetch"
+	stageFS2Match  = "fs2_match"
+	stageHostMatch = "host_match"
+)
+
+// coreMetrics pre-resolves every handle the retrieval hot path updates,
+// so instrumentation costs one atomic op per touch (and literally nothing
+// when no registry is configured: nil handles no-op).
+type coreMetrics struct {
+	retrievals    map[SearchMode]*telemetry.Counter
+	errors        *telemetry.Counter
+	retrievalSim  map[SearchMode]*telemetry.Histogram
+	retrievalWall map[SearchMode]*telemetry.Histogram
+	stageSim      map[string]*telemetry.Histogram
+	stageWall     map[string]*telemetry.Histogram
+
+	clausesIn *telemetry.Counter
+	afterFS1  *telemetry.Counter
+	afterFS2  *telemetry.Counter
+	chunks    *telemetry.Counter
+	overflows *telemetry.Counter
+
+	leaseWait  *telemetry.Histogram
+	boardsBusy *telemetry.Gauge
+}
+
+var allModes = []SearchMode{ModeSoftware, ModeFS1, ModeFS2, ModeFS1FS2}
+
+func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
+	m := &coreMetrics{
+		retrievals:    make(map[SearchMode]*telemetry.Counter, len(allModes)),
+		retrievalSim:  make(map[SearchMode]*telemetry.Histogram, len(allModes)),
+		retrievalWall: make(map[SearchMode]*telemetry.Histogram, len(allModes)),
+		stageSim:      make(map[string]*telemetry.Histogram, 8),
+		stageWall:     make(map[string]*telemetry.Histogram, 8),
+	}
+	for _, mode := range allModes {
+		ml := telemetry.Labels{"mode": mode.String()}
+		m.retrievals[mode] = reg.Counter("clare_retrievals_total", "retrievals completed per search mode", ml)
+		m.retrievalSim[mode] = reg.Histogram("clare_retrieval_seconds", "whole-retrieval duration per mode and clock", nil,
+			telemetry.Labels{"mode": mode.String(), "clock": "sim"})
+		m.retrievalWall[mode] = reg.Histogram("clare_retrieval_seconds", "whole-retrieval duration per mode and clock", nil,
+			telemetry.Labels{"mode": mode.String(), "clock": "wall"})
+	}
+	for _, stage := range []string{stageEncode, stageFS1Scan, stageDiskFetch, stageFS2Match, stageHostMatch} {
+		m.stageSim[stage] = reg.Histogram("clare_stage_seconds", "per-stage duration per clock", nil,
+			telemetry.Labels{"stage": stage, "clock": "sim"})
+		m.stageWall[stage] = reg.Histogram("clare_stage_seconds", "per-stage duration per clock", nil,
+			telemetry.Labels{"stage": stage, "clock": "wall"})
+	}
+	m.errors = reg.Counter("clare_retrieval_errors_total", "retrievals that failed", nil)
+	m.clausesIn = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+		telemetry.Labels{"stage": "input"})
+	m.afterFS1 = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+		telemetry.Labels{"stage": "after_fs1"})
+	m.afterFS2 = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+		telemetry.Labels{"stage": "after_fs2"})
+	m.chunks = reg.Counter("clare_pipeline_chunks_total", "FS1→FS2 pipeline chunks streamed", nil)
+	m.overflows = reg.Counter("clare_result_overflows_total", "retrievals that overflowed the Result Memory", nil)
+	m.leaseWait = reg.Histogram("clare_board_lease_wait_seconds", "wall time a retrieval waited for a free board unit", nil, nil)
+	m.boardsBusy = reg.Gauge("clare_boards_busy", "board units currently leased", nil)
+	return m
+}
+
+// stageWallTimes accumulates per-stage host time across a retrieval (the
+// stages interleave per chunk in fs1+fs2 mode, so each stage's wall time
+// is summed over its slices and observed once at the end).
+type stageWallTimes struct {
+	encode, fs1, fetch, fs2, host time.Duration
+}
+
+// observe publishes one finished retrieval into the registry.
+func (m *coreMetrics) observe(rt *Retrieval, wall time.Duration) {
+	m.retrievals[rt.Mode].Inc()
+	m.retrievalSim[rt.Mode].ObserveDuration(rt.Stats.Total)
+	m.retrievalWall[rt.Mode].ObserveDuration(wall)
+	st := &rt.Stats
+	if st.FS1Scan > 0 {
+		m.stageSim[stageFS1Scan].ObserveDuration(st.FS1Scan)
+	}
+	if st.DiskFetch > 0 {
+		m.stageSim[stageDiskFetch].ObserveDuration(st.DiskFetch)
+	}
+	if st.FS2Match > 0 {
+		m.stageSim[stageFS2Match].ObserveDuration(st.FS2Match)
+	}
+	if st.HostMatch > 0 {
+		m.stageSim[stageHostMatch].ObserveDuration(st.HostMatch)
+	}
+	w := &rt.wall
+	if w.encode > 0 {
+		m.stageWall[stageEncode].ObserveDuration(w.encode)
+	}
+	if w.fs1 > 0 {
+		m.stageWall[stageFS1Scan].ObserveDuration(w.fs1)
+	}
+	if w.fetch > 0 {
+		m.stageWall[stageDiskFetch].ObserveDuration(w.fetch)
+	}
+	if w.fs2 > 0 {
+		m.stageWall[stageFS2Match].ObserveDuration(w.fs2)
+	}
+	if w.host > 0 {
+		m.stageWall[stageHostMatch].ObserveDuration(w.host)
+	}
+	m.clausesIn.Add(int64(st.TotalClauses))
+	m.afterFS1.Add(int64(st.AfterFS1))
+	m.afterFS2.Add(int64(st.AfterFS2))
+	m.chunks.Add(int64(st.Chunks))
+	if st.Overflowed {
+		m.overflows.Inc()
+	}
+}

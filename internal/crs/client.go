@@ -4,26 +4,47 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
+	"time"
 )
+
+// DefaultTimeout bounds the dial and each wire read/write when Dial is
+// used. Generous: a retrieval behind it may queue for a board.
+const DefaultTimeout = 30 * time.Second
 
 // Client is a CRS wire-protocol client.
 type Client struct {
 	conn net.Conn
 	in   *bufio.Scanner
 	out  *bufio.Writer
+	// timeout bounds each wire read and write (0 = no deadline).
+	timeout time.Duration
 	// SessionID is assigned by HELLO.
 	SessionID string
 }
 
-// Dial connects to a CRS server and performs the HELLO handshake.
+// Dial connects to a CRS server with DefaultTimeout and performs the
+// HELLO handshake.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultTimeout)
+}
+
+// DialTimeout is Dial with an explicit per-operation timeout. The
+// timeout bounds the TCP connect and every subsequent wire read and
+// write (each operation gets a fresh deadline); <= 0 disables
+// deadlines entirely.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	dialTO := timeout
+	if dialTO < 0 {
+		dialTO = 0
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTO)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, in: bufio.NewScanner(conn), out: bufio.NewWriter(conn)}
-	c.in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	c := &Client{conn: conn, in: bufio.NewScanner(conn), out: bufio.NewWriter(conn), timeout: timeout}
+	c.in.Buffer(make([]byte, 0, 64*1024), maxWireLine)
 	line, err := c.roundTrip("HELLO")
 	if err != nil {
 		conn.Close()
@@ -38,6 +59,10 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// SetTimeout adjusts the per-operation deadline for subsequent calls
+// (<= 0 disables deadlines).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
 	_, _ = c.roundTrip("QUIT")
@@ -45,6 +70,11 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) send(line string) error {
+	if c.timeout > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintln(c.out, line); err != nil {
 		return err
 	}
@@ -52,6 +82,11 @@ func (c *Client) send(line string) error {
 }
 
 func (c *Client) recv() (string, error) {
+	if c.timeout > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+			return "", err
+		}
+	}
 	if !c.in.Scan() {
 		if err := c.in.Err(); err != nil {
 			return "", err
@@ -113,17 +148,35 @@ func (c *Client) Retrieve(mode, goal string) (*RetrieveResult, error) {
 	return res, nil
 }
 
-// Stats asks the server for its per-mode service counters (the raw SERVED
-// line).
-func (c *Client) Stats() (string, error) {
-	line, err := c.roundTrip("STATS")
+// Stats asks the server for its service counters: served.<mode>,
+// sessions, boards, qcache.{hits,misses,entries} (see the wire-protocol
+// comment in net.go).
+func (c *Client) Stats() (map[string]int64, error) {
+	first, err := c.roundTrip("STATS")
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if !strings.HasPrefix(line, "SERVED") {
-		return "", fmt.Errorf("crs client: unexpected stats reply %q", line)
+	var n int
+	if _, err := fmt.Sscanf(first, "STATS %d", &n); err != nil {
+		return nil, fmt.Errorf("crs client: unexpected stats reply %q", first)
 	}
-	return line, nil
+	out := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		line, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "S" {
+			return nil, fmt.Errorf("crs client: unexpected stats line %q", line)
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("crs client: bad stats value in %q", line)
+		}
+		out[fields[1]] = v
+	}
+	return out, nil
 }
 
 // Begin starts a transaction.

@@ -355,12 +355,27 @@ func TestWireStats(t *testing.T) {
 	if _, err := c.Retrieve("fs2", "married_couple(a, b)"); err != nil {
 		t.Fatal(err)
 	}
-	line, err := c.Stats()
+	kv, err := c.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(line, "fs2=1") {
-		t.Errorf("stats line = %q, want fs2=1", line)
+	// The wire counters must match the server's own served map exactly.
+	for mode, n := range s.Served() {
+		if kv["served."+mode.String()] != int64(n) {
+			t.Errorf("served.%v = %d, want %d", mode, kv["served."+mode.String()], n)
+		}
+	}
+	if kv["served.fs2"] != 1 {
+		t.Errorf("served.fs2 = %d, want 1", kv["served.fs2"])
+	}
+	if kv["sessions"] != 1 {
+		t.Errorf("sessions = %d, want 1", kv["sessions"])
+	}
+	if kv["boards"] != int64(s.Retriever().Boards()) {
+		t.Errorf("boards = %d, want %d", kv["boards"], s.Retriever().Boards())
+	}
+	if kv["qcache.misses"] < 1 {
+		t.Errorf("qcache.misses = %d, want ≥1", kv["qcache.misses"])
 	}
 }
 

@@ -2,10 +2,11 @@ package crs
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
-	"sync"
 
 	"clare/internal/core"
 	"clare/internal/parse"
@@ -22,9 +23,17 @@ import (
 //	C: ASSERT <clause>          S: OK
 //	C: COMMIT                   S: OK
 //	C: ABORT                    S: OK
+//	C: STATS                    S: STATS <n>
+//	                               <n> lines, each "S <key> <value>"
 //	C: QUIT                     S: BYE
 //
 // mode ∈ software|fs1|fs2|fs1+fs2|auto. Errors answer "ERR <message>".
+// STATS keys are served.<mode>, sessions, boards and qcache.{hits,
+// misses,entries}; values are decimal integers.
+
+// maxWireLine bounds one protocol line in either direction. A longer
+// line is answered with "ERR line too long" and the connection dropped.
+const maxWireLine = 4 * 1024 * 1024
 
 // ParseMode maps a wire-mode word to a search mode; auto returns nil
 // (heuristic selection).
@@ -51,18 +60,60 @@ func ParseMode(s string) (*core.SearchMode, error) {
 // its own session. Serve returns after the listener closes and all
 // connection handlers finish.
 func (s *Server) Serve(l net.Listener) error {
-	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			wg.Wait()
+			s.handlers.Wait()
 			return err
 		}
-		wg.Add(1)
+		s.connMu.Lock()
+		if s.draining {
+			s.connMu.Unlock()
+			fmt.Fprintln(conn, "ERR server shutting down")
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.connMu.Unlock()
 		go func() {
-			defer wg.Done()
+			defer s.handlers.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
 			s.handle(conn)
 		}()
+	}
+}
+
+// Shutdown drains the server: new connections are refused, and Shutdown
+// returns once every in-flight handler has finished. If ctx expires
+// first, the remaining connections are force-closed (an in-flight
+// retrieval still runs to completion; its client sees the connection
+// drop) and ctx.Err() is returned. The caller should close its
+// listeners first so Serve stops accepting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.connMu.Lock()
+	s.draining = true
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return ctx.Err()
 	}
 }
 
@@ -71,9 +122,12 @@ func (s *Server) handle(conn net.Conn) {
 	sess := s.OpenSession()
 	defer sess.Close()
 	in := bufio.NewScanner(conn)
-	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	in.Buffer(make([]byte, 0, 64*1024), maxWireLine)
 	out := bufio.NewWriter(conn)
 	reply := func(format string, args ...any) {
+		if strings.HasPrefix(format, "ERR") {
+			s.met.wireErrs.Inc()
+		}
 		fmt.Fprintf(out, format+"\n", args...)
 		out.Flush()
 	}
@@ -90,12 +144,11 @@ func (s *Server) handle(conn net.Conn) {
 			reply("BYE")
 			return
 		case "STATS":
-			served := s.Served()
-			fmt.Fprintf(out, "SERVED")
-			for _, m := range []core.SearchMode{core.ModeSoftware, core.ModeFS1, core.ModeFS2, core.ModeFS1FS2} {
-				fmt.Fprintf(out, " %v=%d", m, served[m])
+			kv := s.Snapshot().lines()
+			fmt.Fprintf(out, "STATS %d\n", len(kv))
+			for _, p := range kv {
+				fmt.Fprintf(out, "S %s %d\n", p.Key, p.Value)
 			}
-			fmt.Fprintln(out)
 			out.Flush()
 		case "BEGIN":
 			if err := sess.Begin(); err != nil {
@@ -166,6 +219,9 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			reply("ERR unknown command %q", cmd)
 		}
+	}
+	if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
+		reply("ERR line too long (max %d bytes)", maxWireLine)
 	}
 }
 

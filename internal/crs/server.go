@@ -8,7 +8,9 @@ package crs
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
+	"time"
 
 	"clare/internal/core"
 	"clare/internal/term"
@@ -31,6 +33,16 @@ type Server struct {
 	// Stats counts served retrievals by mode.
 	statsMu sync.Mutex
 	served  map[core.SearchMode]int
+
+	// met mirrors the service counters into the retriever's metrics
+	// registry (no-ops when the retriever is uninstrumented).
+	met *serverMetrics
+
+	// Connection tracking for Serve/Shutdown.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
+	draining bool
 }
 
 // predState is the server's authoritative copy of one predicate: the
@@ -48,6 +60,8 @@ func NewServer(r *core.Retriever) *Server {
 		preds:     make(map[core.Indicator]*predState),
 		sessions:  make(map[int64]*Session),
 		served:    make(map[core.SearchMode]int),
+		met:       newServerMetrics(r.Metrics()),
+		conns:     make(map[net.Conn]struct{}),
 	}
 }
 
@@ -121,6 +135,8 @@ func (s *Server) OpenSession() *Session {
 	s.nextSess++
 	sess := &Session{id: s.nextSess, srv: s}
 	s.sessions[sess.id] = sess
+	s.met.sessTotal.Inc()
+	s.met.sessOpen.Add(1)
 	return sess
 }
 
@@ -164,6 +180,7 @@ func (c *Session) Close() {
 	c.srv.mu.Lock()
 	delete(c.srv.sessions, c.id)
 	c.srv.mu.Unlock()
+	c.srv.met.sessOpen.Add(-1)
 }
 
 // Retrieve serves one retrieval. mode nil lets the CRS heuristic choose.
@@ -186,7 +203,9 @@ func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retriev
 		return nil, fmt.Errorf("crs: unknown predicate %v", pi)
 	}
 
+	lockStart := time.Now()
 	ps.lock.RLock()
+	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
 	defer ps.lock.RUnlock()
 
 	m := core.ModeFS1FS2
@@ -210,6 +229,8 @@ func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retriev
 	c.srv.statsMu.Lock()
 	c.srv.served[m]++
 	c.srv.statsMu.Unlock()
+	c.srv.met.requests[m].Inc()
+	c.srv.met.predCounter(pi).Inc()
 	return rt, nil
 }
 
@@ -224,6 +245,7 @@ func (c *Session) Begin() error {
 		return ErrInTransaction
 	}
 	c.tx = &tx{staged: make(map[core.Indicator][]core.ClauseTerm)}
+	c.srv.met.txBegins.Inc()
 	return nil
 }
 
@@ -250,7 +272,9 @@ func (c *Session) Assert(head, body term.Term) error {
 		return fmt.Errorf("crs: unknown predicate %v (load it first)", pi)
 	}
 	if _, touched := c.tx.staged[pi]; !touched {
+		lockStart := time.Now()
 		ps.lock.Lock()
+		c.srv.met.lockWaitWrite.ObserveDuration(time.Since(lockStart))
 		c.tx.locked = append(c.tx.locked, ps)
 	}
 	c.tx.staged[pi] = append(c.tx.staged[pi], core.ClauseTerm{Head: head, Body: body})
@@ -273,6 +297,7 @@ func (c *Session) Commit() error {
 		releaseLocks(txn)
 		c.tx = nil
 	}()
+	c.srv.met.txCommits.Inc()
 	for pi, appended := range txn.staged {
 		// The predicate's write lock (held since first Assert) makes the
 		// rebuild exclusive; the server mutex is only needed to look the
@@ -307,6 +332,7 @@ func (c *Session) Abort() error {
 func (c *Session) abortLocked() {
 	releaseLocks(c.tx)
 	c.tx = nil
+	c.srv.met.txAborts.Inc()
 }
 
 func releaseLocks(txn *tx) {

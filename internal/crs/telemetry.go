@@ -1,0 +1,124 @@
+package crs
+
+import (
+	"fmt"
+	"sync"
+
+	"clare/internal/core"
+	"clare/internal/telemetry"
+)
+
+// serverMetrics holds the CRS-level registry handles. All handles are
+// nil-safe, so a server built over an uninstrumented retriever pays
+// nothing (the per-predicate map stays empty because resolve short-
+// circuits on a nil registry).
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests map[core.SearchMode]*telemetry.Counter
+
+	predMu sync.Mutex
+	byPred map[core.Indicator]*telemetry.Counter
+
+	sessOpen  *telemetry.Gauge
+	sessTotal *telemetry.Counter
+
+	lockWaitRead  *telemetry.Histogram
+	lockWaitWrite *telemetry.Histogram
+
+	txBegins  *telemetry.Counter
+	txCommits *telemetry.Counter
+	txAborts  *telemetry.Counter
+
+	wireErrs *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{
+		reg:      reg,
+		requests: make(map[core.SearchMode]*telemetry.Counter, 4),
+		byPred:   make(map[core.Indicator]*telemetry.Counter),
+	}
+	for _, mode := range []core.SearchMode{core.ModeSoftware, core.ModeFS1, core.ModeFS2, core.ModeFS1FS2} {
+		m.requests[mode] = reg.Counter("clare_crs_requests_total",
+			"CRS retrievals served per search mode", telemetry.Labels{"mode": mode.String()})
+	}
+	m.sessOpen = reg.Gauge("clare_crs_sessions_open", "CRS sessions currently open", nil)
+	m.sessTotal = reg.Counter("clare_crs_sessions_total", "CRS sessions ever opened", nil)
+	m.lockWaitRead = reg.Histogram("clare_crs_lock_wait_seconds",
+		"wall time waiting on a predicate lock", nil, telemetry.Labels{"op": "read"})
+	m.lockWaitWrite = reg.Histogram("clare_crs_lock_wait_seconds",
+		"wall time waiting on a predicate lock", nil, telemetry.Labels{"op": "write"})
+	m.txBegins = reg.Counter("clare_crs_transactions_total",
+		"CRS transaction operations", telemetry.Labels{"op": "begin"})
+	m.txCommits = reg.Counter("clare_crs_transactions_total",
+		"CRS transaction operations", telemetry.Labels{"op": "commit"})
+	m.txAborts = reg.Counter("clare_crs_transactions_total",
+		"CRS transaction operations", telemetry.Labels{"op": "abort"})
+	m.wireErrs = reg.Counter("clare_crs_wire_errors_total",
+		"ERR replies sent over the wire protocol", nil)
+	return m
+}
+
+// predCounter resolves (and caches) the per-predicate request counter.
+func (m *serverMetrics) predCounter(pi core.Indicator) *telemetry.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	m.predMu.Lock()
+	defer m.predMu.Unlock()
+	c, ok := m.byPred[pi]
+	if !ok {
+		c = m.reg.Counter("clare_crs_predicate_requests_total",
+			"CRS retrievals served per predicate",
+			telemetry.Labels{"predicate": fmt.Sprintf("%s/%d", pi.Functor, pi.Arity)})
+		m.byPred[pi] = c
+	}
+	return c
+}
+
+// Snapshot is a consistent view of the server's service counters,
+// returned by Server.Snapshot and carried by the STATS wire command.
+type Snapshot struct {
+	// Served counts completed retrievals per search mode.
+	Served map[core.SearchMode]int
+	// Sessions is the number of currently open sessions.
+	Sessions int
+	// Boards is the configured chassis width.
+	Boards int
+	// QueryCache is the retriever's query-encoding cache state.
+	QueryCache core.QueryCacheStats
+}
+
+// Snapshot captures the server's current service counters.
+func (s *Server) Snapshot() Snapshot {
+	return Snapshot{
+		Served:     s.Served(),
+		Sessions:   s.Sessions(),
+		Boards:     s.retriever.Boards(),
+		QueryCache: s.retriever.QueryCache(),
+	}
+}
+
+// statsKV flattens a snapshot into the deterministic key/value sequence
+// the STATS wire reply carries. Keys contain no spaces; values are
+// integers.
+type statsKV struct {
+	Key   string
+	Value int64
+}
+
+func (sn Snapshot) lines() []statsKV {
+	kv := []statsKV{}
+	for _, mode := range []core.SearchMode{core.ModeSoftware, core.ModeFS1, core.ModeFS2, core.ModeFS1FS2} {
+		kv = append(kv, statsKV{"served." + mode.String(), int64(sn.Served[mode])})
+	}
+	kv = append(kv,
+		statsKV{"sessions", int64(sn.Sessions)},
+		statsKV{"boards", int64(sn.Boards)},
+		statsKV{"qcache.hits", sn.QueryCache.Hits},
+		statsKV{"qcache.misses", sn.QueryCache.Misses},
+		statsKV{"qcache.entries", int64(sn.QueryCache.Size)},
+	)
+	return kv
+}

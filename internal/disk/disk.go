@@ -12,6 +12,8 @@ package disk
 import (
 	"fmt"
 	"time"
+
+	"clare/internal/telemetry"
 )
 
 // Model describes a disk drive.
@@ -123,14 +125,47 @@ func (s *Stats) Add(other Stats) {
 	s.Elapsed += other.Elapsed
 }
 
+// driveMetrics are the drive's registry handles; the zero value (all nil)
+// makes every observation a no-op.
+type driveMetrics struct {
+	bytes    *telemetry.Counter
+	accesses *telemetry.Counter
+	scan     *telemetry.Histogram
+	access   *telemetry.Histogram
+	stream   *telemetry.Histogram
+	fetch    *telemetry.Histogram
+}
+
 // Drive is a stateful disk with accumulated statistics.
 type Drive struct {
 	Model Model
 	Stats Stats
+	met   driveMetrics
 }
 
 // NewDrive returns a drive of the given model.
 func NewDrive(m Model) *Drive { return &Drive{Model: m} }
+
+// Instrument wires the drive to a metrics registry. labels identify the
+// spindle (e.g. its chassis slot); each operation's simulated duration
+// lands in clare_disk_op_sim_seconds{op=...}.
+func (d *Drive) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	op := func(name string) telemetry.Labels {
+		l := telemetry.Labels{"op": name}
+		for k, v := range labels {
+			l[k] = v
+		}
+		return l
+	}
+	d.met = driveMetrics{
+		bytes:    reg.Counter("clare_disk_bytes_read_total", "bytes streamed off the simulated disk", labels),
+		accesses: reg.Counter("clare_disk_accesses_total", "positioning accesses (seek + rotational latency)", labels),
+		scan:     reg.Histogram("clare_disk_op_sim_seconds", "simulated duration per disk operation", nil, op("scan")),
+		access:   reg.Histogram("clare_disk_op_sim_seconds", "simulated duration per disk operation", nil, op("access")),
+		stream:   reg.Histogram("clare_disk_op_sim_seconds", "simulated duration per disk operation", nil, op("stream")),
+		fetch:    reg.Histogram("clare_disk_op_sim_seconds", "simulated duration per disk operation", nil, op("fetch")),
+	}
+}
 
 // Scan accounts for a sequential scan of n bytes and returns its duration.
 func (d *Drive) Scan(n int) time.Duration {
@@ -138,6 +173,9 @@ func (d *Drive) Scan(n int) time.Duration {
 	d.Stats.BytesRead += int64(n)
 	d.Stats.Accesses++
 	d.Stats.Elapsed += t
+	d.met.bytes.Add(int64(n))
+	d.met.accesses.Inc()
+	d.met.scan.ObserveDuration(t)
 	return t
 }
 
@@ -147,6 +185,8 @@ func (d *Drive) Access() time.Duration {
 	t := d.Model.AccessTime()
 	d.Stats.Accesses++
 	d.Stats.Elapsed += t
+	d.met.accesses.Inc()
+	d.met.access.ObserveDuration(t)
 	return t
 }
 
@@ -161,6 +201,8 @@ func (d *Drive) Stream(n int) time.Duration {
 	t := d.Model.TransferTime(n)
 	d.Stats.BytesRead += int64(n)
 	d.Stats.Elapsed += t
+	d.met.bytes.Add(int64(n))
+	d.met.stream.ObserveDuration(t)
 	return t
 }
 
@@ -170,6 +212,11 @@ func (d *Drive) Fetch(k, recordBytes int) time.Duration {
 	d.Stats.BytesRead += int64(k * recordBytes)
 	d.Stats.Accesses += k
 	d.Stats.Elapsed += t
+	if k > 0 {
+		d.met.bytes.Add(int64(k * recordBytes))
+		d.met.accesses.Add(int64(k))
+		d.met.fetch.ObserveDuration(t)
+	}
 	return t
 }
 

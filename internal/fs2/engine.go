@@ -7,6 +7,7 @@ import (
 
 	"clare/internal/hw"
 	"clare/internal/pif"
+	"clare/internal/telemetry"
 )
 
 // Mode is the FS2 operational mode, selected by bits b0/b1 of the control
@@ -170,6 +171,29 @@ type Engine struct {
 	matched bool // control register b7
 
 	Stats Stats
+	met   engineMetrics
+}
+
+// engineMetrics are the board's registry handles; the zero value (all
+// nil) makes every observation a no-op.
+type engineMetrics struct {
+	examined  *telemetry.Counter
+	matchedC  *telemetry.Counter
+	bytes     *telemetry.Counter
+	overflows *telemetry.Counter
+	searchSim *telemetry.Histogram
+}
+
+// Instrument wires the engine to a metrics registry. labels identify the
+// board (e.g. its chassis slot).
+func (e *Engine) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
+	e.met = engineMetrics{
+		examined:  reg.Counter("clare_fs2_clauses_examined_total", "clauses streamed through the TUE", labels),
+		matchedC:  reg.Counter("clare_fs2_clauses_matched_total", "clauses the partial test accepted", labels),
+		bytes:     reg.Counter("clare_fs2_bytes_examined_total", "PIF bytes through the Double Buffer", labels),
+		overflows: reg.Counter("clare_fs2_result_overflows_total", "satisfiers lost to Result Memory capacity", labels),
+		searchSim: reg.Histogram("clare_fs2_search_sim_seconds", "simulated TUE time per search call", nil, labels),
+	}
 }
 
 // Errors.
@@ -289,6 +313,8 @@ func (e *Engine) Search(records []Record) (SearchResult, error) {
 	// comparison only; reset per clause below.
 	var res SearchResult
 	before := e.Stats.MatchTime
+	beforeBytes := e.Stats.BytesExamined
+	beforeMatched := e.Stats.ClausesMatched
 	for _, rec := range records {
 		e.buffer.Load(rec.Enc.SizeBytes())
 		e.Stats.BytesExamined += int64(rec.Enc.SizeBytes())
@@ -308,6 +334,13 @@ func (e *Engine) Search(records []Record) (SearchResult, error) {
 		res.ClauseTimes = append(res.ClauseTimes, e.Stats.MatchTime-clauseStart)
 	}
 	res.MatchTime = e.Stats.MatchTime - before
+	e.met.examined.Add(int64(res.Examined))
+	e.met.matchedC.Add(int64(e.Stats.ClausesMatched - beforeMatched))
+	e.met.bytes.Add(e.Stats.BytesExamined - beforeBytes)
+	if res.Overflowed {
+		e.met.overflows.Inc()
+	}
+	e.met.searchSim.ObserveDuration(res.MatchTime)
 	return res, nil
 }
 

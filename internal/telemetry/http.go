@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// AdminMux assembles the operational HTTP surface crsd serves on its
+// -admin listener:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/trace?n=K     last K retrieval traces as JSON lines (default 16)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// Either argument may be nil; the corresponding endpoint then serves an
+// empty document rather than failing, so a partially-configured daemon
+// still exposes what it has.
+func AdminMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 16
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = tracer.WriteJSON(w, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdminMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("clare_retrievals_total", "served", Labels{"mode": "fs2"}).Add(3)
+	srv := httptest.NewServer(AdminMux(reg, NewTracer(4)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(string(body), `clare_retrievals_total{mode="fs2"} 3`) {
+		t.Errorf("/metrics body missing series:\n%s", body)
+	}
+}
+
+func TestAdminMuxTrace(t *testing.T) {
+	tracer := NewTracer(4)
+	for i := 0; i < 3; i++ {
+		tr := tracer.Start("retrieve")
+		tr.Root().End()
+		tracer.Finish(tr)
+	}
+	srv := httptest.NewServer(AdminMux(NewRegistry(), tracer))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if got := strings.Count(strings.TrimSpace(string(body)), "\n") + 1; got != 2 {
+		t.Errorf("/trace?n=2 returned %d lines:\n%s", got, body)
+	}
+
+	if resp, err := http.Get(srv.URL + "/trace?n=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("/trace?n=bogus status = %d, want 400", resp.StatusCode)
+		}
+	}
+}
+
+func TestAdminMuxPprofAndNils(t *testing.T) {
+	srv := httptest.NewServer(AdminMux(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/trace", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s status = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4), families in registration order and series in
+// creation order. No external dependency: the format is a few lines of
+// HELP/TYPE headers plus one sample per series (histograms expand into
+// cumulative _bucket samples, _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the family/series structure under the lock, then format
+	// outside it: atomically-read values may trail each other by an
+	// update, which Prometheus scrapes tolerate by design.
+	type row struct {
+		f *family
+		s []*series
+	}
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		ss := make([]*series, 0, len(f.order))
+		for _, key := range f.order {
+			ss = append(ss, f.series[key])
+		}
+		rows = append(rows, row{f: f, s: ss})
+	}
+	r.mu.Unlock()
+
+	for _, rw := range rows {
+		if rw.f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", rw.f.name, rw.f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", rw.f.name, rw.f.kind); err != nil {
+			return err
+		}
+		for _, s := range rw.s {
+			if err := writeSeries(w, rw.f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch m := s.metric.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(s.rendered), m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(s.rendered), fmtFloat(m.Value()))
+		return err
+	case *Histogram:
+		var cum int64
+		for i, bound := range m.bounds {
+			cum += m.counts[i].Load()
+			le := fmtFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bracedLE(s.rendered, le), cum); err != nil {
+				return err
+			}
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bracedLE(s.rendered, "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(s.rendered), fmtFloat(m.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(s.rendered), m.Count())
+		return err
+	}
+	return nil
+}
+
+func braced(rendered string) string {
+	if rendered == "" {
+		return ""
+	}
+	return "{" + rendered + "}"
+}
+
+func bracedLE(rendered, le string) string {
+	if rendered == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + rendered + `,le="` + le + `"}`
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Buckets builds an explicit bucket slice — a convenience mirroring the
+// common client-library helpers.
+func Buckets(bounds ...float64) []float64 {
+	out := append([]float64(nil), bounds...)
+	sort.Float64s(out)
+	return out
+}

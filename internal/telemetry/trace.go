@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one stage of a retrieval: encode, query-cache probe, board
+// lease, an FS1 chunk scan, a disk access or stream, an FS2 match on one
+// board, host matching. Spans form a tree within their trace via Parent
+// (span IDs start at 1; the root's Parent is 0).
+//
+// Every span carries both clocks: Wall is host time actually spent, Sim
+// is the component model's simulated duration (zero for stages that have
+// no hardware analogue, like the query-cache probe).
+type Span struct {
+	ID     int               `json:"id"`
+	Parent int               `json:"parent"`
+	Name   string            `json:"name"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+	Start  time.Time         `json:"start"`
+	Wall   time.Duration     `json:"wall_ns"`
+	Sim    time.Duration     `json:"sim_ns"`
+
+	tr *Trace
+}
+
+// SetAttr attaches a key/value to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string, 4)
+	}
+	s.Attrs[k] = v
+}
+
+// AddSim accumulates simulated time on the span.
+func (s *Span) AddSim(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Sim += d
+}
+
+// End stamps the span's wall duration from its start time. Safe to call
+// once per span; later calls overwrite (longest measurement wins the
+// final write).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Wall = time.Since(s.Start)
+}
+
+// Trace is one retrieval's span tree. A trace is built by a single
+// goroutine (the retrieval) and becomes immutable once handed to
+// Tracer.Finish, so exports need no span-level locking.
+type Trace struct {
+	// TraceID is unique per tracer.
+	TraceID uint64 `json:"trace"`
+	// Name is the root operation, e.g. "retrieve".
+	Name string `json:"name"`
+	// Begin is when the trace opened.
+	Begin time.Time `json:"begin"`
+	// Spans holds the tree in creation order; Spans[0] is the root.
+	Spans []*Span `json:"spans"`
+}
+
+// Span opens a child span under parent (nil parent attaches to the root;
+// for the first span of the trace it creates the root itself). Nil-safe:
+// a nil trace returns a nil span, and every Span method accepts a nil
+// receiver, so untraced runs pay only a pointer test.
+func (t *Trace) Span(parent *Span, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	pid := 0
+	if parent != nil {
+		pid = parent.ID
+	} else if len(t.Spans) > 0 {
+		pid = t.Spans[0].ID
+	}
+	s := &Span{ID: len(t.Spans) + 1, Parent: pid, Name: name, Start: time.Now(), tr: t}
+	t.Spans = append(t.Spans, s)
+	return s
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil || len(t.Spans) == 0 {
+		return nil
+	}
+	return t.Spans[0]
+}
+
+// Tracer records finished traces in a fixed-size ring buffer (newest
+// evicts oldest), the store behind crsd's /trace endpoint.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []*Trace
+	next   int
+	filled bool
+	nextID atomic.Uint64
+}
+
+// DefaultTraceRing is the ring capacity when NewTracer is given n <= 0.
+const DefaultTraceRing = 64
+
+// NewTracer returns a tracer retaining the last n traces.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	return &Tracer{ring: make([]*Trace, n)}
+}
+
+// Start opens a trace whose root span carries name. Nil-safe: a nil
+// tracer returns a nil trace.
+func (tr *Tracer) Start(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := &Trace{TraceID: tr.nextID.Add(1), Name: name, Begin: time.Now()}
+	t.Span(nil, name) // root
+	return t
+}
+
+// Finish records a completed trace into the ring. Nil-safe on both sides.
+func (tr *Tracer) Finish(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next++
+	if tr.next == len(tr.ring) {
+		tr.next = 0
+		tr.filled = true
+	}
+	tr.mu.Unlock()
+}
+
+// Last returns up to n of the most recent traces, oldest first. n <= 0
+// means the whole ring.
+func (tr *Tracer) Last(n int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var all []*Trace
+	if tr.filled {
+		all = append(all, tr.ring[tr.next:]...)
+		all = append(all, tr.ring[:tr.next]...)
+	} else {
+		all = append(all, tr.ring[:tr.next]...)
+	}
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// WriteJSON exports the last n traces as JSON lines, one complete trace
+// (with its span tree) per line — grep-able, tail-able, and trivially
+// parseable.
+func (tr *Tracer) WriteJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, t := range tr.Last(n) {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
