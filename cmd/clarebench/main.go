@@ -5,7 +5,7 @@
 // Usage:
 //
 //	clarebench            # run every experiment
-//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2
+//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2 FLT
 //	clarebench -json      # also write machine-readable BENCH_<exp>.json
 package main
 
@@ -46,6 +46,7 @@ func main() {
 		{"OPS", "§3.3 — hardware-operation profile per workload", expOPS},
 		{"AB1", "Ablation — SCW mask bits on/off", expAB1},
 		{"AB2", "Ablation — double vs single buffering", expAB2},
+		{"FLT", "Fault injection — degraded-mode retrieval ladder", expFLT},
 	}
 
 	matched := false

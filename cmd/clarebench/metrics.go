@@ -42,30 +42,45 @@ func recordedCount() int {
 	return n
 }
 
-// benchReport is the BENCH_*.json document.
+// benchReport is the BENCH_*.json document. Degraded and Retries summarise
+// the run's fault tolerance at the top level (summed over every recorded
+// "degraded"/"retries" metric), so trajectory diffs spot a regression in
+// the degradation machinery without walking the metric list.
 type benchReport struct {
 	Generated string   `json:"generated"`
 	Command   string   `json:"command"`
+	Degraded  float64  `json:"degraded"`
+	Retries   float64  `json:"retries"`
 	Metrics   []Metric `json:"metrics"`
 }
 
 // writeJSON writes the recorded metrics to path in registration order.
 func writeJSON(path string) error {
 	var metrics []Metric
+	var degraded, retries float64
 	for _, sv := range benchRegistry.Gather() {
 		if sv.Name != "clarebench_result" {
 			continue
 		}
-		metrics = append(metrics, Metric{
+		m := Metric{
 			Experiment: sv.Labels["experiment"],
 			Name:       sv.Labels["name"],
 			Value:      sv.Value,
 			Unit:       sv.Labels["unit"],
-		})
+		}
+		switch m.Name {
+		case "degraded":
+			degraded += m.Value
+		case "retries":
+			retries += m.Value
+		}
+		metrics = append(metrics, m)
 	}
 	rep := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Command:   fmt.Sprintf("clarebench %v", os.Args[1:]),
+		Degraded:  degraded,
+		Retries:   retries,
 		Metrics:   metrics,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")

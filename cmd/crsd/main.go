@@ -12,6 +12,16 @@
 // /debug/pprof; -admin "" disables it. SIGINT/SIGTERM drain the server:
 // new connections are refused and in-flight sessions get -drain to
 // finish before being force-closed.
+//
+// Chaos testing: the repeatable -fault flag arms deterministic fault
+// injection (seeded by -fault-seed), e.g.
+//
+//	crsd -boards 4 -fault fs2.match@0=0.5 -fault disk.index=1/100 family.pl
+//
+// Board health and degradation tallies are visible in the wire STATS
+// reply (boards.*, degraded, retries, faults) and as
+// clare_boards_tripped / clare_degraded_retrievals_total etc. on
+// /metrics.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 
 	"clare/internal/core"
 	"clare/internal/crs"
+	"clare/internal/fault"
 	"clare/internal/plfile"
 	"clare/internal/telemetry"
 )
@@ -39,6 +50,9 @@ func main() {
 	boards := flag.Int("boards", 1, "FS2 board/drive units in the simulated chassis (concurrent retrievals)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
 	traces := flag.Int("traces", telemetry.DefaultTraceRing, "retrieval traces kept for /trace")
+	var faultSpecs multiFlag
+	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] predicate.pl ...")
@@ -49,6 +63,18 @@ func main() {
 	cfg.Boards = *boards
 	cfg.Metrics = telemetry.NewRegistry()
 	cfg.Tracer = telemetry.NewTracer(*traces)
+	if len(faultSpecs) > 0 {
+		inj := fault.New(*faultSeed)
+		for _, spec := range faultSpecs {
+			rule, err := fault.ParseRule(spec)
+			if err != nil {
+				fatal("%v", err)
+			}
+			inj.Add(rule)
+		}
+		cfg.Faults = inj
+		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
+	}
 	r, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -116,4 +142,14 @@ func main() {
 func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "crsd: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"clare/internal/clausefile"
 	"clare/internal/disk"
+	"clare/internal/fault"
 	"clare/internal/fs2"
 	"clare/internal/pif"
 	"clare/internal/ptu"
@@ -90,7 +91,34 @@ type Config struct {
 	// board lease, per-chunk FS1 scan / disk fetch / FS2 match, host
 	// match). Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Faults, when non-nil, is the fault injector armed across the
+	// chassis: every drive, bus, and board probes it, as does the
+	// retriever itself (site core.retrieve, keyed by predicate
+	// indicator). Nil — the production configuration — costs one nil
+	// check per probe.
+	Faults *fault.Injector
+	// TripThreshold is how many consecutive faulted leases trip a board
+	// unit out of rotation (0 means 3).
+	TripThreshold int
+	// ProbePeriod is how long a tripped unit cools off before a
+	// probationary re-admission (0 means 100ms).
+	ProbePeriod time.Duration
+	// MaxRetries bounds the extra attempts a retrieval makes after an
+	// injected fault before degrading to host-only matching (0 means 2,
+	// negative means no retries).
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry, doubling per
+	// further attempt (0 means 200µs).
+	RetryBackoff time.Duration
 }
+
+// Fault-handling defaults.
+const (
+	defaultTripThreshold = 3
+	defaultProbePeriod   = 100 * time.Millisecond
+	defaultMaxRetries    = 2
+	defaultRetryBackoff  = 200 * time.Microsecond
+)
 
 // DefaultConfig mirrors the paper's hardware: the faster SMD disk, 64-bit
 // codewords with mask bits, level-3 + cross-binding microprogram.
@@ -180,6 +208,9 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 	}
 	qcache := newQueryCache(cfg.QueryCacheSize)
 	qcache.instrument(cfg.Metrics)
+	if cfg.Metrics != nil {
+		cfg.Faults.Instrument(cfg.Metrics)
+	}
 	return &Retriever{
 		cfg:    cfg,
 		syms:   syms,
@@ -347,6 +378,19 @@ type StageStats struct {
 	// QueryCacheHit reports that the goal's encodings came from the
 	// query-encoding cache.
 	QueryCacheHit bool
+
+	// Faults counts the injected hardware faults this retrieval absorbed
+	// across all of its attempts.
+	Faults int
+	// Retries counts the extra attempts made after a faulted one.
+	Retries int
+	// Degraded names the degradation-ladder rung the retrieval ended on:
+	// "" (none — it ran in the requested mode), "fs2" (the FS1 index was
+	// unreadable, so the clause file was full-scanned through FS2), or
+	// "host" (no healthy board, or the retry budget was spent; the host
+	// matched the clause file itself). The requested mode stays in
+	// Retrieval.Mode.
+	Degraded string
 }
 
 // Retrieval is the outcome of one CLARE search call.
@@ -384,6 +428,15 @@ func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
 // bus, disk drive) from the chassis pool for its duration. When the
 // retriever carries telemetry, the call records per-stage metrics in both
 // clocks and one span tree into the tracer's ring buffer.
+//
+// Under fault injection the call degrades rather than fails. A faulted
+// attempt is retried on different hardware (bounded by Config.MaxRetries,
+// backing off between attempts); an unreadable FS1 index downgrades the
+// mode to a full FS2 scan; and when every board is tripped — or the retry
+// budget is spent — the host performs the whole match itself. Injected
+// faults therefore never surface as errors: Stats.Degraded records the
+// ladder rung the retrieval ended on, Stats.Faults/Retries what it cost
+// to get there.
 func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error) {
 	wallStart := time.Now()
 	pred, err := r.Predicate(goal)
@@ -391,66 +444,139 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 		r.met.errors.Inc()
 		return nil, err
 	}
-	rt := &Retrieval{Mode: mode, Goal: goal, pred: pred}
-	rt.Stats.TotalClauses = pred.File.Len()
+	var pi Indicator
+	if functor, args, ok := principal(goal); ok {
+		pi = Indicator{Functor: functor, Arity: len(args)}
+	}
 
 	tr := r.tracer.Start("retrieve")
-	rt.trace = tr
 	root := tr.Root()
 	if root != nil {
-		if functor, args, ok := principal(goal); ok {
-			root.SetAttr("predicate", Indicator{Functor: functor, Arity: len(args)}.String())
-		}
+		root.SetAttr("predicate", pi.String())
 		root.SetAttr("mode", mode.String())
 	}
 
-	leaseStart := time.Now()
-	u := r.pool.lease()
-	leaseWait := time.Since(leaseStart)
-	r.met.boardsBusy.Add(1)
-	r.met.leaseWait.ObserveDuration(leaseWait)
-	if sp := tr.Span(root, stageLease); sp != nil {
-		sp.Start = leaseStart
-		sp.Wall = leaseWait
-		sp.SetAttr("slot", fmt.Sprint(u.slot))
+	finish := func(rt *Retrieval, faults, retries int, degraded string) *Retrieval {
+		rt.Stats.AfterFS2 = len(rt.Candidates)
+		rt.Stats.Faults = faults
+		rt.Stats.Retries = retries
+		rt.Stats.Degraded = degraded
+		r.met.observe(rt, time.Since(wallStart))
+		if root != nil {
+			root.AddSim(rt.Stats.Total)
+			root.SetAttr("candidates", fmt.Sprint(len(rt.Candidates)))
+			if degraded != "" {
+				root.SetAttr("degraded", degraded)
+			}
+			if retries > 0 {
+				root.SetAttr("retries", fmt.Sprint(retries))
+			}
+			root.End()
+			r.tracer.Finish(tr)
+		}
+		return rt
 	}
-	root.SetAttr("board", fmt.Sprint(u.slot))
-	defer func() {
-		r.pool.release(u)
-		r.met.boardsBusy.Add(-1)
-	}()
-
-	switch mode {
-	case ModeSoftware:
-		err = r.retrieveSoftware(goal, pred, rt, u)
-	case ModeFS1:
-		err = r.retrieveFS1(goal, pred, rt, u)
-	case ModeFS2:
-		err = r.retrieveFS2All(goal, pred, rt, u)
-	case ModeFS1FS2:
-		err = r.retrieveFS1FS2(goal, pred, rt, u)
-	default:
-		err = fmt.Errorf("core: unknown mode %d", mode)
-	}
-	if err != nil {
+	fail := func(err error) error {
 		r.met.errors.Inc()
 		if root != nil {
 			root.SetAttr("error", err.Error())
 			root.End()
 			r.tracer.Finish(tr)
 		}
-		return nil, err
+		return err
 	}
-	rt.Stats.AfterFS2 = len(rt.Candidates)
 
-	r.met.observe(rt, time.Since(wallStart))
-	if root != nil {
-		root.AddSim(rt.Stats.Total)
-		root.SetAttr("candidates", fmt.Sprint(len(rt.Candidates)))
-		root.End()
-		r.tracer.Finish(tr)
+	effMode := mode
+	degraded := ""
+	faults, retries := 0, 0
+	backoff := r.cfg.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
 	}
-	return rt, nil
+	maxRetries := r.cfg.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = defaultMaxRetries
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			retries++
+			r.met.retriesC.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		// The predicate-targeted whole-retrieval site: chaos schedules
+		// fail retrievals by indicator without aiming at one component.
+		if err := r.cfg.Faults.Probe(fault.SiteRetrieve, pi.String()); err != nil {
+			faults++
+			continue
+		}
+		rt := &Retrieval{Mode: mode, Goal: goal, pred: pred, trace: tr}
+		rt.Stats.TotalClauses = pred.File.Len()
+
+		leaseStart := time.Now()
+		u := r.pool.lease()
+		leaseWait := time.Since(leaseStart)
+		r.met.leaseWait.ObserveDuration(leaseWait)
+		if u == nil {
+			// Every unit is tripped and cooling off: drop to the
+			// ladder's last rung.
+			break
+		}
+		r.met.boardsBusy.Add(1)
+		if sp := tr.Span(root, stageLease); sp != nil {
+			sp.Start = leaseStart
+			sp.Wall = leaseWait
+			sp.SetAttr("slot", fmt.Sprint(u.slot))
+		}
+		root.SetAttr("board", fmt.Sprint(u.slot))
+
+		switch effMode {
+		case ModeSoftware:
+			err = r.retrieveSoftware(goal, pred, rt, u)
+		case ModeFS1:
+			err = r.retrieveFS1(goal, pred, rt, u)
+		case ModeFS2:
+			err = r.retrieveFS2All(goal, pred, rt, u)
+		case ModeFS1FS2:
+			err = r.retrieveFS1FS2(goal, pred, rt, u)
+		default:
+			err = fmt.Errorf("core: unknown mode %d", mode)
+		}
+		if err == nil {
+			r.pool.release(u)
+			r.met.boardsBusy.Add(-1)
+			return finish(rt, faults, retries, degraded), nil
+		}
+		if !fault.Is(err) {
+			r.pool.release(u)
+			r.met.boardsBusy.Add(-1)
+			return nil, fail(err)
+		}
+		faults++
+		r.pool.releaseFaulty(u)
+		r.met.boardsBusy.Add(-1)
+		if fault.SiteOf(err) == fault.SiteDiskIndex && (effMode == ModeFS1 || effMode == ModeFS1FS2) {
+			// The secondary file is unreadable: abandon FS1 filtering
+			// and full-scan the clause file through FS2 (§2.2 mode (c)).
+			effMode = ModeFS2
+			degraded = "fs2"
+			r.met.degraded["fs2"].Inc()
+		}
+	}
+	// Last rung: no healthy board, or the retry budget is spent. The host
+	// matches the raw clause file itself — no hardware, no injection
+	// sites, guaranteed to complete.
+	degraded = "host"
+	r.met.degraded["host"].Inc()
+	rt := &Retrieval{Mode: mode, Goal: goal, pred: pred, trace: tr}
+	rt.Stats.TotalClauses = pred.File.Len()
+	if err := r.retrieveSoftware(goal, pred, rt, nil); err != nil {
+		return nil, fail(err)
+	}
+	return finish(rt, faults, retries, degraded), nil
 }
 
 // encodeQuery produces the goal's SCW query codeword and PIF query image,
@@ -494,11 +620,24 @@ func (r *Retriever) encodeQuery(goal term.Term, rt *Retrieval) (qd scw.QueryDesc
 // retrieveSoftware scans the whole clause file and matches in software —
 // mode (a): "the CRS performs all the search operations itself". The
 // software matcher runs the same level-3+XB algorithm (package ptu).
+//
+// A nil unit selects host-only degraded operation: the host reads the
+// clause file through its own block I/O (costed by the drive model
+// directly, outside any per-spindle accounting) and nothing probes a
+// fault site, so this path always completes.
 func (r *Retriever) retrieveSoftware(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
 	all := pred.File.All()
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
-	diskTime := u.drive.Scan(pred.File.SizeBytes())
+	var diskTime time.Duration
+	if u != nil {
+		var err error
+		if diskTime, err = u.drive.Scan(pred.File.SizeBytes()); err != nil {
+			return err
+		}
+	} else {
+		diskTime = r.cfg.Disk.ScanTime(pred.File.SizeBytes())
+	}
 	if sp := rt.trace.Span(nil, stageDiskFetch); sp != nil {
 		sp.AddSim(diskTime)
 		sp.SetAttr("bytes", fmt.Sprint(pred.File.SizeBytes()))
@@ -541,7 +680,10 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	rt.Stats.IndexBytes = scan.BytesScanned
 	// The index streams from disk through FS1; FS1 (4.5 MB/s) outruns the
 	// disk, so delivery dominates.
-	diskIndex := u.drive.Scan(scan.BytesScanned)
+	diskIndex, err := u.drive.IndexScan(scan.BytesScanned)
+	if err != nil {
+		return err
+	}
 	fs1Time := scan.Elapsed
 	if diskIndex > fs1Time {
 		fs1Time = diskIndex
@@ -570,7 +712,9 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	if len(candidates) > 0 {
 		avg = fetchBytes / len(candidates)
 	}
-	rt.Stats.DiskFetch = u.drive.Fetch(len(candidates), avg)
+	if rt.Stats.DiskFetch, err = u.drive.Fetch(len(candidates), avg); err != nil {
+		return err
+	}
 	rt.Candidates = candidates
 	rt.wall.fetch += time.Since(fetchStart)
 	if fetchSpan != nil {
@@ -609,14 +753,19 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		}
 	}
 
-	u.bus.SelectFS2(fs2.ModeSetQuery)
+	if _, err := u.bus.SelectFS2(fs2.ModeSetQuery); err != nil {
+		return err
+	}
 	if err := u.board.SetQuery(q); err != nil {
 		return err
 	}
 
 	// One positioning access starts the sequential index stream; chunk
 	// transfers then continue at the sustained rate.
-	access := u.drive.Access()
+	access, err := u.drive.Access()
+	if err != nil {
+		return err
+	}
 	var scanChunks, matchChunks []time.Duration
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -633,7 +782,11 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		rt.Stats.IndexBytes += scan.BytesScanned
 		// FS1 outruns the disk, so chunk delivery dominates the scan.
 		sTime := scan.Elapsed
-		if dt := u.drive.Stream(scan.BytesScanned); dt > sTime {
+		dt, err := u.drive.Stream(scan.BytesScanned)
+		if err != nil {
+			return err
+		}
+		if dt > sTime {
 			sTime = dt
 		}
 		rt.Stats.FS1Scan += sTime
@@ -661,7 +814,10 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		if len(candidates) > 0 {
 			avg = fetchBytes / len(candidates)
 		}
-		fetch := u.drive.Fetch(len(candidates), avg)
+		fetch, err := u.drive.Fetch(len(candidates), avg)
+		if err != nil {
+			return err
+		}
 		rt.Stats.DiskFetch += fetch
 		rt.wall.fetch += time.Since(fetchStart)
 		if fetchSpan != nil {
@@ -704,7 +860,10 @@ func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieva
 	all := pred.File.All()
 	rt.Stats.AfterFS1 = len(all)
 	rt.Stats.ClauseBytes = pred.File.SizeBytes()
-	diskTime := u.drive.Scan(pred.File.SizeBytes())
+	diskTime, err := u.drive.Scan(pred.File.SizeBytes())
+	if err != nil {
+		return err
+	}
 	if sp := rt.trace.Span(nil, stageDiskFetch); sp != nil {
 		sp.AddSim(diskTime)
 		sp.SetAttr("bytes", fmt.Sprint(pred.File.SizeBytes()))
@@ -714,7 +873,9 @@ func (r *Retriever) retrieveFS2All(goal term.Term, pred *Predicate, rt *Retrieva
 	if err != nil {
 		return err
 	}
-	u.bus.SelectFS2(fs2.ModeSetQuery)
+	if _, err := u.bus.SelectFS2(fs2.ModeSetQuery); err != nil {
+		return err
+	}
 	if err := u.board.SetQuery(q); err != nil {
 		return err
 	}
@@ -780,7 +941,9 @@ func (r *Retriever) searchFS2(u *boardUnit, in []*clausefile.StoredClause, rt *R
 		if end > len(records) {
 			end = len(records)
 		}
-		u.bus.SelectFS2(fs2.ModeSearch)
+		if _, err := u.bus.SelectFS2(fs2.ModeSearch); err != nil {
+			return 0, nil, err
+		}
 		res, err := u.board.Search(records[start:end])
 		if err != nil {
 			return 0, nil, err
@@ -790,7 +953,9 @@ func (r *Retriever) searchFS2(u *boardUnit, in []*clausefile.StoredClause, rt *R
 		if res.Overflowed {
 			rt.Stats.Overflowed = true
 		}
-		u.bus.SelectFS2(fs2.ModeReadResult)
+		if _, err := u.bus.SelectFS2(fs2.ModeReadResult); err != nil {
+			return 0, nil, err
+		}
 		batch, err := u.board.ReadResult()
 		if err != nil {
 			return 0, nil, err

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"clare/internal/fault"
+	"clare/internal/parse"
+	"clare/internal/telemetry"
+	"clare/internal/term"
+)
+
+// faultyRetriever builds a retriever over the family workload with the
+// given fault-injection configuration.
+func faultyRetriever(t *testing.T, cfg Config, n int) *Retriever {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clauses := make([]ClauseTerm, n)
+	for i := 0; i < n; i++ {
+		clauses[i] = ClauseTerm{Head: term.New("married_couple",
+			term.Atom(fmt.Sprintf("husband%d", i)), term.Atom(fmt.Sprintf("wife%d", i)))}
+	}
+	if _, err := r.AddClauses("family", clauses); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRetryLandsOnAnotherBoard(t *testing.T) {
+	// Slot 0's board always faults; slot 1 is healthy. The first attempt
+	// (the free stack hands out slot 0 first) faults, and the bounded
+	// retry must land on slot 1 and succeed without degrading.
+	cfg := DefaultConfig()
+	cfg.Boards = 2
+	cfg.Faults = fault.New(1).Add(fault.Rule{Site: fault.SiteFS2, Key: "0", Probability: 1})
+	cfg.RetryBackoff = time.Microsecond
+	r := faultyRetriever(t, cfg, 40)
+
+	rt, err := r.Retrieve(parse.MustTerm("married_couple(husband3, X)"), ModeFS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.Retries != 1 || rt.Stats.Faults != 1 || rt.Stats.Degraded != "" {
+		t.Fatalf("stats = %+v, want one retried fault, no degradation", rt.Stats)
+	}
+	trueU, _, err := rt.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueU != 1 {
+		t.Fatalf("true unifiers = %d, want 1", trueU)
+	}
+}
+
+func TestIndexFaultDegradesToFS2(t *testing.T) {
+	// The FS1 index stream is permanently unreadable. An fs1+fs2
+	// retrieval must fall back to a full FS2 scan of the clause file —
+	// which never touches the index — and still return every unifier.
+	cfg := DefaultConfig()
+	cfg.Faults = fault.New(1).Add(fault.Rule{Site: fault.SiteDiskIndex, Probability: 1})
+	cfg.RetryBackoff = time.Microsecond
+	r := faultyRetriever(t, cfg, 40)
+
+	for _, mode := range []SearchMode{ModeFS1FS2, ModeFS1} {
+		rt, err := r.Retrieve(parse.MustTerm("married_couple(husband7, X)"), mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if rt.Stats.Degraded != "fs2" {
+			t.Fatalf("%v: Degraded = %q, want fs2", mode, rt.Stats.Degraded)
+		}
+		if rt.Mode != mode {
+			t.Fatalf("%v: requested mode not preserved: %v", mode, rt.Mode)
+		}
+		trueU, _, err := rt.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trueU != 1 {
+			t.Fatalf("%v: true unifiers = %d, want 1", mode, trueU)
+		}
+	}
+}
+
+func TestTripProbationAndReadmit(t *testing.T) {
+	// Two consecutive faults trip the single board; the retrieval that
+	// tripped it completes host-only. After the cool-off the board is
+	// re-admitted on probation and serves cleanly (the rule's budget is
+	// spent).
+	cfg := DefaultConfig()
+	cfg.Faults = fault.New(1).Add(fault.Rule{Site: fault.SiteFS2, Probability: 1, Limit: 2})
+	cfg.TripThreshold = 2
+	cfg.ProbePeriod = 20 * time.Millisecond
+	cfg.RetryBackoff = time.Microsecond
+	r := faultyRetriever(t, cfg, 30)
+	goal := "married_couple(husband5, X)"
+
+	rt, err := r.Retrieve(parse.MustTerm(goal), ModeFS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.Degraded != "host" || rt.Stats.Faults != 2 {
+		t.Fatalf("stats = %+v, want host-only after 2 faults", rt.Stats)
+	}
+	if trueU, _, err := rt.Evaluate(); err != nil || trueU != 1 {
+		t.Fatalf("host-only evaluate = %d, %v", trueU, err)
+	}
+	h := r.Health()
+	if h.Tripped != 1 || h.Trips != 1 || h.Free != 0 {
+		t.Fatalf("health after trip = %+v", h)
+	}
+
+	time.Sleep(cfg.ProbePeriod + 10*time.Millisecond)
+	rt, err = r.Retrieve(parse.MustTerm(goal), ModeFS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.Degraded != "" || rt.Stats.Faults != 0 {
+		t.Fatalf("post-readmit stats = %+v, want clean hardware retrieval", rt.Stats)
+	}
+	h = r.Health()
+	if h.Readmits != 1 || h.Tripped != 0 || h.Free != 1 {
+		t.Fatalf("health after readmit = %+v", h)
+	}
+}
+
+func TestAllBoardsTrippedHostOnlyStillCorrect(t *testing.T) {
+	// The acceptance scenario: every board in an 8-slot chassis faults on
+	// every FS2 search, so the whole chassis trips, and retrievals must
+	// keep returning the correct unifier set via host-only degradation.
+	reg := telemetry.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Boards = 8
+	cfg.Faults = fault.New(7).Add(fault.Rule{Site: fault.SiteFS2, Probability: 1})
+	cfg.ProbePeriod = time.Hour // no re-admission during the test
+	cfg.RetryBackoff = time.Microsecond
+	cfg.Metrics = reg
+	r := faultyRetriever(t, cfg, 50)
+
+	sawHost := 0
+	for i := 0; i < 30; i++ {
+		goal := parse.MustTerm(fmt.Sprintf("married_couple(husband%d, X)", i%50))
+		rt, err := r.Retrieve(goal, ModeFS2)
+		if err != nil {
+			t.Fatalf("retrieval %d: %v", i, err)
+		}
+		if rt.Stats.Degraded == "host" {
+			sawHost++
+		}
+		trueU, _, err := rt.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trueU != 1 {
+			t.Fatalf("retrieval %d: true unifiers = %d, want 1", i, trueU)
+		}
+	}
+	if sawHost != 30 {
+		t.Fatalf("host-only retrievals = %d/30 (every FS2 attempt faults)", sawHost)
+	}
+	h := r.Health()
+	if h.Tripped != 8 {
+		t.Fatalf("tripped boards = %d, want the whole chassis", h.Tripped)
+	}
+	for _, u := range h.Units {
+		if u.Leased {
+			t.Fatalf("slot %d still leased after the run", u.Slot)
+		}
+	}
+
+	byName := map[string]float64{}
+	for _, sv := range reg.Gather() {
+		key := sv.Name
+		if to := sv.Labels["to"]; to != "" {
+			key += ":" + to
+		}
+		byName[key] += sv.Value
+	}
+	if byName["clare_boards_tripped"] != 8 {
+		t.Errorf("clare_boards_tripped = %v, want 8", byName["clare_boards_tripped"])
+	}
+	if byName["clare_board_trips_total"] != 8 {
+		t.Errorf("clare_board_trips_total = %v, want 8", byName["clare_board_trips_total"])
+	}
+	if byName["clare_degraded_retrievals_total:host"] != 30 {
+		t.Errorf("degraded-to-host = %v, want 30", byName["clare_degraded_retrievals_total:host"])
+	}
+	if byName["clare_faults_injected_total"] == 0 {
+		t.Error("no injected faults recorded")
+	}
+	if byName["clare_retrieval_retries_total"] == 0 {
+		t.Error("no retries recorded")
+	}
+}
+
+func TestPredicateTargetedFault(t *testing.T) {
+	// The core.retrieve site is keyed by predicate indicator: one faulted
+	// probe fails the whole attempt before any hardware is touched, and
+	// the bounded retry completes the retrieval.
+	cfg := DefaultConfig()
+	cfg.Faults = fault.New(1).Add(fault.Rule{
+		Site: fault.SiteRetrieve, Key: "married_couple/2", Nth: 1, Limit: 1})
+	cfg.RetryBackoff = time.Microsecond
+	r := faultyRetriever(t, cfg, 20)
+
+	rt, err := r.Retrieve(parse.MustTerm("married_couple(husband2, X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats.Retries != 1 || rt.Stats.Faults != 1 || rt.Stats.Degraded != "" {
+		t.Fatalf("stats = %+v, want one retried predicate-targeted fault", rt.Stats)
+	}
+	if trueU, _, err := rt.Evaluate(); err != nil || trueU != 1 {
+		t.Fatalf("evaluate = %d, %v", trueU, err)
+	}
+}

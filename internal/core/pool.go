@@ -3,6 +3,7 @@ package core
 import (
 	"strconv"
 	"sync"
+	"time"
 
 	"clare/internal/disk"
 	"clare/internal/fs2"
@@ -19,18 +20,37 @@ type boardUnit struct {
 	board *fs2.Engine
 	bus   *vme.Bus
 	drive *disk.Drive
+
+	// Health bookkeeping, guarded by the pool mutex.
+	faults  int // consecutive faulted leases
+	tripped bool
+	leased  bool
+	retryAt time.Time // when a tripped unit may be probed again
 }
 
 // boardPool manages N boardUnits with blocking lease/release semantics.
 // The free list is a stack so a serial caller always reuses slot 0 —
 // single-board behaviour (and its accumulated statistics) is then
 // identical to the paper's one-board setup.
+//
+// The pool also tracks board health: a unit whose leases keep ending in
+// injected faults is tripped out of rotation (the sick list) and only
+// re-admitted, on probation, after a cool-off period. When every unit is
+// sick and cooling, lease returns nil and the caller degrades to
+// host-only operation instead of deadlocking.
 type boardPool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	free    []*boardUnit
+	sick    []*boardUnit
 	all     []*boardUnit
+	leased  int
 	chassis *vme.Chassis
+
+	tripAfter   int
+	probePeriod time.Duration
+	trips       int64 // total trip events
+	readmits    int64 // total probationary re-admissions
 
 	// lastFS2/lastDisk are per-slot statistics copies captured under mu
 	// each time a unit is released. Aggregate readers (FS2Stats/DiskStats)
@@ -39,25 +59,46 @@ type boardPool struct {
 	// retrieval queue.
 	lastFS2  []fs2.Stats
 	lastDisk []disk.Stats
+
+	trippedG  *telemetry.Gauge
+	tripsC    *telemetry.Counter
+	readmitsC *telemetry.Counter
 }
 
 func newBoardPool(cfg Config, n int) (*boardPool, error) {
 	if n < 1 {
 		n = 1
 	}
-	p := &boardPool{}
+	p := &boardPool{
+		tripAfter:   cfg.TripThreshold,
+		probePeriod: cfg.ProbePeriod,
+	}
+	if p.tripAfter <= 0 {
+		p.tripAfter = defaultTripThreshold
+	}
+	if p.probePeriod <= 0 {
+		p.probePeriod = defaultProbePeriod
+	}
 	p.cond = sync.NewCond(&p.mu)
 	buses := make([]*vme.Bus, 0, n)
 	for i := 0; i < n; i++ {
 		board := fs2.New()
 		bus := vme.NewBus(board)
-		bus.SelectFS2(fs2.ModeMicroprogramming)
+		// Board bring-up precedes fault arming: microprogram load is a
+		// maintenance action, not part of the serving path.
+		if _, err := bus.SelectFS2(fs2.ModeMicroprogramming); err != nil {
+			return nil, err
+		}
 		if err := board.LoadMicroprogram(cfg.Microprogram); err != nil {
 			return nil, err
 		}
 		drive := disk.NewDrive(cfg.Disk)
+		key := strconv.Itoa(i)
+		board.SetFaults(cfg.Faults, key)
+		bus.SetFaults(cfg.Faults, key)
+		drive.SetFaults(cfg.Faults, key)
 		if cfg.Metrics != nil {
-			slot := telemetry.Labels{"slot": strconv.Itoa(i)}
+			slot := telemetry.Labels{"slot": key}
 			board.Instrument(cfg.Metrics, slot)
 			bus.Instrument(cfg.Metrics, slot)
 			drive.Instrument(cfg.Metrics, slot)
@@ -73,37 +114,111 @@ func newBoardPool(cfg Config, n int) (*boardPool, error) {
 	for i := n - 1; i >= 0; i-- {
 		p.free = append(p.free, p.all[i])
 	}
+	p.trippedG = cfg.Metrics.Gauge("clare_boards_tripped", "board units currently tripped out of rotation", nil)
+	p.tripsC = cfg.Metrics.Counter("clare_board_trips_total", "board units tripped after consecutive faults", nil)
+	p.readmitsC = cfg.Metrics.Counter("clare_board_readmits_total", "tripped board units re-admitted on probation", nil)
 	return p, nil
 }
 
-// lease blocks until a unit is free and returns it. The caller owns the
-// unit exclusively until release.
+// lease blocks until a unit is available and returns it; the caller owns
+// the unit exclusively until release. A tripped unit whose cool-off has
+// elapsed is handed out on probation. When every unit is sick and still
+// cooling — and none is leased, so no release can free one — lease
+// returns nil and the caller must degrade to host-only operation.
 func (p *boardPool) lease() *boardUnit {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.free) == 0 {
+	for {
+		if n := len(p.free); n > 0 {
+			u := p.free[n-1]
+			p.free = p.free[:n-1]
+			u.leased = true
+			p.leased++
+			return u
+		}
+		if u := p.takeSickLocked(); u != nil {
+			return u
+		}
+		if p.leased == 0 {
+			return nil
+		}
 		p.cond.Wait()
 	}
-	u := p.free[len(p.free)-1]
-	p.free = p.free[:len(p.free)-1]
-	return u
+}
+
+// takeSickLocked re-admits the first tripped unit whose cool-off has
+// elapsed. The re-admission is probationary: the fault counter restarts
+// one below the trip threshold, so a single further fault re-trips the
+// unit while a clean lease clears it.
+func (p *boardPool) takeSickLocked() *boardUnit {
+	now := time.Now()
+	for i, u := range p.sick {
+		if now.Before(u.retryAt) {
+			continue
+		}
+		p.sick = append(p.sick[:i], p.sick[i+1:]...)
+		u.tripped = false
+		u.faults = p.tripAfter - 1
+		u.leased = true
+		p.leased++
+		p.readmits++
+		p.readmitsC.Inc()
+		p.trippedG.Add(-1)
+		return u
+	}
+	return nil
+}
+
+// snapshotLocked captures the releasing unit's statistics for race-free
+// aggregate readers. The releaser still owns the unit, so the component
+// reads race nothing.
+func (p *boardPool) snapshotLocked(u *boardUnit) {
+	p.lastFS2[u.slot] = u.board.Stats
+	p.lastDisk[u.slot] = u.drive.Stats
 }
 
 // release resets the board's protocol state (the recycled board must not
 // leak the previous retrieval's query or satisfiers), captures the unit's
-// statistics for race-free snapshot readers, and returns the unit to the
-// pool.
+// statistics for snapshot readers, clears its consecutive-fault count,
+// and returns the unit to the pool.
 func (p *boardPool) release(u *boardUnit) {
 	u.board.Reset()
-	// The releaser still owns the unit here, so these reads race nothing.
-	fsSnap := u.board.Stats
-	dSnap := u.drive.Stats
 	p.mu.Lock()
-	p.lastFS2[u.slot] = fsSnap
-	p.lastDisk[u.slot] = dSnap
+	p.snapshotLocked(u)
+	u.leased = false
+	u.faults = 0
+	p.leased--
 	p.free = append(p.free, u)
 	p.mu.Unlock()
 	p.cond.Signal()
+}
+
+// releaseFaulty returns a unit whose lease ended in an injected hardware
+// fault. Consecutive faults trip the unit out of rotation until the
+// cool-off elapses; a not-yet-tripped unit goes to the bottom of the free
+// stack so an immediate retry lands on different hardware whenever any
+// exists.
+func (p *boardPool) releaseFaulty(u *boardUnit) {
+	u.board.Reset()
+	p.mu.Lock()
+	p.snapshotLocked(u)
+	u.leased = false
+	u.faults++
+	p.leased--
+	if u.faults >= p.tripAfter {
+		u.tripped = true
+		u.retryAt = time.Now().Add(p.probePeriod)
+		p.sick = append(p.sick, u)
+		p.trips++
+		p.tripsC.Inc()
+		p.trippedG.Add(1)
+	} else {
+		p.free = append([]*boardUnit{u}, p.free...)
+	}
+	p.mu.Unlock()
+	// A trip can leave nothing leased, which flips waiting leasers into
+	// the host-only return — wake them all to re-evaluate.
+	p.cond.Broadcast()
 }
 
 // fs2Snapshot sums the per-slot FS2 statistics captured at release time.
@@ -127,3 +242,47 @@ func (p *boardPool) diskSnapshot() disk.Stats {
 	}
 	return out
 }
+
+// BoardHealth is one chassis slot's health state.
+type BoardHealth struct {
+	Slot    int
+	Tripped bool
+	Leased  bool
+	// Faults is the unit's consecutive faulted leases (cleared by a
+	// clean lease; at TripThreshold the unit trips).
+	Faults int
+}
+
+// Health is a point-in-time snapshot of the board pool.
+type Health struct {
+	Boards   int
+	Free     int
+	Leased   int
+	Tripped  int
+	Trips    int64 // total trip events
+	Readmits int64 // total probationary re-admissions
+	Units    []BoardHealth
+}
+
+// health snapshots the pool under its lock.
+func (p *boardPool) health() Health {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := Health{
+		Boards:   len(p.all),
+		Free:     len(p.free),
+		Leased:   p.leased,
+		Tripped:  len(p.sick),
+		Trips:    p.trips,
+		Readmits: p.readmits,
+	}
+	for _, u := range p.all {
+		h.Units = append(h.Units, BoardHealth{Slot: u.slot, Tripped: u.tripped, Leased: u.leased, Faults: u.faults})
+	}
+	return h
+}
+
+// Health reports the chassis's board-health snapshot: counts of free,
+// leased, and tripped units plus per-slot state — the data the CRS
+// daemon exposes through STATS and /metrics.
+func (r *Retriever) Health() Health { return r.pool.health() }

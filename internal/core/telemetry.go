@@ -49,6 +49,10 @@ type coreMetrics struct {
 
 	leaseWait  *telemetry.Histogram
 	boardsBusy *telemetry.Gauge
+
+	retriesC *telemetry.Counter
+	degraded map[string]*telemetry.Counter
+	faultsC  *telemetry.Counter
 }
 
 var allModes = []SearchMode{ModeSoftware, ModeFS1, ModeFS2, ModeFS1FS2}
@@ -86,6 +90,14 @@ func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
 	m.overflows = reg.Counter("clare_result_overflows_total", "retrievals that overflowed the Result Memory", nil)
 	m.leaseWait = reg.Histogram("clare_board_lease_wait_seconds", "wall time a retrieval waited for a free board unit", nil, nil)
 	m.boardsBusy = reg.Gauge("clare_boards_busy", "board units currently leased", nil)
+	m.retriesC = reg.Counter("clare_retrieval_retries_total", "retrieval attempts re-run after an injected fault", nil)
+	m.degraded = map[string]*telemetry.Counter{
+		"fs2": reg.Counter("clare_degraded_retrievals_total", "retrievals that fell down the degradation ladder, by rung",
+			telemetry.Labels{"to": "fs2"}),
+		"host": reg.Counter("clare_degraded_retrievals_total", "retrievals that fell down the degradation ladder, by rung",
+			telemetry.Labels{"to": "host"}),
+	}
+	m.faultsC = reg.Counter("clare_retrieval_faults_total", "injected faults absorbed by retrievals", nil)
 	return m
 }
 
@@ -137,4 +149,5 @@ func (m *coreMetrics) observe(rt *Retrieval, wall time.Duration) {
 	if st.Overflowed {
 		m.overflows.Inc()
 	}
+	m.faultsC.Add(int64(st.Faults))
 }

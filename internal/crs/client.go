@@ -2,6 +2,7 @@ package crs
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -13,15 +14,51 @@ import (
 // used. Generous: a retrieval behind it may queue for a board.
 const DefaultTimeout = 30 * time.Second
 
-// Client is a CRS wire-protocol client.
+// Client retry defaults: transport failures on idempotent requests are
+// retried over a fresh connection up to DefaultMaxRetries times, with
+// DefaultRetryBackoff doubling between attempts.
+const (
+	DefaultMaxRetries   = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
+// ServerError is a protocol-level "ERR <message>" reply: the server
+// received the request and rejected it. It is never retried — retrying
+// a rejected request would just be rejected again (or worse, applied
+// twice after a transient rejection).
+type ServerError struct {
+	// Msg is the server's message after the ERR prefix.
+	Msg string
+}
+
+func (e *ServerError) Error() string { return "crs server: " + e.Msg }
+
+// Client is a CRS wire-protocol client. Idempotent requests (RETRIEVE,
+// STATS) survive transport failures: the client reconnects with
+// exponential backoff and replays the request, up to MaxRetries times.
+// Protocol rejections (ServerError) and transaction commands are never
+// retried — a reconnect opens a fresh session, so any staged
+// transaction state is gone and the caller must re-run the transaction.
 type Client struct {
+	// addr is the dialed address, kept for reconnects.
+	addr string
 	conn net.Conn
 	in   *bufio.Scanner
 	out  *bufio.Writer
 	// timeout bounds each wire read and write (0 = no deadline).
 	timeout time.Duration
-	// SessionID is assigned by HELLO.
+	// inTx is set between a successful BEGIN and the next COMMIT/ABORT;
+	// while set, automatic reconnect-and-retry is disabled.
+	inTx bool
+	// SessionID is assigned by HELLO (and refreshed on reconnect).
 	SessionID string
+
+	// MaxRetries bounds transparent reconnect+retry attempts per
+	// idempotent request (0 uses DefaultMaxRetries; negative disables).
+	MaxRetries int
+	// RetryBackoff is the sleep before the first retry, doubled per
+	// attempt (0 uses DefaultRetryBackoff).
+	RetryBackoff time.Duration
 }
 
 // Dial connects to a CRS server with DefaultTimeout and performs the
@@ -35,28 +72,92 @@ func Dial(addr string) (*Client, error) {
 // write (each operation gets a fresh deadline); <= 0 disables
 // deadlines entirely.
 func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
-	dialTO := timeout
+	c := &Client{addr: addr, timeout: timeout}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connect (re)establishes the TCP connection and performs the HELLO
+// handshake, replacing any previous connection state.
+func (c *Client) connect() error {
+	dialTO := c.timeout
 	if dialTO < 0 {
 		dialTO = 0
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTO)
+	conn, err := net.DialTimeout("tcp", c.addr, dialTO)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c := &Client{conn: conn, in: bufio.NewScanner(conn), out: bufio.NewWriter(conn), timeout: timeout}
+	c.conn = conn
+	c.in = bufio.NewScanner(conn)
 	c.in.Buffer(make([]byte, 0, 64*1024), maxWireLine)
+	c.out = bufio.NewWriter(conn)
 	line, err := c.roundTrip("HELLO")
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return err
 	}
 	fields := strings.Fields(line)
 	if len(fields) != 3 || fields[0] != "OK" {
 		conn.Close()
-		return nil, fmt.Errorf("crs client: bad handshake %q", line)
+		return fmt.Errorf("crs client: bad handshake %q", line)
 	}
 	c.SessionID = fields[2]
-	return c, nil
+	return nil
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return DefaultMaxRetries
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) retryBackoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return DefaultRetryBackoff
+	}
+	return c.RetryBackoff
+}
+
+// retryIdempotent runs op, transparently reconnecting and replaying it
+// on transport failures. ServerError replies pass through immediately,
+// and nothing is retried inside a transaction (the reconnect would
+// silently discard the staged state).
+func (c *Client) retryIdempotent(op func() error) error {
+	backoff := c.retryBackoff()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			c.conn.Close()
+			if err := c.connect(); err != nil {
+				lastErr = err
+				if attempt >= c.maxRetries() {
+					return lastErr
+				}
+				continue
+			}
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return err
+		}
+		lastErr = err
+		if c.inTx || attempt >= c.maxRetries() {
+			return lastErr
+		}
+	}
 }
 
 // SetTimeout adjusts the per-operation deadline for subsequent calls
@@ -105,7 +206,7 @@ func (c *Client) roundTrip(line string) (string, error) {
 		return "", err
 	}
 	if strings.HasPrefix(resp, "ERR ") {
-		return "", fmt.Errorf("crs server: %s", strings.TrimPrefix(resp, "ERR "))
+		return "", &ServerError{Msg: strings.TrimPrefix(resp, "ERR ")}
 	}
 	return resp, nil
 }
@@ -119,8 +220,19 @@ type RetrieveResult struct {
 }
 
 // Retrieve runs a retrieval. mode is one of software|fs1|fs2|fs1+fs2|auto;
-// goal is Edinburgh source without the final '.'.
+// goal is Edinburgh source without the final '.'. Retrieve is
+// idempotent: on a transport failure the client reconnects with backoff
+// and replays the request (see Client).
 func (c *Client) Retrieve(mode, goal string) (*RetrieveResult, error) {
+	var res *RetrieveResult
+	err := c.retryIdempotent(func() (err error) {
+		res, err = c.retrieveOnce(mode, goal)
+		return err
+	})
+	return res, err
+}
+
+func (c *Client) retrieveOnce(mode, goal string) (*RetrieveResult, error) {
 	first, err := c.roundTrip(fmt.Sprintf("RETRIEVE %s %s.", mode, goal))
 	if err != nil {
 		return nil, err
@@ -149,9 +261,19 @@ func (c *Client) Retrieve(mode, goal string) (*RetrieveResult, error) {
 }
 
 // Stats asks the server for its service counters: served.<mode>,
-// sessions, boards, qcache.{hits,misses,entries} (see the wire-protocol
-// comment in net.go).
+// sessions, boards, qcache.{hits,misses,entries}, board health
+// (boards.*) and the fault-tolerance tallies (see the wire-protocol
+// comment in net.go). Stats is idempotent and retried like Retrieve.
 func (c *Client) Stats() (map[string]int64, error) {
+	var out map[string]int64
+	err := c.retryIdempotent(func() (err error) {
+		out, err = c.statsOnce()
+		return err
+	})
+	return out, err
+}
+
+func (c *Client) statsOnce() (map[string]int64, error) {
 	first, err := c.roundTrip("STATS")
 	if err != nil {
 		return nil, err
@@ -179,8 +301,16 @@ func (c *Client) Stats() (map[string]int64, error) {
 	return out, nil
 }
 
-// Begin starts a transaction.
-func (c *Client) Begin() error { return c.simple("BEGIN") }
+// Begin starts a transaction. Until the matching Commit or Abort, the
+// client suspends automatic reconnect-and-retry: staged transaction
+// state lives in the server session, which a reconnect would discard.
+func (c *Client) Begin() error {
+	if err := c.simple("BEGIN"); err != nil {
+		return err
+	}
+	c.inTx = true
+	return nil
+}
 
 // Assert stages a clause (source without final '.').
 func (c *Client) Assert(clause string) error {
@@ -188,10 +318,18 @@ func (c *Client) Assert(clause string) error {
 }
 
 // Commit commits the transaction.
-func (c *Client) Commit() error { return c.simple("COMMIT") }
+func (c *Client) Commit() error {
+	err := c.simple("COMMIT")
+	c.inTx = false
+	return err
+}
 
 // Abort aborts the transaction.
-func (c *Client) Abort() error { return c.simple("ABORT") }
+func (c *Client) Abort() error {
+	err := c.simple("ABORT")
+	c.inTx = false
+	return err
+}
 
 func (c *Client) simple(line string) error {
 	resp, err := c.roundTrip(line)

@@ -28,8 +28,10 @@ import (
 //	C: QUIT                     S: BYE
 //
 // mode ∈ software|fs1|fs2|fs1+fs2|auto. Errors answer "ERR <message>".
-// STATS keys are served.<mode>, sessions, boards and qcache.{hits,
-// misses,entries}; values are decimal integers.
+// STATS keys are served.<mode>, sessions, boards, qcache.{hits,misses,
+// entries}, the board-health gauges boards.{free,leased,tripped,trips,
+// readmits}, and the fault-tolerance tallies degraded, retries and
+// faults; values are decimal integers.
 
 // maxWireLine bounds one protocol line in either direction. A longer
 // line is answered with "ERR line too long" and the connection dropped.

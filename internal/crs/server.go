@@ -30,9 +30,14 @@ type Server struct {
 	sessions  map[int64]*Session
 	nextSess  int64
 
-	// Stats counts served retrievals by mode.
-	statsMu sync.Mutex
-	served  map[core.SearchMode]int
+	// Stats counts served retrievals by mode, plus the fault-tolerance
+	// tallies (degraded rungs taken, retries spent, faults absorbed)
+	// accumulated from each retrieval's stage stats.
+	statsMu  sync.Mutex
+	served   map[core.SearchMode]int
+	degraded int64
+	retries  int64
+	faults   int64
 
 	// met mirrors the service counters into the retriever's metrics
 	// registry (no-ops when the retriever is uninstrumented).
@@ -228,6 +233,11 @@ func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retriev
 	}
 	c.srv.statsMu.Lock()
 	c.srv.served[m]++
+	if rt.Stats.Degraded != "" {
+		c.srv.degraded++
+	}
+	c.srv.retries += int64(rt.Stats.Retries)
+	c.srv.faults += int64(rt.Stats.Faults)
 	c.srv.statsMu.Unlock()
 	c.srv.met.requests[m].Inc()
 	c.srv.met.predCounter(pi).Inc()

@@ -88,15 +88,31 @@ type Snapshot struct {
 	Boards int
 	// QueryCache is the retriever's query-encoding cache state.
 	QueryCache core.QueryCacheStats
+	// Health is the board pool's current health (trips, re-admissions,
+	// units free/leased/tripped).
+	Health core.Health
+	// Degraded counts served retrievals that fell down the degradation
+	// ladder (any rung); Retries and Faults are the total retry attempts
+	// spent and injected faults absorbed across served retrievals.
+	Degraded int64
+	Retries  int64
+	Faults   int64
 }
 
 // Snapshot captures the server's current service counters.
 func (s *Server) Snapshot() Snapshot {
+	s.statsMu.Lock()
+	degraded, retries, faults := s.degraded, s.retries, s.faults
+	s.statsMu.Unlock()
 	return Snapshot{
 		Served:     s.Served(),
 		Sessions:   s.Sessions(),
 		Boards:     s.retriever.Boards(),
 		QueryCache: s.retriever.QueryCache(),
+		Health:     s.retriever.Health(),
+		Degraded:   degraded,
+		Retries:    retries,
+		Faults:     faults,
 	}
 }
 
@@ -119,6 +135,14 @@ func (sn Snapshot) lines() []statsKV {
 		statsKV{"qcache.hits", sn.QueryCache.Hits},
 		statsKV{"qcache.misses", sn.QueryCache.Misses},
 		statsKV{"qcache.entries", int64(sn.QueryCache.Size)},
+		statsKV{"boards.free", int64(sn.Health.Free)},
+		statsKV{"boards.leased", int64(sn.Health.Leased)},
+		statsKV{"boards.tripped", int64(sn.Health.Tripped)},
+		statsKV{"boards.trips", sn.Health.Trips},
+		statsKV{"boards.readmits", sn.Health.Readmits},
+		statsKV{"degraded", sn.Degraded},
+		statsKV{"retries", sn.Retries},
+		statsKV{"faults", sn.Faults},
 	)
 	return kv
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"clare/internal/fault"
 	"clare/internal/telemetry"
 )
 
@@ -115,6 +116,9 @@ type Stats struct {
 	BytesRead int64
 	Accesses  int
 	Elapsed   time.Duration
+	// Faults counts injected read faults (bad track / unreadable index)
+	// this drive surfaced.
+	Faults int
 }
 
 // Add folds other into s — used to aggregate per-drive statistics across
@@ -123,6 +127,7 @@ func (s *Stats) Add(other Stats) {
 	s.BytesRead += other.BytesRead
 	s.Accesses += other.Accesses
 	s.Elapsed += other.Elapsed
+	s.Faults += other.Faults
 }
 
 // driveMetrics are the drive's registry handles; the zero value (all nil)
@@ -141,10 +146,32 @@ type Drive struct {
 	Model Model
 	Stats Stats
 	met   driveMetrics
+
+	// flt, when non-nil, injects read faults: Scan/Fetch probe
+	// fault.SiteDiskRead (the clause-file stream), IndexScan/Access/
+	// Stream probe fault.SiteDiskIndex (the secondary-file stream).
+	flt    *fault.Injector
+	fltKey string
 }
 
 // NewDrive returns a drive of the given model.
 func NewDrive(m Model) *Drive { return &Drive{Model: m} }
+
+// SetFaults arms fault injection on the drive. key identifies the spindle
+// to keyed rules (its chassis slot).
+func (d *Drive) SetFaults(inj *fault.Injector, key string) {
+	d.flt = inj
+	d.fltKey = key
+}
+
+// probe checks the injector at one read site, counting surfaced faults.
+func (d *Drive) probe(site string) error {
+	err := d.flt.Probe(site, d.fltKey)
+	if err != nil {
+		d.Stats.Faults++
+	}
+	return err
+}
 
 // Instrument wires the drive to a metrics registry. labels identify the
 // spindle (e.g. its chassis slot); each operation's simulated duration
@@ -167,8 +194,26 @@ func (d *Drive) Instrument(reg *telemetry.Registry, labels telemetry.Labels) {
 	}
 }
 
-// Scan accounts for a sequential scan of n bytes and returns its duration.
-func (d *Drive) Scan(n int) time.Duration {
+// Scan accounts for a sequential scan of n clause-file bytes and returns
+// its duration. A fault (injected bad track) aborts the scan: the drive
+// burns one positioning access discovering it and delivers nothing.
+func (d *Drive) Scan(n int) (time.Duration, error) {
+	return d.scan(fault.SiteDiskRead, n)
+}
+
+// IndexScan is Scan over the secondary file (the FS1 index stream). It is
+// costed identically but probes the disk.index fault site, so chaos
+// schedules can make the index unreadable while clause records survive —
+// the trigger for the FS1+FS2 → FS2-only degradation.
+func (d *Drive) IndexScan(n int) (time.Duration, error) {
+	return d.scan(fault.SiteDiskIndex, n)
+}
+
+func (d *Drive) scan(site string, n int) (time.Duration, error) {
+	if err := d.probe(site); err != nil {
+		d.failedAccess()
+		return 0, err
+	}
 	t := d.Model.ScanTime(n)
 	d.Stats.BytesRead += int64(n)
 	d.Stats.Accesses++
@@ -176,38 +221,54 @@ func (d *Drive) Scan(n int) time.Duration {
 	d.met.bytes.Add(int64(n))
 	d.met.accesses.Inc()
 	d.met.scan.ObserveDuration(t)
-	return t
+	return t, nil
 }
 
 // Access accounts for one positioning access (seek + rotational latency)
-// with no transfer — the start of a chunked sequential stream.
-func (d *Drive) Access() time.Duration {
+// with no transfer — the start of a chunked sequential index stream, so
+// it probes the disk.index fault site.
+func (d *Drive) Access() (time.Duration, error) {
+	if err := d.probe(fault.SiteDiskIndex); err != nil {
+		d.failedAccess()
+		return 0, err
+	}
 	t := d.Model.AccessTime()
 	d.Stats.Accesses++
 	d.Stats.Elapsed += t
 	d.met.accesses.Inc()
 	d.met.access.ObserveDuration(t)
-	return t
+	return t, nil
 }
 
-// Stream accounts for transferring n sequential bytes at the sustained
-// rate with no positioning — the continuation of a stream opened by
-// Access. A chunked scan is one Access plus a Stream per chunk, and costs
-// exactly what one Scan of the whole range would.
-func (d *Drive) Stream(n int) time.Duration {
+// Stream accounts for transferring n sequential index bytes at the
+// sustained rate with no positioning — the continuation of a stream
+// opened by Access. A chunked scan is one Access plus a Stream per chunk,
+// and costs exactly what one Scan of the whole range would.
+func (d *Drive) Stream(n int) (time.Duration, error) {
 	if n <= 0 {
-		return 0
+		return 0, nil
+	}
+	if err := d.probe(fault.SiteDiskIndex); err != nil {
+		d.failedAccess()
+		return 0, err
 	}
 	t := d.Model.TransferTime(n)
 	d.Stats.BytesRead += int64(n)
 	d.Stats.Elapsed += t
 	d.met.bytes.Add(int64(n))
 	d.met.stream.ObserveDuration(t)
-	return t
+	return t, nil
 }
 
-// Fetch accounts for k random record reads and returns the duration.
-func (d *Drive) Fetch(k, recordBytes int) time.Duration {
+// Fetch accounts for k random clause-record reads and returns the
+// duration.
+func (d *Drive) Fetch(k, recordBytes int) (time.Duration, error) {
+	if k > 0 {
+		if err := d.probe(fault.SiteDiskRead); err != nil {
+			d.failedAccess()
+			return 0, err
+		}
+	}
 	t := d.Model.FetchTime(k, recordBytes)
 	d.Stats.BytesRead += int64(k * recordBytes)
 	d.Stats.Accesses += k
@@ -217,7 +278,16 @@ func (d *Drive) Fetch(k, recordBytes int) time.Duration {
 		d.met.accesses.Add(int64(k))
 		d.met.fetch.ObserveDuration(t)
 	}
-	return t
+	return t, nil
+}
+
+// failedAccess accounts the positioning cost of a read attempt that died
+// on a bad track: the head still moved, no bytes were delivered.
+func (d *Drive) failedAccess() {
+	t := d.Model.AccessTime()
+	d.Stats.Accesses++
+	d.Stats.Elapsed += t
+	d.met.accesses.Inc()
 }
 
 // Reset clears the statistics.

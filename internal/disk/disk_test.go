@@ -3,6 +3,8 @@ package disk
 import (
 	"testing"
 	"time"
+
+	"clare/internal/fault"
 )
 
 func TestModelsValidate(t *testing.T) {
@@ -89,8 +91,14 @@ func TestFetchSeekCap(t *testing.T) {
 
 func TestDriveAccounting(t *testing.T) {
 	d := NewDrive(FujitsuM2351A)
-	t1 := d.Scan(1000)
-	t2 := d.Fetch(3, 100)
+	t1, err := d.Scan(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := d.Fetch(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d.Stats.BytesRead != 1300 {
 		t.Errorf("BytesRead = %d", d.Stats.BytesRead)
 	}
@@ -103,6 +111,61 @@ func TestDriveAccounting(t *testing.T) {
 	d.Reset()
 	if d.Stats != (Stats{}) {
 		t.Error("Reset did not clear stats")
+	}
+}
+
+func TestDriveFaultInjection(t *testing.T) {
+	d := NewDrive(FujitsuM2351A)
+	inj := fault.New(1).
+		Add(fault.Rule{Site: fault.SiteDiskRead, Nth: 1, Limit: 1}).
+		Add(fault.Rule{Site: fault.SiteDiskIndex, Key: "0", Nth: 1, Limit: 1})
+	d.SetFaults(inj, "0")
+
+	// First clause read faults and delivers nothing, but the head moved.
+	if _, err := d.Scan(1000); !fault.Is(err) {
+		t.Fatalf("Scan error = %v, want injected fault", err)
+	}
+	if d.Stats.BytesRead != 0 || d.Stats.Faults != 1 || d.Stats.Accesses != 1 {
+		t.Fatalf("post-fault stats = %+v", d.Stats)
+	}
+	// The read-site rule is exhausted; the clause stream recovers while
+	// the index-site rule is still armed.
+	if _, err := d.Scan(1000); err != nil {
+		t.Fatalf("Scan after limit: %v", err)
+	}
+	if _, err := d.IndexScan(64); !fault.Is(err) {
+		t.Fatal("IndexScan did not fault under a disk.index rule")
+	}
+	if _, err := d.IndexScan(64); err != nil {
+		t.Fatalf("IndexScan after limit: %v", err)
+	}
+	if d.Stats.Faults != 2 {
+		t.Fatalf("Faults = %d, want 2", d.Stats.Faults)
+	}
+}
+
+func TestDriveIndexStreamSites(t *testing.T) {
+	// Access and Stream carry the secondary-file stream, so a disk.index
+	// rule must hit them while disk.read rules must not.
+	d := NewDrive(FujitsuM2351A)
+	d.SetFaults(fault.New(1).Add(fault.Rule{Site: fault.SiteDiskRead, Nth: 1}), "0")
+	if _, err := d.Access(); err != nil {
+		t.Fatalf("Access hit by a disk.read rule: %v", err)
+	}
+	if _, err := d.Stream(100); err != nil {
+		t.Fatalf("Stream hit by a disk.read rule: %v", err)
+	}
+	d2 := NewDrive(FujitsuM2351A)
+	d2.SetFaults(fault.New(1).Add(fault.Rule{Site: fault.SiteDiskIndex, Nth: 1}), "0")
+	if _, err := d2.Access(); !fault.Is(err) {
+		t.Fatal("Access missed by a disk.index rule")
+	}
+	if _, err := d2.Stream(100); !fault.Is(err) {
+		t.Fatal("Stream missed by a disk.index rule")
+	}
+	// Zero-byte streams never probe (nothing is read).
+	if _, err := d2.Stream(0); err != nil {
+		t.Fatalf("Stream(0): %v", err)
 	}
 }
 

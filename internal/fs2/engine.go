@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"clare/internal/fault"
 	"clare/internal/hw"
 	"clare/internal/pif"
 	"clare/internal/telemetry"
@@ -115,6 +116,8 @@ type Stats struct {
 	BytesExamined int64
 	// ResultOverflows counts matches lost to Result Memory capacity.
 	ResultOverflows int
+	// Faults counts injected board faults (TUE traps) this engine raised.
+	Faults int
 }
 
 // OpCount returns the count for one op.
@@ -131,6 +134,7 @@ func (s *Stats) Add(other Stats) {
 	s.ClausesMatched += other.ClausesMatched
 	s.BytesExamined += other.BytesExamined
 	s.ResultOverflows += other.ResultOverflows
+	s.Faults += other.Faults
 }
 
 // TotalOps sums all operation executions.
@@ -172,6 +176,11 @@ type Engine struct {
 
 	Stats Stats
 	met   engineMetrics
+
+	// flt, when non-nil, injects board faults: Search probes
+	// fault.SiteFS2 before streaming a batch through the TUE.
+	flt    *fault.Injector
+	fltKey string
 }
 
 // engineMetrics are the board's registry handles; the zero value (all
@@ -210,6 +219,13 @@ func New() *Engine {
 		e.opTime[code] = op.Time()
 	}
 	return e
+}
+
+// SetFaults arms fault injection on the board. key identifies the board
+// to keyed rules (its chassis slot).
+func (e *Engine) SetFaults(inj *fault.Injector, key string) {
+	e.flt = inj
+	e.fltKey = key
 }
 
 // Mode returns the current operational mode.
@@ -306,6 +322,13 @@ func (e *Engine) Search(records []Record) (SearchResult, error) {
 	}
 	if e.query == nil {
 		return SearchResult{}, ErrNoQuery
+	}
+	// An injected board fault (a TUE microprogram trap mid-stream) aborts
+	// the call before any satisfier is captured; the host must re-run the
+	// batch elsewhere.
+	if err := e.flt.Probe(fault.SiteFS2, e.fltKey); err != nil {
+		e.Stats.Faults++
+		return SearchResult{}, err
 	}
 	e.result.Reset()
 	e.matched = false

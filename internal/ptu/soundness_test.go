@@ -1,0 +1,72 @@
+package ptu
+
+import (
+	"testing"
+
+	"clare/internal/term"
+	"clare/internal/termgen"
+	"clare/internal/unify"
+)
+
+// TestSoundnessOracle is the property-based soundness oracle: across a
+// large seeded stream of random query/head pairs — including
+// shared-variable patterns, open lists, deep structures, and arities
+// beyond the paper's 12-argument register file — full unification
+// succeeding implies the partial test passes, at every matching level.
+// A single false rejection is a filter bug (a lost answer); ghosts
+// (false drops) are expected and only reported.
+func TestSoundnessOracle(t *testing.T) {
+	pairs := 10000
+	if testing.Short() {
+		pairs = 1500
+	}
+	cfgs := []Config{
+		{Level: Level1},
+		{Level: Level2},
+		{Level: Level3},
+		FS2Config, // level 3 + cross-binding: the hardware's algorithm
+	}
+	g := termgen.New(20260805)
+	ghosts := make([]int, len(cfgs))
+	unifiable := 0
+	for i := 0; i < pairs; i++ {
+		// Mostly small arities; every 8th pair exceeds the 12-argument
+		// register file to exercise the host's wide-head handling.
+		arity := 1 + i%6
+		if i%8 == 0 {
+			arity = 13 + i%4
+		}
+		query, head := g.Pair("p", arity)
+		// Unifiability is checked on renamed copies so its destructive
+		// bindings never leak into the pair under test.
+		truth := unify.Unifiable(term.Rename(query), term.Rename(head))
+		if truth {
+			unifiable++
+		}
+		for c, cfg := range cfgs {
+			pass := Match(query, head, cfg)
+			if truth && !pass {
+				t.Fatalf("FALSE REJECTION at pair %d (%v):\n  query %v\n  head  %v",
+					i, cfg, query, head)
+			}
+			if !truth && pass {
+				ghosts[c]++
+			}
+		}
+	}
+	if unifiable == 0 || unifiable == pairs {
+		t.Fatalf("degenerate oracle stream: %d/%d unifiable", unifiable, pairs)
+	}
+	nonUnifiable := pairs - unifiable
+	t.Logf("%d pairs, %d unifiable", pairs, unifiable)
+	for c, cfg := range cfgs {
+		t.Logf("%-9v ghost rate %5.2f%% (%d/%d non-unifiers passed)",
+			cfg, 100*float64(ghosts[c])/float64(nonUnifiable), ghosts[c], nonUnifiable)
+	}
+	// Higher levels are strictly finer filters over the same stream.
+	for c := 1; c < len(cfgs); c++ {
+		if ghosts[c] > ghosts[c-1] {
+			t.Errorf("ghosts not monotone: %v=%d > %v=%d", cfgs[c], ghosts[c], cfgs[c-1], ghosts[c-1])
+		}
+	}
+}

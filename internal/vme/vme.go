@@ -14,6 +14,7 @@ package vme
 import (
 	"fmt"
 
+	"clare/internal/fault"
 	"clare/internal/fs2"
 	"clare/internal/telemetry"
 )
@@ -58,6 +59,14 @@ type Bus struct {
 	fs2     *fs2.Engine
 	control uint8
 	met     busMetrics
+
+	// flt, when non-nil, injects bus timeouts: SelectFS2 probes
+	// fault.SiteBus before driving the control register.
+	flt    *fault.Injector
+	fltKey string
+
+	// Timeouts counts injected bus faults this bus surfaced.
+	Timeouts int
 }
 
 // busMetrics are the bus's registry handles; the zero value (all nil)
@@ -119,13 +128,26 @@ func (b *Bus) Selected() Board {
 	return BoardFS1
 }
 
+// SetFaults arms fault injection on the bus. key identifies the slot to
+// keyed rules.
+func (b *Bus) SetFaults(inj *fault.Injector, key string) {
+	b.flt = inj
+	b.fltKey = key
+}
+
 // SelectFS2 sets b2 and the FS2 mode bits in one write, returning the
-// value written — a convenience for the §3 protocol sequences.
-func (b *Bus) SelectFS2(mode fs2.Mode) uint8 {
+// value written — a convenience for the §3 protocol sequences. An
+// injected bus timeout (the board stops acknowledging the host) leaves
+// the control register untouched and surfaces as an error.
+func (b *Bus) SelectFS2(mode fs2.Mode) (uint8, error) {
+	if err := b.flt.Probe(fault.SiteBus, b.fltKey); err != nil {
+		b.Timeouts++
+		return 0, err
+	}
 	b0, b1 := mode.ControlBits()
 	v := uint8(1<<BitSelect) | b0<<BitMode0 | b1<<BitMode1
 	b.WriteControl(v)
-	return v
+	return v, nil
 }
 
 // SelectFS1 clears b2, handing the window to FS1.

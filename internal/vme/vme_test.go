@@ -3,6 +3,7 @@ package vme
 import (
 	"testing"
 
+	"clare/internal/fault"
 	"clare/internal/fs2"
 	"clare/internal/parse"
 	"clare/internal/pif"
@@ -48,7 +49,10 @@ func TestModeBitsDriveFS2(t *testing.T) {
 		fs2.ModeSetQuery:         0b111,
 	}
 	for mode, want := range cases {
-		got := b.SelectFS2(mode)
+		got, err := b.SelectFS2(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if got != want {
 			t.Errorf("SelectFS2(%v) wrote 0b%03b, want 0b%03b", mode, got, want)
 		}
@@ -76,7 +80,9 @@ func TestFullProtocolSequence(t *testing.T) {
 	syms := symtab.New()
 	enc := pif.NewEncoder(syms)
 
-	bus.SelectFS2(fs2.ModeMicroprogramming)
+	if _, err := bus.SelectFS2(fs2.ModeMicroprogramming); err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadMicroprogram(fs2.MPLevel3XB); err != nil {
 		t.Fatal(err)
 	}
@@ -84,13 +90,17 @@ func TestFullProtocolSequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.SelectFS2(fs2.ModeSetQuery)
+	if _, err := bus.SelectFS2(fs2.ModeSetQuery); err != nil {
+		t.Fatal(err)
+	}
 	if err := e.SetQuery(q); err != nil {
 		t.Fatal(err)
 	}
 	h1, _ := enc.Encode(parse.MustTerm("p(a, 1)"), pif.DBSide)
 	h2, _ := enc.Encode(parse.MustTerm("p(b, 2)"), pif.DBSide)
-	bus.SelectFS2(fs2.ModeSearch)
+	if _, err := bus.SelectFS2(fs2.ModeSearch); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := e.Search([]fs2.Record{{Addr: 0, Enc: h1}, {Addr: 10, Enc: h2}}); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +108,9 @@ func TestFullProtocolSequence(t *testing.T) {
 	if bus.ReadControl()&(1<<BitMatch) == 0 {
 		t.Error("match bit b7 not visible through the bus")
 	}
-	bus.SelectFS2(fs2.ModeReadResult)
+	if _, err := bus.SelectFS2(fs2.ModeReadResult); err != nil {
+		t.Fatal(err)
+	}
 	addrs, err := e.ReadResult()
 	if err != nil {
 		t.Fatal(err)
@@ -110,9 +122,31 @@ func TestFullProtocolSequence(t *testing.T) {
 
 func TestStringDiagnostics(t *testing.T) {
 	b := NewBus(fs2.New())
-	b.SelectFS2(fs2.ModeSearch)
+	if _, err := b.SelectFS2(fs2.ModeSearch); err != nil {
+		t.Fatal(err)
+	}
 	s := b.String()
 	if s == "" {
 		t.Error("empty diagnostics")
+	}
+}
+
+func TestBusTimeoutInjection(t *testing.T) {
+	e := fs2.New()
+	b := NewBus(e)
+	b.SetFaults(fault.New(1).Add(fault.Rule{Site: fault.SiteBus, Nth: 1, Limit: 1}), "0")
+	// The timed-out write must not reach the control register.
+	if _, err := b.SelectFS2(fs2.ModeSearch); !fault.Is(err) {
+		t.Fatalf("SelectFS2 error = %v, want injected bus timeout", err)
+	}
+	if b.Selected() != BoardFS1 || b.Timeouts != 1 {
+		t.Fatalf("timed-out write changed state: %v timeouts=%d", b.Selected(), b.Timeouts)
+	}
+	// The bus recovers once the rule's budget is spent.
+	if _, err := b.SelectFS2(fs2.ModeSearch); err != nil {
+		t.Fatal(err)
+	}
+	if b.Selected() != BoardFS2 || e.Mode() != fs2.ModeSearch {
+		t.Error("recovered write did not drive the engine")
 	}
 }
