@@ -1,0 +1,268 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clare/internal/cluster"
+	"clare/internal/core"
+	"clare/internal/crs"
+	"clare/internal/telemetry"
+	"clare/internal/term"
+	"clare/internal/workload"
+)
+
+// expCLUSTER evaluates the sharded cluster layer in two parts.
+//
+// Throughput: the same queueing model as CONC (measured per-retrieval
+// service times fed through the makespan simulator), extended with the
+// cluster's shard assignment — each backend chassis has one board, so a
+// retrieval occupies its predicate's shard for the service time while
+// other shards serve other predicates. Aggregate throughput then scales
+// with the shard count up to the placement balance of the rendezvous
+// hash.
+//
+// Availability: a real 4-shard × 2-replica cluster of in-process crsd
+// backends behind a real router, with one replica hard-killed (open
+// connections and all) midway through a concurrent retrieval run. The
+// run must finish with zero client-visible errors; the absorbed deaths
+// are visible as clare_cluster_failovers_total and failover-annotated
+// router trace spans.
+func expCLUSTER() error {
+	const (
+		nPreds  = 24
+		facts   = 120
+		queries = 480
+		clients = 16
+	)
+	preds := make([]workload.Predicate, nPreds)
+	for i := range preds {
+		rel := workload.Relation{
+			Name: fmt.Sprintf("cpred%d", i), Facts: facts, Domain: 30, Arity: 2, Seed: int64(i + 1),
+		}
+		preds[i] = workload.Predicate{Name: rel.Name, Clauses: rel.Clauses()}
+	}
+
+	// Measure per-predicate service times on one chassis.
+	single, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for _, p := range preds {
+		if _, err := single.AddClauses("cluster", p.Clauses); err != nil {
+			return err
+		}
+	}
+	service := make([]time.Duration, nPreds)
+	for i, p := range preds {
+		rt, err := single.Retrieve(term.New(p.Name, term.Atom("e1"), term.NewVar("V")), core.ModeFS1FS2)
+		if err != nil {
+			return err
+		}
+		service[i] = rt.Stats.Total
+	}
+
+	w := tab()
+	fmt.Fprintln(w, "shards\tmakespan (sim)\tsim queries/s\tspeedup")
+	var baseline time.Duration
+	var speedup4 float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		span := clusterMakespan(service, queries, clients, shards)
+		qps := float64(queries) / span.Seconds()
+		if shards == 1 {
+			baseline = span
+		}
+		sp := float64(baseline) / float64(span)
+		if shards == 4 {
+			speedup4 = sp
+		}
+		fmt.Fprintf(w, "%d\t%v\t%.0f\t%.2fx\n", shards, span, qps, sp)
+		record("CLUSTER", fmt.Sprintf("qps_%dshards", shards), qps, "queries/s")
+		record("CLUSTER", fmt.Sprintf("speedup_%dshards", shards), sp, "x")
+		noteShards(shards)
+	}
+	w.Flush()
+	if speedup4 < 3 {
+		return fmt.Errorf("CLUSTER: 4-shard speedup %.2fx, want >= 3x", speedup4)
+	}
+	fmt.Printf("\n4-shard aggregate throughput %.2fx a single chassis (>= 3x required)\n", speedup4)
+
+	return clusterAvailability(preds)
+}
+
+// clusterMakespan replays the CONC queueing model with the cluster's
+// shard assignment: client c issues query i when its previous one
+// finishes, and the query occupies the one board of the shard owning
+// its predicate. Service times index by predicate; queries walk the
+// predicates round-robin.
+func clusterMakespan(service []time.Duration, queries, clients, shards int) time.Duration {
+	clientFree := make([]time.Duration, clients)
+	shardFree := make([]time.Duration, shards)
+	var makespan time.Duration
+	for i := 0; i < queries; i++ {
+		p := i % len(service)
+		s := cluster.ShardOf(fmt.Sprintf("cpred%d/2", p), shards)
+		start := clientFree[i%clients]
+		if shardFree[s] > start {
+			start = shardFree[s]
+		}
+		end := start + service[p]
+		clientFree[i%clients] = end
+		shardFree[s] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// clusterAvailability runs the kill-one-replica drill against a real
+// wire-level cluster.
+func clusterAvailability(preds []workload.Predicate) error {
+	const (
+		shards   = 4
+		replicas = 2
+		workers  = 8
+		perW     = 40
+	)
+	// Partition the predicates exactly as kbc -shards would and boot
+	// two identical replicas per shard group.
+	addrs := make([][]string, shards)
+	listeners := make([][]net.Listener, shards)
+	servers := make([][]*crs.Server, shards)
+	for s := 0; s < shards; s++ {
+		for rep := 0; rep < replicas; rep++ {
+			r, err := core.New(core.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			for i, p := range preds {
+				if cluster.ShardOf(fmt.Sprintf("cpred%d/2", i), shards) != s {
+					continue
+				}
+				if _, err := r.AddClauses("cluster", p.Clauses); err != nil {
+					return err
+				}
+			}
+			cs := crs.NewServer(r)
+			// Register the retriever's predicates with the server — the
+			// in-process equivalent of crsd -kb.
+			if err := cs.Adopt(); err != nil {
+				return err
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go cs.Serve(l)
+			addrs[s] = append(addrs[s], l.Addr().String())
+			listeners[s] = append(listeners[s], l)
+			servers[s] = append(servers[s], cs)
+		}
+	}
+	defer func() {
+		for _, ls := range listeners {
+			for _, l := range ls {
+				l.Close()
+			}
+		}
+	}()
+
+	reg := telemetry.NewRegistry()
+	// Ring deep enough to keep every trace of the run — the failovers
+	// happen early and must still be inspectable at the end.
+	tracer := telemetry.NewTracer(workers * perW)
+	router, err := cluster.NewRouter(cluster.Config{
+		Shards:        addrs,
+		WireTimeout:   2 * time.Second,
+		CallTimeout:   2 * time.Second,
+		TripThreshold: 2,
+		ProbePeriod:   30 * time.Second,
+		Metrics:       reg,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	// Kill shard 0's first replica once the run is underway: stop
+	// accepting and force-close every open connection.
+	var started, errorsSeen atomic.Int64
+	killed := make(chan struct{})
+	go func() {
+		for started.Load() < workers*perW/4 {
+			time.Sleep(time.Millisecond)
+		}
+		listeners[0][0].Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		defer cancel()
+		servers[0][0].Shutdown(ctx) //nolint:errcheck // deadline abort is the point
+		close(killed)
+	}()
+
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				started.Add(1)
+				p := (wk*perW + i) % len(preds)
+				goal := fmt.Sprintf("cpred%d(e1, V)", p)
+				if _, err := router.Retrieve("auto", goal); err != nil {
+					errorsSeen.Add(1)
+					fmt.Printf("  client error: %v\n", err)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	<-killed
+
+	failovers := router.Failovers()
+	fmt.Printf("\navailability: %d retrievals across %d workers, 1 of %d replicas hard-killed mid-run\n",
+		workers*perW, workers, shards*replicas)
+	fmt.Printf("client-visible errors: %d (0 required)\n", errorsSeen.Load())
+	fmt.Printf("replica failovers absorbed: %d\n", failovers)
+	record("CLUSTER", "availability_errors", float64(errorsSeen.Load()), "errors")
+	record("CLUSTER", "availability_failovers", float64(failovers), "failovers")
+	noteShards(shards)
+	noteBoards(shards * replicas)
+
+	if errorsSeen.Load() != 0 {
+		return fmt.Errorf("CLUSTER: %d client-visible errors during replica kill", errorsSeen.Load())
+	}
+	if failovers == 0 {
+		return fmt.Errorf("CLUSTER: replica kill absorbed without any recorded failover")
+	}
+	// The absorbed kill must be observable: the per-shard failover
+	// counter moved and at least one router trace span is annotated
+	// with the failover count.
+	var counterSeen bool
+	for _, sv := range reg.Gather() {
+		if sv.Name == "clare_cluster_failovers_total" && sv.Value > 0 {
+			counterSeen = true
+		}
+	}
+	if !counterSeen {
+		return fmt.Errorf("CLUSTER: clare_cluster_failovers_total did not move")
+	}
+	var spanSeen bool
+	for _, trc := range tracer.Last(workers * perW) {
+		for _, sp := range trc.Spans {
+			if sp.Attrs["failovers"] != "" {
+				spanSeen = true
+			}
+		}
+	}
+	if !spanSeen {
+		return fmt.Errorf("CLUSTER: no router trace span carries a failover annotation")
+	}
+	fmt.Println("failovers visible in clare_cluster_failovers_total and router trace spans")
+	return nil
+}

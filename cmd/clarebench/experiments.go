@@ -710,6 +710,7 @@ func expCONC() error {
 				boards, clients, makespan.Round(time.Millisecond), qps, qps/baseline)
 			record("CONC", fmt.Sprintf("boards%d_clients%d_sim_qps", boards, clients), qps, "queries/s")
 		}
+		noteBoards(boards)
 	}
 	if err := w.Flush(); err != nil {
 		return err

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	clarebench            # run every experiment
-//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2 FLT
+//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2 FLT CLUSTER
 //	clarebench -json      # also write machine-readable BENCH_<exp>.json
 package main
 
@@ -47,6 +47,7 @@ func main() {
 		{"AB1", "Ablation — SCW mask bits on/off", expAB1},
 		{"AB2", "Ablation — double vs single buffering", expAB2},
 		{"FLT", "Fault injection — degraded-mode retrieval ladder", expFLT},
+		{"CLUSTER", "Sharded cluster — scatter-gather throughput and replica failover", expCLUSTER},
 	}
 
 	matched := false

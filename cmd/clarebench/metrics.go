@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
+	"sync"
 	"time"
 
 	"clare/internal/telemetry"
@@ -42,6 +45,44 @@ func recordedCount() int {
 	return n
 }
 
+// Run stamp: the git revision the numbers came from plus the largest
+// chassis (boards) and cluster (shards) the run exercised, so a
+// BENCH_*.json is attributable when it is diffed across commits.
+var (
+	stampMu     sync.Mutex
+	stampBoards int
+	stampShards int
+)
+
+// noteBoards records the largest board count an experiment ran with.
+func noteBoards(n int) {
+	stampMu.Lock()
+	if n > stampBoards {
+		stampBoards = n
+	}
+	stampMu.Unlock()
+}
+
+// noteShards records the largest cluster shard count an experiment ran
+// with.
+func noteShards(n int) {
+	stampMu.Lock()
+	if n > stampShards {
+		stampShards = n
+	}
+	stampMu.Unlock()
+}
+
+// gitSHA resolves the working tree's short revision; empty when the
+// binary runs outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 // benchReport is the BENCH_*.json document. Degraded and Retries summarise
 // the run's fault tolerance at the top level (summed over every recorded
 // "degraded"/"retries" metric), so trajectory diffs spot a regression in
@@ -49,6 +90,9 @@ func recordedCount() int {
 type benchReport struct {
 	Generated string   `json:"generated"`
 	Command   string   `json:"command"`
+	GitSHA    string   `json:"git_sha,omitempty"`
+	Boards    int      `json:"boards,omitempty"`
+	Shards    int      `json:"shards,omitempty"`
 	Degraded  float64  `json:"degraded"`
 	Retries   float64  `json:"retries"`
 	Metrics   []Metric `json:"metrics"`
@@ -76,9 +120,15 @@ func writeJSON(path string) error {
 		}
 		metrics = append(metrics, m)
 	}
+	stampMu.Lock()
+	boards, shards := stampBoards, stampShards
+	stampMu.Unlock()
 	rep := benchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Command:   fmt.Sprintf("clarebench %v", os.Args[1:]),
+		GitSHA:    gitSHA(),
+		Boards:    boards,
+		Shards:    shards,
 		Degraded:  degraded,
 		Retries:   retries,
 		Metrics:   metrics,

@@ -36,13 +36,15 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
+		// Sorted keys keep the rendering deterministic run to run; the
+		// column is wide enough for the router's cluster.* keys.
 		keys := make([]string, 0, len(kv))
 		for k := range kv {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Printf("%-16s %d\n", k, kv[k])
+			fmt.Printf("%-24s %d\n", k, kv[k])
 		}
 		return
 	}

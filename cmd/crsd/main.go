@@ -7,7 +7,12 @@
 //	crsd -addr :7071 -admin :7072 family.pl emp.pl
 //
 // Each file holds the clauses of one predicate; its base name becomes the
-// module name. The admin listener serves /metrics (Prometheus text
+// module name. A compiled store (kbc output, including a shard slice
+// from kbc -shards) loads without re-parsing:
+//
+//	crsd -addr :7071 -kb build/shard-0.clare
+//
+// The admin listener serves /metrics (Prometheus text
 // format), /trace?n=K (recent retrieval span trees as JSON lines) and
 // /debug/pprof; -admin "" disables it. SIGINT/SIGTERM drain the server:
 // new connections are refused and in-flight sessions get -drain to
@@ -53,9 +58,10 @@ func main() {
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
+	kb := flag.String("kb", "", "compiled knowledge-base store to load (kbc output; a shard slice works unchanged)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] predicate.pl ...")
+	if flag.NArg() == 0 && *kb == "" {
+		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] [-kb store.clare] predicate.pl ...")
 		os.Exit(2)
 	}
 
@@ -70,16 +76,41 @@ func main() {
 			if err != nil {
 				fatal("%v", err)
 			}
+			if !fault.IsKnownSite(rule.Site) {
+				fmt.Fprintf(os.Stderr, "crsd: warning: -fault %s names unknown site %q (nothing probes it)\n", spec, rule.Site)
+			}
 			inj.Add(rule)
 		}
 		cfg.Faults = inj
 		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
 	}
-	r, err := core.New(cfg)
-	if err != nil {
-		fatal("%v", err)
+	var r *core.Retriever
+	var err error
+	if *kb != "" {
+		f, ferr := os.Open(*kb)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		r, err = core.LoadRetriever(cfg, f)
+		f.Close()
+		if err != nil {
+			fatal("loading %s: %v", *kb, err)
+		}
+	} else {
+		r, err = core.New(cfg)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 	srv := crs.NewServer(r)
+	if *kb != "" {
+		// Register the store's predicates with the server (Load only sees
+		// the .pl arguments).
+		if err := srv.Adopt(); err != nil {
+			fatal("adopting %s: %v", *kb, err)
+		}
+		fmt.Printf("loaded %s: %d predicates\n", *kb, len(r.Predicates()))
+	}
 	for _, file := range flag.Args() {
 		clauses, err := plfile.ReadFile(file)
 		if err != nil {

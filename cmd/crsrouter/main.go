@@ -1,0 +1,142 @@
+// Command crsrouter is the cluster front-end: it scatter-gathers the
+// CRS wire protocol across a set of sharded, replicated crsd backends.
+// Clients (crsctl, crs.Client, PDBM) speak to it exactly as to a single
+// crsd — the protocol is unchanged; the router decides which shard
+// group owns each goal's predicate (the same rendezvous shard function
+// kbc -shards partitions with), fails over between a shard's replicas
+// when one dies, and merges fan-out results in shard order.
+//
+// Usage:
+//
+//	crsrouter -addr :7070 \
+//	    -shard 127.0.0.1:7071,127.0.0.1:7081 \
+//	    -shard 127.0.0.1:7072,127.0.0.1:7082
+//
+// Each -shard names one shard group as a comma-separated replica list,
+// in shard order — the order must match the kbc -shards build. The
+// admin listener serves /metrics (clare_cluster_* and the Prometheus
+// base set), /trace?n=K (router span trees) and /debug/pprof; -admin ""
+// disables it. SIGINT/SIGTERM drain: new connections are refused and
+// in-flight sessions get -drain to finish before being force-closed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clare/internal/cluster"
+	"clare/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	admin := flag.String("admin", "", "admin HTTP address for /metrics, /trace and /debug/pprof (empty disables)")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
+	traces := flag.Int("traces", telemetry.DefaultTraceRing, "routed-retrieval traces kept for /trace")
+	wireTimeout := flag.Duration("wire-timeout", cluster.DefaultWireTimeout, "backend dial and wire operation bound")
+	callTimeout := flag.Duration("call-timeout", cluster.DefaultCallTimeout, "per-backend request budget before failover (negative disables)")
+	trip := flag.Int("trip", cluster.DefaultTripThreshold, "consecutive failures that trip a backend out of rotation")
+	probe := flag.Duration("probe", cluster.DefaultProbePeriod, "tripped-backend cool-off before probationary re-admission")
+	pool := flag.Int("pool", cluster.DefaultPoolSize, "idle connections kept per backend")
+	var shardSpecs multiFlag
+	flag.Var(&shardSpecs, "shard", "one shard group as comma-separated replica addresses, in shard order (repeatable)")
+	flag.Parse()
+	if len(shardSpecs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: crsrouter [-addr host:port] -shard host:port[,host:port...] [-shard ...]")
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		WireTimeout:   *wireTimeout,
+		CallTimeout:   *callTimeout,
+		TripThreshold: *trip,
+		ProbePeriod:   *probe,
+		PoolSize:      *pool,
+		Metrics:       telemetry.NewRegistry(),
+		Tracer:        telemetry.NewTracer(*traces),
+	}
+	for _, spec := range shardSpecs {
+		var replicas []string
+		for _, a := range strings.Split(spec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				replicas = append(replicas, a)
+			}
+		}
+		cfg.Shards = append(cfg.Shards, replicas)
+	}
+	router, err := cluster.NewRouter(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer router.Close()
+	srv := cluster.NewServer(router)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("crsrouter listening on %s (%d shards, %d replicas)\n",
+		l.Addr(), router.Shards(), router.Replicas())
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal("admin: %v", err)
+		}
+		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer)}
+		fmt.Printf("crsrouter admin on http://%s/metrics\n", al.Addr())
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "crsrouter: admin: %v\n", err)
+			}
+		}()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		fatal("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("crsrouter: draining...")
+	l.Close()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "crsrouter: drain: %v (connections force-closed)\n", err)
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	<-serveErr // Serve returns once the listener closes and handlers drain
+	fmt.Println("crsrouter: bye")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crsrouter: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, " ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

@@ -7,6 +7,16 @@
 //
 //	kbc -o kb.clare family.pl emp.pl     # compile
 //	kbc -info kb.clare                   # inspect a store
+//
+// Partitioned (cluster) build: -shards N splits the store into N shard
+// slices, each holding the predicates the cluster shard function
+// (rendezvous hashing by predicate indicator) places there, written as
+// shard-<i>.clare under -shard-out. Each slice is an ordinary store —
+// crsd -kb loads it unchanged — and carries the full shared symbol
+// table, so a crsrouter over the slices answers exactly like one crsd
+// over the whole store:
+//
+//	kbc -shards 4 -shard-out build/ family.pl emp.pl
 package main
 
 import (
@@ -17,6 +27,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"clare/internal/cluster"
 	"clare/internal/core"
 	"clare/internal/plfile"
 	"clare/internal/term"
@@ -25,6 +36,8 @@ import (
 func main() {
 	out := flag.String("o", "kb.clare", "output store file")
 	info := flag.String("info", "", "inspect an existing store instead of compiling")
+	shards := flag.Int("shards", 0, "also write a partitioned build with this many shard slices")
+	shardOut := flag.String("shard-out", ".", "directory for shard-<i>.clare slices (with -shards)")
 	flag.Parse()
 
 	if *info != "" {
@@ -66,6 +79,47 @@ func main() {
 	if err == nil {
 		fmt.Printf("wrote %s (%d bytes)\n", *out, st.Size())
 	}
+
+	if *shards > 0 {
+		if err := writeShards(r, *shards, *shardOut); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+// writeShards writes one store slice per shard, selected by the same
+// shard function the router routes with.
+func writeShards(r *core.Retriever, n int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d.clare", i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		kept := 0
+		err = r.SaveKBPartition(f, func(pi core.Indicator) bool {
+			mine := cluster.ShardOf(pi.String(), n) == i
+			if mine {
+				kept++
+			}
+			return mine
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing %s: %w", path, err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d predicates (%d bytes)\n", path, kept, st.Size())
+	}
+	return nil
 }
 
 func inspect(path string) {

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"clare/internal/crs"
+)
+
+// maxWireLine mirrors the crs server's per-line bound.
+const maxWireLine = 4 * 1024 * 1024
+
+// Server is the cluster's wire front-end: it speaks the existing CRS
+// protocol unchanged (HELLO/RETRIEVE/STATS/BEGIN/ASSERT/COMMIT/ABORT/
+// QUIT), so crsctl and crs.Client work against a cluster transparently.
+// RETRIEVE and STATS scatter-gather through the Router; transactions
+// pass through to the shard group owning the asserted predicate (a
+// transaction may touch exactly one shard — cross-shard transactions
+// are rejected, there is no distributed commit).
+type Server struct {
+	router *Router
+
+	nextSess atomic.Int64
+
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
+	draining bool
+}
+
+// NewServer wraps a router in the wire front-end.
+func NewServer(r *Router) *Server {
+	return &Server{router: r, conns: make(map[net.Conn]struct{})}
+}
+
+// Router exposes the underlying scatter-gather router.
+func (s *Server) Router() *Router { return s.router }
+
+// Serve accepts connections on l until it closes, one handler per
+// connection — the same accept loop contract as crs.Server.Serve.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.handlers.Wait()
+			return err
+		}
+		s.connMu.Lock()
+		if s.draining {
+			s.connMu.Unlock()
+			fmt.Fprintln(conn, "ERR server shutting down")
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.connMu.Unlock()
+		go func() {
+			defer s.handlers.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Shutdown drains the front-end: new connections are refused and
+// Shutdown returns when in-flight handlers finish, or force-closes the
+// stragglers when ctx expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.connMu.Lock()
+	s.draining = true
+	s.connMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// routedTx is one connection's pass-through transaction: a backend
+// client pinned to the shard group that owns the first asserted
+// predicate, with BEGIN deferred until that first ASSERT names it.
+type routedTx struct {
+	shard  int
+	node   *node
+	client *crs.Client
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sessID := s.nextSess.Add(1)
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 64*1024), maxWireLine)
+	out := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(out, format+"\n", args...)
+		out.Flush()
+	}
+
+	var tx *routedTx
+	// dropTx abandons a pass-through transaction whose backend leg
+	// failed: closing the client closes its server session, which aborts
+	// the staged state and releases the predicate locks.
+	dropTx := func() {
+		if tx != nil && tx.client != nil {
+			tx.node.discard(tx.client)
+		}
+		tx = nil
+	}
+	defer dropTx()
+
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "HELLO":
+			reply("OK crs %d", sessID)
+		case "QUIT":
+			reply("BYE")
+			return
+		case "STATS":
+			kv, err := s.router.Stats()
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			keys := make([]string, 0, len(kv))
+			for k := range kv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys) // deterministic wire order, cluster-wide
+			fmt.Fprintf(out, "STATS %d\n", len(keys))
+			for _, k := range keys {
+				fmt.Fprintf(out, "S %s %d\n", k, kv[k])
+			}
+			out.Flush()
+		case "RETRIEVE":
+			modeWord, goalText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: RETRIEVE <mode> <goal>")
+				continue
+			}
+			if _, err := crs.ParseMode(modeWord); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			res, err := s.router.Retrieve(modeWord, strings.TrimSuffix(goalText, "."))
+			if err != nil {
+				reply("ERR %v", errText(err))
+				continue
+			}
+			reply("CANDIDATES %d", len(res.Clauses))
+			for _, cl := range res.Clauses {
+				reply("C %s", cl)
+			}
+			reply("%s", res.Stats)
+		case "BEGIN":
+			if tx != nil {
+				reply("ERR crs: transaction already in progress")
+				continue
+			}
+			tx = &routedTx{}
+			reply("OK")
+		case "ASSERT":
+			if tx == nil {
+				reply("ERR crs: no transaction in progress")
+				continue
+			}
+			clause := strings.TrimSuffix(rest, ".")
+			head := clause
+			if h, _, ok := strings.Cut(clause, ":-"); ok {
+				head = h
+			}
+			pi, err := GoalIndicator(strings.TrimSpace(head))
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			shard := ShardOf(pi, s.router.Shards())
+			if tx.client == nil {
+				// First ASSERT pins the transaction to its shard: lease
+				// a dedicated backend connection and open the real
+				// transaction there.
+				g := s.router.groups[shard]
+				cands := g.candidates()
+				var c *crs.Client
+				var n *node
+				var lastErr error
+				for _, cand := range cands {
+					cc, _, err := cand.get(s.router.cfg)
+					if err != nil {
+						cand.strike(s.router)
+						lastErr = err
+						continue
+					}
+					if err := cc.Begin(); err != nil {
+						var se *crs.ServerError
+						if errors.As(err, &se) {
+							cand.put(cc, s.router.cfg)
+						} else {
+							cand.discard(cc)
+							cand.strike(s.router)
+						}
+						lastErr = err
+						continue
+					}
+					cand.clear(s.router)
+					c, n = cc, cand
+					break
+				}
+				if c == nil {
+					reply("ERR %v", errText(lastErr))
+					continue
+				}
+				tx.client, tx.node, tx.shard = c, n, shard
+			} else if shard != tx.shard {
+				reply("ERR cluster: cross-shard transaction (%s is on shard %d, transaction pinned to %d)",
+					pi, shard, tx.shard)
+				continue
+			}
+			if err := tx.client.Assert(clause); err != nil {
+				var se *crs.ServerError
+				if errors.As(err, &se) {
+					reply("ERR %s", se.Msg)
+				} else {
+					// Transport failure mid-transaction: the staged state
+					// is gone with the session; the client must re-run.
+					dropTx()
+					reply("ERR cluster: backend lost mid-transaction: %v", err)
+				}
+				continue
+			}
+			reply("OK")
+		case "COMMIT", "ABORT":
+			if tx == nil {
+				reply("ERR crs: no transaction in progress")
+				continue
+			}
+			if tx.client == nil { // empty transaction: nothing staged anywhere
+				tx = nil
+				reply("OK")
+				continue
+			}
+			var err error
+			if strings.ToUpper(cmd) == "COMMIT" {
+				err = tx.client.Commit()
+			} else {
+				err = tx.client.Abort()
+			}
+			if err != nil {
+				var se *crs.ServerError
+				if errors.As(err, &se) {
+					tx.node.put(tx.client, s.router.cfg)
+					tx = nil
+					reply("ERR %s", se.Msg)
+				} else {
+					dropTx()
+					reply("ERR cluster: backend lost mid-transaction: %v", err)
+				}
+				continue
+			}
+			tx.node.put(tx.client, s.router.cfg)
+			tx = nil
+			reply("OK")
+		default:
+			reply("ERR unknown command %q", cmd)
+		}
+	}
+	if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
+		reply("ERR line too long (max %d bytes)", maxWireLine)
+	}
+}
+
+// errText strips the crs client's "crs server: " prefix so an ERR
+// relayed through the router reads like the backend's original reply.
+func errText(err error) string {
+	if err == nil {
+		return "cluster: no reachable replica"
+	}
+	var se *crs.ServerError
+	if errors.As(err, &se) {
+		return se.Msg
+	}
+	return err.Error()
+}

@@ -1,0 +1,629 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clare/internal/crs"
+	"clare/internal/telemetry"
+)
+
+// Router defaults.
+const (
+	// DefaultWireTimeout bounds each backend dial and wire read/write.
+	// Much tighter than crs.DefaultTimeout: a slow replica should trip
+	// the failover ladder, not stall the client for half a minute.
+	DefaultWireTimeout = 5 * time.Second
+	// DefaultCallTimeout is the per-shard request budget (the per-call
+	// override handed to crs.Client.RetrieveWithTimeout).
+	DefaultCallTimeout = 2 * time.Second
+	// DefaultTripThreshold trips a backend out of rotation after this
+	// many consecutive failed calls.
+	DefaultTripThreshold = 3
+	// DefaultProbePeriod is how long a tripped backend cools off before
+	// a probationary re-admission.
+	DefaultProbePeriod = 2 * time.Second
+	// DefaultPoolSize is how many idle connections each backend keeps.
+	DefaultPoolSize = 8
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Shards holds one replica-address list per shard group; Shards[i]
+	// are the backends holding shard i's slice of the knowledge base.
+	Shards [][]string
+	// WireTimeout bounds each backend dial and wire operation
+	// (0 means DefaultWireTimeout).
+	WireTimeout time.Duration
+	// CallTimeout is the per-request budget against one backend — the
+	// failover ladder moves on when it expires (0 means
+	// DefaultCallTimeout; negative disables the per-call override).
+	CallTimeout time.Duration
+	// TripThreshold is how many consecutive failures trip a backend out
+	// of rotation (0 means DefaultTripThreshold).
+	TripThreshold int
+	// ProbePeriod is a tripped backend's cool-off before probationary
+	// re-admission (0 means DefaultProbePeriod).
+	ProbePeriod time.Duration
+	// PoolSize bounds the idle connections kept per backend (0 means
+	// DefaultPoolSize).
+	PoolSize int
+	// Metrics, when non-nil, receives the router counters
+	// (clare_cluster_*). Nil disables metrics.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one span tree per routed retrieval.
+	Tracer *telemetry.Tracer
+}
+
+// errUnknownPredicate marks a backend's definitive "unknown predicate"
+// reply: the node is healthy, the data just is not there. It triggers
+// the fan-out fallback instead of the failover ladder.
+var errUnknownPredicate = errors.New("cluster: predicate unknown on routed shard")
+
+// isUnknownPredicate recognises the crs server's unknown-predicate ERR.
+func isUnknownPredicate(se *crs.ServerError) bool {
+	return strings.Contains(se.Msg, "unknown predicate")
+}
+
+// node is one CRS backend: an address, a small pool of idle protocol
+// clients, and board-pool-style health bookkeeping at the node level —
+// consecutive failures trip it out of rotation, a cool-off later it is
+// re-admitted on probation (one further failure re-trips it, one clean
+// call clears it). Mirrors internal/core's boardUnit, one level up.
+type node struct {
+	addr  string
+	shard int
+
+	mu       sync.Mutex
+	idle     []*crs.Client
+	failures int
+	tripped  bool
+	retryAt  time.Time
+}
+
+// group is one shard's replica set.
+type group struct {
+	shard int
+	nodes []*node
+}
+
+// Router owns the shard map and the per-backend connection pools, and
+// serves retrievals by scatter-gather: a goal's predicate indicator
+// routes to exactly one shard group (rendezvous hashing), while
+// unknown-predicate and mode=software queries fan out to every group.
+// Within a group the router walks the replicas healthy-first and fails
+// over on transport errors, timeouts, and server rejections; results
+// merge in shard order, which preserves per-predicate clause order
+// because a predicate lives whole on one shard.
+//
+// Router is safe for concurrent use; each in-flight request leases its
+// own backend connection.
+type Router struct {
+	cfg    Config
+	groups []*group
+	met    *routerMetrics
+	tracer *telemetry.Tracer
+
+	// Service counters (also surfaced through STATS aggregation, so
+	// they exist even without a metrics registry).
+	requests  atomic.Int64
+	fanouts   atomic.Int64
+	failovers atomic.Int64
+	trips     atomic.Int64
+	readmits  atomic.Int64
+}
+
+// NewRouter validates the shard map and builds the router. No backend
+// is dialed yet: connections are established lazily per request, so a
+// router can boot before (or outlive) its backends.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	if cfg.WireTimeout <= 0 {
+		cfg.WireTimeout = DefaultWireTimeout
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	}
+	if cfg.TripThreshold <= 0 {
+		cfg.TripThreshold = DefaultTripThreshold
+	}
+	if cfg.ProbePeriod <= 0 {
+		cfg.ProbePeriod = DefaultProbePeriod
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	r := &Router{cfg: cfg, met: newRouterMetrics(cfg.Metrics, len(cfg.Shards)), tracer: cfg.Tracer}
+	for i, replicas := range cfg.Shards {
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
+		}
+		g := &group{shard: i}
+		for _, addr := range replicas {
+			if addr == "" {
+				return nil, fmt.Errorf("cluster: shard %d has an empty replica address", i)
+			}
+			g.nodes = append(g.nodes, &node{addr: addr, shard: i})
+		}
+		r.groups = append(r.groups, g)
+	}
+	return r, nil
+}
+
+// Shards reports the shard-group count.
+func (r *Router) Shards() int { return len(r.groups) }
+
+// Replicas reports the total backend count across all groups.
+func (r *Router) Replicas() int {
+	n := 0
+	for _, g := range r.groups {
+		n += len(g.nodes)
+	}
+	return n
+}
+
+// Close drops every pooled backend connection.
+func (r *Router) Close() {
+	for _, g := range r.groups {
+		for _, n := range g.nodes {
+			n.mu.Lock()
+			idle := n.idle
+			n.idle = nil
+			n.mu.Unlock()
+			for _, c := range idle {
+				c.Close()
+			}
+		}
+	}
+}
+
+// get leases a protocol client for the node: an idle pooled connection
+// when one exists, a fresh dial otherwise. Pooled clients have their
+// own transparent retry disabled — failover policy belongs to the
+// router, which wants to move to a replica, not hammer the same node.
+func (n *node) get(cfg Config) (*crs.Client, bool, error) {
+	n.mu.Lock()
+	if k := len(n.idle); k > 0 {
+		c := n.idle[k-1]
+		n.idle = n.idle[:k-1]
+		n.mu.Unlock()
+		return c, true, nil
+	}
+	n.mu.Unlock()
+	c, err := crs.DialTimeout(n.addr, cfg.WireTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	c.MaxRetries = -1
+	return c, false, nil
+}
+
+// put returns a healthy client to the node's idle pool.
+func (n *node) put(c *crs.Client, cfg Config) {
+	n.mu.Lock()
+	if len(n.idle) < cfg.PoolSize {
+		n.idle = append(n.idle, c)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	c.Close()
+}
+
+// discard closes a client whose connection failed and drops every other
+// pooled connection to the node — they share its fate.
+func (n *node) discard(c *crs.Client) {
+	c.Close()
+	n.mu.Lock()
+	idle := n.idle
+	n.idle = nil
+	n.mu.Unlock()
+	for _, ic := range idle {
+		ic.Close()
+	}
+}
+
+// strike records a failed call. Consecutive failures at the trip
+// threshold take the node out of rotation until ProbePeriod elapses.
+func (n *node) strike(r *Router) {
+	n.mu.Lock()
+	n.failures++
+	if !n.tripped && n.failures >= r.cfg.TripThreshold {
+		n.tripped = true
+		n.retryAt = time.Now().Add(r.cfg.ProbePeriod)
+		n.mu.Unlock()
+		r.trips.Add(1)
+		r.met.trips.Inc()
+		r.met.tripped.Add(1)
+		return
+	}
+	if n.tripped {
+		// A failed probation call re-trips immediately.
+		n.retryAt = time.Now().Add(r.cfg.ProbePeriod)
+	}
+	n.mu.Unlock()
+}
+
+// clear records a successful call, resetting the consecutive-failure
+// count and completing a probationary re-admission.
+func (n *node) clear(r *Router) {
+	n.mu.Lock()
+	n.failures = 0
+	readmitted := n.tripped
+	n.tripped = false
+	n.mu.Unlock()
+	if readmitted {
+		r.readmits.Add(1)
+		r.met.readmits.Inc()
+		r.met.tripped.Add(-1)
+	}
+}
+
+// candidates orders the group's replicas for one request: healthy nodes
+// first (declared order), then tripped nodes whose cool-off has elapsed
+// (probation). When every node is tripped and still cooling, all are
+// returned anyway — the router has no host-only rung below it, so a
+// last-ditch attempt beats a guaranteed error.
+func (g *group) candidates() []*node {
+	now := time.Now()
+	healthy := make([]*node, 0, len(g.nodes))
+	var probation []*node
+	for _, n := range g.nodes {
+		n.mu.Lock()
+		tripped, retryAt := n.tripped, n.retryAt
+		n.mu.Unlock()
+		switch {
+		case !tripped:
+			healthy = append(healthy, n)
+		case now.After(retryAt) || now.Equal(retryAt):
+			probation = append(probation, n)
+		}
+	}
+	out := append(healthy, probation...)
+	if len(out) == 0 {
+		return g.nodes
+	}
+	return out
+}
+
+// callNode runs one request against one backend. A transport failure on
+// a pooled (possibly stale) connection is retried once on a fresh dial
+// before it counts against the node.
+func callNode[T any](r *Router, n *node, op func(c *crs.Client) (T, error)) (T, error) {
+	var zero T
+	c, pooled, err := n.get(r.cfg)
+	if err != nil {
+		return zero, err
+	}
+	res, err := op(c)
+	if err == nil {
+		n.put(c, r.cfg)
+		return res, nil
+	}
+	var se *crs.ServerError
+	if errors.As(err, &se) {
+		// The server answered: the connection is still good.
+		n.put(c, r.cfg)
+		return zero, err
+	}
+	n.discard(c)
+	if pooled {
+		// The pooled connection may simply have outlived the backend's
+		// previous life; one fresh dial decides.
+		if c, _, err2 := n.get(r.cfg); err2 == nil {
+			if res, err2 = op(c); err2 == nil {
+				n.put(c, r.cfg)
+				return res, nil
+			}
+			err = err2
+			if errors.As(err, &se) {
+				n.put(c, r.cfg)
+				return zero, err
+			}
+			n.discard(c)
+		}
+	}
+	return zero, err
+}
+
+// callGroup walks the group's failover ladder: replicas in candidate
+// order, failing over on timeouts, transport errors, and server
+// rejections. An unknown-predicate reply is definitive (the healthy
+// node just does not hold the data) and returns errUnknownPredicate
+// without a failover. The last error is returned when every replica
+// fails.
+func callGroup[T any](r *Router, g *group, span *telemetry.Span, op func(c *crs.Client) (T, error)) (T, error) {
+	var zero T
+	var lastErr error
+	for attempt, n := range g.candidates() {
+		if attempt > 0 {
+			r.failovers.Add(1)
+			r.met.failovers[g.shard].Inc()
+		}
+		res, err := callNode(r, n, op)
+		if err == nil {
+			n.clear(r)
+			if span != nil {
+				span.SetAttr("addr", n.addr)
+				if attempt > 0 {
+					span.SetAttr("failovers", fmt.Sprint(attempt))
+				}
+			}
+			return res, nil
+		}
+		var se *crs.ServerError
+		if errors.As(err, &se) {
+			if isUnknownPredicate(se) {
+				n.clear(r)
+				return zero, errUnknownPredicate
+			}
+			// A rejection (e.g. "server shutting down") fails over, but
+			// only drain-style rejections say anything about node
+			// health; a request the whole cluster would reject must not
+			// trip every replica.
+			if strings.Contains(se.Msg, "shutting down") {
+				n.strike(r)
+			}
+			lastErr = err
+			continue
+		}
+		n.strike(r)
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: shard %d has no reachable replica", g.shard)
+	}
+	return zero, lastErr
+}
+
+// Retrieve routes one retrieval. mode and goal are in wire form (mode
+// word, Edinburgh goal without the final '.'). The predicate indicator
+// routes the call to its shard group; mode=software and goals whose
+// owning shard does not know the predicate fan out to every group, with
+// per-group unknown-predicate replies merged as empty contributions.
+func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
+	start := time.Now()
+	r.requests.Add(1)
+	tr := r.tracer.Start("route")
+	root := tr.Root()
+	finishErr := func(err error) error {
+		if root != nil {
+			root.SetAttr("error", err.Error())
+			root.End()
+			r.tracer.Finish(tr)
+		}
+		return err
+	}
+
+	pi, err := GoalIndicator(goal)
+	if err != nil {
+		r.met.errors.Inc()
+		return nil, finishErr(err)
+	}
+	if root != nil {
+		root.SetAttr("predicate", pi)
+		root.SetAttr("mode", mode)
+	}
+
+	var res *crs.RetrieveResult
+	if mode != "software" {
+		shard := ShardOf(pi, len(r.groups))
+		if root != nil {
+			root.SetAttr("shard", fmt.Sprint(shard))
+		}
+		sp := tr.Span(root, "shard")
+		if sp != nil {
+			sp.SetAttr("shard", fmt.Sprint(shard))
+		}
+		res, err = callGroup(r, r.groups[shard], sp, func(c *crs.Client) (*crs.RetrieveResult, error) {
+			return c.RetrieveWithTimeout(mode, goal, r.cfg.CallTimeout)
+		})
+		if sp != nil {
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			} else {
+				sp.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
+			}
+			sp.End()
+		}
+		if err == nil {
+			r.met.requests[shard].Inc()
+			r.met.latency.ObserveDuration(time.Since(start))
+			if root != nil {
+				root.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
+				root.End()
+				r.tracer.Finish(tr)
+			}
+			return res, nil
+		}
+		if !errors.Is(err, errUnknownPredicate) {
+			r.met.errors.Inc()
+			return nil, finishErr(err)
+		}
+		// The owning shard has never heard of the predicate (the KB may
+		// not have been partitioned with our shard function, or the
+		// clauses were asserted elsewhere): ask everyone.
+	}
+
+	res, err = r.fanout(mode, goal, tr, root)
+	if err != nil {
+		r.met.errors.Inc()
+		return nil, finishErr(err)
+	}
+	r.met.latency.ObserveDuration(time.Since(start))
+	if root != nil {
+		root.SetAttr("fanout", "true")
+		root.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
+		root.End()
+		r.tracer.Finish(tr)
+	}
+	return res, nil
+}
+
+// fanout scatters the retrieval to every shard group concurrently and
+// gathers the replies in shard order. A group that does not know the
+// predicate contributes nothing; when no group knows it, the original
+// unknown-predicate rejection is surfaced. Shard-order merging keeps
+// per-predicate clause order intact: the partitioned build places each
+// predicate whole on one shard, so its clauses arrive from a single
+// group already in user order.
+func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.Span) (*crs.RetrieveResult, error) {
+	r.fanouts.Add(1)
+	r.met.fanouts.Inc()
+	results := make([]*crs.RetrieveResult, len(r.groups))
+	errs := make([]error, len(r.groups))
+	// Spans are created here, in the request goroutine: a Trace's span
+	// list is single-writer, while each span's attributes belong to the
+	// one worker that owns it.
+	spans := make([]*telemetry.Span, len(r.groups))
+	for i := range r.groups {
+		spans[i] = tr.Span(root, "shard")
+	}
+	var wg sync.WaitGroup
+	for i, g := range r.groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			sp := spans[i]
+			if sp != nil {
+				sp.SetAttr("shard", fmt.Sprint(g.shard))
+			}
+			res, err := callGroup(r, g, sp, func(c *crs.Client) (*crs.RetrieveResult, error) {
+				return c.RetrieveWithTimeout(mode, goal, r.cfg.CallTimeout)
+			})
+			if err == nil {
+				r.met.requests[g.shard].Inc()
+				results[i] = res
+			} else {
+				errs[i] = err
+			}
+			if sp != nil {
+				if err != nil {
+					sp.SetAttr("error", err.Error())
+				} else {
+					sp.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
+				}
+				sp.End()
+			}
+		}(i, g)
+	}
+	wg.Wait()
+
+	merged := &crs.RetrieveResult{}
+	var answered bool
+	var firstErr error
+	for i := range r.groups {
+		switch {
+		case results[i] != nil:
+			answered = true
+			merged.Clauses = append(merged.Clauses, results[i].Clauses...)
+			merged.Stats = mergeStatsLines(merged.Stats, results[i].Stats, mode)
+		case errors.Is(errs[i], errUnknownPredicate):
+			// Healthy group, no data: an empty contribution.
+		case firstErr == nil:
+			firstErr = errs[i]
+		}
+	}
+	if firstErr != nil {
+		// Partial scatter results would silently drop clauses; a cluster
+		// retrieval is all-or-nothing.
+		return nil, firstErr
+	}
+	if !answered {
+		return nil, &crs.ServerError{Msg: fmt.Sprintf("crs: unknown predicate %s", indicatorText(goal))}
+	}
+	return merged, nil
+}
+
+// indicatorText best-effort renders the goal's indicator for the
+// unknown-predicate rejection (matching the single-node ERR shape).
+func indicatorText(goal string) string {
+	pi, err := GoalIndicator(goal)
+	if err != nil {
+		return goal
+	}
+	return pi
+}
+
+// mergeStatsLines folds one backend's "STATS mode=… total=… fs1=… fs2=…"
+// trailer into the running merged trailer by summing the stage counts.
+func mergeStatsLines(acc, next, mode string) string {
+	if acc == "" {
+		return next
+	}
+	at, a1, a2 := parseStatsLine(acc)
+	bt, b1, b2 := parseStatsLine(next)
+	return fmt.Sprintf("STATS mode=%s total=%d fs1=%d fs2=%d", mode, at+bt, a1+b1, a2+b2)
+}
+
+// parseStatsLine extracts total/fs1/fs2 from a retrieval STATS trailer;
+// unparsable fields read as zero (the merge stays best-effort).
+func parseStatsLine(line string) (total, fs1, fs2 int64) {
+	for _, f := range strings.Fields(line) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+			continue
+		}
+		switch k {
+		case "total":
+			total = n
+		case "fs1":
+			fs1 = n
+		case "fs2":
+			fs2 = n
+		}
+	}
+	return total, fs1, fs2
+}
+
+// Stats gathers every shard group's service counters (one reachable
+// replica per group, failover ladder applied) and sums them per key,
+// then overlays the router's own cluster.* counters. Numeric summing
+// makes served.*, faults, retries etc. cluster-wide aggregates; gauges
+// like boards.free become chassis totals across the cluster.
+func (r *Router) Stats() (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, g := range r.groups {
+		m, err := callGroup[map[string]int64](r, g, nil, func(c *crs.Client) (map[string]int64, error) {
+			return c.StatsWithTimeout(r.cfg.CallTimeout)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d stats: %w", g.shard, err)
+		}
+		for k, v := range m {
+			out[k] += v
+		}
+	}
+	tripped := int64(0)
+	for _, g := range r.groups {
+		for _, n := range g.nodes {
+			n.mu.Lock()
+			if n.tripped {
+				tripped++
+			}
+			n.mu.Unlock()
+		}
+	}
+	out["cluster.shards"] = int64(len(r.groups))
+	out["cluster.replicas"] = int64(r.Replicas())
+	out["cluster.requests"] = r.requests.Load()
+	out["cluster.fanouts"] = r.fanouts.Load()
+	out["cluster.failovers"] = r.failovers.Load()
+	out["cluster.nodes.tripped"] = tripped
+	out["cluster.trips"] = r.trips.Load()
+	out["cluster.readmits"] = r.readmits.Load()
+	return out, nil
+}
+
+// Failovers reports the total replica failovers performed so far.
+func (r *Router) Failovers() int64 { return r.failovers.Load() }

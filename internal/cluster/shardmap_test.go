@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardOfRange(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("pred%d/2", i)
+			s := ShardOf(key, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d, out of range", key, n, s)
+			}
+			if s != ShardOf(key, n) {
+				t.Fatalf("ShardOf(%q, %d) not deterministic", key, n)
+			}
+		}
+	}
+	if got := ShardOf("anything/3", 0); got != 0 {
+		t.Errorf("ShardOf(_, 0) = %d, want 0", got)
+	}
+	if got := ShardOf("anything/3", 1); got != 0 {
+		t.Errorf("ShardOf(_, 1) = %d, want 0", got)
+	}
+}
+
+// TestShardOfDistribution: rendezvous hashing must spread a realistic
+// predicate population roughly evenly — no shard may starve.
+func TestShardOfDistribution(t *testing.T) {
+	const keys, shards = 2000, 8
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[ShardOf(fmt.Sprintf("pred%d/%d", i, i%5), shards)]++
+	}
+	want := keys / shards
+	for s, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("shard %d holds %d keys, want ≈%d (distribution %v)", s, c, want, counts)
+		}
+	}
+}
+
+// TestShardOfMinimalDisruption: growing the cluster from n to n+1 shards
+// must only move keys whose argmax became the new shard — every key that
+// moves, moves to shard n.
+func TestShardOfMinimalDisruption(t *testing.T) {
+	const keys = 1000
+	for n := 2; n <= 6; n++ {
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("pred%d/2", i)
+			before, after := ShardOf(key, n), ShardOf(key, n+1)
+			if before != after {
+				moved++
+				if after != n {
+					t.Fatalf("ShardOf(%q): %d→%d shards moved it %d→%d, not to the new shard",
+						key, n, n+1, before, after)
+				}
+			}
+		}
+		// Expectation is keys/(n+1); allow a generous band.
+		if moved == 0 || moved > keys/2 {
+			t.Errorf("%d→%d shards moved %d/%d keys", n, n+1, moved, keys)
+		}
+	}
+}
+
+func TestGoalIndicator(t *testing.T) {
+	for _, tc := range []struct {
+		goal, want string
+	}{
+		{"married_couple(husband1, X)", "married_couple/2"},
+		{"p(a)", "p/1"},
+		{"halt", "halt/0"},
+		{"f(g(X), Y, 3)", "f/3"},
+	} {
+		got, err := GoalIndicator(tc.goal)
+		if err != nil {
+			t.Errorf("GoalIndicator(%q): %v", tc.goal, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("GoalIndicator(%q) = %q, want %q", tc.goal, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "f(", "X", "42"} {
+		if pi, err := GoalIndicator(bad); err == nil {
+			t.Errorf("GoalIndicator(%q) = %q, want error", bad, pi)
+		}
+	}
+}

@@ -325,6 +325,15 @@ func (r *Retriever) Predicate(goal term.Term) (*Predicate, error) {
 	return p, nil
 }
 
+// PredicateByIndicator returns the managed predicate for pi, or false
+// when the indicator is unknown.
+func (r *Retriever) PredicateByIndicator(pi Indicator) (*Predicate, bool) {
+	r.predsMu.RLock()
+	p, ok := r.preds[pi]
+	r.predsMu.RUnlock()
+	return p, ok
+}
+
 // Predicates lists the managed indicators, sorted by functor then arity
 // so tools and tests see a stable order.
 func (r *Retriever) Predicates() []Indicator {

@@ -24,6 +24,17 @@ const kbMagic = 0xC1A7E0DB
 
 // SaveKB serialises the retriever's predicates and shared symbol table.
 func (r *Retriever) SaveKB(w io.Writer) error {
+	return r.SaveKBPartition(w, nil)
+}
+
+// SaveKBPartition serialises the predicates selected by keep (nil keeps
+// all) with the full shared symbol table. This is the cluster build
+// path: kbc -shards writes one partition per shard group, selected by
+// the shard function, and every partition stays loadable by plain
+// LoadRetriever because the store format is unchanged — the symbol
+// table is written whole, so PIF content fields remain valid in every
+// slice.
+func (r *Retriever) SaveKBPartition(w io.Writer, keep func(Indicator) bool) error {
 	r.predsMu.RLock()
 	defer r.predsMu.RUnlock()
 	symBlob, err := r.syms.MarshalBinary()
@@ -45,11 +56,17 @@ func (r *Retriever) SaveKB(w io.Writer) error {
 	if _, err := w.Write(symBlob); err != nil {
 		return err
 	}
-	if err := put(uint32(len(r.preds))); err != nil {
+	// Deterministic order for reproducible files.
+	kept := make([]Indicator, 0, len(r.preds))
+	for _, pi := range sortedIndicators(r.preds) {
+		if keep == nil || keep(pi) {
+			kept = append(kept, pi)
+		}
+	}
+	if err := put(uint32(len(kept))); err != nil {
 		return err
 	}
-	// Deterministic order for reproducible files.
-	for _, pi := range sortedIndicators(r.preds) {
+	for _, pi := range kept {
 		blob, err := r.preds[pi].File.MarshalBinary()
 		if err != nil {
 			return err

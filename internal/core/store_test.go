@@ -102,6 +102,74 @@ func TestLoadKBErrors(t *testing.T) {
 	}
 }
 
+// TestSaveKBPartition: a keep-filtered slice is an ordinary store
+// holding exactly the selected predicates, with retrieval behaviour
+// intact, and the slices of a partition cover the whole KB.
+func TestSaveKBPartition(t *testing.T) {
+	r := familyRetriever(t, 20, 4)
+	if _, err := r.AddClauses("flying", []ClauseTerm{
+		{Head: parse.MustTerm("fly(tweety)")},
+		{Head: parse.MustTerm("fly(woodstock)")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var slice bytes.Buffer
+	err := r.SaveKBPartition(&slice, func(pi Indicator) bool {
+		return pi.Functor == "fly"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadRetriever(DefaultConfig(), &slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Predicates(); len(got) != 1 || got[0].Functor != "fly" {
+		t.Fatalf("slice predicates = %v, want [fly/1]", got)
+	}
+	rt, err := r2.Retrieve(parse.MustTerm("fly(X)"), ModeSoftware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Candidates) != 2 {
+		t.Errorf("slice retrieval candidates = %d, want 2", len(rt.Candidates))
+	}
+
+	// A two-way partition covers every predicate exactly once.
+	total := 0
+	for part := 0; part < 2; part++ {
+		var buf bytes.Buffer
+		err := r.SaveKBPartition(&buf, func(pi Indicator) bool {
+			return (len(pi.Functor)%2 == 0) == (part == 0)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := LoadRetriever(DefaultConfig(), &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rp.Predicates())
+	}
+	if total != len(r.Predicates()) {
+		t.Errorf("partition slices hold %d predicates, want %d", total, len(r.Predicates()))
+	}
+
+	// An empty slice still round-trips (a shard may hold no predicates).
+	var empty bytes.Buffer
+	if err := r.SaveKBPartition(&empty, func(Indicator) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadRetriever(DefaultConfig(), &empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Predicates()) != 0 {
+		t.Errorf("empty slice holds %v", re.Predicates())
+	}
+}
+
 func TestSaveKBDeterministic(t *testing.T) {
 	r := familyRetriever(t, 10, 2)
 	var a, b bytes.Buffer

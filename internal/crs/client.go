@@ -47,6 +47,10 @@ type Client struct {
 	out  *bufio.Writer
 	// timeout bounds each wire read and write (0 = no deadline).
 	timeout time.Duration
+	// callTimeout, when > 0, overrides timeout for the duration of one
+	// call (RetrieveWithTimeout/StatsWithTimeout) — including any dial
+	// performed by a transparent reconnect within that call.
+	callTimeout time.Duration
 	// inTx is set between a successful BEGIN and the next COMMIT/ABORT;
 	// while set, automatic reconnect-and-retry is disabled.
 	inTx bool
@@ -82,7 +86,7 @@ func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
 // connect (re)establishes the TCP connection and performs the HELLO
 // handshake, replacing any previous connection state.
 func (c *Client) connect() error {
-	dialTO := c.timeout
+	dialTO := c.effTimeout()
 	if dialTO < 0 {
 		dialTO = 0
 	}
@@ -164,6 +168,15 @@ func (c *Client) retryIdempotent(op func() error) error {
 // (<= 0 disables deadlines).
 func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
+// effTimeout is the deadline in force for the current operation: the
+// per-call override when one is active, the global timeout otherwise.
+func (c *Client) effTimeout() time.Duration {
+	if c.callTimeout > 0 {
+		return c.callTimeout
+	}
+	return c.timeout
+}
+
 // Close sends QUIT and closes the connection.
 func (c *Client) Close() error {
 	_, _ = c.roundTrip("QUIT")
@@ -171,8 +184,8 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) send(line string) error {
-	if c.timeout > 0 {
-		if err := c.conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+	if to := c.effTimeout(); to > 0 {
+		if err := c.conn.SetWriteDeadline(time.Now().Add(to)); err != nil {
 			return err
 		}
 	}
@@ -183,8 +196,8 @@ func (c *Client) send(line string) error {
 }
 
 func (c *Client) recv() (string, error) {
-	if c.timeout > 0 {
-		if err := c.conn.SetReadDeadline(time.Now().Add(c.timeout)); err != nil {
+	if to := c.effTimeout(); to > 0 {
+		if err := c.conn.SetReadDeadline(time.Now().Add(to)); err != nil {
 			return "", err
 		}
 	}
@@ -217,6 +230,19 @@ type RetrieveResult struct {
 	Clauses []string
 	// Stats is the raw STATS line.
 	Stats string
+}
+
+// RetrieveWithTimeout is Retrieve under a per-call deadline override:
+// every wire read/write (and any reconnect dial) of this one call is
+// bounded by d instead of the client's global timeout. d <= 0 leaves
+// the global timeout in force. The cluster router uses this to hold a
+// per-shard budget tighter than the connection-wide SetTimeout.
+func (c *Client) RetrieveWithTimeout(mode, goal string, d time.Duration) (*RetrieveResult, error) {
+	if d > 0 {
+		c.callTimeout = d
+		defer func() { c.callTimeout = 0 }()
+	}
+	return c.Retrieve(mode, goal)
 }
 
 // Retrieve runs a retrieval. mode is one of software|fs1|fs2|fs1+fs2|auto;
@@ -258,6 +284,16 @@ func (c *Client) retrieveOnce(mode, goal string) (*RetrieveResult, error) {
 	}
 	res.Stats = stats
 	return res, nil
+}
+
+// StatsWithTimeout is Stats under a per-call deadline override, with
+// the same semantics as RetrieveWithTimeout.
+func (c *Client) StatsWithTimeout(d time.Duration) (map[string]int64, error) {
+	if d > 0 {
+		c.callTimeout = d
+		defer func() { c.callTimeout = 0 }()
+	}
+	return c.Stats()
 }
 
 // Stats asks the server for its service counters: served.<mode>,

@@ -1,0 +1,110 @@
+package crs
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// muteServer accepts connections, answers the HELLO handshake, then
+// goes silent — the shape of a wedged backend.
+func muteServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 64)
+				if _, err := conn.Read(buf); err == nil {
+					conn.Write([]byte("OK crs 1\n")) //nolint:errcheck
+				}
+				// Swallow everything else without replying.
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestRetrieveWithTimeout: the per-call override must bound one call
+// against a wedged server without disturbing the client's configured
+// timeout for later calls.
+func TestRetrieveWithTimeout(t *testing.T) {
+	addr := muteServer(t)
+	c, err := DialTimeout(addr, time.Hour) // configured timeout must not apply
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = -1 // measure one attempt, not the retry schedule
+
+	start := time.Now()
+	_, err = c.RetrieveWithTimeout("fs1", "p(X)", 150*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("retrieve against a mute server should time out")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("error = %v, want a net timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("returned after %v; per-call deadline not applied", elapsed)
+	}
+	if got := c.effTimeout(); got != time.Hour {
+		t.Errorf("configured timeout disturbed: effTimeout = %v, want 1h", got)
+	}
+}
+
+// TestStatsWithTimeout: same contract for the STATS call.
+func TestStatsWithTimeout(t *testing.T) {
+	addr := muteServer(t)
+	c, err := DialTimeout(addr, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = -1
+
+	start := time.Now()
+	_, err = c.StatsWithTimeout(150 * time.Millisecond)
+	if err == nil {
+		t.Fatal("stats against a mute server should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("returned after %v; per-call deadline not applied", elapsed)
+	}
+}
+
+// TestWithTimeoutZeroKeepsDefault: a zero override falls back to the
+// configured client timeout.
+func TestWithTimeoutZeroKeepsDefault(t *testing.T) {
+	addr := muteServer(t)
+	c, err := DialTimeout(addr, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.MaxRetries = -1
+	start := time.Now()
+	if _, err := c.RetrieveWithTimeout("fs1", "p(X)", 0); err == nil {
+		t.Fatal("retrieve against a mute server should time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("returned after %v; configured deadline not applied", elapsed)
+	}
+}

@@ -109,6 +109,44 @@ func (s *Server) Load(module string, clauses []core.ClauseTerm) error {
 	return nil
 }
 
+// Adopt registers every predicate already present in the retriever but
+// unknown to the server — the crsd -kb path, where LoadRetriever built
+// the predicates from a compiled store without going through Load.
+// Clause terms are decoded back out of the compiled files so the
+// transaction path (whose commit rebuilds from the term list) keeps
+// working on adopted predicates.
+func (s *Server) Adopt() error {
+	for _, pi := range s.retriever.Predicates() {
+		s.mu.RLock()
+		_, known := s.preds[pi]
+		s.mu.RUnlock()
+		if known {
+			continue
+		}
+		p, ok := s.retriever.PredicateByIndicator(pi)
+		if !ok {
+			continue
+		}
+		stored := p.File.All()
+		clauses := make([]core.ClauseTerm, 0, len(stored))
+		for _, sc := range stored {
+			head, body, err := p.File.DecodeClause(sc)
+			if err != nil {
+				return fmt.Errorf("crs: adopt %v: %w", pi, err)
+			}
+			if term.Equal(body, term.Atom("true")) {
+				body = nil // fact
+			}
+			clauses = append(clauses, core.ClauseTerm{Head: head, Body: body})
+		}
+		ps := &predState{module: p.File.Module, clauses: clauses}
+		s.mu.Lock()
+		s.preds[pi] = ps
+		s.mu.Unlock()
+	}
+	return nil
+}
+
 func indicatorOf(t term.Term) (core.Indicator, error) {
 	switch t := term.Deref(t).(type) {
 	case term.Atom:

@@ -52,6 +52,18 @@ const (
 	SiteRetrieve = "core.retrieve"
 )
 
+// IsKnownSite reports whether site is one of the standard injection
+// sites above. Sites are open-ended by design, so an unknown site is
+// not an error — but a tool accepting -fault specs can warn, since an
+// unknown site usually means a typo that would silently never fire.
+func IsKnownSite(site string) bool {
+	switch site {
+	case SiteDiskRead, SiteDiskIndex, SiteBus, SiteFS2, SiteRetrieve:
+		return true
+	}
+	return false
+}
+
 // ErrInjected is the sentinel every injected fault matches via errors.Is.
 var ErrInjected = errors.New("fault: injected")
 
@@ -223,9 +235,13 @@ func ParseRule(spec string) (Rule, error) {
 	if !ok {
 		return r, fmt.Errorf("fault: rule %q: want site[@key]=P or site[@key]=1/N", spec)
 	}
-	r.Site, r.Key, _ = strings.Cut(lhs, "@")
+	var keyed bool
+	r.Site, r.Key, keyed = strings.Cut(lhs, "@")
 	if r.Site == "" {
 		return r, fmt.Errorf("fault: rule %q: empty site", spec)
+	}
+	if keyed && r.Key == "" {
+		return r, fmt.Errorf("fault: rule %q: empty key after @ (drop the @ to match every key)", spec)
 	}
 	if num, den, isNth := strings.Cut(rhs, "/"); isNth {
 		if num != "1" {

@@ -3,6 +3,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -151,6 +152,20 @@ func TestParseRule(t *testing.T) {
 		{spec: "disk.read=1/0", bad: true},
 		{spec: "disk.read=0.5,limit=x", bad: true},
 		{spec: "disk.read=0.5,cap=3", bad: true},
+		{spec: "", bad: true},
+		{spec: "disk.read", bad: true},
+		{spec: "disk.read=", bad: true},
+		{spec: "disk.read=-0.1", bad: true},
+		{spec: "disk.read=1.01", bad: true},
+		{spec: "disk.read=abc", bad: true},
+		{spec: "disk.read=1/x", bad: true},
+		{spec: "disk.read=1/-3", bad: true},
+		{spec: "disk.read=1/", bad: true},
+		{spec: "disk.read@=0.5", bad: true},
+		{spec: "@2=0.5", bad: true},
+		{spec: "disk.read=0.5,limit=", bad: true},
+		{spec: "disk.read=0.5,limit=-1", bad: true},
+		{spec: "disk.read=0.5,", bad: true},
 	}
 	for _, c := range cases {
 		got, err := ParseRule(c.spec)
@@ -166,6 +181,33 @@ func TestParseRule(t *testing.T) {
 		}
 		if got != c.want {
 			t.Errorf("ParseRule(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestParseRuleErrorMessagesNameTheSpec(t *testing.T) {
+	// Every rejection must quote the offending spec so a crsd operator
+	// can tell which of several repeated -fault flags is broken.
+	for _, spec := range []string{"nonsense", "disk.read=2", "disk.read@=0.5", "disk.read=0.5,cap=3"} {
+		_, err := ParseRule(spec)
+		if err == nil {
+			t.Fatalf("ParseRule(%q) accepted", spec)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("%q", spec)) {
+			t.Errorf("ParseRule(%q) error %q does not quote the spec", spec, err)
+		}
+	}
+}
+
+func TestIsKnownSite(t *testing.T) {
+	for _, site := range []string{SiteDiskRead, SiteDiskIndex, SiteBus, SiteFS2, SiteRetrieve} {
+		if !IsKnownSite(site) {
+			t.Errorf("IsKnownSite(%q) = false", site)
+		}
+	}
+	for _, site := range []string{"", "disk", "disk.write", "fs2", "FS2.match"} {
+		if IsKnownSite(site) {
+			t.Errorf("IsKnownSite(%q) = true", site)
 		}
 	}
 }
