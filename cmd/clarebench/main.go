@@ -6,13 +6,14 @@
 //
 //	clarebench            # run every experiment
 //	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2 FLT CLUSTER
-//	clarebench -json      # also write machine-readable BENCH_<exp>.json
+//	clarebench -json      # also write machine-readable BENCH_<gitsha>.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"sort"
 	"strings"
 )
@@ -25,7 +26,8 @@ type experiment struct {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
-	jsonOut := flag.Bool("json", false, "write recorded metrics to BENCH_<exp>.json")
+	jsonOut := flag.Bool("json", false, "write recorded metrics to BENCH_<gitsha>.json")
+	jsonPath := flag.String("json-out", "", "explicit output path for -json (overrides the default name)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -72,11 +74,27 @@ func main() {
 		os.Exit(2)
 	}
 	if *jsonOut {
-		path := fmt.Sprintf("BENCH_%s.json", strings.ReplaceAll(*exp, "/", "_"))
+		path := *jsonPath
+		if path == "" {
+			path = benchPath(*exp)
+		}
 		if err := writeJSON(path); err != nil {
 			fmt.Fprintf(os.Stderr, "clarebench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s (%d metrics)\n", path, recordedCount())
 	}
+}
+
+// benchPath names the default -json output file after the git commit, so
+// successive CI runs accumulate a perf trajectory (BENCH_<sha>.json per
+// commit) instead of overwriting one BENCH_<exp>.json. Outside a git
+// checkout the experiment id is the fallback stamp.
+func benchPath(exp string) string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	stamp := strings.TrimSpace(string(out))
+	if err != nil || stamp == "" {
+		stamp = strings.ReplaceAll(exp, "/", "_")
+	}
+	return fmt.Sprintf("BENCH_%s.json", stamp)
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	crsctl -addr 127.0.0.1:7071 -mode fs1+fs2 'married_couple(S, S)'
+//	crsctl -explain 'married_couple(S, S)'
 //	crsctl -assert 'married_couple(romeo, juliet)'
 package main
 
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"clare/internal/crs"
 )
@@ -22,6 +24,7 @@ func main() {
 	mode := flag.String("mode", "auto", "search mode: software|fs1|fs2|fs1+fs2|auto")
 	assert := flag.String("assert", "", "clause to assert in a transaction instead of querying")
 	stats := flag.Bool("stats", false, "print the server's service counters and exit")
+	explain := flag.Bool("explain", false, "profile the retrieval instead of printing candidates")
 	timeout := flag.Duration("timeout", crs.DefaultTimeout, "per-operation wire timeout (0 disables)")
 	flag.Parse()
 
@@ -36,16 +39,7 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		// Sorted keys keep the rendering deterministic run to run; the
-		// column is wide enough for the router's cluster.* keys.
-		keys := make([]string, 0, len(kv))
-		for k := range kv {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			fmt.Printf("%-24s %d\n", k, kv[k])
-		}
+		printStats(kv)
 		return
 	}
 
@@ -64,9 +58,19 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: crsctl [-addr a] [-mode m] 'goal(...)'  |  crsctl -assert 'clause'")
+		fmt.Fprintln(os.Stderr, "usage: crsctl [-addr a] [-mode m] [-explain] 'goal(...)'  |  crsctl -assert 'clause'")
 		os.Exit(2)
 	}
+
+	if *explain {
+		res, err := c.Explain(*mode, flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		printExplain(res)
+		return
+	}
+
 	res, err := c.Retrieve(*mode, flag.Arg(0))
 	if err != nil {
 		fatal("%v", err)
@@ -75,6 +79,73 @@ func main() {
 		fmt.Println(cl)
 	}
 	fmt.Println("% " + res.Stats)
+}
+
+// printExplain renders the EXPLAIN profile in wire order (the filter
+// pipeline's), with a blank line between key families so the rungs read
+// as sections.
+func printExplain(res *crs.ExplainResult) {
+	prev := ""
+	for _, e := range res.Entries {
+		family, _, _ := strings.Cut(e.Key, ".")
+		if prev != "" && family != prev {
+			fmt.Println()
+		}
+		prev = family
+		fmt.Printf("%-24s %s\n", e.Key, e.Value)
+	}
+}
+
+// statsSections groups the known service-counter families for
+// rendering. Keys no section recognises — e.g. cluster.* overlay keys a
+// newer router may add — are NOT dropped: they land in a sorted "other"
+// section at the end.
+var statsSections = []struct {
+	title string
+	match func(k string) bool
+}{
+	{"service", func(k string) bool {
+		switch k {
+		case "sessions", "boards", "degraded", "retries", "faults":
+			return true
+		}
+		return false
+	}},
+	{"served", func(k string) bool { return strings.HasPrefix(k, "served.") }},
+	{"boards", func(k string) bool { return strings.HasPrefix(k, "boards.") }},
+	{"qcache", func(k string) bool { return strings.HasPrefix(k, "qcache.") }},
+	{"cluster", func(k string) bool { return strings.HasPrefix(k, "cluster.") }},
+}
+
+func printStats(kv map[string]int64) {
+	taken := make(map[string]bool, len(kv))
+	section := func(title string, keys []string) {
+		if len(keys) == 0 {
+			return
+		}
+		sort.Strings(keys)
+		fmt.Printf("[%s]\n", title)
+		for _, k := range keys {
+			fmt.Printf("%-24s %d\n", k, kv[k])
+		}
+	}
+	for _, s := range statsSections {
+		var keys []string
+		for k := range kv {
+			if !taken[k] && s.match(k) {
+				taken[k] = true
+				keys = append(keys, k)
+			}
+		}
+		section(s.title, keys)
+	}
+	var other []string
+	for k := range kv {
+		if !taken[k] {
+			other = append(other, k)
+		}
+	}
+	section("other", other)
 }
 
 func fatal(format string, args ...any) {

@@ -55,6 +55,7 @@ func main() {
 	boards := flag.Int("boards", 1, "FS2 board/drive units in the simulated chassis (concurrent retrievals)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
 	traces := flag.Int("traces", telemetry.DefaultTraceRing, "retrieval traces kept for /trace")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity (overrides -traces when set)")
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
@@ -69,6 +70,9 @@ func main() {
 	cfg.Boards = *boards
 	cfg.Metrics = telemetry.NewRegistry()
 	cfg.Tracer = telemetry.NewTracer(*traces)
+	if *traceBuf > 0 {
+		cfg.Tracer.Resize(*traceBuf)
+	}
 	if len(faultSpecs) > 0 {
 		inj := fault.New(*faultSeed)
 		for _, spec := range faultSpecs {
@@ -135,7 +139,7 @@ func main() {
 		if err != nil {
 			fatal("admin: %v", err)
 		}
-		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer)}
+		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer, srv.Latency())}
 		fmt.Printf("crsd admin on http://%s/metrics\n", al.Addr())
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {

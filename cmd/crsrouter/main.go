@@ -41,6 +41,7 @@ func main() {
 	admin := flag.String("admin", "", "admin HTTP address for /metrics, /trace and /debug/pprof (empty disables)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
 	traces := flag.Int("traces", telemetry.DefaultTraceRing, "routed-retrieval traces kept for /trace")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity (overrides -traces when set)")
 	wireTimeout := flag.Duration("wire-timeout", cluster.DefaultWireTimeout, "backend dial and wire operation bound")
 	callTimeout := flag.Duration("call-timeout", cluster.DefaultCallTimeout, "per-backend request budget before failover (negative disables)")
 	trip := flag.Int("trip", cluster.DefaultTripThreshold, "consecutive failures that trip a backend out of rotation")
@@ -72,6 +73,9 @@ func main() {
 		}
 		cfg.Shards = append(cfg.Shards, replicas)
 	}
+	if *traceBuf > 0 {
+		cfg.Tracer.Resize(*traceBuf)
+	}
 	router, err := cluster.NewRouter(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -92,7 +96,7 @@ func main() {
 		if err != nil {
 			fatal("admin: %v", err)
 		}
-		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer)}
+		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer, router.Latency())}
 		fmt.Printf("crsrouter admin on http://%s/metrics\n", al.Addr())
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {

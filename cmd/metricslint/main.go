@@ -1,0 +1,57 @@
+// Command metricslint validates a Prometheus text-format (0.0.4)
+// exposition: unique HELP/TYPE per metric, no duplicate series, counter
+// names ending in _total. CI scrapes the smoke-test crsd's /metrics
+// through it so metric-name drift fails the build.
+//
+// Usage:
+//
+//	metricslint < metrics.txt
+//	metricslint -url http://127.0.0.1:7072/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"clare/internal/telemetry"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this /metrics endpoint instead of reading stdin")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(*url)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal("%s: %s", *url, resp.Status)
+		}
+		in = resp.Body
+	}
+
+	problems, err := telemetry.LintPrometheus(in)
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fatal("%d problem(s)", len(problems))
+	}
+	fmt.Println("metricslint: ok")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricslint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"clare/internal/crs"
+	"clare/internal/telemetry"
 )
 
 // maxWireLine mirrors the crs server's per-line bound.
@@ -170,7 +171,8 @@ func (s *Server) handle(conn net.Conn) {
 				reply("ERR %v", err)
 				continue
 			}
-			res, err := s.router.Retrieve(modeWord, strings.TrimSuffix(goalText, "."))
+			goalText, tc := crs.CutTraceHeader(goalText)
+			res, err := s.router.RetrieveTraced(modeWord, strings.TrimSuffix(goalText, "."), tc)
 			if err != nil {
 				reply("ERR %v", errText(err))
 				continue
@@ -180,6 +182,33 @@ func (s *Server) handle(conn net.Conn) {
 				reply("C %s", cl)
 			}
 			reply("%s", res.Stats)
+			if tc != nil {
+				reply("TRACE %s", spanToken(res.Spans))
+			}
+		case "EXPLAIN":
+			modeWord, goalText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: EXPLAIN <mode> <goal>")
+				continue
+			}
+			if _, err := crs.ParseMode(modeWord); err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			goalText, tc := crs.CutTraceHeader(goalText)
+			res, err := s.router.ExplainTraced(modeWord, strings.TrimSuffix(goalText, "."), tc)
+			if err != nil {
+				reply("ERR %v", errText(err))
+				continue
+			}
+			fmt.Fprintf(out, "EXPLAIN %d\n", len(res.Entries))
+			for _, e := range res.Entries {
+				fmt.Fprintf(out, "E %s %s\n", e.Key, e.Value)
+			}
+			out.Flush()
+			if tc != nil {
+				reply("TRACE %s", spanToken(res.Spans))
+			}
 		case "BEGIN":
 			if tx != nil {
 				reply("ERR crs: transaction already in progress")
@@ -295,6 +324,15 @@ func (s *Server) handle(conn net.Conn) {
 	if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
 		reply("ERR line too long (max %d bytes)", maxWireLine)
 	}
+}
+
+// spanToken serializes a stitched span tree for the TRACE reply line;
+// "-" stands for "no trace recorded" (the router has no tracer).
+func spanToken(spans []telemetry.WireSpan) string {
+	if tok := telemetry.EncodeWireSpans(spans); tok != "" {
+		return tok
+	}
+	return "-"
 }
 
 // errText strips the crs client's "crs server: " prefix so an ERR

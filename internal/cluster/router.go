@@ -3,11 +3,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"clare/internal/core"
 	"clare/internal/crs"
 	"clare/internal/telemetry"
 )
@@ -107,6 +109,7 @@ type Router struct {
 	groups []*group
 	met    *routerMetrics
 	tracer *telemetry.Tracer
+	lat    *telemetry.LatencyTracker
 
 	// Service counters (also surfaced through STATS aggregation, so
 	// they exist even without a metrics registry).
@@ -139,7 +142,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = DefaultPoolSize
 	}
-	r := &Router{cfg: cfg, met: newRouterMetrics(cfg.Metrics, len(cfg.Shards)), tracer: cfg.Tracer}
+	r := &Router{
+		cfg:    cfg,
+		met:    newRouterMetrics(cfg.Metrics, len(cfg.Shards)),
+		tracer: cfg.Tracer,
+		lat:    telemetry.NewLatencyTracker(0),
+	}
 	for i, replicas := range cfg.Shards {
 		if len(replicas) == 0 {
 			return nil, fmt.Errorf("cluster: shard %d has no replicas", i)
@@ -158,6 +166,10 @@ func NewRouter(cfg Config) (*Router, error) {
 
 // Shards reports the shard-group count.
 func (r *Router) Shards() int { return len(r.groups) }
+
+// Latency exposes the per-predicate latency tracker (for the admin
+// mux's /top endpoint).
+func (r *Router) Latency() *telemetry.LatencyTracker { return r.lat }
 
 // Replicas reports the total backend count across all groups.
 func (r *Router) Replicas() int {
@@ -338,7 +350,13 @@ func callNode[T any](r *Router, n *node, op func(c *crs.Client) (T, error)) (T, 
 // node just does not hold the data) and returns errUnknownPredicate
 // without a failover. The last error is returned when every replica
 // fails.
-func callGroup[T any](r *Router, g *group, span *telemetry.Span, op func(c *crs.Client) (T, error)) (T, error) {
+//
+// When tr is non-nil, every attempt gets its own "net" child span under
+// span — failed attempts keep their error attr, so a failover retry is
+// visible in the stitched trace as one dead net span followed by a live
+// one. op receives the attempt's net span so it can thread the trace
+// context to the backend and graft the returned subtree under it.
+func callGroup[T any](r *Router, g *group, tr *telemetry.Trace, span *telemetry.Span, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
 	for attempt, n := range g.candidates() {
@@ -346,9 +364,15 @@ func callGroup[T any](r *Router, g *group, span *telemetry.Span, op func(c *crs.
 			r.failovers.Add(1)
 			r.met.failovers[g.shard].Inc()
 		}
-		res, err := callNode(r, n, op)
+		netSpan := tr.Span(span, "net")
+		if netSpan != nil {
+			netSpan.SetAttr("addr", n.addr)
+			netSpan.SetAttr("attempt", fmt.Sprint(attempt))
+		}
+		res, err := callNode(r, n, func(c *crs.Client) (T, error) { return op(c, netSpan) })
 		if err == nil {
 			n.clear(r)
+			netSpan.End()
 			if span != nil {
 				span.SetAttr("addr", n.addr)
 				if attempt > 0 {
@@ -356,6 +380,10 @@ func callGroup[T any](r *Router, g *group, span *telemetry.Span, op func(c *crs.
 				}
 			}
 			return res, nil
+		}
+		if netSpan != nil {
+			netSpan.SetAttr("error", err.Error())
+			netSpan.End()
 		}
 		var se *crs.ServerError
 		if errors.As(err, &se) {
@@ -382,15 +410,34 @@ func callGroup[T any](r *Router, g *group, span *telemetry.Span, op func(c *crs.
 	return zero, lastErr
 }
 
+// remoteCtx builds the trace context a backend call should carry: the
+// router's trace joined at the attempt's net span. Nil (untraced call)
+// keeps the wire request header-free — old-server compatible.
+func remoteCtx(tr *telemetry.Trace, netSpan *telemetry.Span) *telemetry.TraceContext {
+	if tr == nil || netSpan == nil {
+		return nil
+	}
+	return &telemetry.TraceContext{TraceID: tr.TraceID, ParentSpan: netSpan.ID}
+}
+
 // Retrieve routes one retrieval. mode and goal are in wire form (mode
 // word, Edinburgh goal without the final '.'). The predicate indicator
 // routes the call to its shard group; mode=software and goals whose
 // owning shard does not know the predicate fan out to every group, with
 // per-group unknown-predicate replies merged as empty contributions.
 func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
+	return r.RetrieveTraced(mode, goal, nil)
+}
+
+// RetrieveTraced is Retrieve joining a remote caller's trace context.
+// The router threads the context down to each backend attempt and grafts
+// every returned span subtree under the attempt's net span, so the
+// result's Spans field (populated only when tc is non-nil) holds one
+// stitched cross-process tree: route → shard → net → backend pipeline.
+func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (*crs.RetrieveResult, error) {
 	start := time.Now()
 	r.requests.Add(1)
-	tr := r.tracer.Start("route")
+	tr := r.tracer.StartRemote("route", tc)
 	root := tr.Root()
 	finishErr := func(err error) error {
 		if root != nil {
@@ -399,6 +446,18 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 			r.tracer.Finish(tr)
 		}
 		return err
+	}
+	finishOK := func(res *crs.RetrieveResult) *crs.RetrieveResult {
+		r.met.latency.ObserveDuration(time.Since(start))
+		if root != nil {
+			root.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
+			root.End()
+		}
+		if tc != nil {
+			res.Spans = tr.Wire(0)
+		}
+		r.tracer.Finish(tr)
+		return res
 	}
 
 	pi, err := GoalIndicator(goal)
@@ -409,6 +468,15 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 	if root != nil {
 		root.SetAttr("predicate", pi)
 		root.SetAttr("mode", mode)
+	}
+	defer func() { r.lat.Observe(pi, time.Since(start)) }()
+
+	retrieveOp := func(c *crs.Client, netSpan *telemetry.Span) (*crs.RetrieveResult, error) {
+		res, err := c.RetrieveTracedWithTimeout(mode, goal, remoteCtx(tr, netSpan), r.cfg.CallTimeout)
+		if err == nil {
+			tr.Graft(netSpan, res.Spans)
+		}
+		return res, err
 	}
 
 	var res *crs.RetrieveResult
@@ -421,9 +489,7 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 		if sp != nil {
 			sp.SetAttr("shard", fmt.Sprint(shard))
 		}
-		res, err = callGroup(r, r.groups[shard], sp, func(c *crs.Client) (*crs.RetrieveResult, error) {
-			return c.RetrieveWithTimeout(mode, goal, r.cfg.CallTimeout)
-		})
+		res, err = callGroup(r, r.groups[shard], tr, sp, retrieveOp)
 		if sp != nil {
 			if err != nil {
 				sp.SetAttr("error", err.Error())
@@ -434,13 +500,7 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 		}
 		if err == nil {
 			r.met.requests[shard].Inc()
-			r.met.latency.ObserveDuration(time.Since(start))
-			if root != nil {
-				root.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
-				root.End()
-				r.tracer.Finish(tr)
-			}
-			return res, nil
+			return finishOK(res), nil
 		}
 		if !errors.Is(err, errUnknownPredicate) {
 			r.met.errors.Inc()
@@ -451,19 +511,13 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 		// clauses were asserted elsewhere): ask everyone.
 	}
 
-	res, err = r.fanout(mode, goal, tr, root)
+	res, err = r.fanout(mode, goal, tr, root, retrieveOp)
 	if err != nil {
 		r.met.errors.Inc()
 		return nil, finishErr(err)
 	}
-	r.met.latency.ObserveDuration(time.Since(start))
-	if root != nil {
-		root.SetAttr("fanout", "true")
-		root.SetAttr("candidates", fmt.Sprint(len(res.Clauses)))
-		root.End()
-		r.tracer.Finish(tr)
-	}
-	return res, nil
+	root.SetAttr("fanout", "true")
+	return finishOK(res), nil
 }
 
 // fanout scatters the retrieval to every shard group concurrently and
@@ -473,30 +527,24 @@ func (r *Router) Retrieve(mode, goal string) (*crs.RetrieveResult, error) {
 // per-predicate clause order intact: the partitioned build places each
 // predicate whole on one shard, so its clauses arrive from a single
 // group already in user order.
-func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.Span) (*crs.RetrieveResult, error) {
+func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.Span,
+	op func(c *crs.Client, netSpan *telemetry.Span) (*crs.RetrieveResult, error)) (*crs.RetrieveResult, error) {
 	r.fanouts.Add(1)
 	r.met.fanouts.Inc()
 	results := make([]*crs.RetrieveResult, len(r.groups))
 	errs := make([]error, len(r.groups))
-	// Spans are created here, in the request goroutine: a Trace's span
-	// list is single-writer, while each span's attributes belong to the
-	// one worker that owns it.
-	spans := make([]*telemetry.Span, len(r.groups))
-	for i := range r.groups {
-		spans[i] = tr.Span(root, "shard")
-	}
 	var wg sync.WaitGroup
 	for i, g := range r.groups {
 		wg.Add(1)
 		go func(i int, g *group) {
 			defer wg.Done()
-			sp := spans[i]
+			// Span creation and grafting are goroutine-safe on a Trace, so
+			// each worker opens (and owns) its shard span itself.
+			sp := tr.Span(root, "shard")
 			if sp != nil {
 				sp.SetAttr("shard", fmt.Sprint(g.shard))
 			}
-			res, err := callGroup(r, g, sp, func(c *crs.Client) (*crs.RetrieveResult, error) {
-				return c.RetrieveWithTimeout(mode, goal, r.cfg.CallTimeout)
-			})
+			res, err := callGroup(r, g, tr, sp, op)
 			if err == nil {
 				r.met.requests[g.shard].Inc()
 				results[i] = res
@@ -539,6 +587,189 @@ func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.
 		return nil, &crs.ServerError{Msg: fmt.Sprintf("crs: unknown predicate %s", indicatorText(goal))}
 	}
 	return merged, nil
+}
+
+// Explain routes one EXPLAIN (filter-cost profile) call the way
+// Retrieve routes a retrieval: home shard first, full fan-out when the
+// owning shard does not know the predicate or mode is software.
+func (r *Router) Explain(mode, goal string) (*crs.ExplainResult, error) {
+	return r.ExplainTraced(mode, goal, nil)
+}
+
+// ExplainTraced is Explain joining a remote caller's trace context, the
+// way RetrieveTraced joins one.
+func (r *Router) ExplainTraced(mode, goal string, tc *telemetry.TraceContext) (*crs.ExplainResult, error) {
+	start := time.Now()
+	r.requests.Add(1)
+	tr := r.tracer.StartRemote("route", tc)
+	root := tr.Root()
+	finishErr := func(err error) error {
+		r.met.errors.Inc()
+		if root != nil {
+			root.SetAttr("error", err.Error())
+			root.End()
+			r.tracer.Finish(tr)
+		}
+		return err
+	}
+	finishOK := func(res *crs.ExplainResult) *crs.ExplainResult {
+		r.met.latency.ObserveDuration(time.Since(start))
+		root.End()
+		if tc != nil {
+			res.Spans = tr.Wire(0)
+		}
+		r.tracer.Finish(tr)
+		return res
+	}
+
+	pi, err := GoalIndicator(goal)
+	if err != nil {
+		return nil, finishErr(err)
+	}
+	if root != nil {
+		root.SetAttr("predicate", pi)
+		root.SetAttr("mode", mode)
+		root.SetAttr("explain", "true")
+	}
+	defer func() { r.lat.Observe(pi, time.Since(start)) }()
+
+	explainOp := func(c *crs.Client, netSpan *telemetry.Span) (*crs.ExplainResult, error) {
+		res, err := c.ExplainTracedWithTimeout(mode, goal, remoteCtx(tr, netSpan), r.cfg.CallTimeout)
+		if err == nil {
+			tr.Graft(netSpan, res.Spans)
+		}
+		return res, err
+	}
+
+	if mode != "software" {
+		shard := ShardOf(pi, len(r.groups))
+		sp := tr.Span(root, "shard")
+		sp.SetAttr("shard", fmt.Sprint(shard))
+		res, err := callGroup(r, r.groups[shard], tr, sp, explainOp)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		if err == nil {
+			r.met.requests[shard].Inc()
+			return finishOK(res), nil
+		}
+		if !errors.Is(err, errUnknownPredicate) {
+			return nil, finishErr(err)
+		}
+	}
+
+	r.fanouts.Add(1)
+	r.met.fanouts.Inc()
+	results := make([]*crs.ExplainResult, len(r.groups))
+	errs := make([]error, len(r.groups))
+	var wg sync.WaitGroup
+	for i, g := range r.groups {
+		wg.Add(1)
+		go func(i int, g *group) {
+			defer wg.Done()
+			sp := tr.Span(root, "shard")
+			sp.SetAttr("shard", fmt.Sprint(g.shard))
+			results[i], errs[i] = callGroup(r, g, tr, sp, explainOp)
+			if errs[i] != nil {
+				sp.SetAttr("error", errs[i].Error())
+			}
+			sp.End()
+		}(i, g)
+	}
+	wg.Wait()
+
+	var answered []*crs.ExplainResult
+	var firstErr error
+	for i := range r.groups {
+		switch {
+		case errs[i] == nil:
+			answered = append(answered, results[i])
+			r.met.requests[i].Inc()
+		case errors.Is(errs[i], errUnknownPredicate):
+			// Healthy group, no data: an empty contribution.
+		case firstErr == nil:
+			firstErr = errs[i]
+		}
+	}
+	if firstErr != nil {
+		return nil, finishErr(firstErr)
+	}
+	if len(answered) == 0 {
+		return nil, finishErr(&crs.ServerError{
+			Msg: fmt.Sprintf("crs: unknown predicate %s", indicatorText(goal))})
+	}
+	root.SetAttr("fanout", "true")
+	return finishOK(mergeExplain(answered)), nil
+}
+
+// mergeExplain folds fanned-out per-shard profiles into one: integer
+// values sum, durations take the max (scattered shards run concurrently,
+// so the critical path is the cost), booleans OR, and anything else
+// keeps the first shard's rendering. The ghost ratios are then
+// recomputed from the merged candidate counts so they stay consistent
+// with what they summarize.
+func mergeExplain(results []*crs.ExplainResult) *crs.ExplainResult {
+	if len(results) == 1 {
+		return results[0]
+	}
+	var order []string
+	vals := make(map[string]string)
+	for _, res := range results {
+		for _, e := range res.Entries {
+			old, seen := vals[e.Key]
+			if !seen {
+				order = append(order, e.Key)
+				vals[e.Key] = e.Value
+				continue
+			}
+			vals[e.Key] = mergeExplainValue(old, e.Value)
+		}
+	}
+	geti := func(k string) (int64, bool) {
+		n, err := strconv.ParseInt(vals[k], 10, 64)
+		return n, err == nil
+	}
+	if unified, ok := geti("candidates.unified"); ok {
+		ratio := func(after int64) string {
+			return strconv.FormatFloat(1-float64(unified)/float64(after), 'f', 4, 64)
+		}
+		if a1, ok := geti("candidates.after_fs1"); ok && a1 > 0 {
+			vals["fs1.ghost_ratio"] = ratio(a1)
+		}
+		if a2, ok := geti("candidates.after_fs2"); ok && a2 > 0 {
+			vals["fs2.ghost_ratio"] = ratio(a2)
+		}
+	}
+	merged := &crs.ExplainResult{}
+	for _, k := range order {
+		merged.Entries = append(merged.Entries, core.ExplainEntry{Key: k, Value: vals[k]})
+	}
+	return merged
+}
+
+// mergeExplainValue merges one key's two renderings by dynamic type:
+// ints sum, durations max, bools OR, strings keep-first.
+func mergeExplainValue(a, b string) string {
+	if x, err := strconv.ParseInt(a, 10, 64); err == nil {
+		if y, err := strconv.ParseInt(b, 10, 64); err == nil {
+			return strconv.FormatInt(x+y, 10)
+		}
+	}
+	if x, err := time.ParseDuration(a); err == nil {
+		if y, err := time.ParseDuration(b); err == nil {
+			if y > x {
+				return b
+			}
+			return a
+		}
+	}
+	if x, err := strconv.ParseBool(a); err == nil {
+		if y, err := strconv.ParseBool(b); err == nil {
+			return strconv.FormatBool(x || y)
+		}
+	}
+	return a
 }
 
 // indicatorText best-effort renders the goal's indicator for the
@@ -594,7 +825,7 @@ func parseStatsLine(line string) (total, fs1, fs2 int64) {
 func (r *Router) Stats() (map[string]int64, error) {
 	out := make(map[string]int64)
 	for _, g := range r.groups {
-		m, err := callGroup[map[string]int64](r, g, nil, func(c *crs.Client) (map[string]int64, error) {
+		m, err := callGroup[map[string]int64](r, g, nil, nil, func(c *crs.Client, _ *telemetry.Span) (map[string]int64, error) {
 			return c.StatsWithTimeout(r.cfg.CallTimeout)
 		})
 		if err != nil {

@@ -362,6 +362,15 @@ type StageStats struct {
 	// AfterFS2 is the candidate count surviving partial test unification
 	// (equals AfterFS1 when FS2 is not used).
 	AfterFS2 int
+	// MaskedHits counts FS1 survivors whose index entry carries mask bits
+	// (variable-bearing clause heads) — a structural ghost source the
+	// EXPLAIN profile attributes separately from hash collisions.
+	MaskedHits int
+	// FS2RejectsLevel and FS2RejectsXB split FS2's rejections by cause:
+	// plain level-3 mismatches versus variable cross-binding consistency
+	// failures (the §2.2 shared-variable machinery).
+	FS2RejectsLevel int
+	FS2RejectsXB    int
 	// Overflowed reports Result Memory exhaustion during FS2.
 	Overflowed bool
 
@@ -447,6 +456,14 @@ func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
 // ladder rung the retrieval ended on, Stats.Faults/Retries what it cost
 // to get there.
 func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error) {
+	return r.RetrieveTraced(goal, mode, nil)
+}
+
+// RetrieveTraced is Retrieve joining a remote caller's trace: when tc is
+// non-nil the retrieval's span tree records the caller's trace ID and
+// parent span, so the CRS server can ship the subtree back over the wire
+// for the caller to graft. tc nil is plain Retrieve.
+func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetry.TraceContext) (*Retrieval, error) {
 	wallStart := time.Now()
 	pred, err := r.Predicate(goal)
 	if err != nil {
@@ -458,7 +475,7 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 		pi = Indicator{Functor: functor, Arity: len(args)}
 	}
 
-	tr := r.tracer.Start("retrieve")
+	tr := r.tracer.StartRemote("retrieve", tc)
 	root := tr.Root()
 	if root != nil {
 		root.SetAttr("predicate", pi.String())
@@ -699,6 +716,7 @@ func (r *Retriever) retrieveFS1(goal term.Term, pred *Predicate, rt *Retrieval, 
 	}
 	rt.Stats.FS1Scan = fs1Time
 	rt.Stats.AfterFS1 = len(scan.Addrs)
+	rt.Stats.MaskedHits = scan.MaskedHits
 	rt.wall.fs1 += time.Since(scanStart)
 	if scanSpan != nil {
 		scanSpan.AddSim(fs1Time)
@@ -800,6 +818,7 @@ func (r *Retriever) retrieveFS1FS2(goal term.Term, pred *Predicate, rt *Retrieva
 		}
 		rt.Stats.FS1Scan += sTime
 		rt.Stats.AfterFS1 += len(scan.Addrs)
+		rt.Stats.MaskedHits += scan.MaskedHits
 		scanChunks = append(scanChunks, sTime)
 		rt.wall.fs1 += time.Since(scanStart)
 		if scanSpan != nil {
@@ -959,6 +978,8 @@ func (r *Retriever) searchFS2(u *boardUnit, in []*clausefile.StoredClause, rt *R
 		}
 		matchTime += res.MatchTime
 		clauseTimes = append(clauseTimes, res.ClauseTimes...)
+		rt.Stats.FS2RejectsLevel += res.RejectsLevel
+		rt.Stats.FS2RejectsXB += res.RejectsXB
 		if res.Overflowed {
 			rt.Stats.Overflowed = true
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"clare/internal/telemetry"
@@ -53,6 +54,18 @@ type coreMetrics struct {
 	retriesC *telemetry.Counter
 	degraded map[string]*telemetry.Counter
 	faultsC  *telemetry.Counter
+
+	// Ghost-ratio gauges. stage="fs1" is maintained here from cumulative
+	// filter counts: the fraction of FS1 survivors that FS2 then rejected
+	// (FS1's false drops, §2.1). stage="fs2" is set by Explain, which is
+	// the only place host-unification survivor counts exist.
+	ghostFS1 *telemetry.Gauge
+	ghostFS2 *telemetry.Gauge
+	// Cumulative candidate flows behind ghostFS1, counted only for
+	// retrievals where both FS1 and FS2 actually ran.
+	ghostMu        sync.Mutex
+	ghostIn        int64
+	ghostSurvivors int64
 }
 
 var allModes = []SearchMode{ModeSoftware, ModeFS1, ModeFS2, ModeFS1FS2}
@@ -80,11 +93,11 @@ func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
 			telemetry.Labels{"stage": stage, "clock": "wall"})
 	}
 	m.errors = reg.Counter("clare_retrieval_errors_total", "retrievals that failed", nil)
-	m.clausesIn = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+	m.clausesIn = reg.Counter("clare_stage_candidates_total", "candidate counts entering/leaving each filter stage",
 		telemetry.Labels{"stage": "input"})
-	m.afterFS1 = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+	m.afterFS1 = reg.Counter("clare_stage_candidates_total", "candidate counts entering/leaving each filter stage",
 		telemetry.Labels{"stage": "after_fs1"})
-	m.afterFS2 = reg.Counter("clare_candidates_total", "candidate counts entering/leaving each filter stage",
+	m.afterFS2 = reg.Counter("clare_stage_candidates_total", "candidate counts entering/leaving each filter stage",
 		telemetry.Labels{"stage": "after_fs2"})
 	m.chunks = reg.Counter("clare_pipeline_chunks_total", "FS1→FS2 pipeline chunks streamed", nil)
 	m.overflows = reg.Counter("clare_result_overflows_total", "retrievals that overflowed the Result Memory", nil)
@@ -98,6 +111,10 @@ func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
 			telemetry.Labels{"to": "host"}),
 	}
 	m.faultsC = reg.Counter("clare_retrieval_faults_total", "injected faults absorbed by retrievals", nil)
+	m.ghostFS1 = reg.Gauge("clare_stage_ghost_ratio", "fraction of a stage's survivors rejected by the next filter rung",
+		telemetry.Labels{"stage": "fs1"})
+	m.ghostFS2 = reg.Gauge("clare_stage_ghost_ratio", "fraction of a stage's survivors rejected by the next filter rung",
+		telemetry.Labels{"stage": "fs2"})
 	return m
 }
 
@@ -145,6 +162,13 @@ func (m *coreMetrics) observe(rt *Retrieval, wall time.Duration) {
 	m.clausesIn.Add(int64(st.TotalClauses))
 	m.afterFS1.Add(int64(st.AfterFS1))
 	m.afterFS2.Add(int64(st.AfterFS2))
+	if m.ghostFS1 != nil && rt.Mode == ModeFS1FS2 && st.Degraded == "" && st.AfterFS1 > 0 {
+		m.ghostMu.Lock()
+		m.ghostIn += int64(st.AfterFS1)
+		m.ghostSurvivors += int64(st.AfterFS2)
+		m.ghostFS1.Set(1 - float64(m.ghostSurvivors)/float64(m.ghostIn))
+		m.ghostMu.Unlock()
+	}
 	m.chunks.Add(int64(st.Chunks))
 	if st.Overflowed {
 		m.overflows.Inc()

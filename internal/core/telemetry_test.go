@@ -128,7 +128,7 @@ func TestRetrievalMetrics(t *testing.T) {
 		`clare_stage_seconds_count{clock="sim",stage="fs2_match"}`,
 		`clare_stage_seconds_count{clock="wall",stage="fs2_match"}`,
 		`clare_stage_seconds_count{clock="sim",stage="host_match"} 1`,
-		`clare_candidates_total{stage="input"}`,
+		`clare_stage_candidates_total{stage="input"}`,
 		`clare_disk_bytes_read_total{slot="0"}`,
 		`clare_fs2_clauses_examined_total{slot="0"}`,
 		`clare_vme_control_writes_total{board="fs2",slot="0"}`,

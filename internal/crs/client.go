@@ -8,6 +8,9 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"clare/internal/core"
+	"clare/internal/telemetry"
 )
 
 // DefaultTimeout bounds the dial and each wire read/write when Dial is
@@ -230,6 +233,10 @@ type RetrieveResult struct {
 	Clauses []string
 	// Stats is the raw STATS line.
 	Stats string
+	// Spans is the server-side span subtree, decoded from the TRACE
+	// reply line. Populated only for traced calls (RetrieveTraced with a
+	// non-nil context) against a server with a tracer.
+	Spans []telemetry.WireSpan
 }
 
 // RetrieveWithTimeout is Retrieve under a per-call deadline override:
@@ -238,11 +245,17 @@ type RetrieveResult struct {
 // the global timeout in force. The cluster router uses this to hold a
 // per-shard budget tighter than the connection-wide SetTimeout.
 func (c *Client) RetrieveWithTimeout(mode, goal string, d time.Duration) (*RetrieveResult, error) {
+	return c.RetrieveTracedWithTimeout(mode, goal, nil, d)
+}
+
+// RetrieveTracedWithTimeout is RetrieveTraced under a per-call deadline
+// override (see RetrieveWithTimeout).
+func (c *Client) RetrieveTracedWithTimeout(mode, goal string, tc *telemetry.TraceContext, d time.Duration) (*RetrieveResult, error) {
 	if d > 0 {
 		c.callTimeout = d
 		defer func() { c.callTimeout = 0 }()
 	}
-	return c.Retrieve(mode, goal)
+	return c.RetrieveTraced(mode, goal, tc)
 }
 
 // Retrieve runs a retrieval. mode is one of software|fs1|fs2|fs1+fs2|auto;
@@ -250,16 +263,26 @@ func (c *Client) RetrieveWithTimeout(mode, goal string, d time.Duration) (*Retri
 // idempotent: on a transport failure the client reconnects with backoff
 // and replays the request (see Client).
 func (c *Client) Retrieve(mode, goal string) (*RetrieveResult, error) {
+	return c.RetrieveTraced(mode, goal, nil)
+}
+
+// RetrieveTraced is Retrieve carrying a trace context: the request line
+// gains the " trace=<id>:<span>" header, and the server's span subtree
+// comes back decoded in RetrieveResult.Spans for the caller to graft
+// under its own span. Only send a context to servers that understand
+// the header (a server predating it rejects the goal). tc nil is plain
+// Retrieve.
+func (c *Client) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (*RetrieveResult, error) {
 	var res *RetrieveResult
 	err := c.retryIdempotent(func() (err error) {
-		res, err = c.retrieveOnce(mode, goal)
+		res, err = c.retrieveOnce(mode, goal, tc)
 		return err
 	})
 	return res, err
 }
 
-func (c *Client) retrieveOnce(mode, goal string) (*RetrieveResult, error) {
-	first, err := c.roundTrip(fmt.Sprintf("RETRIEVE %s %s.", mode, goal))
+func (c *Client) retrieveOnce(mode, goal string, tc *telemetry.TraceContext) (*RetrieveResult, error) {
+	first, err := c.roundTrip(fmt.Sprintf("RETRIEVE %s %s.%s", mode, goal, traceHeader(tc)))
 	if err != nil {
 		return nil, err
 	}
@@ -283,6 +306,115 @@ func (c *Client) retrieveOnce(mode, goal string) (*RetrieveResult, error) {
 		return nil, err
 	}
 	res.Stats = stats
+	if tc != nil {
+		if res.Spans, err = c.recvTrace(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// traceHeader renders the request-line suffix for a trace context ("",
+// or " trace=<id>:<span>").
+func traceHeader(tc *telemetry.TraceContext) string {
+	if tc == nil {
+		return ""
+	}
+	return " trace=" + tc.String()
+}
+
+// recvTrace reads and decodes the TRACE reply line a traced call ends
+// with ("-" decodes to no spans).
+func (c *Client) recvTrace() ([]telemetry.WireSpan, error) {
+	line, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	tok, ok := strings.CutPrefix(line, "TRACE ")
+	if !ok {
+		return nil, fmt.Errorf("crs client: unexpected trace line %q", line)
+	}
+	if tok == "-" {
+		return nil, nil
+	}
+	spans, err := telemetry.DecodeWireSpans(tok)
+	if err != nil {
+		return nil, fmt.Errorf("crs client: %w", err)
+	}
+	return spans, nil
+}
+
+// ExplainResult is a client-side view of one EXPLAIN call.
+type ExplainResult struct {
+	// Entries is the profile in the server's (pipeline) order.
+	Entries []core.ExplainEntry
+	// Spans is the server-side span subtree (traced calls only).
+	Spans []telemetry.WireSpan
+}
+
+// Get returns the value for key ("" when absent).
+func (e *ExplainResult) Get(key string) string {
+	for _, kv := range e.Entries {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// Explain profiles one retrieval (the EXPLAIN wire command): candidate
+// counts and rejection ratios per filter rung plus per-stage times.
+// Idempotent and retried like Retrieve.
+func (c *Client) Explain(mode, goal string) (*ExplainResult, error) {
+	return c.ExplainTraced(mode, goal, nil)
+}
+
+// ExplainTraced is Explain carrying a trace context (see RetrieveTraced).
+func (c *Client) ExplainTraced(mode, goal string, tc *telemetry.TraceContext) (*ExplainResult, error) {
+	var res *ExplainResult
+	err := c.retryIdempotent(func() (err error) {
+		res, err = c.explainOnce(mode, goal, tc)
+		return err
+	})
+	return res, err
+}
+
+// ExplainTracedWithTimeout is ExplainTraced under a per-call deadline
+// override (see RetrieveWithTimeout).
+func (c *Client) ExplainTracedWithTimeout(mode, goal string, tc *telemetry.TraceContext, d time.Duration) (*ExplainResult, error) {
+	if d > 0 {
+		c.callTimeout = d
+		defer func() { c.callTimeout = 0 }()
+	}
+	return c.ExplainTraced(mode, goal, tc)
+}
+
+func (c *Client) explainOnce(mode, goal string, tc *telemetry.TraceContext) (*ExplainResult, error) {
+	first, err := c.roundTrip(fmt.Sprintf("EXPLAIN %s %s.%s", mode, goal, traceHeader(tc)))
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(first, "EXPLAIN %d", &n); err != nil {
+		return nil, fmt.Errorf("crs client: unexpected explain reply %q", first)
+	}
+	res := &ExplainResult{}
+	for i := 0; i < n; i++ {
+		line, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "E" {
+			return nil, fmt.Errorf("crs client: unexpected explain line %q", line)
+		}
+		res.Entries = append(res.Entries, core.ExplainEntry{Key: fields[1], Value: fields[2]})
+	}
+	if tc != nil {
+		if res.Spans, err = c.recvTrace(); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 

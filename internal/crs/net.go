@@ -10,6 +10,7 @@ import (
 
 	"clare/internal/core"
 	"clare/internal/parse"
+	"clare/internal/telemetry"
 	"clare/internal/term"
 )
 
@@ -19,6 +20,8 @@ import (
 //	C: RETRIEVE <mode> <goal>   S: CANDIDATES <n>
 //	                               <n> clause lines, each "C <clause>."
 //	                               STATS mode=<m> total=<t> fs1=<a> fs2=<b>
+//	C: EXPLAIN <mode> <goal>    S: EXPLAIN <n>
+//	                               <n> lines, each "E <key> <value>"
 //	C: BEGIN                    S: OK
 //	C: ASSERT <clause>          S: OK
 //	C: COMMIT                   S: OK
@@ -32,6 +35,23 @@ import (
 // entries}, the board-health gauges boards.{free,leased,tripped,trips,
 // readmits}, and the fault-tolerance tallies degraded, retries and
 // faults; values are decimal integers.
+//
+// Trace context: a RETRIEVE or EXPLAIN goal may be followed by one
+// trailing token " trace=<traceid>:<parentspan>" (after the goal's
+// terminating '.'). A server that understands it threads the context
+// into the retrieval's span tree and appends one extra reply line after
+// the trailer:
+//
+//	TRACE <token>
+//
+// where token is the retrieval's span subtree serialized by
+// telemetry.EncodeWireSpans ("-" when the server has no tracer). The
+// header is strictly opt-in: old clients that send no header parse
+// against this server exactly as before (no TRACE line is emitted), and
+// a caller must not send the header to a server that predates it.
+// EXPLAIN keys and values never contain spaces; the key order is the
+// filter pipeline's and is part of the wire contract (appending new
+// keys is compatible).
 
 // maxWireLine bounds one protocol line in either direction. A longer
 // line is answered with "ERR line too long" and the connection dropped.
@@ -193,12 +213,13 @@ func (s *Server) handle(conn net.Conn) {
 				reply("ERR %v", err)
 				continue
 			}
+			goalText, tc := CutTraceHeader(goalText)
 			goal, err := parse.Term(strings.TrimSuffix(goalText, "."))
 			if err != nil {
 				reply("ERR %v", err)
 				continue
 			}
-			rt, err := sess.Retrieve(goal, mode)
+			rt, err := sess.RetrieveTraced(goal, mode, tc)
 			if err != nil {
 				reply("ERR %v", err)
 				continue
@@ -218,6 +239,40 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			reply("STATS mode=%v total=%d fs1=%d fs2=%d",
 				rt.Mode, rt.Stats.TotalClauses, rt.Stats.AfterFS1, rt.Stats.AfterFS2)
+			if tc != nil {
+				reply("TRACE %s", traceToken(rt.Trace()))
+			}
+		case "EXPLAIN":
+			modeWord, goalText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: EXPLAIN <mode> <goal>")
+				continue
+			}
+			mode, err := ParseMode(modeWord)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			goalText, tc := CutTraceHeader(goalText)
+			goal, err := parse.Term(strings.TrimSuffix(goalText, "."))
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			p, err := sess.Explain(goal, mode, tc)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			entries := p.Entries()
+			fmt.Fprintf(out, "EXPLAIN %d\n", len(entries))
+			for _, e := range entries {
+				fmt.Fprintf(out, "E %s %s\n", e.Key, e.Value)
+			}
+			out.Flush()
+			if tc != nil {
+				reply("TRACE %s", traceToken(p.Trace))
+			}
 		default:
 			reply("ERR unknown command %q", cmd)
 		}
@@ -225,6 +280,37 @@ func (s *Server) handle(conn net.Conn) {
 	if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
 		reply("ERR line too long (max %d bytes)", maxWireLine)
 	}
+}
+
+// CutTraceHeader splits an optional trailing trace-context token off a
+// goal text: "p(X). trace=<id>:<span>" → ("p(X).", context). Text
+// without a well-formed header — including everything an old client can
+// send, since the token must follow the goal's terminating '.' — is
+// returned unchanged for the goal parser to judge. Exported because the
+// cluster front-end speaks the same wire protocol.
+func CutTraceHeader(text string) (string, *telemetry.TraceContext) {
+	i := strings.LastIndexByte(text, ' ')
+	if i < 0 || !strings.HasPrefix(text[i+1:], "trace=") {
+		return text, nil
+	}
+	goal := strings.TrimRight(text[:i], " ")
+	if !strings.HasSuffix(goal, ".") {
+		return text, nil
+	}
+	tc, err := telemetry.ParseTraceContext(strings.TrimPrefix(text[i+1:], "trace="))
+	if err != nil {
+		return text, nil
+	}
+	return goal, &tc
+}
+
+// traceToken serializes a retrieval's span tree for the TRACE reply
+// line; "-" stands for "no trace recorded" (the server has no tracer).
+func traceToken(t *telemetry.Trace) string {
+	if tok := telemetry.EncodeWireSpans(t.Wire(0)); tok != "" {
+		return tok
+	}
+	return "-"
 }
 
 func splitClause(t term.Term) (head, body term.Term) {

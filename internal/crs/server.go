@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"clare/internal/core"
+	"clare/internal/telemetry"
 	"clare/internal/term"
 )
 
@@ -43,6 +44,10 @@ type Server struct {
 	// registry (no-ops when the retriever is uninstrumented).
 	met *serverMetrics
 
+	// lat tracks per-predicate retrieval wall time for the /top admin
+	// endpoint ("which predicates are eating the wall clock").
+	lat *telemetry.LatencyTracker
+
 	// Connection tracking for Serve/Shutdown.
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -66,9 +71,14 @@ func NewServer(r *core.Retriever) *Server {
 		sessions:  make(map[int64]*Session),
 		served:    make(map[core.SearchMode]int),
 		met:       newServerMetrics(r.Metrics()),
+		lat:       telemetry.NewLatencyTracker(0),
 		conns:     make(map[net.Conn]struct{}),
 	}
 }
+
+// Latency exposes the per-predicate latency tracker (for the admin
+// mux's /top endpoint).
+func (s *Server) Latency() *telemetry.LatencyTracker { return s.lat }
 
 // Errors.
 var (
@@ -228,58 +238,115 @@ func (c *Session) Close() {
 
 // Retrieve serves one retrieval. mode nil lets the CRS heuristic choose.
 func (c *Session) Retrieve(goal term.Term, mode *core.SearchMode) (*core.Retrieval, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	c.mu.Unlock()
+	return c.RetrieveTraced(goal, mode, nil)
+}
 
-	pi, err := indicatorOf(goal)
+// RetrieveTraced is Retrieve joining a remote caller's trace context
+// (nil is plain Retrieve) — the wire handler passes the RETRIEVE trace
+// header through here so the retrieval's span tree records the caller's
+// trace ID and parent span.
+func (c *Session) RetrieveTraced(goal term.Term, mode *core.SearchMode, tc *telemetry.TraceContext) (*core.Retrieval, error) {
+	pi, ps, err := c.lookup(goal)
 	if err != nil {
 		return nil, err
 	}
-	c.srv.mu.RLock()
-	ps, ok := c.srv.preds[pi]
-	c.srv.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("crs: unknown predicate %v", pi)
-	}
-
+	wallStart := time.Now()
 	lockStart := time.Now()
 	ps.lock.RLock()
 	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
 	defer ps.lock.RUnlock()
 
-	m := core.ModeFS1FS2
-	if mode != nil {
-		m = *mode
-	} else {
-		pred, err := c.srv.retriever.Predicate(goal)
-		if err != nil {
-			return nil, err
-		}
-		m = core.ChooseMode(goal, pred)
+	m, err := c.chooseMode(goal, mode)
+	if err != nil {
+		return nil, err
 	}
 	// No server-wide lock here: the retriever leases a board unit from
 	// the chassis pool per call, so concurrent retrievals run in parallel
 	// up to the configured board count (the real CRS queues search calls
 	// only when all boards are busy).
-	rt, err := c.srv.retriever.Retrieve(goal, m)
+	rt, err := c.srv.retriever.RetrieveTraced(goal, m, tc)
 	if err != nil {
 		return nil, err
 	}
+	c.account(pi, m, &rt.Stats, time.Since(wallStart))
+	return rt, nil
+}
+
+// Explain serves one EXPLAIN call: a real retrieval plus the host
+// reference-unification pass, profiled per filter rung. Locking, mode
+// choice and stats accounting match Retrieve — an EXPLAIN is a served
+// retrieval that also returns its cost profile.
+func (c *Session) Explain(goal term.Term, mode *core.SearchMode, tc *telemetry.TraceContext) (*core.Profile, error) {
+	pi, ps, err := c.lookup(goal)
+	if err != nil {
+		return nil, err
+	}
+	wallStart := time.Now()
+	lockStart := time.Now()
+	ps.lock.RLock()
+	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
+	defer ps.lock.RUnlock()
+
+	m, err := c.chooseMode(goal, mode)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.srv.retriever.ExplainTraced(goal, m, tc)
+	if err != nil {
+		return nil, err
+	}
+	c.account(pi, m, &p.Stats, time.Since(wallStart))
+	return p, nil
+}
+
+// lookup validates the session and resolves the goal's predicate state.
+func (c *Session) lookup(goal term.Term) (core.Indicator, *predState, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return core.Indicator{}, nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	pi, err := indicatorOf(goal)
+	if err != nil {
+		return core.Indicator{}, nil, err
+	}
+	c.srv.mu.RLock()
+	ps, ok := c.srv.preds[pi]
+	c.srv.mu.RUnlock()
+	if !ok {
+		return core.Indicator{}, nil, fmt.Errorf("crs: unknown predicate %v", pi)
+	}
+	return pi, ps, nil
+}
+
+// chooseMode resolves the effective search mode (nil = heuristic).
+func (c *Session) chooseMode(goal term.Term, mode *core.SearchMode) (core.SearchMode, error) {
+	if mode != nil {
+		return *mode, nil
+	}
+	pred, err := c.srv.retriever.Predicate(goal)
+	if err != nil {
+		return core.ModeFS1FS2, err
+	}
+	return core.ChooseMode(goal, pred), nil
+}
+
+// account publishes one served retrieval into the service counters and
+// the per-predicate latency window.
+func (c *Session) account(pi core.Indicator, m core.SearchMode, st *core.StageStats, wall time.Duration) {
 	c.srv.statsMu.Lock()
 	c.srv.served[m]++
-	if rt.Stats.Degraded != "" {
+	if st.Degraded != "" {
 		c.srv.degraded++
 	}
-	c.srv.retries += int64(rt.Stats.Retries)
-	c.srv.faults += int64(rt.Stats.Faults)
+	c.srv.retries += int64(st.Retries)
+	c.srv.faults += int64(st.Faults)
 	c.srv.statsMu.Unlock()
 	c.srv.met.requests[m].Inc()
 	c.srv.met.predCounter(pi).Inc()
-	return rt, nil
+	c.srv.lat.Observe(pi.String(), wall)
 }
 
 // Begin starts a transaction.

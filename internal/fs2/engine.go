@@ -118,6 +118,13 @@ type Stats struct {
 	ResultOverflows int
 	// Faults counts injected board faults (TUE traps) this engine raised.
 	Faults int
+	// RejectsLevel and RejectsXB split the rejected clauses by cause:
+	// plain level-3 structural/content mismatches versus variable
+	// cross-binding consistency failures. Their sum is
+	// ClausesExamined - ClausesMatched (minus functor/arity gate skips,
+	// which count as level rejects).
+	RejectsLevel int
+	RejectsXB    int
 }
 
 // OpCount returns the count for one op.
@@ -135,6 +142,8 @@ func (s *Stats) Add(other Stats) {
 	s.BytesExamined += other.BytesExamined
 	s.ResultOverflows += other.ResultOverflows
 	s.Faults += other.Faults
+	s.RejectsLevel += other.RejectsLevel
+	s.RejectsXB += other.RejectsXB
 }
 
 // TotalOps sums all operation executions.
@@ -163,6 +172,9 @@ type Engine struct {
 	// Per-clause database side.
 	dbMem   []pif.Word
 	dbBound []bool
+	// lastRejectXB classifies the most recent matchClause failure: true
+	// when a cross-binding consistency check rejected the clause.
+	lastRejectXB bool
 
 	// Position-based stores for DescendFull microprograms (levels 4/5).
 	dbRef      []ref
@@ -308,6 +320,10 @@ type SearchResult struct {
 	// Overflowed reports Result Memory exhaustion (the search still
 	// completes; extra satisfiers are lost and counted in Stats).
 	Overflowed bool
+	// RejectsLevel and RejectsXB split this search's rejections by cause
+	// (see Stats).
+	RejectsLevel int
+	RejectsXB    int
 }
 
 // Search streams the records through the Double Buffer, runs partial test
@@ -353,6 +369,12 @@ func (e *Engine) Search(records []Record) (SearchResult, error) {
 				e.Stats.ResultOverflows++
 				res.Overflowed = true
 			}
+		} else if e.lastRejectXB {
+			e.Stats.RejectsXB++
+			res.RejectsXB++
+		} else {
+			e.Stats.RejectsLevel++
+			res.RejectsLevel++
 		}
 		res.ClauseTimes = append(res.ClauseTimes, e.Stats.MatchTime-clauseStart)
 	}

@@ -18,6 +18,7 @@ import (
 // itself at the beginning of each clause input", §3.3; query variable
 // bindings are clause-local too).
 func (e *Engine) matchClause(db *pif.Encoded) bool {
+	e.lastRejectXB = false
 	if db.Functor != e.query.Functor || db.Arity != e.query.Arity {
 		// The compiled clause file groups one functor/arity (§2.1); a
 		// mismatched record cannot unify.
@@ -46,6 +47,7 @@ func (e *Engine) matchClause(db *pif.Encoded) bool {
 		qNext := qPos + runLen(m.q.Args, qPos)
 		dbNext := dbPos + runLen(db.Args, dbPos)
 		if !m.matchRun(m.q.Args, qPos, db.Args, dbPos) {
+			e.lastRejectXB = m.xbReject
 			return false
 		}
 		qPos, dbPos = qNext, dbNext
@@ -57,6 +59,13 @@ type clauseMatch struct {
 	e  *Engine
 	db *pif.Encoded
 	q  *pif.Encoded
+	// xbReject marks that the failing comparison was a variable
+	// cross-binding consistency check (a previously bound variable whose
+	// ultimate association disagreed with the opposing word) rather than
+	// a plain level-3 structural/content mismatch. EXPLAIN separates the
+	// two: cross-binding rejects are exactly the precision the §2.2
+	// shared-variable machinery buys.
+	xbReject bool
 }
 
 // runLen returns the number of words the argument starting at pos
@@ -309,7 +318,11 @@ func (m *clauseMatch) varCase(v, other pif.Word, dbFirst bool) bool {
 		return true
 	}
 	m.e.countOp(OpMatch)
-	return m.concreteEqual(val, other)
+	if !m.concreteEqual(val, other) {
+		m.xbReject = true
+		return false
+	}
+	return true
 }
 
 // resolveVar chases a variable word through the stores. It returns either

@@ -58,6 +58,11 @@ type ScanResult struct {
 	EntriesScanned int
 	// BytesScanned is the secondary-file bytes streamed through FS1.
 	BytesScanned int
+	// MaskedHits counts survivors whose entry carries mask bits — clause
+	// heads with variable arguments, which weaken the codeword (§2.1) and
+	// are the structural source of FS1 ghosts alongside hash collisions.
+	// EXPLAIN reports it so a high ghost ratio can be attributed.
+	MaskedHits int
 	// Elapsed is the simulated scan time at the 4.5 MB/s hardware rate.
 	Elapsed time.Duration
 }
@@ -72,6 +77,9 @@ func (ix *Index) Scan(qd QueryDescriptor) ScanResult {
 	for _, ent := range ix.entries {
 		if ix.enc.Matches(ent, qd) {
 			res.Addrs = append(res.Addrs, ent.Addr)
+			if ent.Mask != 0 {
+				res.MaskedHits++
+			}
 		}
 	}
 	res.Elapsed = ScanTime(res.BytesScanned)
@@ -99,6 +107,9 @@ func (ix *Index) ScanRange(qd QueryDescriptor, lo, hi int) ScanResult {
 	for _, ent := range ix.entries[lo:hi] {
 		if ix.enc.Matches(ent, qd) {
 			res.Addrs = append(res.Addrs, ent.Addr)
+			if ent.Mask != 0 {
+				res.MaskedHits++
+			}
 		}
 	}
 	res.Elapsed = ScanTime(res.BytesScanned)

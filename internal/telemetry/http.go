@@ -11,12 +11,18 @@ import (
 //
 //	/metrics       Prometheus text exposition of reg
 //	/trace?n=K     last K retrieval traces as JSON lines (default 16)
+//	/top?n=K       hottest K latency keys (predicates) as JSON (default 10)
 //	/debug/pprof/  the standard Go profiling endpoints
 //
-// Either argument may be nil; the corresponding endpoint then serves an
+// Any argument may be nil; the corresponding endpoint then serves an
 // empty document rather than failing, so a partially-configured daemon
-// still exposes what it has.
-func AdminMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+// still exposes what it has. The latency tracker is variadic purely so
+// older two-argument call sites keep compiling; at most one is used.
+func AdminMux(reg *Registry, tracer *Tracer, lat ...*LatencyTracker) *http.ServeMux {
+	var tracker *LatencyTracker
+	if len(lat) > 0 {
+		tracker = lat[0]
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,6 +40,19 @@ func AdminMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = tracer.WriteJSON(w, n)
+	})
+	mux.HandleFunc("/top", func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "top: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tracker.WriteJSON(w, n)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyTracker keeps a sliding window of recent durations per key
+// (keys are predicate indicators in the CRS server, "shard<i>" in the
+// router) and serves quantile snapshots over them. It backs the /top
+// admin endpoint: "which predicates are eating the wall clock right
+// now", without the unbounded label growth a histogram-per-predicate
+// would cost in /metrics.
+type LatencyTracker struct {
+	mu     sync.Mutex
+	window int
+	keys   map[string]*latencyWindow
+}
+
+// DefaultLatencyWindow is the per-key sample capacity when
+// NewLatencyTracker is given n <= 0.
+const DefaultLatencyWindow = 512
+
+type latencyWindow struct {
+	samples []time.Duration // ring, len == cap once filled
+	next    int
+	filled  bool
+	count   uint64        // lifetime observations
+	sum     time.Duration // lifetime wall total
+}
+
+// NewLatencyTracker returns a tracker retaining the last n samples per
+// key.
+func NewLatencyTracker(n int) *LatencyTracker {
+	if n <= 0 {
+		n = DefaultLatencyWindow
+	}
+	return &LatencyTracker{window: n, keys: make(map[string]*latencyWindow)}
+}
+
+// Observe records one duration for key. Nil-safe: a nil tracker is a
+// no-op, so call sites need no guards.
+func (lt *LatencyTracker) Observe(key string, d time.Duration) {
+	if lt == nil {
+		return
+	}
+	lt.mu.Lock()
+	w := lt.keys[key]
+	if w == nil {
+		w = &latencyWindow{samples: make([]time.Duration, lt.window)}
+		lt.keys[key] = w
+	}
+	w.samples[w.next] = d
+	w.next++
+	if w.next == len(w.samples) {
+		w.next = 0
+		w.filled = true
+	}
+	w.count++
+	w.sum += d
+	lt.mu.Unlock()
+}
+
+// LatencySnapshot is one key's window summary. Quantiles are computed
+// over the window only; Count and Sum are lifetime.
+type LatencySnapshot struct {
+	Key   string        `json:"key"`
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Top returns up to n keys ordered hottest first (by lifetime Sum, ties
+// by key for determinism). n <= 0 means all keys.
+func (lt *LatencyTracker) Top(n int) []LatencySnapshot {
+	if lt == nil {
+		return nil
+	}
+	lt.mu.Lock()
+	out := make([]LatencySnapshot, 0, len(lt.keys))
+	for k, w := range lt.keys {
+		live := w.samples[:w.next]
+		if w.filled {
+			live = w.samples
+		}
+		sorted := make([]time.Duration, len(live))
+		copy(sorted, live)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		snap := LatencySnapshot{Key: k, Count: w.count, Sum: w.sum}
+		if len(sorted) > 0 {
+			snap.P50 = quantile(sorted, 0.50)
+			snap.P90 = quantile(sorted, 0.90)
+			snap.P99 = quantile(sorted, 0.99)
+			snap.Max = sorted[len(sorted)-1]
+		}
+		out = append(out, snap)
+	}
+	lt.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sum != out[j].Sum {
+			return out[i].Sum > out[j].Sum
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// quantile reads the nearest-rank q-quantile from an ascending slice:
+// rank ceil(q·N), so the P50 of 1..100 is the 50th sample.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteJSON exports the top-n snapshot as a JSON array.
+func (lt *LatencyTracker) WriteJSON(w io.Writer, n int) error {
+	snaps := lt.Top(n)
+	if snaps == nil {
+		snaps = []LatencySnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(snaps)
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-format (0.0.4) exposition
+// the way the CI metrics-lint step does, returning one message per
+// problem (empty means clean):
+//
+//   - every metric has at most one HELP and one TYPE line, and they
+//     precede its first sample;
+//   - no series (metric name plus label set) appears twice;
+//   - counter-typed metric names end in _total.
+//
+// The linter reads the exposition only — it needs no registry, so it can
+// scrape a live /metrics endpoint.
+func LintPrometheus(r io.Reader) ([]string, error) {
+	var problems []string
+	helpSeen := make(map[string]bool)
+	typeSeen := make(map[string]string)
+	sampled := make(map[string]bool)
+	series := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			if helpSeen[name] {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate HELP for %s", lineNo, name))
+			}
+			if sampled[name] {
+				problems = append(problems, fmt.Sprintf("line %d: HELP for %s after its samples", lineNo, name))
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, _ := strings.Cut(rest, " ")
+			if _, dup := typeSeen[name]; dup {
+				problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s", lineNo, name))
+			}
+			if sampled[name] {
+				problems = append(problems, fmt.Sprintf("line %d: TYPE for %s after its samples", lineNo, name))
+			}
+			typeSeen[name] = kind
+			if kind == "counter" && !strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("line %d: counter %s does not end in _total", lineNo, name))
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, name, err := seriesKey(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		sampled[name] = true
+		series[key]++
+		if series[key] == 2 { // report each duplicate series once
+			problems = append(problems, fmt.Sprintf("line %d: duplicate series %s", lineNo, key))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return problems, err
+	}
+	return problems, nil
+}
+
+// seriesKey canonicalises one sample line into its identity: the metric
+// name plus its label pairs in sorted order (label order is not
+// significant in the exposition format). The bare metric name is
+// returned too, with histogram/summary suffixes stripped to their base
+// so _bucket/_sum/_count samples pair with their TYPE block.
+func seriesKey(line string) (key, name string, err error) {
+	metric := line
+	if i := strings.LastIndexByte(line, '}'); i >= 0 {
+		metric = line[:i+1]
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		metric = line[:i]
+	}
+	name = metric
+	labels := ""
+	if i := strings.IndexByte(metric, '{'); i >= 0 {
+		if !strings.HasSuffix(metric, "}") {
+			return "", "", fmt.Errorf("malformed sample %q", line)
+		}
+		name = metric[:i]
+		pairs := splitLabels(metric[i+1 : len(metric)-1])
+		sort.Strings(pairs)
+		labels = "{" + strings.Join(pairs, ",") + "}"
+	}
+	if name == "" {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	key = name + labels
+	// The key keeps the full sample name (a histogram's _sum and _count
+	// are distinct series); only the HELP/TYPE pairing name strips the
+	// expansion suffixes back to the family.
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suffix)
+	}
+	return key, name, nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(body string) []string {
+	var pairs []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(body):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(body[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			if cur.Len() > 0 {
+				pairs = append(pairs, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		pairs = append(pairs, cur.String())
+	}
+	return pairs
+}

@@ -1,8 +1,12 @@
 package telemetry
 
 import (
+	"encoding/base64"
 	"encoding/json"
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,9 +61,41 @@ func (s *Span) End() {
 	s.Wall = time.Since(s.Start)
 }
 
-// Trace is one retrieval's span tree. A trace is built by a single
-// goroutine (the retrieval) and becomes immutable once handed to
-// Tracer.Finish, so exports need no span-level locking.
+// TraceContext names a position in a (possibly remote) trace: the trace
+// ID and the span under which further work should attach. It is what the
+// CRS wire protocol carries in the RETRIEVE trace header, so a backend's
+// span tree can be stitched back into the caller's.
+type TraceContext struct {
+	TraceID    uint64
+	ParentSpan int
+}
+
+// String renders the wire form, "<traceid>:<parentspan>".
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("%d:%d", tc.TraceID, tc.ParentSpan)
+}
+
+// ParseTraceContext parses the wire form produced by String.
+func ParseTraceContext(s string) (TraceContext, error) {
+	idText, spanText, ok := strings.Cut(s, ":")
+	if !ok {
+		return TraceContext{}, fmt.Errorf("telemetry: bad trace context %q", s)
+	}
+	id, err := strconv.ParseUint(idText, 10, 64)
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("telemetry: bad trace id in %q", s)
+	}
+	parent, err := strconv.Atoi(spanText)
+	if err != nil || parent < 0 {
+		return TraceContext{}, fmt.Errorf("telemetry: bad parent span in %q", s)
+	}
+	return TraceContext{TraceID: id, ParentSpan: parent}, nil
+}
+
+// Trace is one retrieval's span tree. Span creation and grafting are
+// safe for concurrent use (scatter-gather fan-out builds one trace from
+// several worker goroutines); a trace becomes immutable once handed to
+// Tracer.Finish, so exports need no further locking.
 type Trace struct {
 	// TraceID is unique per tracer.
 	TraceID uint64 `json:"trace"`
@@ -67,18 +103,26 @@ type Trace struct {
 	Name string `json:"name"`
 	// Begin is when the trace opened.
 	Begin time.Time `json:"begin"`
+	// Remote, when non-nil, is the caller's trace context this trace was
+	// started under: the caller's trace ID and the caller-side span the
+	// root logically hangs from. Cross-process stitching keys on it.
+	Remote *TraceContext `json:"remote,omitempty"`
 	// Spans holds the tree in creation order; Spans[0] is the root.
 	Spans []*Span `json:"spans"`
+
+	mu sync.Mutex
 }
 
 // Span opens a child span under parent (nil parent attaches to the root;
 // for the first span of the trace it creates the root itself). Nil-safe:
 // a nil trace returns a nil span, and every Span method accepts a nil
-// receiver, so untraced runs pay only a pointer test.
+// receiver, so untraced runs pay only a pointer test. Safe for
+// concurrent callers.
 func (t *Trace) Span(parent *Span, name string) *Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
 	pid := 0
 	if parent != nil {
 		pid = parent.ID
@@ -87,19 +131,148 @@ func (t *Trace) Span(parent *Span, name string) *Span {
 	}
 	s := &Span{ID: len(t.Spans) + 1, Parent: pid, Name: name, Start: time.Now(), tr: t}
 	t.Spans = append(t.Spans, s)
+	t.mu.Unlock()
 	return s
 }
 
 // Root returns the trace's root span.
 func (t *Trace) Root() *Span {
-	if t == nil || len(t.Spans) == 0 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.Spans) == 0 {
 		return nil
 	}
 	return t.Spans[0]
 }
 
-// Tracer records finished traces in a fixed-size ring buffer (newest
-// evicts oldest), the store behind crsd's /trace endpoint.
+// WireSpan is the compact span form carried over the CRS wire when a
+// reply appends its trace subtree. Field names are shortened to keep the
+// serialized tree small; durations travel as nanoseconds.
+type WireSpan struct {
+	ID     int               `json:"i"`
+	Parent int               `json:"p"`
+	Name   string            `json:"n"`
+	Attrs  map[string]string `json:"a,omitempty"`
+	Start  time.Time         `json:"t"`
+	Wall   int64             `json:"w"`
+	Sim    int64             `json:"s"`
+}
+
+// MaxWireSpans bounds one serialized subtree: a chunked fs1+fs2 trace
+// over a big predicate can carry thousands of chunk spans, and the wire
+// reply must stay within one protocol line. A truncated tree keeps its
+// earliest spans (the tree reads top-down) and marks the root attr
+// "truncated".
+const MaxWireSpans = 512
+
+// Wire snapshots the trace's spans (up to max; <= 0 means MaxWireSpans)
+// in creation order for wire serialization.
+func (t *Trace) Wire(max int) []WireSpan {
+	if t == nil {
+		return nil
+	}
+	if max <= 0 {
+		max = MaxWireSpans
+	}
+	t.mu.Lock()
+	spans := t.Spans
+	truncated := len(spans) > max
+	if truncated {
+		spans = spans[:max]
+	}
+	out := make([]WireSpan, len(spans))
+	for i, s := range spans {
+		out[i] = WireSpan{ID: s.ID, Parent: s.Parent, Name: s.Name, Attrs: s.Attrs,
+			Start: s.Start, Wall: int64(s.Wall), Sim: int64(s.Sim)}
+	}
+	t.mu.Unlock()
+	if truncated && len(out) > 0 {
+		// Copy-on-write the root attrs: the live span map must not gain a
+		// wire-only marker.
+		attrs := make(map[string]string, len(out[0].Attrs)+1)
+		for k, v := range out[0].Attrs {
+			attrs[k] = v
+		}
+		attrs["truncated"] = "true"
+		out[0].Attrs = attrs
+	}
+	return out
+}
+
+// EncodeWireSpans serializes a span subtree into a single opaque token
+// (base64 of compact JSON) safe to embed in one wire-protocol line.
+func EncodeWireSpans(spans []WireSpan) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	blob, err := json.Marshal(spans)
+	if err != nil {
+		return ""
+	}
+	return base64.RawStdEncoding.EncodeToString(blob)
+}
+
+// DecodeWireSpans reverses EncodeWireSpans. An empty token decodes to an
+// empty tree.
+func DecodeWireSpans(tok string) ([]WireSpan, error) {
+	if tok == "" {
+		return nil, nil
+	}
+	blob, err := base64.RawStdEncoding.DecodeString(tok)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: bad wire trace token: %w", err)
+	}
+	var spans []WireSpan
+	if err := json.Unmarshal(blob, &spans); err != nil {
+		return nil, fmt.Errorf("telemetry: bad wire trace payload: %w", err)
+	}
+	return spans, nil
+}
+
+// Graft splices a remote span subtree under parent (nil parent attaches
+// to the root): remote IDs are remapped into this trace's ID space with
+// parent links preserved, and each grafted span records its origin ID in
+// attr "remote_span". Safe for concurrent callers. Remote spans whose
+// parent is outside the subtree (the remote root, Parent 0 or unknown)
+// hang directly from parent.
+func (t *Trace) Graft(parent *Span, sub []WireSpan) {
+	if t == nil || len(sub) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	base := 0
+	if parent != nil {
+		base = parent.ID
+	} else if len(t.Spans) > 0 {
+		base = t.Spans[0].ID
+	}
+	idMap := make(map[int]int, len(sub))
+	for _, ws := range sub {
+		id := len(t.Spans) + 1
+		idMap[ws.ID] = id
+		pid := base
+		if mapped, ok := idMap[ws.Parent]; ok && ws.Parent != ws.ID {
+			pid = mapped
+		}
+		attrs := make(map[string]string, len(ws.Attrs)+1)
+		for k, v := range ws.Attrs {
+			attrs[k] = v
+		}
+		attrs["remote_span"] = strconv.Itoa(ws.ID)
+		t.Spans = append(t.Spans, &Span{
+			ID: id, Parent: pid, Name: ws.Name, Attrs: attrs,
+			Start: ws.Start, Wall: time.Duration(ws.Wall), Sim: time.Duration(ws.Sim), tr: t,
+		})
+	}
+}
+
+// Tracer records finished traces in a ring buffer (newest evicts
+// oldest), the store behind crsd's /trace endpoint. The ring can be
+// resized at runtime (crsd -trace-buf governs the boot size).
 type Tracer struct {
 	mu     sync.Mutex
 	ring   []*Trace
@@ -122,10 +295,21 @@ func NewTracer(n int) *Tracer {
 // Start opens a trace whose root span carries name. Nil-safe: a nil
 // tracer returns a nil trace.
 func (tr *Tracer) Start(name string) *Trace {
+	return tr.StartRemote(name, nil)
+}
+
+// StartRemote is Start joining a caller's trace: the new trace records
+// tc so its span tree can be stitched back under the caller's parent
+// span. tc nil is plain Start.
+func (tr *Tracer) StartRemote(name string, tc *TraceContext) *Trace {
 	if tr == nil {
 		return nil
 	}
 	t := &Trace{TraceID: tr.nextID.Add(1), Name: name, Begin: time.Now()}
+	if tc != nil {
+		ctx := *tc
+		t.Remote = &ctx
+	}
 	t.Span(nil, name) // root
 	return t
 }
@@ -145,6 +329,41 @@ func (tr *Tracer) Finish(t *Trace) {
 	tr.mu.Unlock()
 }
 
+// Resize changes the ring capacity, preserving the newest traces that
+// fit. Safe under concurrent Start/Finish: Start never touches the ring,
+// and Finish serializes on the same mutex. n <= 0 means DefaultTraceRing.
+func (tr *Tracer) Resize(n int) {
+	if tr == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultTraceRing
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if n == len(tr.ring) {
+		return
+	}
+	all := tr.lastLocked(0)
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	tr.ring = make([]*Trace, n)
+	copy(tr.ring, all)
+	tr.filled = len(all) == n
+	tr.next = len(all) % n
+}
+
+// Cap reports the current ring capacity.
+func (tr *Tracer) Cap() int {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.ring)
+}
+
 // Last returns up to n of the most recent traces, oldest first. n <= 0
 // means the whole ring.
 func (tr *Tracer) Last(n int) []*Trace {
@@ -153,15 +372,22 @@ func (tr *Tracer) Last(n int) []*Trace {
 	}
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
+	all := tr.lastLocked(0)
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// lastLocked collects the ring's contents oldest-first; the caller holds
+// tr.mu.
+func (tr *Tracer) lastLocked(_ int) []*Trace {
 	var all []*Trace
 	if tr.filled {
 		all = append(all, tr.ring[tr.next:]...)
 		all = append(all, tr.ring[:tr.next]...)
 	} else {
 		all = append(all, tr.ring[:tr.next]...)
-	}
-	if n > 0 && len(all) > n {
-		all = all[len(all)-n:]
 	}
 	return all
 }

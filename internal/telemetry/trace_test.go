@@ -108,7 +108,7 @@ func TestWriteJSONLines(t *testing.T) {
 			t.Fatalf("line %d not valid JSON: %v", lines, err)
 		}
 		if decoded.Name != "retrieve" || len(decoded.Spans) != 2 {
-			t.Errorf("decoded trace = %+v", decoded)
+			t.Errorf("decoded trace = %+v", &decoded)
 		}
 		if decoded.Spans[1].Sim != time.Millisecond {
 			t.Errorf("sim duration lost in JSON: %v", decoded.Spans[1].Sim)
