@@ -80,6 +80,11 @@ type Options struct {
 	// QueryCacheSize bounds the query-encoding cache (0 means the
 	// default; negative disables it).
 	QueryCacheSize int
+	// Engine selects the execution engine: "sim" (or empty — the
+	// cycle-accurate simulation, the default) or "native" (the
+	// vectorized host engine: identical candidates, wall-clock
+	// throughput as the first-class metric, no cycle model for FS2).
+	Engine string
 	// Out receives Prolog output (write/1 etc.); nil means os.Stdout.
 	Out io.Writer
 }
@@ -129,6 +134,10 @@ func NewKB(opts Options) (*KB, error) {
 		Boards:             opts.Boards,
 		StreamChunkEntries: opts.StreamChunkEntries,
 		QueryCacheSize:     opts.QueryCacheSize,
+	}
+	var err error
+	if cfg.Engine, err = core.ParseEngine(opts.Engine); err != nil {
+		return nil, err
 	}
 	r, err := core.New(cfg)
 	if err != nil {

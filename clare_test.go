@@ -241,3 +241,50 @@ func TestEndToEndModeAgreement(t *testing.T) {
 		}
 	}
 }
+
+func TestNativeEngineFacade(t *testing.T) {
+	load := func(engine string) *KB {
+		opts := Defaults()
+		opts.Engine = engine
+		kb := newKB(t, opts)
+		if err := kb.LoadDiskPredicateString("family", `
+			parent(tom, bob).
+			parent(tom, liz).
+			parent(bob, ann).
+			parent(bob, pat).
+		`); err != nil {
+			t.Fatal(err)
+		}
+		return kb
+	}
+	sim, native := load("sim"), load("native")
+	for _, mode := range []SearchMode{ModeSoftware, ModeFS1, ModeFS2, ModeFS1FS2} {
+		srt, err := sim.Retrieve("parent(tom, X)", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nrt, err := native.Retrieve("parent(tom, X)", mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(srt.Candidates) != len(nrt.Candidates) {
+			t.Fatalf("%v: sim %d candidates, native %d", mode, len(srt.Candidates), len(nrt.Candidates))
+		}
+		for i := range srt.Candidates {
+			if srt.Candidates[i].Addr != nrt.Candidates[i].Addr {
+				t.Errorf("%v: candidate %d: addr %d vs %d", mode, i, srt.Candidates[i].Addr, nrt.Candidates[i].Addr)
+			}
+		}
+	}
+	// Query/1 answers through the native pipeline too.
+	sols, err := native.Query("parent(bob, W)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 2 || sols[0]["W"].String() != "ann" || sols[1]["W"].String() != "pat" {
+		t.Errorf("native solutions = %v", sols)
+	}
+	if _, err := NewKB(Options{Engine: "turbo"}); err == nil {
+		t.Error("Engine \"turbo\" accepted, want error")
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func rep(gen string, metrics ...[4]string) *report {
+	r := &report{Generated: gen}
+	for _, m := range metrics {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			panic(err)
+		}
+		r.Metrics = append(r.Metrics, struct {
+			Experiment string  `json:"experiment"`
+			Name       string  `json:"name"`
+			Value      float64 `json:"value"`
+			Unit       string  `json:"unit"`
+		}{m[0], m[1], v, m[3]})
+	}
+	return r
+}
+
+func TestGateThresholds(t *testing.T) {
+	base := rep("2026-01-01T00:00:00Z",
+		[4]string{"CONC", "boards1_clients1_sim_qps", "100", "queries/s"},
+		[4]string{"NATIVE", "native_wall_qps", "1000", "wall-queries/s"},
+		[4]string{"NATIVE", "divergences", "0", "count"},
+		[4]string{"OLD", "gone_qps", "5", "queries/s"})
+	for _, tc := range []struct {
+		name         string
+		sim, wall    string
+		wantFailures int
+	}{
+		{"within", "95", "900", 0},                // -5% sim, -10% wall: both inside
+		{"sim regression", "80", "900", 1},        // -20% sim > 10% limit
+		{"wall regression", "95", "400", 1},       // -60% wall > 50% limit
+		{"wall noise tolerated", "100", "600", 0}, // -40% wall inside the loose limit
+		{"improvement passes", "200", "20000", 0}, // faster never fails
+		{"both regressed", "10", "10", 2},         //
+	} {
+		cur := rep("2026-02-01T00:00:00Z",
+			[4]string{"CONC", "boards1_clients1_sim_qps", tc.sim, "queries/s"},
+			[4]string{"NATIVE", "native_wall_qps", tc.wall, "wall-queries/s"},
+			[4]string{"NATIVE", "divergences", "0", "count"},
+			[4]string{"NEW", "fresh_qps", "7", "queries/s"})
+		var out strings.Builder
+		failures, compared := gate(&out, cur, base, 0.10, 0.50)
+		if failures != tc.wantFailures {
+			t.Errorf("%s: failures = %d, want %d\n%s", tc.name, failures, tc.wantFailures, out.String())
+		}
+		if compared != 2 {
+			t.Errorf("%s: compared = %d, want 2 (count metrics must not gate)", tc.name, compared)
+		}
+		if !strings.Contains(out.String(), "NEW   NEW/fresh_qps") {
+			t.Errorf("%s: missing NEW line:\n%s", tc.name, out.String())
+		}
+		if !strings.Contains(out.String(), "GONE  OLD/gone_qps") {
+			t.Errorf("%s: missing GONE line:\n%s", tc.name, out.String())
+		}
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, gen string) string {
+		p := filepath.Join(dir, name)
+		blob := `{"generated": "` + gen + `", "metrics": []}`
+		if err := os.WriteFile(p, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("BENCH_old.json", "2026-01-01T00:00:00Z")
+	newest := write("BENCH_new.json", "2026-03-01T00:00:00Z")
+	fresh := write("BENCH_fresh.json", "2026-04-01T00:00:00Z")
+
+	got, err := latestBaseline(dir, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != newest {
+		t.Errorf("latestBaseline = %q, want %q (fresh file must be excluded)", got, newest)
+	}
+
+	empty := t.TempDir()
+	got, err = latestBaseline(empty, fresh)
+	if err != nil || got != "" {
+		t.Errorf("latestBaseline(empty) = %q, %v, want \"\", nil", got, err)
+	}
+}

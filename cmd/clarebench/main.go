@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	clarebench            # run every experiment
-//	clarebench -exp T1    # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC AB1 AB2 FLT CLUSTER
-//	clarebench -json      # also write machine-readable BENCH_<gitsha>.json
+//	clarebench                 # run every experiment
+//	clarebench -exp T1         # one experiment: T1 F1 F6..F12 TA1 R1 R2 D1 D2 M1 W1 L15 CONC NATIVE AB1 AB2 FLT CLUSTER
+//	clarebench -exp CONC,NATIVE # a comma-separated subset
+//	clarebench -json           # also write machine-readable BENCH_<gitsha>.json
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		{"M1", "§2.2 — the four CRS search modes", expM1},
 		{"W1", "§1 — Warren-scale knowledge base sweep", expW1},
 		{"CONC", "Multi-board chassis — concurrent retrieval scaling", expCONC},
+		{"NATIVE", "Native vectorized engine vs simulation — wall-clock throughput", expNATIVE},
 		{"L15", "§2.2 — matching levels 1–5 selectivity/cost trade-off", expL15},
 		{"B1", "Refs [6,7] — PDBM database benchmark suite", expB1},
 		{"WCS", "§3.1 — assembled Writable Control Store microprogram", expWCS},
@@ -52,26 +54,38 @@ func main() {
 		{"CLUSTER", "Sharded cluster — scatter-gather throughput and replica failover", expCLUSTER},
 	}
 
-	matched := false
-	for _, e := range exps {
-		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
-			continue
+	// -exp accepts a comma-separated list of ids; "all" runs everything.
+	want := map[string]bool{}
+	if !strings.EqualFold(*exp, "all") {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				want[strings.ToUpper(id)] = false
+			}
 		}
-		matched = true
+	}
+	for _, e := range exps {
+		if len(want) > 0 {
+			if _, ok := want[strings.ToUpper(e.id)]; !ok {
+				continue
+			}
+			want[strings.ToUpper(e.id)] = true
+		}
 		fmt.Printf("\n## %s: %s\n\n", e.id, e.title)
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "clarebench: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
 	}
-	if !matched {
-		ids := make([]string, len(exps))
-		for i, e := range exps {
-			ids[i] = e.id
+	for id, ran := range want {
+		if !ran {
+			ids := make([]string, len(exps))
+			for i, e := range exps {
+				ids[i] = e.id
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "clarebench: unknown experiment %q (have %s)\n", id, strings.Join(ids, " "))
+			os.Exit(2)
 		}
-		sort.Strings(ids)
-		fmt.Fprintf(os.Stderr, "clarebench: unknown experiment %q (have %s)\n", *exp, strings.Join(ids, " "))
-		os.Exit(2)
 	}
 	if *jsonOut {
 		path := *jsonPath
@@ -94,7 +108,7 @@ func benchPath(exp string) string {
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	stamp := strings.TrimSpace(string(out))
 	if err != nil || stamp == "" {
-		stamp = strings.ReplaceAll(exp, "/", "_")
+		stamp = strings.NewReplacer("/", "_", ",", "_").Replace(exp)
 	}
 	return fmt.Sprintf("BENCH_%s.json", stamp)
 }

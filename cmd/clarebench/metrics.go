@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -49,9 +51,10 @@ func recordedCount() int {
 // chassis (boards) and cluster (shards) the run exercised, so a
 // BENCH_*.json is attributable when it is diffed across commits.
 var (
-	stampMu     sync.Mutex
-	stampBoards int
-	stampShards int
+	stampMu      sync.Mutex
+	stampBoards  int
+	stampShards  int
+	stampEngines = map[string]bool{}
 )
 
 // noteBoards records the largest board count an experiment ran with.
@@ -73,6 +76,15 @@ func noteShards(n int) {
 	stampMu.Unlock()
 }
 
+// noteEngine records an execution engine an experiment ran on. Runs that
+// never call it report the default, ["sim"] — every experiment runs the
+// simulation unless it says otherwise.
+func noteEngine(name string) {
+	stampMu.Lock()
+	stampEngines[name] = true
+	stampMu.Unlock()
+}
+
 // gitSHA resolves the working tree's short revision; empty when the
 // binary runs outside a git checkout.
 func gitSHA() string {
@@ -86,16 +98,23 @@ func gitSHA() string {
 // benchReport is the BENCH_*.json document. Degraded and Retries summarise
 // the run's fault tolerance at the top level (summed over every recorded
 // "degraded"/"retries" metric), so trajectory diffs spot a regression in
-// the degradation machinery without walking the metric list.
+// the degradation machinery without walking the metric list. GoVersion,
+// GOMAXPROCS and Engines stamp the runtime the numbers came from: wall-
+// clock metrics (unit wall-queries/s) are only comparable across runs on
+// the same toolchain and core count, and benchgate loosens its threshold
+// for them accordingly.
 type benchReport struct {
-	Generated string   `json:"generated"`
-	Command   string   `json:"command"`
-	GitSHA    string   `json:"git_sha,omitempty"`
-	Boards    int      `json:"boards,omitempty"`
-	Shards    int      `json:"shards,omitempty"`
-	Degraded  float64  `json:"degraded"`
-	Retries   float64  `json:"retries"`
-	Metrics   []Metric `json:"metrics"`
+	Generated  string   `json:"generated"`
+	Command    string   `json:"command"`
+	GitSHA     string   `json:"git_sha,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Engines    []string `json:"engines"`
+	Boards     int      `json:"boards,omitempty"`
+	Shards     int      `json:"shards,omitempty"`
+	Degraded   float64  `json:"degraded"`
+	Retries    float64  `json:"retries"`
+	Metrics    []Metric `json:"metrics"`
 }
 
 // writeJSON writes the recorded metrics to path in registration order.
@@ -122,16 +141,27 @@ func writeJSON(path string) error {
 	}
 	stampMu.Lock()
 	boards, shards := stampBoards, stampShards
+	engines := make([]string, 0, len(stampEngines))
+	for name := range stampEngines {
+		engines = append(engines, name)
+	}
 	stampMu.Unlock()
+	if len(engines) == 0 {
+		engines = []string{"sim"}
+	}
+	sort.Strings(engines)
 	rep := benchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Command:   fmt.Sprintf("clarebench %v", os.Args[1:]),
-		GitSHA:    gitSHA(),
-		Boards:    boards,
-		Shards:    shards,
-		Degraded:  degraded,
-		Retries:   retries,
-		Metrics:   metrics,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Command:    fmt.Sprintf("clarebench %v", os.Args[1:]),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Engines:    engines,
+		Boards:     boards,
+		Shards:     shards,
+		Degraded:   degraded,
+		Retries:    retries,
+		Metrics:    metrics,
 	}
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

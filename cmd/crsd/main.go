@@ -27,6 +27,10 @@
 // reply (boards.*, degraded, retries, faults) and as
 // clare_boards_tripped / clare_degraded_retrievals_total etc. on
 // /metrics.
+//
+// -engine native swaps the cycle-accurate hardware simulation for the
+// vectorized host engine (same candidates, wall-clock as the first-class
+// metric); the active engine is visible as the engine.native STATS key.
 package main
 
 import (
@@ -53,6 +57,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7071", "listen address")
 	admin := flag.String("admin", "", "admin HTTP address for /metrics, /trace and /debug/pprof (empty disables)")
 	boards := flag.Int("boards", 1, "FS2 board/drive units in the simulated chassis (concurrent retrievals)")
+	engine := flag.String("engine", "sim", "retrieval engine: sim (cycle-accurate) or native (vectorized)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight sessions")
 	traces := flag.Int("traces", telemetry.DefaultTraceRing, "retrieval traces kept for /trace")
 	traceBuf := flag.Int("trace-buf", 0, "trace ring capacity (overrides -traces when set)")
@@ -62,12 +67,17 @@ func main() {
 	kb := flag.String("kb", "", "compiled knowledge-base store to load (kbc output; a shard slice works unchanged)")
 	flag.Parse()
 	if flag.NArg() == 0 && *kb == "" {
-		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] [-kb store.clare] predicate.pl ...")
+		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] [-engine sim|native] [-kb store.clare] predicate.pl ...")
 		os.Exit(2)
 	}
 
 	cfg := core.DefaultConfig()
 	cfg.Boards = *boards
+	eng, err := core.ParseEngine(*engine)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg.Engine = eng
 	cfg.Metrics = telemetry.NewRegistry()
 	cfg.Tracer = telemetry.NewTracer(*traces)
 	if *traceBuf > 0 {
@@ -89,7 +99,6 @@ func main() {
 		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
 	}
 	var r *core.Retriever
-	var err error
 	if *kb != "" {
 		f, ferr := os.Open(*kb)
 		if ferr != nil {

@@ -94,6 +94,9 @@ func Unmarshal(data []byte, syms *symtab.Table) (*PredFile, error) {
 	}
 	f.index = idx
 	addr := uint32(0)
+	// One word arena for the whole predicate: every record's Args/Heap
+	// become views into the slab (len(data)/4 words bounds the total).
+	slab := pif.NewSlab(len(data) / 4)
 	for i := 0; i < count; i++ {
 		hb := r.bytes(int(r.u32()))
 		cb := r.bytes(int(r.u32()))
@@ -101,10 +104,10 @@ func Unmarshal(data []byte, syms *symtab.Table) (*PredFile, error) {
 			return nil, r.err
 		}
 		var he, ce pif.Encoded
-		if err := he.UnmarshalBinary(hb); err != nil {
+		if err := he.UnmarshalBinaryInto(hb, slab); err != nil {
 			return nil, fmt.Errorf("clausefile: record %d head: %w", i, err)
 		}
-		if err := ce.UnmarshalBinary(cb); err != nil {
+		if err := ce.UnmarshalBinaryInto(cb, slab); err != nil {
 			return nil, fmt.Errorf("clausefile: record %d clause: %w", i, err)
 		}
 		recSize := 8 + len(hb) + len(cb)

@@ -57,6 +57,43 @@ func (m SearchMode) String() string {
 	return "mode?"
 }
 
+// Engine selects how the retriever executes a retrieval.
+type Engine int
+
+const (
+	// EngineSim walks the cycle-accurate hardware simulation: the VME
+	// register protocol, the Double Buffer, per-operation FS2 cycle
+	// accounting. It is the ground truth the paper's numbers come from.
+	EngineSim Engine = iota
+	// EngineNative runs the same algorithms as tight host code: columnar
+	// SCW scans (one AND/compare per entry), allocation-free PIF matching
+	// directly on the stored clause heads, batched exact-size fetch
+	// accounting. Results are bit-identical to EngineSim — only wall-clock
+	// speed and the FS2Match simulated-time ledger differ (see DESIGN §11).
+	EngineNative
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSim:
+		return "sim"
+	case EngineNative:
+		return "native"
+	}
+	return "engine?"
+}
+
+// ParseEngine maps the flag spellings "sim" and "native" to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "sim", "":
+		return EngineSim, nil
+	case "native":
+		return EngineNative, nil
+	}
+	return EngineSim, fmt.Errorf("core: unknown engine %q (want sim or native)", s)
+}
+
 // Config parameterises a retriever.
 type Config struct {
 	// Disk is the drive model the knowledge base resides on.
@@ -110,6 +147,11 @@ type Config struct {
 	// RetryBackoff is the wait before the first retry, doubling per
 	// further attempt (0 means 200µs).
 	RetryBackoff time.Duration
+	// Engine selects the execution engine: EngineSim (the default, the
+	// cycle-accurate hardware simulation) or EngineNative (the vectorized
+	// host fast path with identical results). Native mode requires a
+	// microprogram the native matcher supports (no DescendFull).
+	Engine Engine
 }
 
 // Fault-handling defaults.
@@ -180,6 +222,10 @@ type Retriever struct {
 	met    *coreMetrics
 	tracer *telemetry.Tracer
 
+	// natPool recycles per-retrieval native-engine arenas (scan buffer +
+	// matcher); idle in sim mode.
+	natPool sync.Pool
+
 	predsMu sync.RWMutex
 	preds   map[Indicator]*Predicate
 }
@@ -201,6 +247,17 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 	}
 	if cfg.SoftwareMatchCost <= 0 {
 		cfg.SoftwareMatchCost = DefaultConfig().SoftwareMatchCost
+	}
+	switch cfg.Engine {
+	case EngineSim:
+	case EngineNative:
+		// Fail fast on microprograms the native matcher cannot run, rather
+		// than on the first retrieval.
+		if _, err := fs2.NewNativeMatcher(cfg.Microprogram); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown engine %d", cfg.Engine)
 	}
 	pool, err := newBoardPool(cfg, cfg.Boards)
 	if err != nil {
@@ -234,6 +291,9 @@ func (r *Retriever) Tracer() *telemetry.Tracer { return r.tracer }
 
 // Symbols returns the shared symbol table.
 func (r *Retriever) Symbols() *symtab.Table { return r.syms }
+
+// Engine reports which execution engine the retriever runs.
+func (r *Retriever) Engine() Engine { return r.cfg.Engine }
 
 // Board exposes slot 0's FS2 engine (statistics, ablation). With a
 // multi-board chassis, FS2Stats aggregates across all boards.
@@ -559,17 +619,35 @@ func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetr
 		}
 		root.SetAttr("board", fmt.Sprint(u.slot))
 
-		switch effMode {
-		case ModeSoftware:
-			err = r.retrieveSoftware(goal, pred, rt, u)
-		case ModeFS1:
-			err = r.retrieveFS1(goal, pred, rt, u)
-		case ModeFS2:
-			err = r.retrieveFS2All(goal, pred, rt, u)
-		case ModeFS1FS2:
-			err = r.retrieveFS1FS2(goal, pred, rt, u)
-		default:
-			err = fmt.Errorf("core: unknown mode %d", mode)
+		if r.cfg.Engine == EngineNative {
+			switch effMode {
+			case ModeSoftware:
+				// Mode (a) is defined by the host reference matcher and is
+				// shared between engines; the native engine accelerates
+				// the filter modes.
+				err = r.retrieveSoftware(goal, pred, rt, u)
+			case ModeFS1:
+				err = r.retrieveFS1Native(goal, pred, rt, u)
+			case ModeFS2:
+				err = r.retrieveFS2AllNative(goal, pred, rt, u)
+			case ModeFS1FS2:
+				err = r.retrieveFS1FS2Native(goal, pred, rt, u)
+			default:
+				err = fmt.Errorf("core: unknown mode %d", mode)
+			}
+		} else {
+			switch effMode {
+			case ModeSoftware:
+				err = r.retrieveSoftware(goal, pred, rt, u)
+			case ModeFS1:
+				err = r.retrieveFS1(goal, pred, rt, u)
+			case ModeFS2:
+				err = r.retrieveFS2All(goal, pred, rt, u)
+			case ModeFS1FS2:
+				err = r.retrieveFS1FS2(goal, pred, rt, u)
+			default:
+				err = fmt.Errorf("core: unknown mode %d", mode)
+			}
 		}
 		if err == nil {
 			r.pool.release(u)

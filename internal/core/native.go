@@ -1,0 +1,292 @@
+// Native execution engine: the hardware-filter search modes (b)/(c)/(d)
+// re-implemented as tight host code behind the same Retrieve interface.
+// The simulated engine (core.go) walks the cycle-accurate hardware
+// protocol — VME register traffic, the Double Buffer, per-operation FS2
+// cycle counts — and is the repository's ground truth. Mode (a), software
+// only, is defined by the host reference matcher (package ptu) and is
+// shared between engines. The native engine runs the filter algorithms
+// the way a CPU wants to run them:
+//
+//   - FS1 scans sweep the columnar secondary-file view (scw.Columnar):
+//     one 64-bit AND/compare per entry against the union of the query's
+//     argument codewords, instead of a per-entry per-argument loop.
+//   - FS2 filtering runs fs2.NativeMatcher directly on the stored clause
+//     heads — the PIF records already decoded into the predicate's slab —
+//     with fixed-capacity variable stores and zero allocations per clause.
+//   - Candidate clauses are reached by index position (entry j is clause
+//     j), skipping the address-map lookup, and fetch accounting uses the
+//     exact run size (disk.FetchRun) instead of a truncated average.
+//
+// Results are bit-identical to the simulated engine: same candidates in
+// the same order, same AfterFS1/MaskedHits/reject-split statistics —
+// the contract native_test.go enforces differentially. The simulated-time
+// ledger differs in one documented way: FS2 match time is zero (the
+// native engine has no cycle model; wall-clock is its first-class clock),
+// so Stats.Total in FS2-bearing modes reflects a stream whose matching is
+// free. Drive accounting and drive fault sites are preserved — the
+// disk-degradation ladder (unreadable index → FS2-only, read fault →
+// retry → host) behaves identically — but the board and bus protocol
+// sites are bypassed along with the protocol itself. See DESIGN.md §11.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"clare/internal/clausefile"
+	"clare/internal/fs2"
+	"clare/internal/scw"
+	"clare/internal/term"
+)
+
+// nativeArena is the per-retrieval scratch state of the native engine:
+// the columnar scan buffer (survivor positions + masked-union memo) and
+// an FS2 matcher with embedded variable stores. Arenas are recycled
+// through Retriever.natPool, so steady-state retrievals allocate nothing
+// on the scan or match paths.
+type nativeArena struct {
+	buf scw.ScanBuf
+	nm  *fs2.NativeMatcher
+}
+
+// arena leases a native arena from the pool, building one on first use.
+func (r *Retriever) arena() *nativeArena {
+	if a, ok := r.natPool.Get().(*nativeArena); ok {
+		return a
+	}
+	nm, err := fs2.NewNativeMatcher(r.cfg.Microprogram)
+	if err != nil {
+		// NewWithSymbols validated the microprogram for native mode.
+		panic(fmt.Sprintf("core: native arena: %v", err))
+	}
+	return &nativeArena{nm: nm}
+}
+
+// retrieveFS1Native is mode (b) on the native engine: a columnar sweep of
+// the secondary file, then a position-indexed gather of the surviving
+// clause records with exact-size fetch accounting.
+func (r *Retriever) retrieveFS1Native(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
+	qd, _, err := r.encodeQuery(goal, rt)
+	if err != nil {
+		return err
+	}
+	a := r.arena()
+	defer r.natPool.Put(a)
+
+	scanSpan := rt.trace.Span(nil, stageFS1Scan)
+	scanStart := time.Now()
+	pred.File.Index().Columnar().ScanInto(qd, &a.buf)
+	rt.Stats.IndexBytes = a.buf.BytesScanned
+	diskIndex, err := u.drive.IndexScan(a.buf.BytesScanned)
+	if err != nil {
+		return err
+	}
+	// Same delivery model as the sim path: FS1 outruns the disk.
+	fs1Time := scw.ScanTime(a.buf.BytesScanned)
+	if diskIndex > fs1Time {
+		fs1Time = diskIndex
+	}
+	rt.Stats.FS1Scan = fs1Time
+	rt.Stats.AfterFS1 = len(a.buf.Pos)
+	rt.Stats.MaskedHits = a.buf.MaskedHits
+	rt.wall.fs1 += time.Since(scanStart)
+	if scanSpan != nil {
+		scanSpan.AddSim(fs1Time)
+		scanSpan.SetAttr("survivors", fmt.Sprint(len(a.buf.Pos)))
+		scanSpan.End()
+	}
+
+	fetchSpan := rt.trace.Span(nil, stageDiskFetch)
+	fetchStart := time.Now()
+	all := pred.File.All()
+	candidates := make([]*clausefile.StoredClause, 0, len(a.buf.Pos))
+	fetchBytes := 0
+	for _, p := range a.buf.Pos {
+		sc := all[p]
+		fetchBytes += sc.SizeBytes
+		candidates = append(candidates, sc)
+	}
+	rt.Stats.ClauseBytes = fetchBytes
+	if rt.Stats.DiskFetch, err = u.drive.FetchRun(len(candidates), fetchBytes); err != nil {
+		return err
+	}
+	rt.Candidates = candidates
+	rt.wall.fetch += time.Since(fetchStart)
+	if fetchSpan != nil {
+		fetchSpan.AddSim(rt.Stats.DiskFetch)
+		fetchSpan.SetAttr("bytes", fmt.Sprint(fetchBytes))
+		fetchSpan.End()
+	}
+	rt.Stats.Total = rt.Stats.FS1Scan + rt.Stats.DiskFetch
+	return nil
+}
+
+// retrieveFS2AllNative is mode (c) on the native engine: the whole clause
+// file filtered through the native matcher. The stored heads are already
+// decoded (slab views), so "streaming" is a pointer walk; the drive model
+// still accounts (and can fault) the underlying sequential scan. FS2
+// match time is zero in the simulated ledger — Stats.Total is the stream
+// with free matching.
+func (r *Retriever) retrieveFS2AllNative(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
+	all := pred.File.All()
+	rt.Stats.AfterFS1 = len(all)
+	rt.Stats.ClauseBytes = pred.File.SizeBytes()
+	diskTime, err := u.drive.Scan(pred.File.SizeBytes())
+	if err != nil {
+		return err
+	}
+	if sp := rt.trace.Span(nil, stageDiskFetch); sp != nil {
+		sp.AddSim(diskTime)
+		sp.SetAttr("bytes", fmt.Sprint(pred.File.SizeBytes()))
+		sp.End()
+	}
+	_, q, err := r.encodeQuery(goal, rt)
+	if err != nil {
+		return err
+	}
+	a := r.arena()
+	defer r.natPool.Put(a)
+	if err := a.nm.SetQuery(q); err != nil {
+		return err
+	}
+	matchSpan := rt.trace.Span(nil, stageFS2Match)
+	start := time.Now()
+	r.nativeFilter(a.nm, all, rt)
+	rt.wall.fs2 += time.Since(start)
+	if matchSpan != nil {
+		matchSpan.SetAttr("examined", fmt.Sprint(len(all)))
+		matchSpan.End()
+	}
+	rt.Stats.DiskFetch = diskTime
+	rt.Stats.Total = diskTime
+	return nil
+}
+
+// retrieveFS1FS2Native is mode (d) on the native engine, keeping the sim
+// path's chunked pipeline shape (and its chunked index-stream accounting)
+// with the columnar scan and native matcher doing the work per chunk. In
+// the simulated pipeline the per-chunk match side is free, so the slower
+// side of each downstream step is always the fetch.
+func (r *Retriever) retrieveFS1FS2Native(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
+	qd, q, err := r.encodeQuery(goal, rt)
+	if err != nil {
+		return err
+	}
+	ix := pred.File.Index()
+	n := ix.Len()
+	if n == 0 {
+		return nil
+	}
+	chunk := r.cfg.StreamChunkEntries
+	if chunk <= 0 {
+		chunk = r.cfg.Disk.TrackBytes / scw.EntrySize
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	a := r.arena()
+	defer r.natPool.Put(a)
+	if err := a.nm.SetQuery(q); err != nil {
+		return err
+	}
+	col := ix.Columnar()
+	all := pred.File.All()
+
+	access, err := u.drive.Access()
+	if err != nil {
+		return err
+	}
+	var scanChunks, matchChunks []time.Duration
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		chunkSpan := rt.trace.Span(nil, "chunk")
+		if chunkSpan != nil {
+			chunkSpan.SetAttr("entries", fmt.Sprintf("%d-%d", lo, hi))
+		}
+		scanSpan := rt.trace.Span(chunkSpan, stageFS1Scan)
+		scanStart := time.Now()
+		col.ScanRangeInto(qd, lo, hi, &a.buf)
+		rt.Stats.IndexBytes += a.buf.BytesScanned
+		sTime := scw.ScanTime(a.buf.BytesScanned)
+		dt, err := u.drive.Stream(a.buf.BytesScanned)
+		if err != nil {
+			return err
+		}
+		if dt > sTime {
+			sTime = dt
+		}
+		rt.Stats.FS1Scan += sTime
+		rt.Stats.AfterFS1 += len(a.buf.Pos)
+		rt.Stats.MaskedHits += a.buf.MaskedHits
+		scanChunks = append(scanChunks, sTime)
+		rt.wall.fs1 += time.Since(scanStart)
+		if scanSpan != nil {
+			scanSpan.AddSim(sTime)
+			scanSpan.SetAttr("survivors", fmt.Sprint(len(a.buf.Pos)))
+			scanSpan.End()
+		}
+
+		fetchSpan := rt.trace.Span(chunkSpan, stageDiskFetch)
+		fetchStart := time.Now()
+		fetchBytes := 0
+		for _, p := range a.buf.Pos {
+			fetchBytes += all[p].SizeBytes
+		}
+		rt.Stats.ClauseBytes += fetchBytes
+		fetch, err := u.drive.FetchRun(len(a.buf.Pos), fetchBytes)
+		if err != nil {
+			return err
+		}
+		rt.Stats.DiskFetch += fetch
+		rt.wall.fetch += time.Since(fetchStart)
+		if fetchSpan != nil {
+			fetchSpan.AddSim(fetch)
+			fetchSpan.SetAttr("bytes", fmt.Sprint(fetchBytes))
+			fetchSpan.End()
+		}
+
+		matchSpan := rt.trace.Span(chunkSpan, stageFS2Match)
+		matchStart := time.Now()
+		examined := len(a.buf.Pos)
+		for _, p := range a.buf.Pos {
+			sc := all[p]
+			if a.nm.Match(sc.Head) {
+				rt.Candidates = append(rt.Candidates, sc)
+			} else if a.nm.LastRejectXB() {
+				rt.Stats.FS2RejectsXB++
+			} else {
+				rt.Stats.FS2RejectsLevel++
+			}
+		}
+		rt.wall.fs2 += time.Since(matchStart)
+		if matchSpan != nil {
+			matchSpan.SetAttr("examined", fmt.Sprint(examined))
+			matchSpan.End()
+		}
+		matchChunks = append(matchChunks, fetch)
+		chunkSpan.End()
+	}
+	rt.Stats.FS1Scan += access
+	rt.Stats.Chunks = len(scanChunks)
+	rt.Stats.Total = pipelineTime(access, scanChunks, matchChunks)
+	return nil
+}
+
+// nativeFilter streams stored clauses through the native matcher,
+// appending the satisfiers to rt.Candidates and splitting rejects into
+// the level/cross-binding counters — the native engine's counterpart of
+// searchFS2, with no batching (there is no Result Memory to overflow).
+func (r *Retriever) nativeFilter(nm *fs2.NativeMatcher, in []*clausefile.StoredClause, rt *Retrieval) {
+	for _, sc := range in {
+		if nm.Match(sc.Head) {
+			rt.Candidates = append(rt.Candidates, sc)
+		} else if nm.LastRejectXB() {
+			rt.Stats.FS2RejectsXB++
+		} else {
+			rt.Stats.FS2RejectsLevel++
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"clare/internal/clausefile"
+	"clare/internal/fs2"
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/symtab"
+	"clare/internal/term"
+	"clare/internal/termgen"
+)
+
+// buildEnginePair returns two retrievers over an identical clause set —
+// one per execution engine — so retrieval results can be compared
+// address by address (clauses are assigned addresses in insertion order,
+// so equal Addr means "the same clause").
+func buildEnginePair(t testing.TB, cfg Config, module string, clauses []ClauseTerm) (sim, native *Retriever) {
+	t.Helper()
+	cfg.Engine = EngineSim
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddClauses(module, clauses); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = EngineNative
+	native, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := native.AddClauses(module, clauses); err != nil {
+		t.Fatal(err)
+	}
+	return sim, native
+}
+
+// genWorkload generates n correlated (clause head, query) pairs for one
+// predicate, keeping only heads the clause file accepts (PIF-encodable
+// and within the record size limit). Queries that cannot be encoded are
+// kept: both engines must fail them identically in the hardware modes.
+func genWorkload(t testing.TB, seed int64, functor string, arity, n int) (clauses []ClauseTerm, queries []term.Term) {
+	t.Helper()
+	g := termgen.New(seed)
+	penc := pif.NewEncoder(symtab.New())
+	for len(clauses) < n {
+		query, head := g.Pair(functor, arity)
+		he, err := penc.Encode(head, pif.DBSide)
+		if err != nil {
+			continue
+		}
+		hb, err := he.MarshalBinary()
+		if err != nil {
+			continue
+		}
+		// Size the full stored record the way the builder does: head
+		// record + ':-'(head, true) clause record + framing.
+		ce, err := penc.Encode(term.New(":-", head, term.Atom("true")), pif.DBSide)
+		if err != nil {
+			continue
+		}
+		cb, err := ce.MarshalBinary()
+		if err != nil || 8+len(hb)+len(cb) > clausefile.MaxRecordBytes {
+			continue
+		}
+		clauses = append(clauses, ClauseTerm{Head: head})
+		queries = append(queries, query)
+	}
+	return clauses, queries
+}
+
+// diffRetrieve runs one goal through both engines in one mode and
+// asserts identical outcomes: same error disposition, byte-identical
+// candidate address sequences, and identical filtering statistics.
+// It returns how many candidate-level comparisons it performed.
+func diffRetrieve(t *testing.T, sim, native *Retriever, goal term.Term, mode SearchMode) int {
+	t.Helper()
+	srt, serr := sim.Retrieve(goal, mode)
+	nrt, nerr := native.Retrieve(goal, mode)
+	if (serr == nil) != (nerr == nil) {
+		t.Fatalf("%v %v: sim err = %v, native err = %v", mode, goal, serr, nerr)
+	}
+	if serr != nil {
+		return 1
+	}
+	if len(srt.Candidates) != len(nrt.Candidates) {
+		t.Fatalf("%v %v: sim %d candidates, native %d",
+			mode, goal, len(srt.Candidates), len(nrt.Candidates))
+	}
+	for i := range srt.Candidates {
+		if srt.Candidates[i].Addr != nrt.Candidates[i].Addr {
+			t.Fatalf("%v %v: candidate %d addr sim %d != native %d",
+				mode, goal, i, srt.Candidates[i].Addr, nrt.Candidates[i].Addr)
+		}
+	}
+	ss, ns := srt.Stats, nrt.Stats
+	if ss.AfterFS1 != ns.AfterFS1 || ss.AfterFS2 != ns.AfterFS2 {
+		t.Fatalf("%v %v: survivor counts sim %d/%d, native %d/%d",
+			mode, goal, ss.AfterFS1, ss.AfterFS2, ns.AfterFS1, ns.AfterFS2)
+	}
+	if ss.MaskedHits != ns.MaskedHits {
+		t.Fatalf("%v %v: MaskedHits sim %d, native %d", mode, goal, ss.MaskedHits, ns.MaskedHits)
+	}
+	if ss.FS2RejectsLevel != ns.FS2RejectsLevel || ss.FS2RejectsXB != ns.FS2RejectsXB {
+		t.Fatalf("%v %v: reject split sim %d/%d, native %d/%d",
+			mode, goal, ss.FS2RejectsLevel, ss.FS2RejectsXB, ns.FS2RejectsLevel, ns.FS2RejectsXB)
+	}
+	if ss.IndexBytes != ns.IndexBytes {
+		t.Fatalf("%v %v: IndexBytes sim %d, native %d", mode, goal, ss.IndexBytes, ns.IndexBytes)
+	}
+	if mode == ModeSoftware && ss.Total != ns.Total {
+		// Software mode shares the whole simulated ledger; the hardware
+		// modes differ only in the documented FS2Match/fetch terms.
+		t.Fatalf("%v %v: software Total sim %v, native %v", mode, goal, ss.Total, ns.Total)
+	}
+	return len(srt.Candidates) + 1
+}
+
+// TestEngineDifferentialGenerated drives both engines over
+// generator-produced knowledge bases — variable-bearing heads (masked
+// index entries), shared variables, near-miss queries — across all four
+// search modes, and requires identical candidates and statistics
+// throughout.
+func TestEngineDifferentialGenerated(t *testing.T) {
+	comparisons := 0
+	for arity := 1; arity <= 4; arity++ {
+		clauses, queries := genWorkload(t, int64(1000+arity), "p", arity, 150)
+		sim, native := buildEnginePair(t, DefaultConfig(), "gen", clauses)
+		// An unconstrained goal retrieves everything through FS1.
+		open := make([]term.Term, arity)
+		for i := range open {
+			open[i] = term.NewVar(fmt.Sprintf("Q%d", i))
+		}
+		queries = append(queries, term.New("p", open...))
+		for _, goal := range queries {
+			for _, mode := range modes() {
+				comparisons += diffRetrieve(t, sim, native, goal, mode)
+			}
+		}
+	}
+	if comparisons < 2400 {
+		t.Fatalf("only %d engine comparisons ran", comparisons)
+	}
+}
+
+// TestEngineDifferentialFamily repeats the paper's married_couple
+// workload on both engines, including the shared-variable and miss
+// goals.
+func TestEngineDifferentialFamily(t *testing.T) {
+	clauses := make([]ClauseTerm, 120)
+	for i := range clauses {
+		a := term.Atom(fmt.Sprintf("husband%d", i))
+		b := term.Atom(fmt.Sprintf("wife%d", i))
+		if i%5 == 0 {
+			b = a
+		}
+		clauses[i] = ClauseTerm{Head: term.New("married_couple", a, b)}
+	}
+	sim, native := buildEnginePair(t, DefaultConfig(), "family", clauses)
+	goals := []string{
+		"married_couple(husband7, wife7)",
+		"married_couple(husband10, X)",
+		"married_couple(X, Y)",
+		"married_couple(S, S)",
+		"married_couple(nobody, X)",
+	}
+	for _, g := range goals {
+		for _, mode := range modes() {
+			diffRetrieve(t, sim, native, parse.MustTerm(g), mode)
+		}
+	}
+}
+
+// TestEngineDifferentialUnencodableGoal: software mode must cover goals
+// the PIF encoder rejects (too many distinct variables), on both
+// engines — the native path falls back to term-level matching.
+func TestEngineDifferentialUnencodableGoal(t *testing.T) {
+	clauses := []ClauseTerm{
+		{Head: term.New("p", term.Atom("a"), term.Atom("b"))},
+		{Head: term.New("p", term.Atom("a"), term.Atom("c"))},
+	}
+	sim, native := buildEnginePair(t, DefaultConfig(), "wide", clauses)
+	vars := make([]term.Term, pif.MaxVarSlots+8)
+	for i := range vars {
+		vars[i] = term.NewVar(fmt.Sprintf("V%d", i))
+	}
+	goal := term.New("p", term.Atom("a"), term.New("f", vars...))
+	for _, mode := range modes() {
+		diffRetrieve(t, sim, native, goal, mode)
+	}
+	// Sanity: the goal really is unencodable.
+	if _, err := pif.NewEncoder(symtab.New()).Encode(goal, pif.QuerySide); err == nil {
+		t.Fatal("goal unexpectedly encodable; test is vacuous")
+	}
+	rt, err := native.Retrieve(goal, ModeSoftware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Candidates) != 0 {
+		t.Fatalf("f/%d cannot unify with atoms, got %d candidates", len(vars), len(rt.Candidates))
+	}
+}
+
+// TestNativeKernelsZeroAlloc pins the native steady-state match path —
+// columnar scan plus native FS2 filtering through a pooled arena — at
+// zero allocations per retrieval once buffers have warmed up.
+func TestNativeKernelsZeroAlloc(t *testing.T) {
+	clauses := make([]ClauseTerm, 512)
+	for i := range clauses {
+		clauses[i] = ClauseTerm{Head: term.New("p",
+			term.Atom(fmt.Sprintf("k%d", i%64)), term.Int(int64(i)))}
+	}
+	cfg := DefaultConfig()
+	cfg.Engine = EngineNative
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := r.AddClauses("m", clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := term.New("p", term.Atom("k3"), term.NewVar("N"))
+	rt := &Retrieval{pred: pred}
+	qd, q, err := r.encodeQuery(goal, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.arena()
+	if err := a.nm.SetQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	col := pred.File.Index().Columnar()
+	all := pred.File.All()
+	out := make([]*clausefile.StoredClause, 0, len(all))
+	var survivors int
+	allocs := testing.AllocsPerRun(200, func() {
+		col.ScanInto(qd, &a.buf)
+		out = out[:0]
+		for _, p := range a.buf.Pos {
+			sc := all[p]
+			if a.nm.Match(sc.Head) {
+				out = append(out, sc)
+			}
+		}
+		survivors = len(out)
+	})
+	if survivors == 0 {
+		t.Fatal("scan+match found nothing; kernel never exercised")
+	}
+	if allocs != 0 {
+		t.Fatalf("native match path allocates %.1f times per retrieval, want 0", allocs)
+	}
+}
+
+// TestNativeEngineConfig covers the Engine plumbing: parsing, the
+// accessor, and the DescendFull rejection.
+func TestNativeEngineConfig(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"sim", EngineSim, true},
+		{"", EngineSim, true},
+		{"native", EngineNative, true},
+		{"turbo", EngineSim, false},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if EngineSim.String() != "sim" || EngineNative.String() != "native" {
+		t.Errorf("engine names: %v, %v", EngineSim, EngineNative)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Engine = EngineNative
+	cfg.Microprogram = fs2.MPLevel5
+	if _, err := New(cfg); err == nil {
+		t.Fatal("native engine accepted a DescendFull microprogram")
+	}
+	cfg.Engine = EngineSim
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("sim engine rejected MPLevel5: %v", err)
+	}
+	cfg.Engine = Engine(42)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown engine value accepted")
+	}
+	r, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Engine() != EngineSim {
+		t.Fatalf("default engine = %v", r.Engine())
+	}
+}
+
+// BenchmarkRetrieveEngines compares one FS1+FS2 retrieval end to end on
+// both engines (the clarebench NATIVE experiment measures the same split
+// at workload scale).
+func BenchmarkRetrieveEngines(b *testing.B) {
+	clauses := make([]ClauseTerm, 4096)
+	for i := range clauses {
+		clauses[i] = ClauseTerm{Head: term.New("p",
+			term.Atom(fmt.Sprintf("k%d", i%256)), term.Int(int64(i)))}
+	}
+	goal := term.New("p", term.Atom("k17"), term.NewVar("N"))
+	for _, eng := range []Engine{EngineSim, EngineNative} {
+		b.Run(eng.String(), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Engine = eng
+			r, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.AddClauses("m", clauses); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Retrieve(goal, ModeFS1FS2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -33,8 +33,10 @@ import (
 // mode ∈ software|fs1|fs2|fs1+fs2|auto. Errors answer "ERR <message>".
 // STATS keys are served.<mode>, sessions, boards, qcache.{hits,misses,
 // entries}, the board-health gauges boards.{free,leased,tripped,trips,
-// readmits}, and the fault-tolerance tallies degraded, retries and
-// faults; values are decimal integers.
+// readmits}, the fault-tolerance tallies degraded, retries and faults,
+// and engine.native (1 when the server runs the native vectorized
+// engine, 0 for the cycle-accurate simulation); values are decimal
+// integers.
 //
 // Trace context: a RETRIEVE or EXPLAIN goal may be followed by one
 // trailing token " trace=<traceid>:<parentspan>" (after the goal's

@@ -97,6 +97,9 @@ type Snapshot struct {
 	Degraded int64
 	Retries  int64
 	Faults   int64
+	// EngineNative reports whether the retriever runs the native
+	// vectorized engine rather than the cycle-accurate simulation.
+	EngineNative bool
 }
 
 // Snapshot captures the server's current service counters.
@@ -105,14 +108,15 @@ func (s *Server) Snapshot() Snapshot {
 	degraded, retries, faults := s.degraded, s.retries, s.faults
 	s.statsMu.Unlock()
 	return Snapshot{
-		Served:     s.Served(),
-		Sessions:   s.Sessions(),
-		Boards:     s.retriever.Boards(),
-		QueryCache: s.retriever.QueryCache(),
-		Health:     s.retriever.Health(),
-		Degraded:   degraded,
-		Retries:    retries,
-		Faults:     faults,
+		Served:       s.Served(),
+		Sessions:     s.Sessions(),
+		Boards:       s.retriever.Boards(),
+		QueryCache:   s.retriever.QueryCache(),
+		Health:       s.retriever.Health(),
+		Degraded:     degraded,
+		Retries:      retries,
+		Faults:       faults,
+		EngineNative: s.retriever.Engine() == core.EngineNative,
 	}
 }
 
@@ -144,5 +148,10 @@ func (sn Snapshot) lines() []statsKV {
 		statsKV{"retries", sn.Retries},
 		statsKV{"faults", sn.Faults},
 	)
+	engine := int64(0)
+	if sn.EngineNative {
+		engine = 1
+	}
+	kv = append(kv, statsKV{"engine.native", engine})
 	return kv
 }

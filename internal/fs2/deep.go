@@ -40,7 +40,10 @@ func (r ref) word() pif.Word { return r.words[r.pos] }
 
 // deepMatchClause is the matchClause driver for DescendFull microprograms.
 func (e *Engine) deepMatchClause(db *pif.Encoded) bool {
-	m := &clauseMatch{e: e, db: db, q: e.query}
+	if e.countFn == nil {
+		e.countFn = e.countOp
+	}
+	m := &clauseMatch{e: e, mp: e.mp, db: db, q: e.query, count: e.countFn}
 	// Position-based variable stores.
 	e.dbRef = resizeRefs(e.dbRef, db.NumVars)
 	e.qRef = resizeRefs(e.qRef, e.query.NumVars)
@@ -101,7 +104,7 @@ func (m *clauseMatch) deepRun(d, q ref) bool {
 		return false
 	}
 	if !dComplex {
-		m.e.countOp(OpMatch)
+		m.countOp(OpMatch)
 		return m.concreteEqual(dw, qw)
 	}
 	return m.deepComplex(d, q)
@@ -186,7 +189,7 @@ func normalize(r ref) (shape, bool) {
 
 // deepComplex compares two complex terms exactly.
 func (m *clauseMatch) deepComplex(d, q ref) bool {
-	m.e.countOp(OpMatch) // header comparison
+	m.countOp(OpMatch) // header comparison
 	ds, ok := normalize(d)
 	if !ok {
 		return true // malformed encodings pass (defensive, sound)
@@ -199,7 +202,7 @@ func (m *clauseMatch) deepComplex(d, q ref) bool {
 		return false
 	}
 	if !ds.isList {
-		if ds.functor != qs.functor && m.e.mp.CompareContent {
+		if ds.functor != qs.functor && m.mp.CompareContent {
 			return false
 		}
 		if len(ds.elems) != len(qs.elems) {
@@ -237,7 +240,7 @@ func (m *clauseMatch) deepComplex(d, q ref) bool {
 			return false
 		}
 	}
-	if m.e.mp.CrossBinding {
+	if m.mp.CrossBinding {
 		// Open tails bind to the remainder's shape (see file comment).
 		if ds.open && ds.tail != nil {
 			remTag := pif.GroupListInline
@@ -262,11 +265,11 @@ func (m *clauseMatch) deepComplex(d, q ref) bool {
 // deepVar handles a variable word against an opposing ref with
 // position-based bindings.
 func (m *clauseMatch) deepVar(v pif.Word, other ref, isDB bool) bool {
-	if !m.e.mp.CrossBinding {
+	if !m.mp.CrossBinding {
 		if isDB {
-			m.e.countOp(OpDBStore)
+			m.countOp(OpDBStore)
 		} else {
-			m.e.countOp(OpQueryStore)
+			m.countOp(OpQueryStore)
 		}
 		return true
 	}
@@ -305,7 +308,7 @@ func (m *clauseMatch) deepVar(v pif.Word, other ref, isDB bool) bool {
 // deepVarWord is deepVar for synthesised value words that have no ref
 // (remainder shapes): consistency degrades to word-level comparison.
 func (m *clauseMatch) deepVarWord(v, value pif.Word, isDB bool) bool {
-	if !m.e.mp.CrossBinding {
+	if !m.mp.CrossBinding {
 		return true
 	}
 	mem, bound, ok := m.refStoreFor(v)

@@ -186,6 +186,10 @@ type Engine struct {
 	result  ResultMemory
 	matched bool // control register b7
 
+	// countFn is the cached e.countOp method value handed to clauseMatch,
+	// so matchClause does not allocate a closure per clause.
+	countFn func(OpCode)
+
 	Stats Stats
 	met   engineMetrics
 

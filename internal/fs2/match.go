@@ -41,24 +41,45 @@ func (e *Engine) matchClause(db *pif.Encoded) bool {
 		e.qBound[i] = false
 	}
 
-	m := &clauseMatch{e: e, db: db, q: e.query}
-	qPos, dbPos := 0, 0
-	for i := 0; i < db.Arity; i++ {
-		qNext := qPos + runLen(m.q.Args, qPos)
-		dbNext := dbPos + runLen(db.Args, dbPos)
-		if !m.matchRun(m.q.Args, qPos, db.Args, dbPos) {
-			e.lastRejectXB = m.xbReject
-			return false
-		}
-		qPos, dbPos = qNext, dbNext
+	if e.countFn == nil {
+		e.countFn = e.countOp
 	}
-	return true
+	m := &clauseMatch{
+		e: e, mp: e.mp, db: db, q: e.query,
+		qMem: e.qMem, qBound: e.qBound,
+		dbMem: e.dbMem, dbBound: e.dbBound,
+		count: e.countFn,
+	}
+	ok := m.matchArgs()
+	e.lastRejectXB = m.xbReject
+	return ok
 }
 
+// clauseMatch carries everything one clause comparison needs: the
+// microprogram, the two word streams and the two variable stores. It is
+// deliberately independent of *Engine so the same microroutines serve
+// both the simulated board (which owns the stores and charges per-op
+// times through count) and the native engine's matcher (which owns
+// fixed-capacity stores and passes a nil count — no cycle accounting).
+// Only the DescendFull what-if levels keep an Engine reference, for the
+// position-based ref stores the native engine does not support.
 type clauseMatch struct {
-	e  *Engine
+	e  *Engine // DescendFull (deep.go) only; nil on the native path
+	mp Microprogram
 	db *pif.Encoded
 	q  *pif.Encoded
+
+	// Variable stores (Figure 1): query var → db-side word, db var →
+	// query-side word. Owned by the caller and reset per clause.
+	qMem    []pif.Word
+	qBound  []bool
+	dbMem   []pif.Word
+	dbBound []bool
+
+	// count, when non-nil, records one hardware operation execution —
+	// the simulated board's op/timing accounting hook.
+	count func(OpCode)
+
 	// xbReject marks that the failing comparison was a variable
 	// cross-binding consistency check (a previously bound variable whose
 	// ultimate association disagreed with the opposing word) rather than
@@ -66,6 +87,28 @@ type clauseMatch struct {
 	// two: cross-binding rejects are exactly the precision the §2.2
 	// shared-variable machinery buys.
 	xbReject bool
+}
+
+// countOp records one hardware operation, if anyone is accounting.
+func (m *clauseMatch) countOp(op OpCode) {
+	if m.count != nil {
+		m.count(op)
+	}
+}
+
+// matchArgs runs the per-argument matching loop on m's loaded state.
+func (m *clauseMatch) matchArgs() bool {
+	m.xbReject = false
+	qPos, dbPos := 0, 0
+	for i := 0; i < m.db.Arity; i++ {
+		qNext := qPos + runLen(m.q.Args, qPos)
+		dbNext := dbPos + runLen(m.db.Args, dbPos)
+		if !m.matchRun(m.q.Args, qPos, m.db.Args, dbPos) {
+			return false
+		}
+		qPos, dbPos = qNext, dbNext
+	}
+	return true
 }
 
 // runLen returns the number of words the argument starting at pos
@@ -129,21 +172,21 @@ func (m *clauseMatch) matchInlinePair(q []pif.Word, qPos int, d []pif.Word, dPos
 
 	// Header comparison (one MATCH operation): functor content for
 	// structures, shape compatibility for lists.
-	m.e.countOp(OpMatch)
+	m.countOp(OpMatch)
 	if !dIsList {
 		// Structures: arity (in the tag) from level 1, functor content
 		// from level 2.
 		if pif.InlineArity(qt) != pif.InlineArity(dt) {
 			return false
 		}
-		if m.e.mp.CompareContent && qw.Content() != dw.Content() {
+		if m.mp.CompareContent && qw.Content() != dw.Content() {
 			return false
 		}
 	} else if !listShapesCompatible(dt, qt) {
 		return false
 	}
 
-	if !m.e.mp.DescendElements {
+	if !m.mp.DescendElements {
 		return true
 	}
 
@@ -163,8 +206,23 @@ func (m *clauseMatch) matchInlinePair(q []pif.Word, qPos int, d []pif.Word, dPos
 	}
 
 	// Unterminated lists: bind the open side's tail variable to the
-	// remainder's shape so later occurrences stay consistent.
-	if dIsList && m.e.mp.CrossBinding {
+	// remainder so later occurrences stay consistent. The remainder's
+	// stand-in depends on what is actually left on the other side:
+	//
+	//   - leftover elements: a genuine sub-list — its synthesised shape
+	//     word is a sound stand-in;
+	//   - nothing left, other side open: the remainder IS the other
+	//     side's tail variable — route the two tail words through the
+	//     variable machinery (cases 5c/6c), like the reference matcher;
+	//   - nothing left, other side closed: the remainder is the atom [],
+	//     which has no word-level stand-in (atom contents are symbol
+	//     offsets) — skip the check. Sound: the filter passes, the host's
+	//     full unification culls it.
+	//
+	// Checking a shape word in the second and third cases would reject
+	// tails whose cross-binding truly unifies (a non-list binding against
+	// an unconstrained tail variable), i.e. drop true unifiers.
+	if dIsList && m.mp.CrossBinding {
 		dOpen, qOpen := pif.IsUnterminated(dt), pif.IsUnterminated(qt)
 		// Locate tail words: after the remaining elements of each side.
 		if dOpen {
@@ -172,9 +230,17 @@ func (m *clauseMatch) matchInlinePair(q []pif.Word, qPos int, d []pif.Word, dPos
 			for i := n; i < dArity; i++ {
 				dTailPos += runLen(d, dTailPos)
 			}
-			rem := remainderHeader(qt, qArity-n)
-			if !m.bindOrCheck(d[dTailPos], rem) {
-				return false
+			switch {
+			case qArity > n:
+				rem := remainderHeader(qt, qArity-n)
+				if !m.bindOrCheck(d[dTailPos], rem) {
+					return false
+				}
+			case qOpen:
+				// qp has walked all qArity elements: it is the tail word.
+				if !m.compareWords(d[dTailPos], q[qp]) {
+					return false
+				}
 			}
 		}
 		if qOpen && !dOpen {
@@ -182,9 +248,11 @@ func (m *clauseMatch) matchInlinePair(q []pif.Word, qPos int, d []pif.Word, dPos
 			for i := n; i < qArity; i++ {
 				qTailPos += runLen(q, qTailPos)
 			}
-			rem := remainderHeader(dt, dArity-n)
-			if !m.bindOrCheck(q[qTailPos], rem) {
-				return false
+			if dArity > n {
+				rem := remainderHeader(dt, dArity-n)
+				if !m.bindOrCheck(q[qTailPos], rem) {
+					return false
+				}
 			}
 		}
 	}
@@ -269,21 +337,21 @@ func (m *clauseMatch) compareWords(dw, qw pif.Word) bool {
 	}
 
 	// Cases 1–4: concrete × concrete.
-	m.e.countOp(OpMatch)
+	m.countOp(OpMatch)
 	return m.concreteEqual(dw, qw)
 }
 
 // varCase handles a variable word v against an opposing word other.
 // dbFirst records which side v came from for operation accounting.
 func (m *clauseMatch) varCase(v, other pif.Word, dbFirst bool) bool {
-	if !m.e.mp.CrossBinding {
+	if !m.mp.CrossBinding {
 		// Without cross-binding checks a variable matches anything — the
 		// §2.1 shared-variable false-drop source. Still costs the store
 		// operation the hardware would do.
 		if dbFirst {
-			m.e.countOp(OpDBStore)
+			m.countOp(OpDBStore)
 		} else {
-			m.e.countOp(OpQueryStore)
+			m.countOp(OpQueryStore)
 		}
 		return true
 	}
@@ -317,7 +385,7 @@ func (m *clauseMatch) varCase(v, other pif.Word, dbFirst bool) bool {
 		// chain (bound=true cannot coexist with var tag) — defensive.
 		return true
 	}
-	m.e.countOp(OpMatch)
+	m.countOp(OpMatch)
 	if !m.concreteEqual(val, other) {
 		m.xbReject = true
 		return false
@@ -356,15 +424,15 @@ func (m *clauseMatch) storeFor(v pif.Word) (mem []pif.Word, bound []bool, ok boo
 	slot := int(v.Content())
 	switch v.Tag() {
 	case pif.TagFirstDV, pif.TagSubDV:
-		if slot >= len(m.e.dbMem) {
+		if slot >= len(m.dbMem) {
 			return nil, nil, false
 		}
-		return m.e.dbMem, m.e.dbBound, true
+		return m.dbMem, m.dbBound, true
 	case pif.TagFirstQV, pif.TagSubQV:
-		if slot >= len(m.e.qMem) {
+		if slot >= len(m.qMem) {
 			return nil, nil, false
 		}
-		return m.e.qMem, m.e.qBound, true
+		return m.qMem, m.qBound, true
 	}
 	return nil, nil, false
 }
@@ -407,17 +475,17 @@ func (m *clauseMatch) chargeVarOps(v pif.Word, bound bool, hops int) {
 	isDB := v.Tag() == pif.TagFirstDV || v.Tag() == pif.TagSubDV
 	if hops == 0 {
 		if isDB {
-			m.e.countOp(OpDBStore)
+			m.countOp(OpDBStore)
 		} else {
-			m.e.countOp(OpQueryStore)
+			m.countOp(OpQueryStore)
 		}
 		return
 	}
 	if bound && hops == 1 {
 		if isDB {
-			m.e.countOp(OpDBFetch)
+			m.countOp(OpDBFetch)
 		} else {
-			m.e.countOp(OpQueryFetch)
+			m.countOp(OpQueryFetch)
 		}
 		return
 	}
@@ -430,7 +498,7 @@ func (m *clauseMatch) chargeVarOps(v pif.Word, bound bool, hops int) {
 		n = hops - 1
 	}
 	for i := 0; i < n; i++ {
-		m.e.countOp(xb)
+		m.countOp(xb)
 	}
 }
 
@@ -453,7 +521,7 @@ func (m *clauseMatch) concreteEqual(a, b pif.Word) bool {
 	case pif.IsInt(at) || pif.IsInt(bt):
 		// The integer tag carries the value's top nibble: tag+content
 		// equality is value equality.
-		return at == bt && (!m.e.mp.CompareContent || a.Content() == b.Content())
+		return at == bt && (!m.mp.CompareContent || a.Content() == b.Content())
 	case pif.IsStruct(at) || pif.IsStruct(bt):
 		if !pif.IsStruct(at) || !pif.IsStruct(bt) {
 			return false
@@ -463,13 +531,13 @@ func (m *clauseMatch) concreteEqual(a, b pif.Word) bool {
 		}
 		// Contents hold the functor symbol for both in-line and pointer
 		// structure words.
-		return !m.e.mp.CompareContent || a.Content() == b.Content()
+		return !m.mp.CompareContent || a.Content() == b.Content()
 	default:
 		// Simple pointers: atoms and floats.
 		if at != bt {
 			return false
 		}
-		return !m.e.mp.CompareContent || a.Content() == b.Content()
+		return !m.mp.CompareContent || a.Content() == b.Content()
 	}
 }
 

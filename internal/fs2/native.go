@@ -1,0 +1,91 @@
+package fs2
+
+import (
+	"fmt"
+
+	"clare/internal/pif"
+)
+
+// NativeMatcher runs the FS2 matching microroutines directly on PIF
+// words, with no board protocol, no Double Buffer or Result Memory
+// simulation, and no per-operation cycle accounting — the native
+// engine's steady-state filter. It embeds fixed-capacity variable stores
+// (MaxVarSlots per side, the TUE's own limit), so Match performs zero
+// allocations; reuse one matcher per retrieval, via a pool.
+//
+// The matcher shares clauseMatch with the simulated board verbatim, so
+// its accept/reject decisions are identical to Engine.Search under the
+// same microprogram — the equivalence the differential tests pin down.
+type NativeMatcher struct {
+	mp Microprogram
+	q  *pif.Encoded
+
+	qMem    [pif.MaxVarSlots]pif.Word
+	qBound  [pif.MaxVarSlots]bool
+	dbMem   [pif.MaxVarSlots]pif.Word
+	dbBound [pif.MaxVarSlots]bool
+
+	m clauseMatch
+}
+
+// NewNativeMatcher returns a matcher for mp. DescendFull microprograms
+// (the levels-4/5 what-if studies) need the simulator's position-based
+// ref stores and are rejected; the native engine covers the shipped
+// level-1..3(+xb) algorithms only.
+func NewNativeMatcher(mp Microprogram) (*NativeMatcher, error) {
+	if mp.DescendFull {
+		return nil, fmt.Errorf("fs2: native matcher does not support DescendFull microprogram %q", mp.Name)
+	}
+	n := &NativeMatcher{mp: mp}
+	n.m.mp = mp
+	return n, nil
+}
+
+// Microprogram returns the matcher's microprogram.
+func (n *NativeMatcher) Microprogram() Microprogram { return n.mp }
+
+// SetQuery loads the query the following Match calls filter against.
+func (n *NativeMatcher) SetQuery(q *pif.Encoded) error {
+	if q.Side != pif.QuerySide {
+		return fmt.Errorf("fs2: query must be encoded with query-side variable tags")
+	}
+	nv := q.NumVars
+	if nv > pif.MaxVarSlots {
+		nv = pif.MaxVarSlots // unreachable via the encoder; defensive
+	}
+	n.q = q
+	n.m.q = q
+	n.m.qMem = n.qMem[:nv]
+	n.m.qBound = n.qBound[:nv]
+	return nil
+}
+
+// Match reports whether the clause head passes partial test unification
+// against the loaded query. It resets both variable stores per clause,
+// exactly like the board ("DB Memory is reset to pointing to itself at
+// the beginning of each clause input", §3.3).
+func (n *NativeMatcher) Match(db *pif.Encoded) bool {
+	n.m.xbReject = false
+	if db.Functor != n.q.Functor || db.Arity != n.q.Arity {
+		return false
+	}
+	nv := db.NumVars
+	if nv > pif.MaxVarSlots {
+		nv = pif.MaxVarSlots // defensive; encoder-produced clauses fit
+	}
+	n.m.db = db
+	n.m.dbMem = n.dbMem[:nv]
+	n.m.dbBound = n.dbBound[:nv]
+	for i := range n.m.dbBound {
+		n.m.dbBound[i] = false
+	}
+	for i := range n.m.qBound {
+		n.m.qBound[i] = false
+	}
+	return n.m.matchArgs()
+}
+
+// LastRejectXB reports whether the most recent failing Match was
+// rejected by a variable cross-binding consistency check rather than a
+// plain level-3 mismatch (the EXPLAIN reject split).
+func (n *NativeMatcher) LastRejectXB() bool { return n.m.xbReject }

@@ -1,0 +1,235 @@
+package fs2
+
+import (
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/symtab"
+	"clare/internal/term"
+	"clare/internal/termgen"
+)
+
+// nativeFor builds a NativeMatcher with the query loaded.
+func nativeFor(t testing.TB, enc *pif.Encoder, query term.Term, mp Microprogram) *NativeMatcher {
+	t.Helper()
+	nm, err := NewNativeMatcher(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := enc.Encode(query, pif.QuerySide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.SetQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// TestNativeMatcherDifferential is the FS2 half of the issue's
+// differential oracle: over ≥10k generated query/head pairs (shared
+// variables, open lists, near-misses) and every non-DescendFull
+// microprogram, the native matcher must agree with the simulated board
+// clause by clause — same accept/reject, same cross-binding reject
+// classification.
+func TestNativeMatcherDifferential(t *testing.T) {
+	mps := []Microprogram{MPLevel1, MPLevel2, MPLevel3, MPLevel3XB}
+	const pairsPerMP = 2500
+	for _, mp := range mps {
+		gen := termgen.New(int64(len(mp.Name))*7919 + 13)
+		syms := symtab.New()
+		enc := pif.NewEncoder(syms)
+		for i := 0; i < pairsPerMP; i++ {
+			arity := 1 + i%4
+			query, head := gen.Pair("p", arity)
+			q, err := enc.Encode(query, pif.QuerySide)
+			if err != nil {
+				continue // e.g. a mutated improper list: not encodable, not retrievable
+			}
+			h, err := enc.Encode(head, pif.DBSide)
+			if err != nil {
+				continue
+			}
+
+			e := New()
+			e.SetMode(ModeMicroprogramming)
+			if err := e.LoadMicroprogram(mp); err != nil {
+				t.Fatal(err)
+			}
+			e.SetMode(ModeSetQuery)
+			if err := e.SetQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			e.SetMode(ModeSearch)
+			res, err := e.Search([]Record{{Addr: 7, Enc: h}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simPass := len(res.Matches) == 1
+
+			nm, err := NewNativeMatcher(mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nm.SetQuery(q); err != nil {
+				t.Fatal(err)
+			}
+			natPass := nm.Match(h)
+
+			if simPass != natPass {
+				t.Fatalf("mp=%s pair %d: sim=%v native=%v\n  query %v\n  head  %v",
+					mp.Name, i, simPass, natPass, query, head)
+			}
+			if !simPass {
+				simXB := res.RejectsXB == 1
+				if simXB != nm.LastRejectXB() {
+					t.Fatalf("mp=%s pair %d: reject cause sim xb=%v native xb=%v\n  query %v\n  head  %v",
+						mp.Name, i, simXB, nm.LastRejectXB(), query, head)
+				}
+			}
+		}
+	}
+}
+
+// TestNativeMatcherReuse checks one matcher survives query reloads and
+// repeated clauses without state leaking between comparisons.
+func TestNativeMatcherReuse(t *testing.T) {
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+	nm, err := NewNativeMatcher(MPLevel3XB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		q, h string
+		want bool
+	}{
+		{"p(X, X)", "p(a, a)", true},
+		{"p(X, X)", "p(a, b)", false}, // must not inherit the previous binding
+		{"p(X, X)", "p(A, A)", true},
+		{"q(1)", "q(1)", true},
+		{"q(1)", "q(2)", false},
+	}
+	for _, c := range cases {
+		qt, err := parse.Term(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ht, err := parse.Term(c.h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := enc.Encode(qt, pif.QuerySide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := enc.Encode(ht, pif.DBSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nm.SetQuery(q); err != nil {
+			t.Fatal(err)
+		}
+		if got := nm.Match(h); got != c.want {
+			t.Errorf("%s vs %s: got %v, want %v", c.q, c.h, got, c.want)
+		}
+	}
+}
+
+// TestNativeMatcherRejectsDeep pins the construction-time contract: the
+// native engine does not run the levels-4/5 what-if microprograms.
+func TestNativeMatcherRejectsDeep(t *testing.T) {
+	for _, mp := range []Microprogram{MPLevel4, MPLevel5} {
+		if _, err := NewNativeMatcher(mp); err == nil {
+			t.Errorf("NewNativeMatcher(%s) succeeded, want error", mp.Name)
+		}
+	}
+}
+
+// TestNativeMatcherZeroAlloc enforces the allocation discipline on the
+// steady-state match path.
+func TestNativeMatcherZeroAlloc(t *testing.T) {
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+	gen := termgen.New(99)
+	query, _ := gen.Pair("p", 3)
+	nm := nativeFor(t, enc, query, MPLevel3XB)
+	var heads []*pif.Encoded
+	for len(heads) < 64 {
+		_, head := gen.Pair("p", 3)
+		h, err := enc.Encode(head, pif.DBSide)
+		if err != nil {
+			continue // unencodable mutant (improper list)
+		}
+		heads = append(heads, h)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, h := range heads {
+			nm.Match(h)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Match allocated %v times per run, want 0", allocs)
+	}
+}
+
+// BenchmarkMatchEngine and BenchmarkMatchNative expose the FS2 kernel
+// speedup in isolation.
+func benchPairs(b *testing.B) (*pif.Encoder, *pif.Encoded, []Record) {
+	syms := symtab.New()
+	enc := pif.NewEncoder(syms)
+	gen := termgen.New(7)
+	query, _ := gen.Pair("p", 3)
+	q, err := enc.Encode(query, pif.QuerySide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var recs []Record
+	for len(recs) < 256 {
+		_, head := gen.Pair("p", 3)
+		h, err := enc.Encode(head, pif.DBSide)
+		if err != nil {
+			continue // unencodable mutant (improper list)
+		}
+		recs = append(recs, Record{Addr: uint32(len(recs)), Enc: h})
+	}
+	return enc, q, recs
+}
+
+func BenchmarkMatchEngine(b *testing.B) {
+	_, q, recs := benchPairs(b)
+	e := New()
+	e.SetMode(ModeMicroprogramming)
+	if err := e.LoadMicroprogram(MPLevel3XB); err != nil {
+		b.Fatal(err)
+	}
+	e.SetMode(ModeSetQuery)
+	if err := e.SetQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	e.SetMode(ModeSearch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchNative(b *testing.B) {
+	_, q, recs := benchPairs(b)
+	nm, err := NewNativeMatcher(MPLevel3XB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := nm.SetQuery(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range recs {
+			nm.Match(r.Enc)
+		}
+	}
+}

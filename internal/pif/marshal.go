@@ -72,6 +72,24 @@ func (e *Encoded) MarshalBinary() ([]byte, error) {
 
 // UnmarshalBinary parses a record produced by MarshalBinary.
 func (e *Encoded) UnmarshalBinary(data []byte) error {
+	return e.unmarshalBinary(data, nil)
+}
+
+// UnmarshalBinaryInto parses a record with the word slices taken from
+// slab — the store layer's batched decode, which shares one arena across
+// all of a predicate's records.
+func (e *Encoded) UnmarshalBinaryInto(data []byte, slab *Slab) error {
+	return e.unmarshalBinary(data, slab)
+}
+
+func allocWords(slab *Slab, n int) []Word {
+	if slab == nil {
+		return make([]Word, n)
+	}
+	return slab.Take(n)
+}
+
+func (e *Encoded) unmarshalBinary(data []byte, slab *Slab) error {
 	r := reader{data: data}
 	if m := r.u16(); m != recordMagic {
 		return fmt.Errorf("pif: bad record magic 0x%04x", m)
@@ -92,11 +110,11 @@ func (e *Encoded) UnmarshalBinary(data []byte) error {
 		n := int(r.u16())
 		e.VarNames[i] = string(r.bytes(n))
 	}
-	e.Args = make([]Word, nArgs)
+	e.Args = allocWords(slab, nArgs)
 	for i := range e.Args {
 		e.Args[i] = Word(r.u32())
 	}
-	e.Heap = make([]Word, nHeap)
+	e.Heap = allocWords(slab, nHeap)
 	for i := range e.Heap {
 		e.Heap[i] = Word(r.u32())
 	}

@@ -1,0 +1,49 @@
+package pif
+
+// Slab is a bump allocator for PIF words: the store layer decodes a whole
+// predicate's records into one shared arena instead of two slices per
+// record, so a compiled clause file is a handful of large allocations and
+// every Encoded's Args/Heap are views into the slab. Views are full-cap
+// sub-slices, so appends can never bleed into a neighbour.
+//
+// A Slab is not safe for concurrent use; it is a load-time structure.
+type Slab struct {
+	cur  []Word
+	used int
+	// TotalWords counts all words handed out across blocks.
+	TotalWords int
+}
+
+// slabBlockWords is the default block size (256 KiB of words).
+const slabBlockWords = 64 * 1024
+
+// NewSlab returns a slab with one pre-sized block. capacityWords may be
+// zero: the first Take allocates a default block.
+func NewSlab(capacityWords int) *Slab {
+	s := &Slab{}
+	if capacityWords > 0 {
+		s.cur = make([]Word, capacityWords)
+	}
+	return s
+}
+
+// Take returns a zeroed n-word view of the slab. When the current block
+// is exhausted a new one is allocated; earlier views keep referencing the
+// old block.
+func (s *Slab) Take(n int) []Word {
+	if n == 0 {
+		return nil
+	}
+	if s.used+n > len(s.cur) {
+		blk := slabBlockWords
+		if n > blk {
+			blk = n
+		}
+		s.cur = make([]Word, blk)
+		s.used = 0
+	}
+	w := s.cur[s.used : s.used+n : s.used+n]
+	s.used += n
+	s.TotalWords += n
+	return w
+}

@@ -1,0 +1,82 @@
+package pif
+
+import (
+	"testing"
+
+	"clare/internal/symtab"
+	"clare/internal/term"
+)
+
+// TestSlabRoundTrip checks slab-backed decoding is bit-identical to the
+// per-record form and that views cannot grow into each other.
+func TestSlabRoundTrip(t *testing.T) {
+	syms := symtab.New()
+	enc := NewEncoder(syms)
+	terms := []term.Term{
+		term.New("p", term.Atom("a"), term.Int(3)),
+		term.New("p", term.NewVar("X"), term.New("f", term.NewVar("X"), term.Atom("b"))),
+		term.New("p", term.ListTail(term.NewVar("T"), term.Int(1), term.Int(2)), term.Float(2.5)),
+	}
+	slab := NewSlab(8)
+	for i, tm := range terms {
+		e, err := enc.Encode(tm, DBSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain, slabbed Encoded
+		if err := plain.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := slabbed.UnmarshalBinaryInto(data, slab); err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Args) != len(slabbed.Args) || len(plain.Heap) != len(slabbed.Heap) {
+			t.Fatalf("term %d: slab decode shapes differ", i)
+		}
+		for j := range plain.Args {
+			if plain.Args[j] != slabbed.Args[j] {
+				t.Fatalf("term %d arg word %d: %08x != %08x", i, j, plain.Args[j], slabbed.Args[j])
+			}
+		}
+		for j := range plain.Heap {
+			if plain.Heap[j] != slabbed.Heap[j] {
+				t.Fatalf("term %d heap word %d: %08x != %08x", i, j, plain.Heap[j], slabbed.Heap[j])
+			}
+		}
+		// Views must be capacity-capped: appending to one cannot touch
+		// the slab words handed to the next record.
+		if cap(slabbed.Args) != len(slabbed.Args) || cap(slabbed.Heap) != len(slabbed.Heap) {
+			t.Fatalf("term %d: slab views not capacity-capped", i)
+		}
+	}
+	if slab.TotalWords == 0 {
+		t.Fatal("slab was never used")
+	}
+}
+
+// TestSlabGrowth checks block exhaustion allocates a fresh block without
+// disturbing earlier views.
+func TestSlabGrowth(t *testing.T) {
+	s := NewSlab(4)
+	a := s.Take(3)
+	a[0] = 7
+	b := s.Take(3) // exceeds the first block
+	b[0] = 9
+	c := s.Take(slabBlockWords + 1) // bigger than a default block
+	if len(c) != slabBlockWords+1 {
+		t.Fatalf("oversized Take returned %d words", len(c))
+	}
+	if a[0] != 7 || b[0] != 9 {
+		t.Fatal("earlier views disturbed by growth")
+	}
+	if s.TotalWords != 3+3+slabBlockWords+1 {
+		t.Fatalf("TotalWords = %d", s.TotalWords)
+	}
+	if s.Take(0) != nil {
+		t.Fatal("Take(0) should be nil")
+	}
+}

@@ -3,6 +3,7 @@ package scw
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"clare/internal/term"
@@ -23,6 +24,10 @@ func ScanTime(bytes int) time.Duration {
 type Index struct {
 	enc     *Encoder
 	entries []Entry
+	// col caches the columnar view for the native engine; invalidated by
+	// length (indexes are append-only, so a stale pointer is detectable
+	// from the entry count alone).
+	col atomic.Pointer[Columnar]
 }
 
 // NewIndex returns an empty index using enc's parameters.
@@ -70,20 +75,7 @@ type ScanResult struct {
 // Scan streams the whole secondary file through the matcher and collects
 // the addresses of the survivors.
 func (ix *Index) Scan(qd QueryDescriptor) ScanResult {
-	res := ScanResult{
-		EntriesScanned: len(ix.entries),
-		BytesScanned:   len(ix.entries) * EntrySize,
-	}
-	for _, ent := range ix.entries {
-		if ix.enc.Matches(ent, qd) {
-			res.Addrs = append(res.Addrs, ent.Addr)
-			if ent.Mask != 0 {
-				res.MaskedHits++
-			}
-		}
-	}
-	res.Elapsed = ScanTime(res.BytesScanned)
-	return res
+	return ix.ScanRange(qd, 0, len(ix.entries))
 }
 
 // ScanRange streams entries [lo, hi) through the matcher — the chunked
@@ -104,6 +96,20 @@ func (ix *Index) ScanRange(qd QueryDescriptor, lo, hi int) ScanResult {
 		EntriesScanned: hi - lo,
 		BytesScanned:   (hi - lo) * EntrySize,
 	}
+	if n := hi - lo; n > 0 {
+		// Pre-size the survivor list so high-hit scans don't regrow it:
+		// an unconstrained query retrieves everything, anything else is
+		// sized for a typical selective scan and regrows at most a few
+		// times.
+		est := n
+		if !qd.Unconstrained() {
+			est = n/8 + 8
+			if est > n {
+				est = n
+			}
+		}
+		res.Addrs = make([]uint32, 0, est)
+	}
 	for _, ent := range ix.entries[lo:hi] {
 		if ix.enc.Matches(ent, qd) {
 			res.Addrs = append(res.Addrs, ent.Addr)
@@ -114,6 +120,20 @@ func (ix *Index) ScanRange(qd QueryDescriptor, lo, hi int) ScanResult {
 	}
 	res.Elapsed = ScanTime(res.BytesScanned)
 	return res
+}
+
+// Columnar returns the struct-of-arrays view of the index for the native
+// engine, building it on first use and caching it. Indexes are
+// append-only, so a cached view is stale exactly when its length differs
+// from the entry count; retrieval-time callers see a fully built index
+// and always hit the cache.
+func (ix *Index) Columnar() *Columnar {
+	if c := ix.col.Load(); c != nil && c.Len() == len(ix.entries) {
+		return c
+	}
+	c := NewColumnar(ix.enc.Params(), ix.entries)
+	ix.col.Store(c)
+	return c
 }
 
 // indexMagic marks a serialised index file.
