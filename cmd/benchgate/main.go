@@ -10,10 +10,11 @@
 //
 // Only throughput metrics gate. Simulated throughput (unit "queries/s")
 // is deterministic — same code, same numbers — so it gates tight
-// (-threshold, default 10%). Wall-clock throughput (unit
-// "wall-queries/s") varies with the machine, so it gates loose
-// (-wall-threshold, default 50%) and is meant to catch order-of-magnitude
-// collapses of the native fast path, not noise. Metrics present on only
+// (-threshold, default 10%). Wall-clock throughput (units
+// "wall-queries/s" and "wall-writes/s") varies with the machine, so it
+// gates loose (-wall-threshold, default 50%) and is meant to catch
+// order-of-magnitude collapses of the native fast path or the durable
+// write path, not noise. Metrics present on only
 // one side are reported but never fail the gate (experiments come and
 // go); a missing baseline is a clean pass so the gate can bootstrap on
 // the commit that introduces it.
@@ -105,7 +106,7 @@ func gate(w io.Writer, cur, base *report, threshold, wallThreshold float64) (fai
 		delete(baseVals, key{m.Experiment, m.Name})
 		compared++
 		limit := threshold
-		if m.Unit == "wall-queries/s" {
+		if m.Unit == "wall-queries/s" || m.Unit == "wall-writes/s" {
 			limit = wallThreshold
 		}
 		drop := 0.0
@@ -129,9 +130,10 @@ func gate(w io.Writer, cur, base *report, threshold, wallThreshold float64) (fai
 }
 
 // gated reports whether a metric's unit marks it as a throughput number
-// the gate compares.
+// the gate compares. Wall-clock units (wall-queries/s, wall-writes/s)
+// gate at the loose -wall-threshold.
 func gated(unit string) bool {
-	return unit == "queries/s" || unit == "wall-queries/s"
+	return unit == "queries/s" || unit == "wall-queries/s" || unit == "wall-writes/s"
 }
 
 // latestBaseline picks the committed BENCH_*.json with the largest

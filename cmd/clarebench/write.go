@@ -1,0 +1,238 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clare/internal/cluster"
+	"clare/internal/core"
+	"clare/internal/crs"
+	"clare/internal/wal"
+	"clare/internal/workload"
+)
+
+// expWRITE evaluates the durable replicated write path: a real
+// primary + 2-replica shard group (each node recovering its own WAL)
+// behind a real router with log shipping, under a mixed workload of
+// autocommit assert/retract churn and concurrent retrievals at a
+// configurable write ratio. The headline numbers are wall-clock write
+// and retrieval throughput and the replication lag left when the churn
+// stops; the invariants are zero client-visible errors and replica
+// convergence (identical candidate sets on all three nodes once the
+// shippers drain).
+func expWRITE() error {
+	w := tab()
+	fmt.Fprintln(w, "write ratio\twrites\tqueries\twall writes/s\twall queries/s\tend lag\terrors")
+	for _, pct := range []int{10, 30} {
+		res, err := runWriteChurn(pct)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d%%\t%d\t%d\t%.0f\t%.0f\t%d\t%d\n",
+			pct, res.writes, res.queries, res.writeQPS, res.queryQPS, res.endLag, res.errors)
+		record("WRITE", fmt.Sprintf("write_qps_%dpct", pct), res.writeQPS, "wall-writes/s")
+		record("WRITE", fmt.Sprintf("query_qps_%dpct", pct), res.queryQPS, "wall-queries/s")
+		record("WRITE", fmt.Sprintf("end_lag_%dpct", pct), float64(res.endLag), "records")
+		record("WRITE", fmt.Sprintf("errors_%dpct", pct), float64(res.errors), "errors")
+		if res.errors != 0 {
+			return fmt.Errorf("WRITE: %d client-visible errors at %d%% write ratio", res.errors, pct)
+		}
+	}
+	w.Flush()
+	noteShards(1)
+	noteBoards(3)
+	noteEngine("sim")
+	fmt.Println("\nreplicas converged to the primary's candidate sets after every run (zero errors required)")
+	return nil
+}
+
+type writeChurnResult struct {
+	writes, queries int64
+	errors          int64
+	writeQPS        float64
+	queryQPS        float64
+	endLag          int64
+}
+
+// walNode is one in-process durable backend of the churn cluster.
+type walNode struct {
+	srv *crs.Server
+	log *wal.Log
+	lis net.Listener
+}
+
+func startWALNode(preds []workload.Predicate, dir string, readOnly bool) (*walNode, error) {
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := crs.NewServer(r)
+	for _, p := range preds {
+		if err := s.Load("write", p.Clauses); err != nil {
+			return nil, err
+		}
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.AttachWAL(l)
+	if _, err := s.Recover(); err != nil {
+		return nil, err
+	}
+	s.SetReadOnly(readOnly)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(lis)
+	return &walNode{srv: s, log: l, lis: lis}, nil
+}
+
+func runWriteChurn(pct int) (*writeChurnResult, error) {
+	const (
+		facts   = 150
+		workers = 8
+		perW    = 100
+	)
+	rel := workload.Relation{Name: "wq", Facts: facts, Domain: 40, Arity: 2, Seed: 7}
+	preds := []workload.Predicate{{Name: "wq", Clauses: rel.Clauses()}}
+
+	base, err := os.MkdirTemp("", "clarebench-write-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(base)
+
+	var nodes []*walNode
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		n, err := startWALNode(preds, filepath.Join(base, fmt.Sprintf("node%d", i)), i > 0)
+		if err != nil {
+			return nil, err
+		}
+		defer n.lis.Close()
+		defer n.log.Close()
+		nodes = append(nodes, n)
+		addrs = append(addrs, n.lis.Addr().String())
+	}
+
+	router, err := cluster.NewRouter(cluster.Config{
+		Shards:       [][]string{addrs},
+		WireTimeout:  5 * time.Second,
+		CallTimeout:  5 * time.Second,
+		ShipInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+	router.StartReplication()
+
+	var writes, queries, errCount atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var pending []string // asserted, awaiting churn retract
+			for i := 0; i < perW; i++ {
+				if i%10 < pct/10 {
+					// Write op: assert a fresh fact, and once enough have
+					// piled up retract the oldest — steady-state churn
+					// rather than unbounded growth.
+					if len(pending) > 3 {
+						clause := pending[0]
+						pending = pending[1:]
+						if _, err := router.Retract(clause); err != nil {
+							errCount.Add(1)
+						}
+						writes.Add(1)
+						continue
+					}
+					clause := fmt.Sprintf("wq(w%d_%d, churn)", wk, i)
+					if _, err := router.Assert(clause); err != nil {
+						errCount.Add(1)
+					} else {
+						pending = append(pending, clause)
+					}
+					writes.Add(1)
+					continue
+				}
+				goal := fmt.Sprintf("wq(e%d, V)", (wk*perW+i)%facts)
+				if _, err := router.Retrieve("auto", goal); err != nil {
+					errCount.Add(1)
+				}
+				queries.Add(1)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	kv, err := router.Stats()
+	if err != nil {
+		return nil, err
+	}
+	endLag := kv["cluster.wal.lag.max"]
+
+	// Drain the shippers and verify convergence: every replica must hold
+	// the primary's full log and answer with identical candidates.
+	primarySeq := nodes[0].log.LastSeq()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		router.CatchUpReplication()
+		if nodes[1].srv.AppliedSeq() == primarySeq && nodes[2].srv.AppliedSeq() == primarySeq {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 1; i < 3; i++ {
+		if got := nodes[i].srv.AppliedSeq(); got != primarySeq {
+			return nil, fmt.Errorf("WRITE: replica %d applied seq %d, primary at %d", i, got, primarySeq)
+		}
+	}
+	want, err := retrieveAll(addrs[0], "wq(X, V)")
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < 3; i++ {
+		got, err := retrieveAll(addrs[i], "wq(X, V)")
+		if err != nil {
+			return nil, err
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return nil, fmt.Errorf("WRITE: replica %d candidates diverge from primary after catch-up", i)
+		}
+	}
+
+	res := &writeChurnResult{
+		writes:  writes.Load(),
+		queries: queries.Load(),
+		errors:  errCount.Load(),
+		endLag:  endLag,
+	}
+	res.writeQPS = float64(res.writes) / elapsed.Seconds()
+	res.queryQPS = float64(res.queries) / elapsed.Seconds()
+	return res, nil
+}
+
+// retrieveAll asks one backend directly over a fresh connection.
+func retrieveAll(addr, goal string) ([]string, error) {
+	c, err := crs.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	res, err := c.Retrieve("auto", goal)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clauses, nil
+}

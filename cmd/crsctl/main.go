@@ -7,6 +7,13 @@
 //	crsctl -addr 127.0.0.1:7071 -mode fs1+fs2 'married_couple(S, S)'
 //	crsctl -explain 'married_couple(S, S)'
 //	crsctl -assert 'married_couple(romeo, juliet)'
+//	crsctl -retract 'married_couple(romeo, juliet)'
+//
+// -assert and -retract ride the autocommit WRITE verb, which works
+// unchanged against a single crsd (durable when it runs with -wal-dir)
+// and against a crsrouter front-end (routed to the owning shard's
+// primary and shipped to its replicas). -assert-tx stages the clause in
+// an explicit BEGIN/ASSERT/COMMIT transaction instead.
 package main
 
 import (
@@ -22,7 +29,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7071", "crsd address")
 	mode := flag.String("mode", "auto", "search mode: software|fs1|fs2|fs1+fs2|auto")
-	assert := flag.String("assert", "", "clause to assert in a transaction instead of querying")
+	assert := flag.String("assert", "", "clause to assert through the autocommit write path instead of querying")
+	retract := flag.String("retract", "", "clause to retract (first match) through the autocommit write path")
+	assertTx := flag.String("assert-tx", "", "clause to assert in an explicit transaction instead of querying")
 	stats := flag.Bool("stats", false, "print the server's service counters and exit")
 	explain := flag.Bool("explain", false, "profile the retrieval instead of printing candidates")
 	timeout := flag.Duration("timeout", crs.DefaultTimeout, "per-operation wire timeout (0 disables)")
@@ -44,10 +53,28 @@ func main() {
 	}
 
 	if *assert != "" {
+		seq, err := c.AssertNow(strings.TrimSuffix(*assert, "."))
+		if err != nil {
+			fatal("assert: %v", err)
+		}
+		fmt.Printf("asserted (seq %d).\n", seq)
+		return
+	}
+
+	if *retract != "" {
+		seq, err := c.Retract(strings.TrimSuffix(*retract, "."))
+		if err != nil {
+			fatal("retract: %v", err)
+		}
+		fmt.Printf("retracted (seq %d).\n", seq)
+		return
+	}
+
+	if *assertTx != "" {
 		if err := c.Begin(); err != nil {
 			fatal("begin: %v", err)
 		}
-		if err := c.Assert(*assert); err != nil {
+		if err := c.Assert(*assertTx); err != nil {
 			fatal("assert: %v", err)
 		}
 		if err := c.Commit(); err != nil {
@@ -58,7 +85,7 @@ func main() {
 	}
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: crsctl [-addr a] [-mode m] [-explain] 'goal(...)'  |  crsctl -assert 'clause'")
+		fmt.Fprintln(os.Stderr, "usage: crsctl [-addr a] [-mode m] [-explain] 'goal(...)'  |  crsctl -assert|-retract 'clause'")
 		os.Exit(2)
 	}
 
@@ -114,6 +141,7 @@ var statsSections = []struct {
 	{"served", func(k string) bool { return strings.HasPrefix(k, "served.") }},
 	{"boards", func(k string) bool { return strings.HasPrefix(k, "boards.") }},
 	{"qcache", func(k string) bool { return strings.HasPrefix(k, "qcache.") }},
+	{"wal", func(k string) bool { return strings.HasPrefix(k, "wal.") }},
 	{"cluster", func(k string) bool { return strings.HasPrefix(k, "cluster.") }},
 }
 

@@ -31,6 +31,16 @@
 // -engine native swaps the cycle-accurate hardware simulation for the
 // vectorized host engine (same candidates, wall-clock as the first-class
 // metric); the active engine is visible as the engine.native STATS key.
+//
+// Durable writes: -wal-dir enables the write-ahead log — WRITE
+// (autocommit assert/retract) and transaction commits append to a
+// segmented log before they apply, and a restart replays the log over
+// the loaded store. -wal-fsync picks the flush policy (always, never,
+// or an interval), -replica serves read-only (writes arrive only as
+// REPL records from the shard primary), and -follow pulls a primary's
+// log over SYNC for catch-up without a pushing router:
+//
+//	crsd -addr :7473 -kb build/shard-0.clare -wal-dir wal/s0r1 -replica -follow 127.0.0.1:7471
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -51,6 +62,7 @@ import (
 	"clare/internal/fault"
 	"clare/internal/plfile"
 	"clare/internal/telemetry"
+	"clare/internal/wal"
 )
 
 func main() {
@@ -65,6 +77,12 @@ func main() {
 	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	kb := flag.String("kb", "", "compiled knowledge-base store to load (kbc output; a shard slice works unchanged)")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: enables the durable write path (WRITE/SYNC/REPL) and replays the log over the loaded store at startup")
+	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a flush interval like 50ms")
+	replica := flag.Bool("replica", false, "serve as a read-only replica: client writes are rejected, only REPL applies records")
+	follow := flag.String("follow", "", "primary address to pull the log from (replica catch-up without a pushing router)")
+	followShard := flag.Int("follow-shard", 0, "shard index named in SYNC requests to -follow")
+	followEvery := flag.Duration("follow-interval", time.Second, "poll period for -follow")
 	flag.Parse()
 	if flag.NArg() == 0 && *kb == "" {
 		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] [-engine sim|native] [-kb store.clare] predicate.pl ...")
@@ -134,6 +152,61 @@ func main() {
 			fatal("loading %s: %v", file, err)
 		}
 		fmt.Printf("loaded %s: %d clauses into module %s\n", file, len(clauses), module)
+	}
+
+	if *walDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*walFsync)
+		if err != nil {
+			fatal("%v", err)
+		}
+		wlog, err := wal.Open(*walDir, wal.Options{
+			Fsync:   policy,
+			Faults:  cfg.Faults,
+			Metrics: cfg.Metrics,
+		})
+		if err != nil {
+			fatal("wal: %v", err)
+		}
+		defer wlog.Close()
+		srv.AttachWAL(wlog)
+		n, err := srv.Recover()
+		if err != nil {
+			fatal("wal recovery: %v", err)
+		}
+		fmt.Printf("wal %s: recovered %d records (seq %d, fsync %s)\n",
+			*walDir, n, wlog.LastSeq(), policy)
+	} else if *walFsync != "always" {
+		fatal("-wal-fsync needs -wal-dir")
+	}
+	if *replica {
+		srv.SetReadOnly(true)
+		fmt.Println("serving read-only (replica): writes via REPL only")
+	}
+	if *follow != "" {
+		if *walDir == "" {
+			fatal("-follow needs -wal-dir (the pulled log must land somewhere durable)")
+		}
+		fc, err := crs.DialTimeout(*follow, 5*time.Second)
+		if err != nil {
+			fatal("dialing -follow primary %s: %v", *follow, err)
+		}
+		defer fc.Close()
+		var followMu sync.Mutex
+		fetch := func(from uint64, max int) ([]wal.Record, uint64, error) {
+			followMu.Lock()
+			defer followMu.Unlock()
+			recs, last, err := fc.SyncLog(*followShard, from)
+			return recs, last, err
+		}
+		follower := wal.NewFollower(fetch, srv.ApplyReplicated, srv.AppliedSeq,
+			wal.FollowerConfig{Interval: *followEvery})
+		if n, err := follower.CatchUp(); err != nil {
+			fmt.Fprintf(os.Stderr, "crsd: follow catch-up: %v (continuing; polling retries)\n", err)
+		} else {
+			fmt.Printf("followed %s: caught up %d records (applied seq %d)\n", *follow, n, srv.AppliedSeq())
+		}
+		follower.Run()
+		defer follower.Close()
 	}
 
 	l, err := net.Listen("tcp", *addr)

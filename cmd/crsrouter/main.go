@@ -14,6 +14,12 @@
 //
 // Each -shard names one shard group as a comma-separated replica list,
 // in shard order — the order must match the kbc -shards build. The
+// FIRST address in each list is the shard's write primary: WRITE
+// (autocommit assert/retract) and pass-through transactions route to it
+// alone, and the router ships its write-ahead log to the remaining
+// replicas (disable with -no-replicate). A replica trailing the primary
+// by more than -max-lag records is demoted in the retrieval failover
+// order until it catches up. The
 // admin listener serves /metrics (clare_cluster_* and the Prometheus
 // base set), /trace?n=K (router span trees) and /debug/pprof; -admin ""
 // disables it. SIGINT/SIGTERM drain: new connections are refused and
@@ -47,6 +53,9 @@ func main() {
 	trip := flag.Int("trip", cluster.DefaultTripThreshold, "consecutive failures that trip a backend out of rotation")
 	probe := flag.Duration("probe", cluster.DefaultProbePeriod, "tripped-backend cool-off before probationary re-admission")
 	pool := flag.Int("pool", cluster.DefaultPoolSize, "idle connections kept per backend")
+	maxLag := flag.Uint64("max-lag", cluster.DefaultMaxLag, "log records a replica may trail its primary before it is demoted as stale")
+	shipEvery := flag.Duration("ship-interval", cluster.DefaultShipInterval, "idle log-shipping period per replica (writes wake shippers early)")
+	noRepl := flag.Bool("no-replicate", false, "disable primary-to-replica log shipping (backends sync some other way)")
 	var shardSpecs multiFlag
 	flag.Var(&shardSpecs, "shard", "one shard group as comma-separated replica addresses, in shard order (repeatable)")
 	flag.Parse()
@@ -61,6 +70,8 @@ func main() {
 		TripThreshold: *trip,
 		ProbePeriod:   *probe,
 		PoolSize:      *pool,
+		MaxLag:        *maxLag,
+		ShipInterval:  *shipEvery,
 		Metrics:       telemetry.NewRegistry(),
 		Tracer:        telemetry.NewTracer(*traces),
 	}
@@ -81,6 +92,11 @@ func main() {
 		fatal("%v", err)
 	}
 	defer router.Close()
+	if !*noRepl {
+		router.StartReplication()
+		fmt.Printf("log shipping armed: primary = first address per -shard, max lag %d, interval %s\n",
+			*maxLag, *shipEvery)
+	}
 	srv := cluster.NewServer(router)
 
 	l, err := net.Listen("tcp", *addr)

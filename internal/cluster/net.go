@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -19,12 +20,13 @@ import (
 const maxWireLine = 4 * 1024 * 1024
 
 // Server is the cluster's wire front-end: it speaks the existing CRS
-// protocol unchanged (HELLO/RETRIEVE/STATS/BEGIN/ASSERT/COMMIT/ABORT/
-// QUIT), so crsctl and crs.Client work against a cluster transparently.
-// RETRIEVE and STATS scatter-gather through the Router; transactions
-// pass through to the shard group owning the asserted predicate (a
-// transaction may touch exactly one shard — cross-shard transactions
-// are rejected, there is no distributed commit).
+// protocol unchanged (HELLO/RETRIEVE/WRITE/SYNC/STATS/BEGIN/ASSERT/
+// COMMIT/ABORT/QUIT), so crsctl and crs.Client work against a cluster
+// transparently. RETRIEVE and STATS scatter-gather through the Router;
+// WRITE and SYNC route to the owning shard's primary; transactions pass
+// through to the primary of the shard owning the first asserted
+// predicate (a transaction may touch exactly one shard — cross-shard
+// transactions are rejected, there is no distributed commit).
 type Server struct {
 	router *Router
 
@@ -209,6 +211,40 @@ func (s *Server) handle(conn net.Conn) {
 			if tc != nil {
 				reply("TRACE %s", spanToken(res.Spans))
 			}
+		case "WRITE":
+			opWord, clauseText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: WRITE assert|retract <clause>.")
+				continue
+			}
+			seq, err := s.router.Write(opWord, strings.TrimSuffix(strings.TrimSpace(clauseText), "."))
+			if err != nil {
+				reply("ERR %v", errText(err))
+				continue
+			}
+			reply("OK %d", seq)
+		case "SYNC":
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				reply("ERR usage: SYNC <shard> <from-seq>")
+				continue
+			}
+			shard, err1 := strconv.Atoi(fields[0])
+			from, err2 := strconv.ParseUint(fields[1], 10, 64)
+			if err1 != nil || err2 != nil {
+				reply("ERR bad SYNC arguments %q", rest)
+				continue
+			}
+			recs, last, err := s.router.SyncLog(shard, from)
+			if err != nil {
+				reply("ERR %v", errText(err))
+				continue
+			}
+			fmt.Fprintf(out, "LOG %d %d\n", len(recs), last)
+			for _, rec := range recs {
+				fmt.Fprintf(out, "R %s\n", rec.WireText())
+			}
+			out.Flush()
 		case "BEGIN":
 			if tx != nil {
 				reply("ERR crs: transaction already in progress")
@@ -233,41 +269,45 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			shard := ShardOf(pi, s.router.Shards())
 			if tx.client == nil {
-				// First ASSERT pins the transaction to its shard: lease
-				// a dedicated backend connection and open the real
-				// transaction there.
-				g := s.router.groups[shard]
-				cands := g.candidates()
+				// First ASSERT pins the transaction to its shard's
+				// PRIMARY: a transaction is a write, and only the primary
+				// sequences writes into the shard's log (a replica would
+				// reject BEGIN as read-only anyway). A stale pooled
+				// connection gets one fresh-dial retry; beyond that the
+				// transaction fails — there is no write failover.
+				p := s.router.groups[shard].primary()
 				var c *crs.Client
-				var n *node
 				var lastErr error
-				for _, cand := range cands {
-					cc, _, err := cand.get(s.router.cfg)
+				for attempt := 0; attempt < 2 && c == nil; attempt++ {
+					cc, pooled, err := p.get(s.router.cfg)
 					if err != nil {
-						cand.strike(s.router)
+						p.strike(s.router)
 						lastErr = err
-						continue
+						break
 					}
 					if err := cc.Begin(); err != nil {
 						var se *crs.ServerError
 						if errors.As(err, &se) {
-							cand.put(cc, s.router.cfg)
-						} else {
-							cand.discard(cc)
-							cand.strike(s.router)
+							p.put(cc, s.router.cfg)
+							lastErr = err
+							break
 						}
+						p.discard(cc)
 						lastErr = err
+						if !pooled {
+							p.strike(s.router)
+							break
+						}
 						continue
 					}
-					cand.clear(s.router)
-					c, n = cc, cand
-					break
+					p.clear(s.router)
+					c = cc
 				}
 				if c == nil {
 					reply("ERR %v", errText(lastErr))
 					continue
 				}
-				tx.client, tx.node, tx.shard = c, n, shard
+				tx.client, tx.node, tx.shard = c, p, shard
 			} else if shard != tx.shard {
 				reply("ERR cluster: cross-shard transaction (%s is on shard %d, transaction pinned to %d)",
 					pi, shard, tx.shard)
@@ -314,7 +354,14 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			committed := strings.ToUpper(cmd) == "COMMIT"
 			tx.node.put(tx.client, s.router.cfg)
+			if committed {
+				// The committed seqs are the primary's business; waking
+				// the shard's shippers ships them without waiting out
+				// the idle interval.
+				s.router.NotifyShard(tx.shard)
+			}
 			tx = nil
 			reply("OK")
 		default:

@@ -11,7 +11,9 @@ import (
 
 	"clare/internal/core"
 	"clare/internal/crs"
+	"clare/internal/fault"
 	"clare/internal/telemetry"
+	"clare/internal/wal"
 )
 
 // Router defaults.
@@ -31,6 +33,12 @@ const (
 	DefaultProbePeriod = 2 * time.Second
 	// DefaultPoolSize is how many idle connections each backend keeps.
 	DefaultPoolSize = 8
+	// DefaultMaxLag is how many log records a replica may trail its
+	// primary before it is marked stale and demoted in candidate order.
+	DefaultMaxLag = 1024
+	// DefaultShipInterval is the idle log-shipping period per replica
+	// (Notify wakes a shipper early after every routed write).
+	DefaultShipInterval = 500 * time.Millisecond
 )
 
 // Config parameterises a Router.
@@ -54,6 +62,16 @@ type Config struct {
 	// PoolSize bounds the idle connections kept per backend (0 means
 	// DefaultPoolSize).
 	PoolSize int
+	// MaxLag is how many log records a replica may trail its primary
+	// before it is marked stale and demoted in the retrieval candidate
+	// order (0 means DefaultMaxLag).
+	MaxLag uint64
+	// ShipInterval is the idle log-shipping period per replica (0 means
+	// DefaultShipInterval).
+	ShipInterval time.Duration
+	// Faults, when non-nil, lets the shippers probe the wal.ship fault
+	// site (keyed by replica address) — the chaos hook for replication.
+	Faults *fault.Injector
 	// Metrics, when non-nil, receives the router counters
 	// (clare_cluster_*). Nil disables metrics.
 	Metrics *telemetry.Registry
@@ -85,12 +103,19 @@ type node struct {
 	failures int
 	tripped  bool
 	retryAt  time.Time
+
+	// Replication watermarks, maintained by the node's shipper (zero
+	// and never set on a primary or a single-node group).
+	lag   atomic.Uint64
+	stale atomic.Bool
 }
 
-// group is one shard's replica set.
+// group is one shard's replica set; nodes[0] is the primary (see
+// repl.go), shippers stream its log to nodes[1:].
 type group struct {
-	shard int
-	nodes []*node
+	shard    int
+	nodes    []*node
+	shippers []*wal.Shipper
 }
 
 // Router owns the shard map and the per-backend connection pools, and
@@ -118,6 +143,10 @@ type Router struct {
 	failovers atomic.Int64
 	trips     atomic.Int64
 	readmits  atomic.Int64
+	writes    atomic.Int64
+
+	// replOnce guards StartReplication (see repl.go).
+	replOnce sync.Once
 }
 
 // NewRouter validates the shard map and builds the router. No backend
@@ -141,6 +170,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	}
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.MaxLag == 0 {
+		cfg.MaxLag = DefaultMaxLag
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = DefaultShipInterval
 	}
 	r := &Router{
 		cfg:    cfg,
@@ -180,8 +215,14 @@ func (r *Router) Replicas() int {
 	return n
 }
 
-// Close drops every pooled backend connection.
+// Close stops the log shippers and drops every pooled backend
+// connection.
 func (r *Router) Close() {
+	for _, g := range r.groups {
+		for _, sh := range g.shippers {
+			sh.Close()
+		}
+	}
 	for _, g := range r.groups {
 		for _, n := range g.nodes {
 			n.mu.Lock()
@@ -277,27 +318,32 @@ func (n *node) clear(r *Router) {
 	}
 }
 
-// candidates orders the group's replicas for one request: healthy nodes
-// first (declared order), then tripped nodes whose cool-off has elapsed
-// (probation). When every node is tripped and still cooling, all are
-// returned anyway — the router has no host-only rung below it, so a
+// candidates orders the group's replicas for one request: fresh healthy
+// nodes first (declared order), then tripped nodes whose cool-off has
+// elapsed (probation), then healthy-but-stale replicas — a replica
+// whose replication lag exceeds the staleness bound serves bounded-
+// staleness answers, so it ranks below a probationary node that might
+// be fully caught up. When every node is tripped and still cooling, all
+// are returned anyway — the router has no host-only rung below it, so a
 // last-ditch attempt beats a guaranteed error.
 func (g *group) candidates() []*node {
 	now := time.Now()
 	healthy := make([]*node, 0, len(g.nodes))
-	var probation []*node
+	var probation, stale []*node
 	for _, n := range g.nodes {
 		n.mu.Lock()
 		tripped, retryAt := n.tripped, n.retryAt
 		n.mu.Unlock()
 		switch {
+		case !tripped && n.stale.Load():
+			stale = append(stale, n)
 		case !tripped:
 			healthy = append(healthy, n)
 		case now.After(retryAt) || now.Equal(retryAt):
 			probation = append(probation, n)
 		}
 	}
-	out := append(healthy, probation...)
+	out := append(append(healthy, probation...), stale...)
 	if len(out) == 0 {
 		return g.nodes
 	}
@@ -835,7 +881,7 @@ func (r *Router) Stats() (map[string]int64, error) {
 			out[k] += v
 		}
 	}
-	tripped := int64(0)
+	var tripped, staleN, shipped, lagMax int64
 	for _, g := range r.groups {
 		for _, n := range g.nodes {
 			n.mu.Lock()
@@ -843,6 +889,15 @@ func (r *Router) Stats() (map[string]int64, error) {
 				tripped++
 			}
 			n.mu.Unlock()
+			if n.stale.Load() {
+				staleN++
+			}
+			if l := int64(n.lag.Load()); l > lagMax {
+				lagMax = l
+			}
+		}
+		for _, sh := range g.shippers {
+			shipped += sh.Shipped()
 		}
 	}
 	out["cluster.shards"] = int64(len(r.groups))
@@ -853,6 +908,10 @@ func (r *Router) Stats() (map[string]int64, error) {
 	out["cluster.nodes.tripped"] = tripped
 	out["cluster.trips"] = r.trips.Load()
 	out["cluster.readmits"] = r.readmits.Load()
+	out["cluster.writes"] = r.writes.Load()
+	out["cluster.wal.shipped"] = shipped
+	out["cluster.wal.lag.max"] = lagMax
+	out["cluster.wal.stale"] = staleN
 	return out, nil
 }
 

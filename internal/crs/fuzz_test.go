@@ -53,7 +53,7 @@ func fuzzServer() (*Server, error) {
 func wireReplyOK(line string) bool {
 	tok, _, _ := strings.Cut(line, " ")
 	switch tok {
-	case "OK", "BYE", "ERR", "CANDIDATES", "STATS", "S", "C":
+	case "OK", "BYE", "ERR", "CANDIDATES", "STATS", "S", "C", "LOG", "R":
 		return true
 	}
 	return false
@@ -75,6 +75,12 @@ func FuzzWireParse(f *testing.F) {
 		"RETRIEVE fs2 unknown_pred(X).\n",
 		"BEGIN\nASSERT m(9, y).\nCOMMIT\nQUIT\n",
 		"BEGIN\nASSERT m(9, y).\nABORT\n",
+		"WRITE assert m(9, y).\nWRITE retract m(9, y).\n",
+		"WRITE frob m(9, y).\nWRITE assert\nWRITE\n",
+		"SYNC 0 1\nSYNC 0 0\nQUIT\n",
+		"SYNC\nSYNC x y\nSYNC 0 -1\nSYNC 0 99999999999999999999\n",
+		"REPL 1 assert fuzz m(7, z)\nREPL 1 assert fuzz m(7, z)\n",
+		"REPL 0 assert fuzz m(7, z)\nREPL x y\nREPL 2 frob fuzz m(7, z)\nREPL\n",
 		"ASSERT m(1, x).\n",
 		"COMMIT\nABORT\nBEGIN\nBEGIN\n",
 		"STATS\nSTATS\n",

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 
 	"clare/internal/core"
 	"clare/internal/parse"
 	"clare/internal/telemetry"
 	"clare/internal/term"
+	"clare/internal/wal"
 )
 
 // Wire protocol (text, line-oriented; terms in Edinburgh syntax):
@@ -26,6 +28,12 @@ import (
 //	C: ASSERT <clause>          S: OK
 //	C: COMMIT                   S: OK
 //	C: ABORT                    S: OK
+//	C: WRITE assert <clause>    S: OK <seq>
+//	C: WRITE retract <clause>   S: OK <seq>
+//	C: SYNC <shard> <from-seq>  S: LOG <n> <last-seq>
+//	                               <n> lines, each "R <seq> <op> <module> <clause>"
+//	C: REPL <seq> <op> <module> <clause>
+//	                            S: OK <applied-seq>
 //	C: STATS                    S: STATS <n>
 //	                               <n> lines, each "S <key> <value>"
 //	C: QUIT                     S: BYE
@@ -34,9 +42,21 @@ import (
 // STATS keys are served.<mode>, sessions, boards, qcache.{hits,misses,
 // entries}, the board-health gauges boards.{free,leased,tripped,trips,
 // readmits}, the fault-tolerance tallies degraded, retries and faults,
-// and engine.native (1 when the server runs the native vectorized
-// engine, 0 for the cycle-accurate simulation); values are decimal
-// integers.
+// engine.native (1 when the server runs the native vectorized
+// engine, 0 for the cycle-accurate simulation), and the durable write
+// path's wal.* keys (wal.{enabled,seq,applied,segments,appends,fsyncs,
+// faults,replicated,readonly}); values are decimal integers.
+//
+// Write path: ASSERT stages into a BEGIN…COMMIT transaction exactly as
+// before; WRITE is the autocommit form — one clause logged, applied and
+// (per the fsync policy) durable before the assigned log sequence
+// number returns. SYNC streams the write-ahead log's suffix from
+// from-seq (the shard token is informational on a single-shard server)
+// and REPL lands one primary-sequenced record on a replica, answering
+// the replica's applied watermark: a duplicate acks without
+// re-applying, a gap acks the current watermark without applying so the
+// shipper rewinds. Record clauses are Edinburgh source without the
+// final '.'.
 //
 // Trace context: a RETRIEVE or EXPLAIN goal may be followed by one
 // trailing token " trace=<traceid>:<parentspan>" (after the goal's
@@ -58,6 +78,10 @@ import (
 // maxWireLine bounds one protocol line in either direction. A longer
 // line is answered with "ERR line too long" and the connection dropped.
 const maxWireLine = 4 * 1024 * 1024
+
+// syncBatch caps the records one SYNC reply carries; a follower that
+// needs more keeps pulling from its advanced watermark.
+const syncBatch = 512
 
 // ParseMode maps a wire-mode word to a search mode; auto returns nil
 // (heuristic selection).
@@ -203,6 +227,67 @@ func (s *Server) handle(conn net.Conn) {
 				reply("ERR %v", err)
 			} else {
 				reply("OK")
+			}
+		case "WRITE":
+			opWord, clauseText, ok := strings.Cut(rest, " ")
+			if !ok {
+				reply("ERR usage: WRITE assert|retract <clause>.")
+				continue
+			}
+			op, err := wal.ParseOp(opWord)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			cl, err := parse.Term(strings.TrimSuffix(clauseText, "."))
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			head, body := splitClause(cl)
+			var seq uint64
+			if op == wal.OpAssert {
+				seq, err = sess.AssertNow(head, body)
+			} else {
+				seq, err = sess.RetractNow(head, body)
+			}
+			if err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK %d", seq)
+			}
+		case "SYNC":
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				reply("ERR usage: SYNC <shard> <from-seq>")
+				continue
+			}
+			from, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				reply("ERR bad from-seq %q", fields[1])
+				continue
+			}
+			recs, last, err := s.LogSuffix(from, syncBatch)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			fmt.Fprintf(out, "LOG %d %d\n", len(recs), last)
+			for _, rec := range recs {
+				fmt.Fprintf(out, "R %s\n", rec.WireText())
+			}
+			out.Flush()
+		case "REPL":
+			rec, err := wal.ParseRecordText(rest)
+			if err != nil {
+				reply("ERR %v", err)
+				continue
+			}
+			applied, err := s.ApplyReplicated(rec)
+			if err != nil {
+				reply("ERR %v", err)
+			} else {
+				reply("OK %d", applied)
 			}
 		case "RETRIEVE":
 			modeWord, goalText, ok := strings.Cut(rest, " ")

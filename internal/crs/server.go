@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clare/internal/core"
 	"clare/internal/telemetry"
 	"clare/internal/term"
+	"clare/internal/wal"
 )
 
 // Server owns a CLARE retriever and the clause data behind it, mediating
@@ -47,6 +49,20 @@ type Server struct {
 	// lat tracks per-predicate retrieval wall time for the /top admin
 	// endpoint ("which predicates are eating the wall clock").
 	lat *telemetry.LatencyTracker
+
+	// Durable write path (see wal.go). walLog is the shard's
+	// write-ahead log (nil = writes are memory-only, the pre-WAL
+	// behavior); applied tracks the last log sequence number applied to
+	// the store; memSeq hands out sequence numbers when no log is
+	// attached; readOnly marks a replica (client writes rejected,
+	// replicated applies allowed); applyMu serializes the replication
+	// apply path so its seq check and store mutation are atomic.
+	walLog     *wal.Log
+	applyMu    sync.Mutex
+	applied    atomic.Uint64
+	memSeq     atomic.Uint64
+	readOnly   atomic.Bool
+	replicated atomic.Int64
 
 	// Connection tracking for Serve/Shutdown.
 	connMu   sync.Mutex
@@ -85,6 +101,7 @@ var (
 	ErrNoTransaction = errors.New("crs: no transaction in progress")
 	ErrInTransaction = errors.New("crs: transaction already in progress")
 	ErrClosed        = errors.New("crs: session closed")
+	ErrReadOnly      = errors.New("crs: read-only replica (writes go to the shard primary)")
 )
 
 // Load installs (or replaces) a predicate's clauses. The new predicate
@@ -356,6 +373,9 @@ func (c *Session) Begin() error {
 	if c.closed {
 		return ErrClosed
 	}
+	if c.srv.readOnly.Load() {
+		return ErrReadOnly
+	}
 	if c.tx != nil {
 		return ErrInTransaction
 	}
@@ -413,6 +433,37 @@ func (c *Session) Commit() error {
 		c.tx = nil
 	}()
 	c.srv.met.txCommits.Inc()
+	// Write-ahead: the transaction's appends become one log batch (one
+	// durability unit, consecutive seqs, one policy fsync) before any
+	// compiled clause file is rebuilt. The affected predicates are all
+	// still write-locked, so replay order per predicate matches apply
+	// order.
+	tr := c.srv.retriever.Tracer().Start("commit")
+	defer c.srv.retriever.Tracer().Finish(tr)
+	if c.srv.walLog != nil && len(txn.staged) > 0 {
+		var recs []wal.Record
+		for pi, appended := range txn.staged {
+			c.srv.mu.RLock()
+			ps := c.srv.preds[pi]
+			c.srv.mu.RUnlock()
+			for _, cl := range appended {
+				recs = append(recs, wal.Record{Op: wal.OpAssert, Module: ps.module, Clause: renderClause(cl.Head, cl.Body)})
+			}
+		}
+		sp := tr.Span(nil, "wal")
+		last, err := c.srv.walLog.AppendBatch(recs)
+		sp.End()
+		if err != nil {
+			return fmt.Errorf("crs: commit wal append: %w", err)
+		}
+		defer func() {
+			// Runs after the apply loop below; on a mid-loop failure the
+			// log is ahead of the store, which restart replay resolves.
+			c.srv.noteWrite(last, wal.OpAssert, len(recs))
+		}()
+	}
+	applySp := tr.Span(nil, "apply")
+	defer applySp.End()
 	for pi, appended := range txn.staged {
 		// The predicate's write lock (held since first Assert) makes the
 		// rebuild exclusive; the server mutex is only needed to look the

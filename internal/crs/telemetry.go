@@ -6,6 +6,7 @@ import (
 
 	"clare/internal/core"
 	"clare/internal/telemetry"
+	"clare/internal/wal"
 )
 
 // serverMetrics holds the CRS-level registry handles. All handles are
@@ -29,6 +30,10 @@ type serverMetrics struct {
 	txBegins  *telemetry.Counter
 	txCommits *telemetry.Counter
 	txAborts  *telemetry.Counter
+
+	writesAssert  *telemetry.Counter
+	writesRetract *telemetry.Counter
+	replApplied   *telemetry.Counter
 
 	wireErrs *telemetry.Counter
 }
@@ -55,6 +60,12 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"CRS transaction operations", telemetry.Labels{"op": "commit"})
 	m.txAborts = reg.Counter("clare_crs_transactions_total",
 		"CRS transaction operations", telemetry.Labels{"op": "abort"})
+	m.writesAssert = reg.Counter("clare_crs_writes_total",
+		"clauses written through the durable write path", telemetry.Labels{"op": "assert"})
+	m.writesRetract = reg.Counter("clare_crs_writes_total",
+		"clauses written through the durable write path", telemetry.Labels{"op": "retract"})
+	m.replApplied = reg.Counter("clare_crs_replicated_total",
+		"primary-sequenced records applied via replication", nil)
 	m.wireErrs = reg.Counter("clare_crs_wire_errors_total",
 		"ERR replies sent over the wire protocol", nil)
 	return m
@@ -100,6 +111,17 @@ type Snapshot struct {
 	// EngineNative reports whether the retriever runs the native
 	// vectorized engine rather than the cycle-accurate simulation.
 	EngineNative bool
+	// WAL is the durable write path's state: enabled says whether a log
+	// is attached, Seq/Applied are the log's last and the store's
+	// applied sequence numbers (Applied lags Seq only transiently),
+	// Replicated counts records applied via replication, and ReadOnly
+	// marks a replica.
+	WALEnabled bool
+	WALSeq     uint64
+	WALApplied uint64
+	WALStats   wal.LogStats
+	Replicated int64
+	ReadOnly   bool
 }
 
 // Snapshot captures the server's current service counters.
@@ -107,7 +129,7 @@ func (s *Server) Snapshot() Snapshot {
 	s.statsMu.Lock()
 	degraded, retries, faults := s.degraded, s.retries, s.faults
 	s.statsMu.Unlock()
-	return Snapshot{
+	sn := Snapshot{
 		Served:       s.Served(),
 		Sessions:     s.Sessions(),
 		Boards:       s.retriever.Boards(),
@@ -117,7 +139,18 @@ func (s *Server) Snapshot() Snapshot {
 		Retries:      retries,
 		Faults:       faults,
 		EngineNative: s.retriever.Engine() == core.EngineNative,
+		WALApplied:   s.applied.Load(),
+		Replicated:   s.replicated.Load(),
+		ReadOnly:     s.readOnly.Load(),
 	}
+	if s.walLog != nil {
+		sn.WALEnabled = true
+		sn.WALStats = s.walLog.Stats()
+		sn.WALSeq = sn.WALStats.LastSeq
+	} else {
+		sn.WALSeq = sn.WALApplied
+	}
+	return sn
 }
 
 // statsKV flattens a snapshot into the deterministic key/value sequence
@@ -153,5 +186,23 @@ func (sn Snapshot) lines() []statsKV {
 		engine = 1
 	}
 	kv = append(kv, statsKV{"engine.native", engine})
+	kv = append(kv,
+		statsKV{"wal.enabled", b2i(sn.WALEnabled)},
+		statsKV{"wal.seq", int64(sn.WALSeq)},
+		statsKV{"wal.applied", int64(sn.WALApplied)},
+		statsKV{"wal.segments", int64(sn.WALStats.Segments)},
+		statsKV{"wal.appends", sn.WALStats.Appends},
+		statsKV{"wal.fsyncs", sn.WALStats.Fsyncs},
+		statsKV{"wal.faults", sn.WALStats.Faults},
+		statsKV{"wal.replicated", sn.Replicated},
+		statsKV{"wal.readonly", b2i(sn.ReadOnly)},
+	)
 	return kv
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,358 @@
+package crs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"clare/internal/core"
+	"clare/internal/fault"
+	"clare/internal/parse"
+	"clare/internal/wal"
+	"clare/internal/workload"
+)
+
+// newWALServer boots a server over the family workload with a
+// write-ahead log under dir, replaying whatever the log holds.
+func newWALServer(t *testing.T, dir string) *Server {
+	t.Helper()
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r)
+	fam := workload.Family{Couples: 30, SameEvery: 3}
+	if err := s.Load("family", fam.Clauses()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	s.AttachWAL(l)
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func countCandidates(t *testing.T, s *Server, goal string) int {
+	t.Helper()
+	sess := s.OpenSession()
+	defer sess.Close()
+	rt, err := sess.Retrieve(parse.MustTerm(goal), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads, _, err := rt.DecodeCandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(heads)
+}
+
+// TestWALWriteRecovery: autocommit writes survive a server restart —
+// the rebooted server replays base + log and reaches the same store and
+// watermark.
+func TestWALWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := newWALServer(t, dir)
+	sess := s.OpenSession()
+	for i := 0; i < 5; i++ {
+		if _, err := sess.AssertNow(parse.MustTerm(fmt.Sprintf("married_couple(hx%d, wx%d)", i, i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := sess.RetractNow(parse.MustTerm("married_couple(hx0, wx0)"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 6 {
+		t.Fatalf("retract seq = %d, want 6", seq)
+	}
+	if got := s.AppliedSeq(); got != 6 {
+		t.Fatalf("AppliedSeq = %d, want 6", got)
+	}
+	before := countCandidates(t, s, "married_couple(X, Y)")
+	if n := countCandidates(t, s, "married_couple(hx3, X)"); n != 1 {
+		t.Fatalf("asserted clause not retrievable: %d candidates", n)
+	}
+	if n := countCandidates(t, s, "married_couple(hx0, X)"); n != 0 {
+		t.Fatalf("retracted clause still retrievable: %d candidates", n)
+	}
+	sess.Close()
+	if err := s.WAL().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reboot over the same log directory.
+	s2 := newWALServer(t, dir)
+	if got := s2.AppliedSeq(); got != 6 {
+		t.Fatalf("recovered AppliedSeq = %d, want 6", got)
+	}
+	if after := countCandidates(t, s2, "married_couple(X, Y)"); after != before {
+		t.Fatalf("recovered store has %d candidates, want %d", after, before)
+	}
+	if n := countCandidates(t, s2, "married_couple(hx0, X)"); n != 0 {
+		t.Fatalf("retract lost in recovery: %d candidates", n)
+	}
+	if n := countCandidates(t, s2, "married_couple(hx4, X)"); n != 1 {
+		t.Fatalf("assert lost in recovery: %d candidates", n)
+	}
+}
+
+// TestWALTransactionCommitLogged: a BEGIN…COMMIT batch lands in the log
+// as one consecutive-seq unit and survives restart.
+func TestWALTransactionCommitLogged(t *testing.T) {
+	dir := t.TempDir()
+	s := newWALServer(t, dir)
+	sess := s.OpenSession()
+	if err := sess.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cl := parse.MustTerm(fmt.Sprintf("married_couple(tx%d, ty%d)", i, i))
+		if err := sess.Assert(cl, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.AppliedSeq(); got != 3 {
+		t.Fatalf("AppliedSeq after commit = %d, want 3", got)
+	}
+	recs, last, err := s.LogSuffix(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 3 || len(recs) != 3 {
+		t.Fatalf("log holds %d records to seq %d, want 3 to 3", len(recs), last)
+	}
+	sess.Close()
+	s.WAL().Close()
+
+	s2 := newWALServer(t, dir)
+	if n := countCandidates(t, s2, "married_couple(tx1, X)"); n != 1 {
+		t.Fatalf("committed clause lost in recovery: %d candidates", n)
+	}
+}
+
+// TestWireWriteSyncRepl drives the replication verbs end to end over
+// the wire: WRITE on a primary, SYNC to read the log back, REPL to land
+// each record on a read-only replica, then candidate equality.
+func TestWireWriteSyncRepl(t *testing.T) {
+	primary := newWALServer(t, t.TempDir())
+	replica := newWALServer(t, t.TempDir())
+	replica.SetReadOnly(true)
+	pAddr, rAddr := startWire(t, primary), startWire(t, replica)
+
+	pc, err := Dial(pAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	for i := 0; i < 4; i++ {
+		seq, err := pc.AssertNow(fmt.Sprintf("married_couple(wx%d, wy%d)", i, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("write %d got seq %d", i, seq)
+		}
+	}
+	if _, err := pc.Retract("married_couple(wx0, wy0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, last, err := pc.SyncLog(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 5 || len(recs) != 5 {
+		t.Fatalf("SyncLog = %d recs to %d, want 5 to 5", len(recs), last)
+	}
+
+	rc, err := Dial(rAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// Client writes must bounce off the replica...
+	if _, err := rc.AssertNow("married_couple(zz, zz)"); err == nil {
+		t.Fatal("replica accepted a client write")
+	}
+	if err := rc.Begin(); err == nil {
+		t.Fatal("replica accepted BEGIN")
+	}
+	// ...while replicated applies land, idempotently.
+	for _, rec := range recs {
+		applied, err := rc.Repl(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied != rec.Seq {
+			t.Fatalf("REPL seq %d acked %d", rec.Seq, applied)
+		}
+	}
+	if applied, err := rc.Repl(recs[2]); err != nil || applied != 5 {
+		t.Fatalf("dup REPL = (%d, %v), want (5, nil)", applied, err)
+	}
+	stats, err := rc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["wal.applied"] != 5 || stats["wal.readonly"] != 1 || stats["wal.replicated"] != 5 {
+		t.Fatalf("replica stats = applied %d readonly %d replicated %d",
+			stats["wal.applied"], stats["wal.readonly"], stats["wal.replicated"])
+	}
+	// Converged: identical candidates for the churned queries.
+	for _, goal := range []string{"married_couple(wx0, X)", "married_couple(wx2, X)", "married_couple(X, Y)"} {
+		p, r := countCandidates(t, primary, goal), countCandidates(t, replica, goal)
+		if p != r {
+			t.Fatalf("goal %s: primary %d candidates, replica %d", goal, p, r)
+		}
+	}
+}
+
+// TestReplGapRewind: a gap REPL acks the current watermark without
+// applying, so a shipper can rewind.
+func TestReplGapRewind(t *testing.T) {
+	replica := newWALServer(t, t.TempDir())
+	replica.SetReadOnly(true)
+	applied, err := replica.ApplyReplicated(wal.Record{Seq: 7, Op: wal.OpAssert, Module: "family", Clause: "married_couple(g, g)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("gap apply acked %d, want 0", applied)
+	}
+	if n := countCandidates(t, replica, "married_couple(g, X)"); n != 0 {
+		t.Fatal("gap record was applied")
+	}
+}
+
+// TestClientWritesNeverReplayed: when the transport dies mid-write, the
+// client must surface the error without reconnect-and-replay — the
+// server may have applied the write, and a replay would double it. A
+// retrieval over the same failure IS replayed (idempotent), which the
+// same fake server proves as a control.
+func TestClientWritesNeverReplayed(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var writes, retrieves atomic.Int64
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				acc := ""
+				for {
+					n, err := conn.Read(buf)
+					if err != nil {
+						return
+					}
+					acc += string(buf[:n])
+					for {
+						line, rest, ok := strings.Cut(acc, "\n")
+						if !ok {
+							break
+						}
+						acc = rest
+						switch {
+						case strings.HasPrefix(line, "HELLO"):
+							fmt.Fprintln(conn, "OK crs 1")
+						case strings.HasPrefix(line, "WRITE"):
+							// Die mid-write: the request was received (and
+							// may have been applied) but no reply comes.
+							writes.Add(1)
+							return
+						case strings.HasPrefix(line, "RETRIEVE"):
+							if retrieves.Add(1) == 1 {
+								return // first attempt dies the same way
+							}
+							fmt.Fprintln(conn, "CANDIDATES 0")
+							fmt.Fprintln(conn, "STATS mode=fs1+fs2 total=0 fs1=0 fs2=0")
+						case strings.HasPrefix(line, "QUIT"):
+							fmt.Fprintln(conn, "BYE")
+							return
+						}
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.AssertNow("p(a)"); err == nil {
+		t.Fatal("write over dead transport returned success")
+	}
+	if got := writes.Load(); got != 1 {
+		t.Fatalf("server received the write %d times, want exactly 1 (no replay)", got)
+	}
+	// Control: the idempotent path does reconnect and replay.
+	if err := c.connect(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Retrieve("auto", "p(X)"); err != nil {
+		t.Fatalf("retrieve should have been replayed to success: %v", err)
+	}
+	if got := retrieves.Load(); got != 2 {
+		t.Fatalf("server received the retrieve %d times, want 2 (one replay)", got)
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		t.Fatal("transport failure misclassified as server rejection")
+	}
+}
+
+// TestWriteFaultsInvisible: injected wal.append/wal.fsync faults must
+// never surface to the writing client — only degradation counters move.
+func TestWriteFaultsInvisible(t *testing.T) {
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r)
+	fam := workload.Family{Couples: 10, SameEvery: 3}
+	if err := s.Load("family", fam.Clauses()); err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(11).
+		Add(fault.Rule{Site: fault.SiteWALAppend, Probability: 1}).
+		Add(fault.Rule{Site: fault.SiteWALFsync, Probability: 1})
+	l, err := wal.Open(t.TempDir(), wal.Options{Fsync: wal.FsyncPolicy{Always: true}, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s.AttachWAL(l)
+	sess := s.OpenSession()
+	defer sess.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := sess.AssertNow(parse.MustTerm(fmt.Sprintf("married_couple(fx%d, fy%d)", i, i)), nil); err != nil {
+			t.Fatalf("write %d surfaced a fault: %v", i, err)
+		}
+	}
+	if st := l.Stats(); st.Faults == 0 {
+		t.Fatal("no faults absorbed — injector not wired")
+	}
+	if sn := s.Snapshot(); sn.WALStats.Faults == 0 {
+		t.Fatal("wal.faults stats key not populated")
+	}
+}

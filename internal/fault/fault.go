@@ -50,6 +50,17 @@ const (
 	// keyed by predicate indicator — the hook for predicate-targeted
 	// chaos schedules.
 	SiteRetrieve = "core.retrieve"
+	// SiteWALAppend is a write-ahead-log frame write failing (bad
+	// sector under the log file); the log absorbs it with a probe-free
+	// retry.
+	SiteWALAppend = "wal.append"
+	// SiteWALFsync is an fsync of the log failing; the flush is skipped
+	// (durability degrades for one policy window) and counted.
+	SiteWALFsync = "wal.fsync"
+	// SiteWALShip is a primary→replica log-shipping round failing;
+	// replication lag grows until the replica trips the staleness bound,
+	// like a sick board leaving the rotation.
+	SiteWALShip = "wal.ship"
 )
 
 // IsKnownSite reports whether site is one of the standard injection
@@ -58,7 +69,8 @@ const (
 // unknown site usually means a typo that would silently never fire.
 func IsKnownSite(site string) bool {
 	switch site {
-	case SiteDiskRead, SiteDiskIndex, SiteBus, SiteFS2, SiteRetrieve:
+	case SiteDiskRead, SiteDiskIndex, SiteBus, SiteFS2, SiteRetrieve,
+		SiteWALAppend, SiteWALFsync, SiteWALShip:
 		return true
 	}
 	return false
