@@ -18,6 +18,14 @@
 // one side are reported but never fail the gate (experiments come and
 // go); a missing baseline is a clean pass so the gate can bootstrap on
 // the commit that introduces it.
+//
+// One absolute floor exists on top of the baseline comparison: the
+// partitioned columnar scan's NATIVE/par_speedup_w8 metric must reach
+// -par-speedup-floor (default 1.6x over serial) — but only when the
+// fresh run's own gomaxprocs header is at least 8, because on a host
+// with fewer cores the configured workers cannot run simultaneously and
+// the honest curve hovers at or below 1x. On small hosts the floor is
+// reported as skipped, never failed.
 package main
 
 import (
@@ -32,9 +40,10 @@ import (
 // report mirrors the fields of clarebench's benchReport that the gate
 // reads; unknown fields are ignored so the formats can evolve apart.
 type report struct {
-	Generated string `json:"generated"`
-	GitSHA    string `json:"git_sha"`
-	Metrics   []struct {
+	Generated  string `json:"generated"`
+	GitSHA     string `json:"git_sha"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Metrics    []struct {
 		Experiment string  `json:"experiment"`
 		Name       string  `json:"name"`
 		Value      float64 `json:"value"`
@@ -48,6 +57,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding committed BENCH_*.json baselines")
 	threshold := flag.Float64("threshold", 0.10, "max allowed regression for simulated throughput (queries/s)")
 	wallThreshold := flag.Float64("wall-threshold", 0.50, "max allowed regression for wall-clock throughput (wall-queries/s)")
+	parFloor := flag.Float64("par-speedup-floor", 1.6, "min NATIVE/par_speedup_w8 when the fresh run had gomaxprocs >= 8")
 	flag.Parse()
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -fresh fresh.json [-baseline BENCH_x.json] [-dir .] [-threshold 0.10] [-wall-threshold 0.50]")
@@ -75,10 +85,40 @@ func main() {
 	fmt.Printf("benchgate: %s (fresh) vs %s (baseline %s, generated %s)\n",
 		*fresh, basePath, orDash(base.GitSHA), base.Generated)
 	failures, compared := gate(os.Stdout, cur, base, *threshold, *wallThreshold)
+	if !speedupFloor(os.Stdout, cur, *parFloor) {
+		failures++
+	}
 	if failures > 0 {
 		fatal("%d of %d throughput metrics regressed beyond threshold", failures, compared)
 	}
 	fmt.Printf("benchgate: %d throughput metrics within threshold\n", compared)
+}
+
+// speedupFloor enforces the absolute parallel-scan floor on the fresh
+// run: NATIVE/par_speedup_w8 must reach floor when the run's gomaxprocs
+// header is >= 8. On smaller hosts the floor is skipped — 8 configured
+// scan workers cannot run simultaneously on fewer cores, so the honest
+// measurement sits at or below 1x there.
+func speedupFloor(w io.Writer, cur *report, floor float64) (ok bool) {
+	for _, m := range cur.Metrics {
+		if m.Experiment != "NATIVE" || m.Name != "par_speedup_w8" {
+			continue
+		}
+		if cur.GOMAXPROCS < 8 {
+			fmt.Fprintf(w, "  SKIP  NATIVE/par_speedup_w8 = %.2fx (gomaxprocs %d < 8, floor %.1fx not applicable)\n",
+				m.Value, cur.GOMAXPROCS, floor)
+			return true
+		}
+		if m.Value < floor {
+			fmt.Fprintf(w, "  FAIL  NATIVE/par_speedup_w8 = %.2fx < floor %.1fx (gomaxprocs %d)\n",
+				m.Value, floor, cur.GOMAXPROCS)
+			return false
+		}
+		fmt.Fprintf(w, "  ok    NATIVE/par_speedup_w8 = %.2fx >= floor %.1fx (gomaxprocs %d)\n",
+			m.Value, floor, cur.GOMAXPROCS)
+		return true
+	}
+	return true
 }
 
 // gate compares the fresh run's throughput metrics against the baseline,

@@ -65,6 +65,39 @@ func TestGateThresholds(t *testing.T) {
 	}
 }
 
+func TestSpeedupFloor(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		procs    int
+		speedup  string // "" = metric absent
+		wantOK   bool
+		wantLine string
+	}{
+		{"big host above floor", 8, "2.1", true, "ok    NATIVE/par_speedup_w8"},
+		{"big host below floor", 16, "1.1", false, "FAIL  NATIVE/par_speedup_w8"},
+		{"small host skips", 1, "0.76", true, "SKIP  NATIVE/par_speedup_w8"},
+		{"metric absent passes", 8, "", true, ""},
+	} {
+		cur := rep("2026-02-01T00:00:00Z")
+		cur.GOMAXPROCS = tc.procs
+		if tc.speedup != "" {
+			cur = rep("2026-02-01T00:00:00Z",
+				[4]string{"NATIVE", "par_speedup_w8", tc.speedup, "x"})
+			cur.GOMAXPROCS = tc.procs
+		}
+		var out strings.Builder
+		if ok := speedupFloor(&out, cur, 1.6); ok != tc.wantOK {
+			t.Errorf("%s: ok = %v, want %v\n%s", tc.name, ok, tc.wantOK, out.String())
+		}
+		if tc.wantLine != "" && !strings.Contains(out.String(), tc.wantLine) {
+			t.Errorf("%s: missing %q:\n%s", tc.name, tc.wantLine, out.String())
+		}
+		if tc.wantLine == "" && out.Len() != 0 {
+			t.Errorf("%s: unexpected output:\n%s", tc.name, out.String())
+		}
+	}
+}
+
 func TestLatestBaseline(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, gen string) string {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"clare/internal/core"
@@ -102,5 +105,153 @@ func expNATIVE() error {
 		return fmt.Errorf("NATIVE: %d candidate-set divergences between engines", divergences)
 	}
 	fmt.Printf("(candidate sets identical across engines on all %d goals; mode fs1+fs2)\n", nGoals)
+	if err := nativeParallelSweep(); err != nil {
+		return err
+	}
+	return nativeColdStart()
+}
+
+// nativeParallelSweep measures the partitioned FS1 scan's worker-count
+// scaling curve on the biggest predicate of a 10x-larger Warren KB (big
+// enough to split under the default partition threshold), in fs1 mode —
+// the whole-secondary-file scan is the partitioned path's showcase. The
+// curve is honest about the host: on a single-core runner the configured
+// workers still exercise the concurrent merge path but cannot run
+// simultaneously, so the speedup hovers near (slightly below) 1x; the
+// recorded gomaxprocs in the JSON header tells benchgate whether the
+// speedup floor applies.
+func nativeParallelSweep() error {
+	wk := workload.WarrenKB{Scale: 0.1, Seed: 1}
+	preds := wk.Generate()
+	big := 0
+	for i := range preds {
+		if len(preds[i].Clauses) > len(preds[big].Clauses) {
+			big = i
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Engine = core.EngineNative
+	r, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := r.AddClauses("warren", preds[big].Clauses); err != nil {
+		return err
+	}
+	const passes = 50
+	goals := make([]term.Term, 8)
+	for i := range goals {
+		goals[i] = term.New(preds[big].Name, term.Atom(fmt.Sprintf("e%d", i+1)), term.NewVar("V"))
+	}
+	fmt.Printf("\nparallel scan sweep: %s/%d entries, mode fs1, GOMAXPROCS %d\n",
+		preds[big].Name, len(preds[big].Clauses), runtime.GOMAXPROCS(0))
+	w := tab()
+	fmt.Fprintln(w, "scan workers\tqueries\twall time\twall queries/s\tspeedup vs 1")
+	var base float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		r.SetScanWorkers(workers)
+		for _, g := range goals { // warm-up: arena + pool + query cache
+			if _, err := r.Retrieve(g, core.ModeFS1); err != nil {
+				return err
+			}
+		}
+		queries := 0
+		start := time.Now()
+		for p := 0; p < passes; p++ {
+			for _, g := range goals {
+				if _, err := r.Retrieve(g, core.ModeFS1); err != nil {
+					return err
+				}
+				queries++
+			}
+		}
+		elapsed := time.Since(start)
+		qps := float64(queries) / elapsed.Seconds()
+		if workers == 1 {
+			base = qps
+		}
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\t%.2fx\n",
+			workers, queries, elapsed.Round(time.Microsecond), qps, qps/base)
+		record("NATIVE", fmt.Sprintf("par_wall_qps_w%d", workers), qps, "wall-queries/s")
+		if workers == 8 {
+			record("NATIVE", "par_speedup_w8", qps/base, "x")
+		}
+	}
+	return w.Flush()
+}
+
+// nativeColdStart times loading a kbc-built store through the heap
+// decoder vs mapping it read-only — the mmap path's pitch is that cold
+// start becomes page-in instead of re-decode.
+func nativeColdStart() error {
+	wk := workload.WarrenKB{Scale: 0.1, Seed: 1}
+	preds := wk.Generate()
+	r, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	for _, p := range preds {
+		if _, err := r.AddClauses("warren", p.Clauses); err != nil {
+			return err
+		}
+	}
+	dir, err := os.MkdirTemp("", "clarebench-store")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "warren.clare")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.SaveKB(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	heapStart := time.Now()
+	hf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	hr, err := core.LoadRetriever(core.DefaultConfig(), hf)
+	hf.Close()
+	if err != nil {
+		return err
+	}
+	heapMs := float64(time.Since(heapStart).Microseconds()) / 1000
+
+	mapStart := time.Now()
+	mr, mapped, err := core.MapRetriever(core.DefaultConfig(), path)
+	if err != nil {
+		return err
+	}
+	mapMs := float64(time.Since(mapStart).Microseconds()) / 1000
+	defer mr.CloseStore()
+
+	// Sanity: both loads answer a probe identically.
+	goal := term.New(preds[0].Name, term.Atom("e1"), term.NewVar("V"))
+	hrt, err := hr.Retrieve(goal, core.ModeFS1FS2)
+	if err != nil {
+		return err
+	}
+	mrt, err := mr.Retrieve(goal, core.ModeFS1FS2)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprint(addrList(hrt)) != fmt.Sprint(addrList(mrt)) {
+		return fmt.Errorf("NATIVE: heap and mmap loads disagree on %v", goal)
+	}
+	fmt.Printf("\ncold start, %d-predicate store (%.1f MB): heap decode %.1f ms, mmap %.1f ms (mapped=%v, %.1fx)\n",
+		len(preds), float64(st.Size())/(1<<20), heapMs, mapMs, mapped, heapMs/mapMs)
+	record("NATIVE", "coldstart_heap_ms", heapMs, "ms")
+	record("NATIVE", "coldstart_mmap_ms", mapMs, "ms")
 	return nil
 }

@@ -31,6 +31,13 @@
 // -engine native swaps the cycle-accurate hardware simulation for the
 // vectorized host engine (same candidates, wall-clock as the first-class
 // metric); the active engine is visible as the engine.native STATS key.
+// -scan-workers partitions each native FS1 columnar scan across that
+// many goroutines (results identical at any count; scan.workers in
+// STATS), and -mmap=true (the default) maps -kb read-only so predicates
+// decode zero-copy out of the page cache — cold start becomes page-in
+// instead of re-decode, with store.mapped=1 in STATS. Stores that
+// predate the mappable format, or platforms without mmap, silently fall
+// back to the heap load.
 //
 // Durable writes: -wal-dir enables the write-ahead log — WRITE
 // (autocommit assert/retract) and transaction commits append to a
@@ -77,6 +84,8 @@ func main() {
 	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	kb := flag.String("kb", "", "compiled knowledge-base store to load (kbc output; a shard slice works unchanged)")
+	useMmap := flag.Bool("mmap", true, "map -kb read-only and decode zero-copy (falls back to a heap load when the store or platform does not support it)")
+	scanWorkers := flag.Int("scan-workers", 0, "goroutines per native FS1 columnar scan (0 = GOMAXPROCS, negative = serial; results are identical at any count)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory: enables the durable write path (WRITE/SYNC/REPL) and replays the log over the loaded store at startup")
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always, never, or a flush interval like 50ms")
 	replica := flag.Bool("replica", false, "serve as a read-only replica: client writes are rejected, only REPL applies records")
@@ -116,17 +125,28 @@ func main() {
 		cfg.Faults = inj
 		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
 	}
+	cfg.ScanWorkers = *scanWorkers
 	var r *core.Retriever
 	if *kb != "" {
-		f, ferr := os.Open(*kb)
-		if ferr != nil {
-			fatal("%v", ferr)
+		start := time.Now()
+		var mapped bool
+		if *useMmap {
+			r, mapped, err = core.MapRetriever(cfg, *kb)
+		} else {
+			var f *os.File
+			if f, err = os.Open(*kb); err == nil {
+				r, err = core.LoadRetriever(cfg, f)
+				f.Close()
+			}
 		}
-		r, err = core.LoadRetriever(cfg, f)
-		f.Close()
 		if err != nil {
 			fatal("loading %s: %v", *kb, err)
 		}
+		store := "heap"
+		if mapped {
+			store = "mmap"
+		}
+		fmt.Printf("store %s: %s cold start in %s\n", *kb, store, time.Since(start).Round(time.Microsecond))
 	} else {
 		r, err = core.New(cfg)
 		if err != nil {

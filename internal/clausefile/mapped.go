@@ -1,0 +1,29 @@
+package clausefile
+
+import (
+	"unsafe"
+
+	"clare/internal/pif"
+)
+
+// hostLittleEndian reports whether uint32 loads read little-endian bytes
+// — the condition for viewing the store's little-endian word section
+// without decoding.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wordsView reinterprets a little-endian word section as []pif.Word
+// without copying. It refuses (second return false) on big-endian hosts
+// and misaligned buffers — the callers then fall back to the heap
+// decode, so a store built anywhere loads everywhere.
+func wordsView(b []byte) ([]pif.Word, bool) {
+	if len(b) == 0 {
+		return nil, true
+	}
+	if !hostLittleEndian || uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(pif.Word(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*pif.Word)(unsafe.Pointer(&b[0])), len(b)/4), true
+}

@@ -71,9 +71,14 @@ func (f *PredFile) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal parses a serialised compiled clause file against the shared
-// symbol table.
+// Unmarshal parses a serialised compiled clause file (either format)
+// against the shared symbol table, decoding through the heap. Use
+// UnmarshalMapped to decode a v2 blob zero-copy out of a mapping.
 func Unmarshal(data []byte, syms *symtab.Table) (*PredFile, error) {
+	if len(data) >= 4 && binary.BigEndian.Uint32(data) == fileMagic2 {
+		f, _, err := unmarshalV2(data, syms, false)
+		return f, err
+	}
 	r := &reader{data: data}
 	if m := r.u32(); m != fileMagic {
 		return nil, fmt.Errorf("clausefile: bad magic 0x%08x", m)

@@ -1,0 +1,200 @@
+package clausefile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"clare/internal/pif"
+	"clare/internal/scw"
+	"clare/internal/symtab"
+)
+
+// Serialised v2 layout — the mappable store format. The header and
+// per-record metadata stay big-endian like v1, but every record's
+// Args/Heap words are hoisted into one shared little-endian word section,
+// 8-byte aligned relative to the blob start:
+//
+//	magic     uint32 (fileMagic2)
+//	modLen    uint16, module bytes
+//	funLen    uint16, functor bytes
+//	arity     uint16
+//	count     uint32
+//	idxLen    uint32, secondary index blob (scw.Index)
+//	wordCount uint32
+//	pad       zero bytes to an 8-byte boundary (relative to blob start)
+//	words     wordCount x uint32 little-endian (host word order)
+//	records: per clause
+//	    headLen   uint32, head PIF meta record
+//	    clauseLen uint32, clause PIF meta record
+//
+// Records consume the word section in order (head args, head heap,
+// clause args, clause heap, clause by clause), so no record stores word
+// offsets. When the blob itself sits 8-aligned in a read-only mapping on
+// a little-endian host, the word section is decoded zero-copy: Args/Heap
+// become views straight into the mapping. Anywhere else (big-endian
+// hosts, misaligned buffers, plain io.Reader loads) the same bytes
+// decode through the heap with identical results.
+
+// fileMagic2 marks a v2 (mappable) serialised clause file.
+const fileMagic2 = 0xDB0F11E6
+
+// wordAlign is the alignment of the word section relative to the blob
+// start. 8 exceeds the 4 bytes uint32 views need, leaving headroom for
+// future 64-bit words.
+const wordAlign = 8
+
+// MarshalBinaryV2 serialises the compiled clause file in the mappable v2
+// layout. Unmarshal accepts both formats; UnmarshalMapped additionally
+// decodes v2 word sections zero-copy.
+func (f *PredFile) MarshalBinaryV2() ([]byte, error) {
+	idx, err := f.index.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	wordCount := 0
+	for _, sc := range f.clauses {
+		wordCount += len(sc.Head.Args) + len(sc.Head.Heap) + len(sc.Clause.Args) + len(sc.Clause.Heap)
+	}
+	buf := make([]byte, 0, 64+len(idx)+4*wordCount+f.size)
+	var tmp [4]byte
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put32(fileMagic2)
+	if len(f.Module) > 0xFFFF || len(f.Functor) > 0xFFFF || f.Arity > 0xFFFF {
+		return nil, fmt.Errorf("clausefile: header fields too large")
+	}
+	put16(uint16(len(f.Module)))
+	buf = append(buf, f.Module...)
+	put16(uint16(len(f.Functor)))
+	buf = append(buf, f.Functor...)
+	put16(uint16(f.Arity))
+	put32(uint32(len(f.clauses)))
+	put32(uint32(len(idx)))
+	buf = append(buf, idx...)
+	put32(uint32(wordCount))
+	for len(buf)%wordAlign != 0 {
+		buf = append(buf, 0)
+	}
+	putWords := func(ws []pif.Word) {
+		for _, w := range ws {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(w))
+			buf = append(buf, tmp[:4]...)
+		}
+	}
+	for _, sc := range f.clauses {
+		putWords(sc.Head.Args)
+		putWords(sc.Head.Heap)
+		putWords(sc.Clause.Args)
+		putWords(sc.Clause.Heap)
+	}
+	for _, sc := range f.clauses {
+		hb, err := sc.Head.MarshalBinaryMeta()
+		if err != nil {
+			return nil, err
+		}
+		cb, err := sc.Clause.MarshalBinaryMeta()
+		if err != nil {
+			return nil, err
+		}
+		put32(uint32(len(hb)))
+		buf = append(buf, hb...)
+		put32(uint32(len(cb)))
+		buf = append(buf, cb...)
+	}
+	return buf, nil
+}
+
+// UnmarshalMapped parses a serialised clause file, decoding a v2 word
+// section zero-copy when the buffer allows it (little-endian host, word
+// section 4-byte aligned in memory — guaranteed when data is a read-only
+// mapping of a kbc-built store). It reports whether the zero-copy path
+// was taken; v1 blobs and misaligned buffers decode through the heap
+// with identical results. Corrupt or truncated input fails with an
+// error, never a panic.
+func UnmarshalMapped(data []byte, syms *symtab.Table) (*PredFile, bool, error) {
+	if len(data) >= 4 && binary.BigEndian.Uint32(data) == fileMagic2 {
+		return unmarshalV2(data, syms, true)
+	}
+	f, err := Unmarshal(data, syms)
+	return f, false, err
+}
+
+func unmarshalV2(data []byte, syms *symtab.Table, zeroCopy bool) (*PredFile, bool, error) {
+	r := &reader{data: data}
+	if m := r.u32(); m != fileMagic2 {
+		return nil, false, fmt.Errorf("clausefile: bad v2 magic 0x%08x", m)
+	}
+	f := &PredFile{Symbols: syms}
+	f.Module = string(r.bytes(int(r.u16())))
+	f.Functor = string(r.bytes(int(r.u16())))
+	f.Arity = int(r.u16())
+	count := int(r.u32())
+	idxBlob := r.bytes(int(r.u32()))
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	idx, err := scw.UnmarshalIndex(idxBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	f.index = idx
+	wordCount := int(r.u32())
+	for r.err == nil && r.pos%wordAlign != 0 {
+		r.bytes(1)
+	}
+	if wordCount < 0 || int64(wordCount)*4 > int64(len(data)) {
+		return nil, false, fmt.Errorf("clausefile: word section of %d words exceeds blob", wordCount)
+	}
+	wb := r.bytes(wordCount * 4)
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	var words []pif.Word
+	mapped := false
+	if zeroCopy {
+		words, mapped = wordsView(wb)
+	}
+	if !mapped {
+		words = make([]pif.Word, wordCount)
+		for i := range words {
+			words[i] = pif.Word(binary.LittleEndian.Uint32(wb[4*i:]))
+		}
+	}
+	wv := pif.NewWordView(words)
+	addr := uint32(0)
+	for i := 0; i < count; i++ {
+		hb := r.bytes(int(r.u32()))
+		cb := r.bytes(int(r.u32()))
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		var he, ce pif.Encoded
+		if err := he.UnmarshalBinaryMeta(hb, wv); err != nil {
+			return nil, false, fmt.Errorf("clausefile: record %d head: %w", i, err)
+		}
+		if err := ce.UnmarshalBinaryMeta(cb, wv); err != nil {
+			return nil, false, fmt.Errorf("clausefile: record %d clause: %w", i, err)
+		}
+		// The v1-equivalent record size: meta bytes plus 4 bytes per
+		// word, so disk accounting is bit-identical across formats.
+		recSize := 8 + len(hb) + 4*(len(he.Args)+len(he.Heap)) + len(cb) + 4*(len(ce.Args)+len(ce.Heap))
+		f.clauses = append(f.clauses, &StoredClause{
+			Addr: addr, Seq: i, Head: &he, Clause: &ce, SizeBytes: recSize,
+		})
+		addr += uint32(recSize)
+		f.size += recSize
+	}
+	if r.pos != len(data) {
+		return nil, false, fmt.Errorf("clausefile: %d trailing bytes", len(data)-r.pos)
+	}
+	if left := wv.Remaining(); left != 0 {
+		return nil, false, fmt.Errorf("clausefile: %d unconsumed slab words", left)
+	}
+	return f, mapped, nil
+}

@@ -1,0 +1,221 @@
+package clausefile
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/pif"
+	"clare/internal/scw"
+	"clare/internal/symtab"
+	"clare/internal/term"
+)
+
+// buildMixed builds a predicate with ground facts, variable-bearing
+// heads (masked index entries), and rules — every record shape the
+// store formats must carry.
+func buildMixed(t testing.TB, n int) (*PredFile, *symtab.Table) {
+	t.Helper()
+	syms := symtab.New()
+	b, err := NewBuilder("zoo", "animal", 2, syms, scw.DefaultParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			if err := b.Add(parse.MustTerm(fmt.Sprintf("animal(cat%d, meows)", i)), term.Atom("true")); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := b.Add(term.New("animal", term.NewVar("X"), term.Atom(fmt.Sprintf("sound%d", i))),
+				term.Atom("true")); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := b.Add(parse.MustTerm(fmt.Sprintf("animal(dog%d, Noise)", i)),
+				parse.MustTerm(fmt.Sprintf("barks(dog%d, Noise)", i))); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := b.Add(parse.MustTerm(fmt.Sprintf("animal(f(bird%d, g(%d)), chirps)", i, i)),
+				term.Atom("true")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return b.Build(), syms
+}
+
+// equalFiles asserts two decoded predicate files are indistinguishable:
+// identity, per-clause addressing and sizes, every record's metadata and
+// words, and the secondary index bytes.
+func equalFiles(t *testing.T, label string, a, b *PredFile) {
+	t.Helper()
+	if a.Module != b.Module || a.Functor != b.Functor || a.Arity != b.Arity {
+		t.Fatalf("%s: identity %s:%s/%d vs %s:%s/%d",
+			label, a.Module, a.Functor, a.Arity, b.Module, b.Functor, b.Arity)
+	}
+	if a.Len() != b.Len() || a.SizeBytes() != b.SizeBytes() {
+		t.Fatalf("%s: len/size %d/%d vs %d/%d", label, a.Len(), a.SizeBytes(), b.Len(), b.SizeBytes())
+	}
+	ai, err := a.Index().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := b.Index().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ai, bi) {
+		t.Fatalf("%s: secondary index bytes differ", label)
+	}
+	for i := range a.All() {
+		sa, sb := a.All()[i], b.All()[i]
+		if sa.Addr != sb.Addr || sa.Seq != sb.Seq || sa.SizeBytes != sb.SizeBytes {
+			t.Fatalf("%s: clause %d framing %d/%d/%d vs %d/%d/%d",
+				label, i, sa.Addr, sa.Seq, sa.SizeBytes, sb.Addr, sb.Seq, sb.SizeBytes)
+		}
+		equalRecords(t, fmt.Sprintf("%s: clause %d head", label, i), sa.Head, sb.Head)
+		equalRecords(t, fmt.Sprintf("%s: clause %d clause", label, i), sa.Clause, sb.Clause)
+	}
+}
+
+func equalRecords(t *testing.T, label string, a, b *pif.Encoded) {
+	t.Helper()
+	if a.Functor != b.Functor || a.Arity != b.Arity || a.Side != b.Side || a.NumVars != b.NumVars {
+		t.Fatalf("%s: record identity %s/%d side %d vars %d vs %s/%d side %d vars %d",
+			label, a.Functor, a.Arity, a.Side, a.NumVars, b.Functor, b.Arity, b.Side, b.NumVars)
+	}
+	if len(a.Args) != len(b.Args) || len(a.Heap) != len(b.Heap) || len(a.VarNames) != len(b.VarNames) {
+		t.Fatalf("%s: section lengths %d/%d/%d vs %d/%d/%d", label,
+			len(a.Args), len(a.Heap), len(a.VarNames), len(b.Args), len(b.Heap), len(b.VarNames))
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			t.Fatalf("%s: arg word %d: %v vs %v", label, i, a.Args[i], b.Args[i])
+		}
+	}
+	for i := range a.Heap {
+		if a.Heap[i] != b.Heap[i] {
+			t.Fatalf("%s: heap word %d: %v vs %v", label, i, a.Heap[i], b.Heap[i])
+		}
+	}
+	for i := range a.VarNames {
+		if a.VarNames[i] != b.VarNames[i] {
+			t.Fatalf("%s: var name %d: %q vs %q", label, i, a.VarNames[i], b.VarNames[i])
+		}
+	}
+}
+
+// TestV2RoundTripEquivalence: any predicate marshalled in the mappable
+// v2 layout decodes identically through every path — the heap decoder,
+// the zero-copy mapped decoder, and (for reference) the v1 format — with
+// per-clause SizeBytes invariant across formats, so disk accounting and
+// stats never depend on which store built them.
+func TestV2RoundTripEquivalence(t *testing.T) {
+	orig, syms := buildMixed(t, 41)
+	v1, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := orig.MarshalBinaryV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := Unmarshal(v1, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := Unmarshal(v2, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mappedF, mapped, err := UnmarshalMapped(v2, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostLittleEndian && !mapped {
+		t.Error("aligned v2 blob on a little-endian host should decode zero-copy")
+	}
+	equalFiles(t, "orig vs v1", orig, fromV1)
+	equalFiles(t, "orig vs v2-heap", orig, heap)
+	equalFiles(t, "v2-heap vs v2-mapped", heap, mappedF)
+}
+
+// TestV2UnalignedFallsBackToHeap: a v2 blob sitting at an odd address
+// cannot be viewed zero-copy; the mapped decoder must fall back to the
+// heap with identical results rather than fault.
+func TestV2UnalignedFallsBackToHeap(t *testing.T) {
+	orig, syms := buildMixed(t, 9)
+	v2, err := orig.MarshalBinaryV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := make([]byte, len(v2)+1)
+	copy(shifted[1:], v2)
+	f, mapped, err := UnmarshalMapped(shifted[1:], syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped {
+		t.Error("misaligned buffer claimed the zero-copy path")
+	}
+	equalFiles(t, "orig vs misaligned", orig, f)
+}
+
+// TestV2CorruptionFailsClosed: every strict prefix of a v2 blob fails
+// with an error (never a panic, never a silently short file), through
+// both decode paths.
+func TestV2CorruptionFailsClosed(t *testing.T) {
+	orig, syms := buildMixed(t, 17)
+	v2, err := orig.MarshalBinaryV2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(v2); n++ {
+		if _, err := Unmarshal(v2[:n], syms); err == nil {
+			t.Fatalf("heap decode of %d/%d-byte prefix succeeded", n, len(v2))
+		}
+		if _, _, err := UnmarshalMapped(v2[:n], syms); err == nil {
+			t.Fatalf("mapped decode of %d/%d-byte prefix succeeded", n, len(v2))
+		}
+	}
+	// Single-byte flips must never panic; erroring or decoding to some
+	// file are both acceptable (flipping a symbol-offset byte can still
+	// parse).
+	for n := 0; n < len(v2); n += 3 {
+		bad := append([]byte(nil), v2...)
+		bad[n] ^= 0x5A
+		_, _ = Unmarshal(bad, syms)
+		_, _, _ = UnmarshalMapped(bad, syms)
+	}
+}
+
+// FuzzSlabMap drives both decode paths over arbitrary bytes: no input
+// may panic, and whenever both the heap and the mapped decoder accept an
+// input they must produce indistinguishable files.
+func FuzzSlabMap(f *testing.F) {
+	orig, _ := buildMixed(f, 13)
+	if v2, err := orig.MarshalBinaryV2(); err == nil {
+		f.Add(v2)
+	}
+	if v1, err := orig.MarshalBinary(); err == nil {
+		f.Add(v1)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xDB, 0x0F, 0x11, 0xE6, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		syms := symtab.New()
+		heap, herr := Unmarshal(data, syms)
+		mappedF, _, merr := UnmarshalMapped(data, syms)
+		if (herr == nil) != (merr == nil) {
+			t.Fatalf("decode paths disagree: heap err = %v, mapped err = %v", herr, merr)
+		}
+		if herr != nil {
+			return
+		}
+		equalFiles(t, "heap vs mapped", heap, mappedF)
+	})
+}

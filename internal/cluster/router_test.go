@@ -411,6 +411,15 @@ func TestStatsAggregation(t *testing.T) {
 	if served != 3 {
 		t.Errorf("summed served.* = %d, want 3 (stats %v)", served, kv)
 	}
+	// The scan/store keys propagate and sum across the cluster: each of
+	// the 2 reachable backends reports scan.workers >= 1, and these
+	// in-memory backends report store.mapped = 0.
+	if kv["scan.workers"] < 2 {
+		t.Errorf("scan.workers = %d, want >= 2 (one per reporting backend)", kv["scan.workers"])
+	}
+	if mapped, ok := kv["store.mapped"]; !ok || mapped != 0 {
+		t.Errorf("store.mapped = %d (present %v), want 0 for heap-backed shards", mapped, ok)
+	}
 }
 
 // TestRetrieveTrace: a routed retrieval leaves a span tree with the

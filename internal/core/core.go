@@ -13,7 +13,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clare/internal/clausefile"
@@ -152,7 +154,18 @@ type Config struct {
 	// host fast path with identical results). Native mode requires a
 	// microprogram the native matcher supports (no DescendFull).
 	Engine Engine
+	// ScanWorkers is how many partitions a native FS1 columnar scan may
+	// split into, each swept by its own goroutine (0 derives GOMAXPROCS,
+	// negative forces 1 — fully serial; clamped to MaxScanWorkers).
+	// Candidates are bit-identical at any worker count: partitions are
+	// contiguous and merged in order. Small scans stay serial regardless
+	// (scw.ParScanMinEntries), and the sim engine ignores this knob.
+	ScanWorkers int
 }
+
+// MaxScanWorkers bounds ScanWorkers (and the retriever's scan worker
+// pool): beyond this, partition handoff overhead dwarfs any win.
+const MaxScanWorkers = 32
 
 // Fault-handling defaults.
 const (
@@ -225,6 +238,16 @@ type Retriever struct {
 	// natPool recycles per-retrieval native-engine arenas (scan buffer +
 	// matcher); idle in sim mode.
 	natPool sync.Pool
+	// scanPool runs native FS1 scan partitions; nil in sim mode. The
+	// worker count actually used per scan is scanWorkers, adjustable at
+	// runtime (SetScanWorkers) without rebuilding the retriever.
+	scanPool    *scw.ScanPool
+	scanWorkers atomic.Int32
+
+	// storeMap pins the mmap'd store backing zero-copy predicates (nil
+	// for heap-loaded retrievers). See MapRetriever.
+	storeMap    storeMapping
+	storeMapped bool
 
 	predsMu sync.RWMutex
 	preds   map[Indicator]*Predicate
@@ -268,7 +291,7 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 	if cfg.Metrics != nil {
 		cfg.Faults.Instrument(cfg.Metrics)
 	}
-	return &Retriever{
+	r := &Retriever{
 		cfg:    cfg,
 		syms:   syms,
 		penc:   pif.NewEncoder(syms),
@@ -278,7 +301,44 @@ func NewWithSymbols(cfg Config, syms *symtab.Table) (*Retriever, error) {
 		met:    newCoreMetrics(cfg.Metrics),
 		tracer: cfg.Tracer,
 		preds:  make(map[Indicator]*Predicate),
-	}, nil
+	}
+	if cfg.Engine == EngineNative {
+		// The pool bound is independent of the configured worker count so
+		// SetScanWorkers can sweep up to MaxScanWorkers at runtime;
+		// workers spawn lazily, so an over-sized bound is free.
+		r.scanPool = scw.NewScanPool(MaxScanWorkers - 1)
+	}
+	r.scanWorkers.Store(int32(resolveScanWorkers(cfg.ScanWorkers)))
+	return r, nil
+}
+
+// resolveScanWorkers maps the config knob to an effective worker count.
+func resolveScanWorkers(n int) int {
+	switch {
+	case n == 0:
+		n = runtime.GOMAXPROCS(0)
+	case n < 0:
+		n = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxScanWorkers {
+		n = MaxScanWorkers
+	}
+	return n
+}
+
+// ScanWorkers reports the native scan's current worker count (1 when
+// serial; the sim engine never consults it).
+func (r *Retriever) ScanWorkers() int { return int(r.scanWorkers.Load()) }
+
+// SetScanWorkers changes the native scan's worker count at runtime
+// (clamped like Config.ScanWorkers; 0 re-derives GOMAXPROCS). It takes
+// effect on the next retrieval — candidates are bit-identical at any
+// setting, so it is safe to adjust under live traffic.
+func (r *Retriever) SetScanWorkers(n int) {
+	r.scanWorkers.Store(int32(resolveScanWorkers(n)))
 }
 
 // Metrics returns the registry the retriever was configured with (nil

@@ -40,13 +40,14 @@ import (
 )
 
 // nativeArena is the per-retrieval scratch state of the native engine:
-// the columnar scan buffer (survivor positions + masked-union memo) and
-// an FS2 matcher with embedded variable stores. Arenas are recycled
-// through Retriever.natPool, so steady-state retrievals allocate nothing
-// on the scan or match paths.
+// the partitioned scan buffer (merged survivors + one ScanBuf and task
+// slot per worker partition) and an FS2 matcher with embedded variable
+// stores. Arenas are recycled through Retriever.natPool, so steady-state
+// retrievals allocate nothing on the scan or match paths — at any worker
+// count, since the per-partition buffers live in the arena too.
 type nativeArena struct {
-	buf scw.ScanBuf
-	nm  *fs2.NativeMatcher
+	pbuf scw.ParScanBuf
+	nm   *fs2.NativeMatcher
 }
 
 // arena leases a native arena from the pool, building one on first use.
@@ -62,9 +63,11 @@ func (r *Retriever) arena() *nativeArena {
 	return &nativeArena{nm: nm}
 }
 
-// retrieveFS1Native is mode (b) on the native engine: a columnar sweep of
-// the secondary file, then a position-indexed gather of the surviving
-// clause records with exact-size fetch accounting.
+// retrieveFS1Native is mode (b) on the native engine: a partitioned
+// columnar sweep of the secondary file (up to ScanWorkers goroutines,
+// survivors merged in partition order — bit-identical to a serial scan),
+// then a position-indexed gather of the surviving clause records with
+// exact-size fetch accounting.
 func (r *Retriever) retrieveFS1Native(goal term.Term, pred *Predicate, rt *Retrieval, u *boardUnit) error {
 	qd, _, err := r.encodeQuery(goal, rt)
 	if err != nil {
@@ -75,33 +78,34 @@ func (r *Retriever) retrieveFS1Native(goal term.Term, pred *Predicate, rt *Retri
 
 	scanSpan := rt.trace.Span(nil, stageFS1Scan)
 	scanStart := time.Now()
-	pred.File.Index().Columnar().ScanInto(qd, &a.buf)
-	rt.Stats.IndexBytes = a.buf.BytesScanned
-	diskIndex, err := u.drive.IndexScan(a.buf.BytesScanned)
+	pred.File.Index().Columnar().ParScanInto(qd, r.ScanWorkers(), r.scanPool, &a.pbuf)
+	buf := &a.pbuf.Out
+	rt.Stats.IndexBytes = buf.BytesScanned
+	diskIndex, err := u.drive.IndexScan(buf.BytesScanned)
 	if err != nil {
 		return err
 	}
 	// Same delivery model as the sim path: FS1 outruns the disk.
-	fs1Time := scw.ScanTime(a.buf.BytesScanned)
+	fs1Time := scw.ScanTime(buf.BytesScanned)
 	if diskIndex > fs1Time {
 		fs1Time = diskIndex
 	}
 	rt.Stats.FS1Scan = fs1Time
-	rt.Stats.AfterFS1 = len(a.buf.Pos)
-	rt.Stats.MaskedHits = a.buf.MaskedHits
+	rt.Stats.AfterFS1 = len(buf.Pos)
+	rt.Stats.MaskedHits = buf.MaskedHits
 	rt.wall.fs1 += time.Since(scanStart)
 	if scanSpan != nil {
 		scanSpan.AddSim(fs1Time)
-		scanSpan.SetAttr("survivors", fmt.Sprint(len(a.buf.Pos)))
+		scanSpan.SetAttr("survivors", fmt.Sprint(len(buf.Pos)))
 		scanSpan.End()
 	}
 
 	fetchSpan := rt.trace.Span(nil, stageDiskFetch)
 	fetchStart := time.Now()
 	all := pred.File.All()
-	candidates := make([]*clausefile.StoredClause, 0, len(a.buf.Pos))
+	candidates := make([]*clausefile.StoredClause, 0, len(buf.Pos))
 	fetchBytes := 0
-	for _, p := range a.buf.Pos {
+	for _, p := range buf.Pos {
 		sc := all[p]
 		fetchBytes += sc.SizeBytes
 		candidates = append(candidates, sc)
@@ -208,10 +212,14 @@ func (r *Retriever) retrieveFS1FS2Native(goal term.Term, pred *Predicate, rt *Re
 		}
 		scanSpan := rt.trace.Span(chunkSpan, stageFS1Scan)
 		scanStart := time.Now()
-		col.ScanRangeInto(qd, lo, hi, &a.buf)
-		rt.Stats.IndexBytes += a.buf.BytesScanned
-		sTime := scw.ScanTime(a.buf.BytesScanned)
-		dt, err := u.drive.Stream(a.buf.BytesScanned)
+		// Chunks default to one disk track (~1.5k entries), well under
+		// scw.ParScanMinEntries, so the partitioned call degenerates to a
+		// serial sweep unless StreamChunkEntries is configured large.
+		col.ParScanRangeInto(qd, lo, hi, r.ScanWorkers(), r.scanPool, &a.pbuf)
+		buf := &a.pbuf.Out
+		rt.Stats.IndexBytes += buf.BytesScanned
+		sTime := scw.ScanTime(buf.BytesScanned)
+		dt, err := u.drive.Stream(buf.BytesScanned)
 		if err != nil {
 			return err
 		}
@@ -219,24 +227,24 @@ func (r *Retriever) retrieveFS1FS2Native(goal term.Term, pred *Predicate, rt *Re
 			sTime = dt
 		}
 		rt.Stats.FS1Scan += sTime
-		rt.Stats.AfterFS1 += len(a.buf.Pos)
-		rt.Stats.MaskedHits += a.buf.MaskedHits
+		rt.Stats.AfterFS1 += len(buf.Pos)
+		rt.Stats.MaskedHits += buf.MaskedHits
 		scanChunks = append(scanChunks, sTime)
 		rt.wall.fs1 += time.Since(scanStart)
 		if scanSpan != nil {
 			scanSpan.AddSim(sTime)
-			scanSpan.SetAttr("survivors", fmt.Sprint(len(a.buf.Pos)))
+			scanSpan.SetAttr("survivors", fmt.Sprint(len(buf.Pos)))
 			scanSpan.End()
 		}
 
 		fetchSpan := rt.trace.Span(chunkSpan, stageDiskFetch)
 		fetchStart := time.Now()
 		fetchBytes := 0
-		for _, p := range a.buf.Pos {
+		for _, p := range buf.Pos {
 			fetchBytes += all[p].SizeBytes
 		}
 		rt.Stats.ClauseBytes += fetchBytes
-		fetch, err := u.drive.FetchRun(len(a.buf.Pos), fetchBytes)
+		fetch, err := u.drive.FetchRun(len(buf.Pos), fetchBytes)
 		if err != nil {
 			return err
 		}
@@ -250,8 +258,8 @@ func (r *Retriever) retrieveFS1FS2Native(goal term.Term, pred *Predicate, rt *Re
 
 		matchSpan := rt.trace.Span(chunkSpan, stageFS2Match)
 		matchStart := time.Now()
-		examined := len(a.buf.Pos)
-		for _, p := range a.buf.Pos {
+		examined := len(buf.Pos)
+		for _, p := range buf.Pos {
 			sc := all[p]
 			if a.nm.Match(sc.Head) {
 				rt.Candidates = append(rt.Candidates, sc)

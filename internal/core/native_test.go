@@ -8,6 +8,7 @@ import (
 	"clare/internal/fs2"
 	"clare/internal/parse"
 	"clare/internal/pif"
+	"clare/internal/scw"
 	"clare/internal/symtab"
 	"clare/internal/term"
 	"clare/internal/termgen"
@@ -206,8 +207,13 @@ func TestEngineDifferentialUnencodableGoal(t *testing.T) {
 
 // TestNativeKernelsZeroAlloc pins the native steady-state match path —
 // columnar scan plus native FS2 filtering through a pooled arena — at
-// zero allocations per retrieval once buffers have warmed up.
+// zero allocations per retrieval once buffers have warmed up, at every
+// scan worker count (the partitioned path keeps per-worker survivor
+// buffers preallocated in the arena).
 func TestNativeKernelsZeroAlloc(t *testing.T) {
+	prev := scw.ParScanMinEntries
+	scw.ParScanMinEntries = 64
+	t.Cleanup(func() { scw.ParScanMinEntries = prev })
 	clauses := make([]ClauseTerm, 512)
 	for i := range clauses {
 		clauses[i] = ClauseTerm{Head: term.New("p",
@@ -236,23 +242,29 @@ func TestNativeKernelsZeroAlloc(t *testing.T) {
 	col := pred.File.Index().Columnar()
 	all := pred.File.All()
 	out := make([]*clausefile.StoredClause, 0, len(all))
-	var survivors int
-	allocs := testing.AllocsPerRun(200, func() {
-		col.ScanInto(qd, &a.buf)
-		out = out[:0]
-		for _, p := range a.buf.Pos {
-			sc := all[p]
-			if a.nm.Match(sc.Head) {
-				out = append(out, sc)
+	for _, workers := range []int{1, 2, 4, 8} {
+		r.SetScanWorkers(workers)
+		var survivors int
+		scan := func() {
+			col.ParScanInto(qd, r.ScanWorkers(), r.scanPool, &a.pbuf)
+			out = out[:0]
+			for _, p := range a.pbuf.Out.Pos {
+				sc := all[p]
+				if a.nm.Match(sc.Head) {
+					out = append(out, sc)
+				}
 			}
+			survivors = len(out)
 		}
-		survivors = len(out)
-	})
-	if survivors == 0 {
-		t.Fatal("scan+match found nothing; kernel never exercised")
-	}
-	if allocs != 0 {
-		t.Fatalf("native match path allocates %.1f times per retrieval, want 0", allocs)
+		scan() // warm the pool and per-partition buffers
+		allocs := testing.AllocsPerRun(200, scan)
+		if survivors == 0 {
+			t.Fatalf("workers=%d: scan+match found nothing; kernel never exercised", workers)
+		}
+		if allocs != 0 {
+			t.Fatalf("workers=%d: native match path allocates %.1f times per retrieval, want 0",
+				workers, allocs)
+		}
 	}
 }
 

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/scw"
+	"clare/internal/term"
+)
+
+// sweepWorkerCounts is the ScanWorkers sweep the determinism battery
+// runs: serial, powers of two through the partitioned path, and the
+// host's own GOMAXPROCS (whatever it is).
+func sweepWorkerCounts() []int {
+	return []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+}
+
+// bigFacts builds a fact predicate large enough that the DEFAULT
+// ParScanMinEntries threshold admits multiple partitions — the sweep
+// exercises production configuration, not a test-only knob.
+func bigFacts(t testing.TB, n int) []ClauseTerm {
+	t.Helper()
+	clauses := make([]ClauseTerm, n)
+	for i := range clauses {
+		clauses[i] = ClauseTerm{Head: term.New("big",
+			term.Atom(fmt.Sprintf("k%d", i%512)), term.Int(int64(i)))}
+	}
+	return clauses
+}
+
+// funnel renders the worker-count-invariant part of an EXPLAIN profile:
+// every entry except wall-clock times (which legitimately vary run to
+// run) and the cache flag (the first run of a goal misses, later runs
+// hit).
+func funnel(p *Profile) string {
+	var b strings.Builder
+	for _, e := range p.Entries() {
+		if strings.HasPrefix(e.Key, "wall.") || e.Key == "cache_hit" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%s\n", e.Key, e.Value)
+	}
+	return b.String()
+}
+
+// TestEngineDifferentialScanWorkers is the determinism oracle for the
+// partitioned columnar scan: on a predicate big enough to split under
+// the default threshold, every worker count must produce bit-identical
+// candidates, statistics, and EXPLAIN funnels — judged against the
+// cycle-accurate sim engine every time, and against the native engine's
+// own serial funnel.
+func TestEngineDifferentialScanWorkers(t *testing.T) {
+	n := 4 * scw.ParScanMinEntries
+	clauses := bigFacts(t, n)
+	sim, native := buildEnginePair(t, DefaultConfig(), "bigmod", clauses)
+	goals := []string{
+		"big(k3, X)",
+		fmt.Sprintf("big(k7, %d)", 512*5+7),
+		"big(nobody, X)",
+		"big(X, Y)",
+	}
+	// FS1 scans the whole secondary file in one partitioned pass;
+	// fs1+fs2 re-runs it through the chunked pipeline. (Software and
+	// fs2-only modes never touch the columnar scan, and decoding all n
+	// clauses per retrieval would dominate the sweep's runtime.)
+	sweepModes := []SearchMode{ModeFS1, ModeFS1FS2}
+	comparisons := 0
+	for _, goalSrc := range goals {
+		goal := parse.MustTerm(goalSrc)
+		for _, mode := range sweepModes {
+			serialFunnels := make(map[string]string)
+			for _, workers := range sweepWorkerCounts() {
+				native.SetScanWorkers(workers)
+				if got := native.ScanWorkers(); got != workers {
+					t.Fatalf("SetScanWorkers(%d) resolved to %d", workers, got)
+				}
+				comparisons += diffRetrieve(t, sim, native, goal, mode)
+				p, err := native.Explain(goal, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				key := goalSrc + "/" + mode.String()
+				if base, ok := serialFunnels[key]; !ok {
+					serialFunnels[key] = funnel(p)
+				} else if got := funnel(p); got != base {
+					t.Fatalf("%s workers=%d: EXPLAIN funnel diverged from serial:\n%s\nvs\n%s",
+						key, workers, got, base)
+				}
+			}
+		}
+	}
+	native.SetScanWorkers(0)
+	if native.ScanWorkers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetScanWorkers(0) resolved to %d, want GOMAXPROCS", native.ScanWorkers())
+	}
+	if comparisons < 40 {
+		t.Fatalf("only %d comparisons ran", comparisons)
+	}
+}
+
+// TestEngineDifferentialScanWorkersMasked repeats the sweep over a
+// generator-produced workload — variable-bearing heads exercise the
+// masked-entry path of the partitioned scan — with the partition
+// threshold lowered so a small predicate still splits.
+func TestEngineDifferentialScanWorkersMasked(t *testing.T) {
+	prev := scw.ParScanMinEntries
+	scw.ParScanMinEntries = 32
+	t.Cleanup(func() { scw.ParScanMinEntries = prev })
+	clauses, queries := genWorkload(t, 20260808, "q", 2, 300)
+	sim, native := buildEnginePair(t, DefaultConfig(), "gen", clauses)
+	queries = append(queries, term.New("q", term.NewVar("A"), term.NewVar("B")))
+	for _, workers := range sweepWorkerCounts() {
+		native.SetScanWorkers(workers)
+		for _, goal := range queries[:40] {
+			for _, mode := range modes() {
+				diffRetrieve(t, sim, native, goal, mode)
+			}
+		}
+	}
+}
+
+// TestScanWorkersConfig covers the resolution rules: zero derives
+// GOMAXPROCS, negatives clamp to serial, oversize clamps to
+// MaxScanWorkers, and the sim engine carries the setting without using
+// it.
+func TestScanWorkersConfig(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, runtime.GOMAXPROCS(0)},
+		{-3, 1},
+		{1, 1},
+		{7, 7},
+		{MaxScanWorkers, MaxScanWorkers},
+		{MaxScanWorkers + 9, MaxScanWorkers},
+	} {
+		cfg := DefaultConfig()
+		cfg.Engine = EngineNative
+		cfg.ScanWorkers = tc.in
+		r, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.ScanWorkers(); got != tc.want {
+			t.Errorf("ScanWorkers=%d resolved to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.ScanWorkers = 16
+	r, err := New(cfg) // sim engine
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ScanWorkers(); got != 16 {
+		t.Errorf("sim engine ScanWorkers = %d, want 16", got)
+	}
+	if _, err := r.Retrieve(parse.MustTerm("nothing(x)"), ModeFS1); err == nil {
+		t.Error("unknown predicate should fail")
+	}
+}

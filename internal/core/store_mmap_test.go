@@ -1,0 +1,263 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"clare/internal/parse"
+	"clare/internal/term"
+)
+
+// storeFixture builds a retriever with facts, masked (variable-bearing)
+// heads, and rules, saves it, and returns the retriever and store path.
+func storeFixture(t *testing.T) (*Retriever, string) {
+	t.Helper()
+	r := familyRetriever(t, 40, 4)
+	rules := []ClauseTerm{
+		{Head: parse.MustTerm("fly(tweety)")},
+		{Head: term.New("fly", term.NewVar("X")), Body: parse.MustTerm("bird(X)")},
+	}
+	if _, err := r.AddClauses("flying", rules); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "store.clare")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SaveKB(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return r, path
+}
+
+// diffRetrievers asserts two retrievers answer a goal identically in a
+// mode: same candidates address by address, same funnel statistics.
+func diffRetrievers(t *testing.T, label string, a, b *Retriever, goalSrc string, mode SearchMode) {
+	t.Helper()
+	goal := parse.MustTerm(goalSrc)
+	art, aerr := a.Retrieve(goal, mode)
+	brt, berr := b.Retrieve(goal, mode)
+	if (aerr == nil) != (berr == nil) {
+		t.Fatalf("%s %s %v: err %v vs %v", label, goalSrc, mode, aerr, berr)
+	}
+	if aerr != nil {
+		return
+	}
+	if len(art.Candidates) != len(brt.Candidates) {
+		t.Fatalf("%s %s %v: %d vs %d candidates", label, goalSrc, mode,
+			len(art.Candidates), len(brt.Candidates))
+	}
+	for i := range art.Candidates {
+		if art.Candidates[i].Addr != brt.Candidates[i].Addr {
+			t.Fatalf("%s %s %v: candidate %d addr %d vs %d", label, goalSrc, mode,
+				i, art.Candidates[i].Addr, brt.Candidates[i].Addr)
+		}
+	}
+	as, bs := art.Stats, brt.Stats
+	if as.AfterFS1 != bs.AfterFS1 || as.AfterFS2 != bs.AfterFS2 ||
+		as.MaskedHits != bs.MaskedHits || as.IndexBytes != bs.IndexBytes ||
+		as.ClauseBytes != bs.ClauseBytes {
+		t.Fatalf("%s %s %v: stats %+v vs %+v", label, goalSrc, mode, as, bs)
+	}
+}
+
+func storeGoals() []string {
+	return []string{
+		"married_couple(husband3, X)",
+		"married_couple(S, S)",
+		"married_couple(X, Y)",
+		"married_couple(nobody, X)",
+		"fly(tweety)",
+		"fly(Z)",
+	}
+}
+
+// TestStoreHeapMmapEquivalence: a kbc-built store answers identically
+// whether it was decoded through the heap or out of a read-only mapping
+// — candidates, funnel statistics, disk-size accounting, and per-
+// predicate rule/mask counts all match the retriever that built it.
+func TestStoreHeapMmapEquivalence(t *testing.T) {
+	orig, path := storeFixture(t)
+	hf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := LoadRetriever(DefaultConfig(), hf)
+	hf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, mapped, err := MapRetriever(DefaultConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.CloseStore()
+	if runtime.GOOS == "linux" && !mapped {
+		t.Fatal("v2 store on linux should take the mmap path")
+	}
+	if heap.StoreMapped() {
+		t.Error("heap-loaded retriever claims a mapped store")
+	}
+	if mm.StoreMapped() != mapped {
+		t.Errorf("StoreMapped() = %v, MapRetriever said %v", mm.StoreMapped(), mapped)
+	}
+	for _, goalSrc := range storeGoals() {
+		for _, mode := range modes() {
+			diffRetrievers(t, "orig/heap", orig, heap, goalSrc, mode)
+			diffRetrievers(t, "heap/mmap", heap, mm, goalSrc, mode)
+		}
+	}
+	for _, goalSrc := range []string{"married_couple(a, b)", "fly(x)"} {
+		p1, err := heap.Predicate(parse.MustTerm(goalSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := mm.Predicate(parse.MustTerm(goalSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1.RuleCount != p2.RuleCount || p1.MaskedClauses != p2.MaskedClauses {
+			t.Errorf("%s: rules %d vs %d, masked %d vs %d", goalSrc,
+				p1.RuleCount, p2.RuleCount, p1.MaskedClauses, p2.MaskedClauses)
+		}
+		if p1.File.SizeBytes() != p2.File.SizeBytes() {
+			t.Errorf("%s: SizeBytes %d vs %d across store paths", goalSrc,
+				p1.File.SizeBytes(), p2.File.SizeBytes())
+		}
+	}
+}
+
+// TestStoreMmapWritesOverlayHeap: mutating a mapped retriever rebuilds
+// the touched predicate on the heap — the mapped base image is never
+// written — and retrieval sees the union.
+func TestStoreMmapWritesOverlayHeap(t *testing.T) {
+	_, path := storeFixture(t)
+	mm, _, err := MapRetriever(DefaultConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.CloseStore()
+	if _, err := mm.AddClauses("family", []ClauseTerm{
+		{Head: parse.MustTerm("married_couple(newman, newwife)")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mm.Retrieve(parse.MustTerm("married_couple(newman, X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueU, _, err := rt.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueU != 1 {
+		t.Fatalf("true unifiers after overlay write = %d, want 1", trueU)
+	}
+	// The on-disk image is untouched: a fresh mapping must not see the
+	// write.
+	fresh, _, err := MapRetriever(DefaultConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.CloseStore()
+	rt2, err := fresh.Retrieve(parse.MustTerm("married_couple(newman, X)"), ModeFS1FS2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _, _ := rt2.Evaluate(); n != 0 {
+		t.Fatalf("write leaked into the mapped base image: %d unifiers", n)
+	}
+}
+
+// TestStoreV1Compat: a legacy v1 store still loads (heap path, rules
+// recounted by decoding) and answers identically to a v2 load of the
+// same retriever; MapRetriever falls back to the heap for it.
+func TestStoreV1Compat(t *testing.T) {
+	orig, _ := storeFixture(t)
+	var v1 bytes.Buffer
+	if err := orig.saveKBv1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	old, err := LoadRetriever(DefaultConfig(), bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goalSrc := range storeGoals() {
+		for _, mode := range modes() {
+			diffRetrievers(t, "orig/v1", orig, old, goalSrc, mode)
+		}
+	}
+	p1, err := orig.Predicate(parse.MustTerm("fly(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := old.Predicate(parse.MustTerm("fly(x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RuleCount != p2.RuleCount || p1.MaskedClauses != p2.MaskedClauses {
+		t.Errorf("v1 reload: rules %d vs %d, masked %d vs %d",
+			p1.RuleCount, p2.RuleCount, p1.MaskedClauses, p2.MaskedClauses)
+	}
+	v1Path := filepath.Join(t.TempDir(), "v1.clare")
+	if err := os.WriteFile(v1Path, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fb, mapped, err := MapRetriever(DefaultConfig(), v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped || fb.StoreMapped() {
+		t.Error("v1 store must fall back to the heap path")
+	}
+	diffRetrievers(t, "v1/fallback", old, fb, "fly(Z)", ModeSoftware)
+}
+
+// TestStoreCorruptionFailsClosed: truncated or bit-flipped store images
+// fail with an error through both load paths — never a panic, never a
+// silently short knowledge base.
+func TestStoreCorruptionFailsClosed(t *testing.T) {
+	_, path := storeFixture(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for frac := 1; frac < 8; frac++ {
+		n := len(data) * frac / 8
+		if _, err := LoadRetriever(DefaultConfig(), bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("heap load of %d/%d-byte prefix succeeded", n, len(data))
+		}
+		tpath := filepath.Join(dir, fmt.Sprintf("trunc%d.clare", frac))
+		if err := os.WriteFile(tpath, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r, _, err := MapRetriever(DefaultConfig(), tpath); err == nil {
+			r.CloseStore()
+			t.Errorf("mapped load of %d/%d-byte prefix succeeded", n, len(data))
+		}
+	}
+	// Bit flips must never panic; loading or erroring are both legal.
+	for off := 0; off < len(data); off += 97 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		if r, err := LoadRetriever(DefaultConfig(), bytes.NewReader(bad)); err == nil {
+			_ = r
+		}
+		bpath := filepath.Join(dir, "flip.clare")
+		if err := os.WriteFile(bpath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r, _, err := MapRetriever(DefaultConfig(), bpath); err == nil {
+			r.CloseStore()
+		}
+	}
+}

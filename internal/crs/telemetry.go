@@ -111,6 +111,12 @@ type Snapshot struct {
 	// EngineNative reports whether the retriever runs the native
 	// vectorized engine rather than the cycle-accurate simulation.
 	EngineNative bool
+	// ScanWorkers is the resolved partitioned-scan width for native FS1
+	// scans (1 means serial; the sim engine ignores it).
+	ScanWorkers int
+	// StoreMapped reports whether the retriever's predicates decode out
+	// of a read-only store mapping (the mmap cold-start path).
+	StoreMapped bool
 	// WAL is the durable write path's state: enabled says whether a log
 	// is attached, Seq/Applied are the log's last and the store's
 	// applied sequence numbers (Applied lags Seq only transiently),
@@ -139,6 +145,8 @@ func (s *Server) Snapshot() Snapshot {
 		Retries:      retries,
 		Faults:       faults,
 		EngineNative: s.retriever.Engine() == core.EngineNative,
+		ScanWorkers:  s.retriever.ScanWorkers(),
+		StoreMapped:  s.retriever.StoreMapped(),
 		WALApplied:   s.applied.Load(),
 		Replicated:   s.replicated.Load(),
 		ReadOnly:     s.readOnly.Load(),
@@ -186,6 +194,10 @@ func (sn Snapshot) lines() []statsKV {
 		engine = 1
 	}
 	kv = append(kv, statsKV{"engine.native", engine})
+	kv = append(kv,
+		statsKV{"scan.workers", int64(sn.ScanWorkers)},
+		statsKV{"store.mapped", b2i(sn.StoreMapped)},
+	)
 	kv = append(kv,
 		statsKV{"wal.enabled", b2i(sn.WALEnabled)},
 		statsKV{"wal.seq", int64(sn.WALSeq)},

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package mmapfile
+
+func mapFile(path string) (*Mapping, error) { return nil, ErrUnsupported }
+
+func unmap(data []byte) error { return nil }

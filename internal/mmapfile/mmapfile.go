@@ -1,0 +1,47 @@
+// Package mmapfile maps files read-only into memory for the zero-copy
+// store path: crsd cold start maps the kbc-built knowledge base and
+// decodes predicate word slabs as views into the mapping, paying page-in
+// instead of re-decode. On platforms without mmap (or when mapping
+// fails) callers fall back to the heap decode path — Map never panics,
+// it returns an error the store layer turns into a fallback.
+//
+// The mapping is read-only (PROT_READ): writing through a view faults,
+// which is exactly the contract the store wants — mutations after load
+// (WAL replay, asserts) rebuild predicates on the heap and never touch
+// the mapped base image.
+package mmapfile
+
+import "errors"
+
+// ErrUnsupported reports that this platform has no mmap support; callers
+// take the heap path.
+var ErrUnsupported = errors.New("mmapfile: not supported on this platform")
+
+// Mapping is one read-only file mapping. The underlying file descriptor
+// is closed as soon as the mapping exists (the mapping survives it), so
+// a Mapping holds address space only.
+type Mapping struct {
+	data []byte
+}
+
+// Data returns the mapped bytes. The slice is valid until Close; writing
+// to it faults.
+func (m *Mapping) Data() []byte {
+	if m == nil {
+		return nil
+	}
+	return m.data
+}
+
+// Map maps path read-only. An empty file maps to an empty Data slice.
+func Map(path string) (*Mapping, error) { return mapFile(path) }
+
+// Close unmaps the file. Views into Data must not be used afterwards.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return unmap(data)
+}

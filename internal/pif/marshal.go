@@ -104,6 +104,12 @@ func (e *Encoded) unmarshalBinary(data []byte, slab *Slab) error {
 	if r.err != nil {
 		return r.err
 	}
+	// Every word occupies 4 bytes of the record, so the claimed counts
+	// are bounded by the data in hand — reject before allocating, or a
+	// corrupt record costs gigabytes instead of an error.
+	if int64(nArgs)+int64(nHeap) > int64(len(data))/4 {
+		return fmt.Errorf("pif: record claims %d+%d words in %d bytes", nArgs, nHeap, len(data))
+	}
 	e.Functor = string(fun)
 	e.VarNames = make([]string, e.NumVars)
 	for i := range e.VarNames {

@@ -1,0 +1,145 @@
+package pif
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Meta records are the mappable store's split of a PIF record: the
+// variable-length metadata (functor, variable names, counts) stays a
+// per-record blob, while the Args/Heap words of every record in a
+// predicate live in one shared word slab the records consume in order.
+// The slab can then be laid out little-endian and aligned on disk so a
+// memory-mapped store decodes it zero-copy — Args/Heap become views into
+// the mapping — while the heap path decodes the same bytes with a copy.
+//
+// Layout (big-endian, mirroring the v1 record minus the words):
+//
+//	magic      uint16  0xC1A6 ("meta")
+//	side       uint8
+//	arity      uint8
+//	functorLen uint16
+//	numVars    uint16
+//	numArgs    uint32  (words, taken from the shared slab)
+//	numHeap    uint32  (words, taken from the shared slab)
+//	functor    [functorLen]byte
+//	varNames   numVars x {uint16 len, bytes}
+//
+// A meta record plus 4 bytes per word is exactly the v1 record size,
+// which keeps StoredClause.SizeBytes — and every stat derived from it —
+// identical across store formats.
+
+const metaMagic = 0xC1A6
+
+// MarshalBinaryMeta serialises the record's metadata; the words are the
+// caller's to lay into the shared slab (Args first, then Heap, in record
+// order — the order UnmarshalBinaryMeta consumes them).
+func (e *Encoded) MarshalBinaryMeta() ([]byte, error) {
+	if len(e.Functor) > 0xFFFF {
+		return nil, fmt.Errorf("pif: functor too long (%d bytes)", len(e.Functor))
+	}
+	if e.Arity > 0xFF {
+		return nil, fmt.Errorf("pif: arity %d exceeds record limit", e.Arity)
+	}
+	if e.NumVars > 0xFFFF {
+		return nil, fmt.Errorf("pif: too many variables (%d)", e.NumVars)
+	}
+	size := 2 + 1 + 1 + 2 + 2 + 4 + 4 + len(e.Functor)
+	for _, n := range e.VarNames {
+		size += 2 + len(n)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put16(metaMagic)
+	buf = append(buf, byte(e.Side), byte(e.Arity))
+	put16(uint16(len(e.Functor)))
+	put16(uint16(e.NumVars))
+	put32(uint32(len(e.Args)))
+	put32(uint32(len(e.Heap)))
+	buf = append(buf, e.Functor...)
+	for _, n := range e.VarNames {
+		put16(uint16(len(n)))
+		buf = append(buf, n...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinaryMeta parses a meta record, taking its Args/Heap words
+// from the shared word view in order. Every failure is an error, never a
+// panic — truncated metadata, a short slab, or a foreign magic all fail
+// closed.
+func (e *Encoded) UnmarshalBinaryMeta(data []byte, wv *WordView) error {
+	r := reader{data: data}
+	if m := r.u16(); m != metaMagic {
+		return fmt.Errorf("pif: bad meta record magic 0x%04x", m)
+	}
+	e.Side = Side(r.u8())
+	e.Arity = int(r.u8())
+	funLen := int(r.u16())
+	e.NumVars = int(r.u16())
+	nArgs := int(r.u32())
+	nHeap := int(r.u32())
+	fun := r.bytes(funLen)
+	if r.err != nil {
+		return r.err
+	}
+	e.Functor = string(fun)
+	e.VarNames = make([]string, e.NumVars)
+	for i := range e.VarNames {
+		n := int(r.u16())
+		e.VarNames[i] = string(r.bytes(n))
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(data) {
+		return fmt.Errorf("pif: %d trailing bytes in meta record", len(data)-r.pos)
+	}
+	var err error
+	if e.Args, err = wv.Take(nArgs); err != nil {
+		return fmt.Errorf("pif: args: %w", err)
+	}
+	if e.Heap, err = wv.Take(nHeap); err != nil {
+		return fmt.Errorf("pif: heap: %w", err)
+	}
+	return nil
+}
+
+// WordView hands out sequential views of a shared word slab — the
+// consuming counterpart of the store writer's word layout. The backing
+// slice may be heap-decoded words or a zero-copy cast of a read-only
+// mapping; either way views are full-cap sub-slices, so appends can
+// never bleed into a neighbouring record.
+type WordView struct {
+	words []Word
+	off   int
+}
+
+// NewWordView wraps a word slab.
+func NewWordView(words []Word) *WordView { return &WordView{words: words} }
+
+// Take returns the next n words (nil for n == 0). Requests beyond the
+// slab fail closed.
+func (v *WordView) Take(n int) ([]Word, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	if n < 0 || n > len(v.words)-v.off {
+		return nil, fmt.Errorf("pif: word slab exhausted (want %d words, have %d)", n, len(v.words)-v.off)
+	}
+	w := v.words[v.off : v.off+n : v.off+n]
+	v.off += n
+	return w, nil
+}
+
+// Remaining reports the unconsumed words — a store-level integrity
+// check: after decoding every record it must be zero.
+func (v *WordView) Remaining() int { return len(v.words) - v.off }

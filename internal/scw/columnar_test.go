@@ -159,26 +159,35 @@ func TestScanRangeIntoZeroAlloc(t *testing.T) {
 }
 
 // FuzzColumnarScan drives the columnar matcher against the per-entry
-// reference with fuzzer-chosen generator seeds, file sizes and scan
-// windows. Run in CI for 20s under -race.
+// reference with fuzzer-chosen generator seeds, file sizes, scan windows
+// and worker counts — the partitioned scan must agree with both. Run in
+// CI for 20s under -race.
 func FuzzColumnarScan(f *testing.F) {
-	f.Add(int64(1), uint16(100), uint8(2), true, uint16(0), uint16(100))
-	f.Add(int64(99), uint16(200), uint8(4), false, uint16(37), uint16(151))
-	f.Add(int64(-3), uint16(64), uint8(1), true, uint16(64), uint16(64))
-	f.Fuzz(func(t *testing.T, seed int64, n uint16, arity uint8, maskBits bool, lo, hi uint16) {
+	f.Add(int64(1), uint16(100), uint8(2), true, uint16(0), uint16(100), uint8(4))
+	f.Add(int64(99), uint16(200), uint8(4), false, uint16(37), uint16(151), uint8(1))
+	f.Add(int64(-3), uint16(64), uint8(1), true, uint16(64), uint16(64), uint8(9))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, arity uint8, maskBits bool, lo, hi uint16, workers uint8) {
+		lowerParScanMin(t, 16)
 		size := int(n%300) + 1
 		ar := int(arity%4) + 1
+		w := int(workers%12) + 1
 		ix, qds := buildGenIndex(t, seed, size, 4, ar, maskBits)
 		col := ix.Columnar()
+		pool := NewScanPool(8)
 		var buf ScanBuf
+		var pb ParScanBuf
 		for qi, qd := range qds {
 			label := fmt.Sprintf("seed=%d n=%d arity=%d mask=%v q=%d", seed, size, ar, maskBits, qi)
 			ref := ix.Scan(qd)
 			col.ScanInto(qd, &buf)
 			sameScan(t, ix, ref, &buf, label)
+			col.ParScanInto(qd, w, pool, &pb)
+			sameScan(t, ix, ref, &pb.Out, label+fmt.Sprintf(" parallel w=%d", w))
 			refR := ix.ScanRange(qd, int(lo), int(hi))
 			col.ScanRangeInto(qd, int(lo), int(hi), &buf)
 			sameScan(t, ix, refR, &buf, label+" range")
+			col.ParScanRangeInto(qd, int(lo), int(hi), w, pool, &pb)
+			sameScan(t, ix, refR, &pb.Out, label+fmt.Sprintf(" parallel range w=%d", w))
 		}
 	})
 }

@@ -1,0 +1,181 @@
+package scw
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// sameAsSerial asserts a partitioned scan produced exactly the serial
+// result: same survivor positions in the same order, same MaskedHits,
+// same entry/byte accounting.
+func sameAsSerial(t *testing.T, ref *ScanBuf, got *ScanBuf, label string) {
+	t.Helper()
+	if len(got.Pos) != len(ref.Pos) {
+		t.Fatalf("%s: parallel found %d survivors, serial %d", label, len(got.Pos), len(ref.Pos))
+	}
+	for i := range got.Pos {
+		if got.Pos[i] != ref.Pos[i] {
+			t.Fatalf("%s: survivor %d: parallel pos %d, serial %d", label, i, got.Pos[i], ref.Pos[i])
+		}
+	}
+	if got.MaskedHits != ref.MaskedHits {
+		t.Fatalf("%s: parallel MaskedHits %d, serial %d", label, got.MaskedHits, ref.MaskedHits)
+	}
+	if got.EntriesScanned != ref.EntriesScanned || got.BytesScanned != ref.BytesScanned {
+		t.Fatalf("%s: parallel scanned %d entries / %d bytes, serial %d / %d",
+			label, got.EntriesScanned, got.BytesScanned, ref.EntriesScanned, ref.BytesScanned)
+	}
+}
+
+// lowerParScanMin forces small scans through the parallel path for the
+// duration of a test.
+func lowerParScanMin(t testing.TB, min int) {
+	t.Helper()
+	old := ParScanMinEntries
+	ParScanMinEntries = min
+	t.Cleanup(func() { ParScanMinEntries = old })
+}
+
+// TestParScanDeterminism sweeps worker counts and scan windows over
+// generated indexes (masked and unmasked) and demands the partitioned
+// scan be bit-identical to the serial one in every configuration.
+func TestParScanDeterminism(t *testing.T) {
+	lowerParScanMin(t, 32)
+	workerCounts := []int{1, 2, 3, 4, 7, 8, 16, runtime.GOMAXPROCS(0)}
+	pool := NewScanPool(16)
+	for _, maskBits := range []bool{true, false} {
+		for arity := 1; arity <= 3; arity++ {
+			ix, qds := buildGenIndex(t, int64(100*arity+3), 700, 8, arity, maskBits)
+			col := ix.Columnar()
+			var ref ScanBuf
+			var pb ParScanBuf
+			for qi, qd := range qds {
+				for _, rng := range [][2]int{{0, 700}, {0, 64}, {37, 651}, {64, 128}, {-5, 10000}, {8, 8}, {120, 60}} {
+					col.ScanRangeInto(qd, rng[0], rng[1], &ref)
+					for _, w := range workerCounts {
+						label := fmt.Sprintf("mask=%v arity=%d q=%d range=%v workers=%d", maskBits, arity, qi, rng, w)
+						col.ParScanRangeInto(qd, rng[0], rng[1], w, pool, &pb)
+						sameAsSerial(t, &ref, &pb.Out, label)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParScanDefaultThreshold exercises the production configuration: a
+// file large enough to clear ParScanMinEntries genuinely splits, and the
+// result still matches the serial scan.
+func TestParScanDefaultThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large index build")
+	}
+	n := 4 * ParScanMinEntries
+	ix, qds := buildGenIndex(t, 5, n, 4, 2, true)
+	col := ix.Columnar()
+	pool := NewScanPool(8)
+	var ref ScanBuf
+	var pb ParScanBuf
+	for qi, qd := range qds {
+		col.ScanInto(qd, &ref)
+		for _, w := range []int{1, 2, 4, 8} {
+			col.ParScanInto(qd, w, pool, &pb)
+			sameAsSerial(t, &ref, &pb.Out, fmt.Sprintf("q=%d workers=%d", qi, w))
+		}
+	}
+	// A pool that was really used ran real workers, and never more than
+	// its bound (+1 transient re-admission).
+	if live := pool.LiveWorkers(); live > pool.MaxHelpers()+1 {
+		t.Fatalf("pool runs %d workers, bound %d", live, pool.MaxHelpers())
+	}
+}
+
+// TestParScanNilPool pins the fallback: no pool means a plain serial
+// scan, whatever the worker count.
+func TestParScanNilPool(t *testing.T) {
+	lowerParScanMin(t, 16)
+	ix, qds := buildGenIndex(t, 9, 300, 2, 2, true)
+	col := ix.Columnar()
+	var ref ScanBuf
+	var par ParScanBuf
+	for qi, qd := range qds {
+		col.ScanInto(qd, &ref)
+		col.ParScanInto(qd, 8, nil, &par)
+		sameAsSerial(t, &ref, &par.Out, fmt.Sprintf("q=%d nil pool", qi))
+	}
+}
+
+// TestParScanZeroAlloc enforces the allocation discipline of the merged
+// path: after one warm-up scan (which grows buffers and spawns workers),
+// partitioned scans allocate nothing at any worker count.
+func TestParScanZeroAlloc(t *testing.T) {
+	lowerParScanMin(t, 64)
+	ix, qds := buildGenIndex(t, 11, 2048, 4, 3, true)
+	col := ix.Columnar()
+	pool := NewScanPool(8)
+	var pb ParScanBuf
+	for _, w := range []int{2, 4, 8} {
+		col.ParScanInto(qds[0], w, pool, &pb) // warm-up: buffers + workers
+		allocs := testing.AllocsPerRun(200, func() {
+			for _, qd := range qds {
+				col.ParScanInto(qd, w, pool, &pb)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("workers=%d: ParScanInto allocated %v times per run, want 0", w, allocs)
+		}
+	}
+}
+
+// synthColumnar fabricates a large columnar file directly (no term
+// encoding), for scaling benchmarks: mostly unmasked entries with a
+// sprinkling of masked blocks, codes drawn from a fixed xorshift stream.
+func synthColumnar(n int) (*Columnar, []QueryDescriptor) {
+	entries := make([]Entry, n)
+	s := uint64(0x9E3779B97F4A7C15)
+	for i := range entries {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		entries[i].Code = Codeword(s)
+		entries[i].Addr = uint32(i)
+		if i%1024 < 16 { // one masked stretch per 16 blocks
+			entries[i].Mask = Mask(1 << (i % 3))
+		}
+	}
+	p := Params{Width: 64, BitsPerKey: 3, MaskBits: true}
+	var qds []QueryDescriptor
+	for q := 0; q < 8; q++ {
+		var qd QueryDescriptor
+		qd.NArgs = 2
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		// Three demanded bits per argument: selective but not empty.
+		qd.PerArg[0] = Codeword(s & (s >> 21) & (s >> 43) & 0x7)
+		qd.PerArg[1] = Codeword((s >> 3) & 0x38)
+		qds = append(qds, qd)
+	}
+	return NewColumnar(p, entries), qds
+}
+
+// BenchmarkParallelScan is the worker-count scaling curve of the
+// partitioned columnar scan on a 1M-entry file (~14 MB of secondary
+// index). The workers=1 case is the serial baseline through the same
+// code path.
+func BenchmarkParallelScan(b *testing.B) {
+	col, qds := synthColumnar(1 << 20)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := NewScanPool(w - 1)
+			var pb ParScanBuf
+			col.ParScanInto(qds[0], w, pool, &pb) // warm-up
+			b.SetBytes(int64(col.Len() * EntrySize))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				col.ParScanInto(qds[i%len(qds)], w, pool, &pb)
+			}
+		})
+	}
+}
