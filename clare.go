@@ -31,6 +31,7 @@ import (
 	"clare/internal/engine"
 	"clare/internal/fs2"
 	"clare/internal/parse"
+	"clare/internal/plan"
 	"clare/internal/scw"
 	"clare/internal/term"
 )
@@ -66,8 +67,12 @@ type Options struct {
 	// CrossBinding toggles the FS2 cross-binding checks.
 	CrossBinding bool
 	// Mode pins the search mode for every retrieval; nil selects per
-	// query via the CRS heuristic.
+	// query via the CRS heuristic (or the adaptive planner, see Planner).
 	Mode *SearchMode
+	// Planner arms the adaptive cost-based mode planner: auto-mode
+	// retrievals (nil Mode) pick their search mode per query from
+	// learned per-predicate statistics instead of the static heuristic.
+	Planner bool
 	// Boards is the number of FS2 board + drive units in the simulated
 	// chassis (0 means 1 — the paper's single-board setup). Each
 	// concurrent retrieval leases one unit, so N boards serve N
@@ -140,6 +145,9 @@ func NewKB(opts Options) (*KB, error) {
 		StreamChunkEntries: opts.StreamChunkEntries,
 		QueryCacheSize:     opts.QueryCacheSize,
 		ScanWorkers:        opts.ScanWorkers,
+	}
+	if opts.Planner {
+		cfg.Planner = plan.New(plan.Config{})
 	}
 	var err error
 	if cfg.Engine, err = core.ParseEngine(opts.Engine); err != nil {

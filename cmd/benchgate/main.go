@@ -19,13 +19,18 @@
 // go); a missing baseline is a clean pass so the gate can bootstrap on
 // the commit that introduces it.
 //
-// One absolute floor exists on top of the baseline comparison: the
+// Two absolute floors exist on top of the baseline comparison. The
 // partitioned columnar scan's NATIVE/par_speedup_w8 metric must reach
 // -par-speedup-floor (default 1.6x over serial) — but only when the
 // fresh run's own gomaxprocs header is at least 8, because on a host
 // with fewer cores the configured workers cannot run simultaneously and
 // the honest curve hovers at or below 1x. On small hosts the floor is
-// reported as skipped, never failed.
+// reported as skipped, never failed. And the adaptive planner's
+// PLAN/plan_vs_best metric must reach -plan-floor (default 0.9x the
+// best static mode): the planner is allowed a small learning tax but
+// must never lose badly to a mode a static config could have pinned.
+// The planner scoreboard is simulated cost, so this floor is
+// deterministic and applies on any host.
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "max allowed regression for simulated throughput (queries/s)")
 	wallThreshold := flag.Float64("wall-threshold", 0.50, "max allowed regression for wall-clock throughput (wall-queries/s)")
 	parFloor := flag.Float64("par-speedup-floor", 1.6, "min NATIVE/par_speedup_w8 when the fresh run had gomaxprocs >= 8")
+	planFloorVal := flag.Float64("plan-floor", 0.9, "min PLAN/plan_vs_best — the planner vs the best static mode")
 	flag.Parse()
 	if *fresh == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchgate -fresh fresh.json [-baseline BENCH_x.json] [-dir .] [-threshold 0.10] [-wall-threshold 0.50]")
@@ -88,6 +94,9 @@ func main() {
 	if !speedupFloor(os.Stdout, cur, *parFloor) {
 		failures++
 	}
+	if !planFloor(os.Stdout, cur, *planFloorVal) {
+		failures++
+	}
 	if failures > 0 {
 		fatal("%d of %d throughput metrics regressed beyond threshold", failures, compared)
 	}
@@ -116,6 +125,26 @@ func speedupFloor(w io.Writer, cur *report, floor float64) (ok bool) {
 		}
 		fmt.Fprintf(w, "  ok    NATIVE/par_speedup_w8 = %.2fx >= floor %.1fx (gomaxprocs %d)\n",
 			m.Value, floor, cur.GOMAXPROCS)
+		return true
+	}
+	return true
+}
+
+// planFloor enforces the absolute adaptive-planner floor on the fresh
+// run: PLAN/plan_vs_best (planner throughput over the best static
+// mode's, on the mixed workload) must reach floor. The scoreboard is
+// simulated cost — deterministic on any host — so there is no
+// small-host skip.
+func planFloor(w io.Writer, cur *report, floor float64) (ok bool) {
+	for _, m := range cur.Metrics {
+		if m.Experiment != "PLAN" || m.Name != "plan_vs_best" {
+			continue
+		}
+		if m.Value < floor {
+			fmt.Fprintf(w, "  FAIL  PLAN/plan_vs_best = %.2fx < floor %.1fx\n", m.Value, floor)
+			return false
+		}
+		fmt.Fprintf(w, "  ok    PLAN/plan_vs_best = %.2fx >= floor %.1fx\n", m.Value, floor)
 		return true
 	}
 	return true

@@ -98,6 +98,36 @@ func TestSpeedupFloor(t *testing.T) {
 	}
 }
 
+func TestPlanFloor(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		ratio    string // "" = metric absent
+		wantOK   bool
+		wantLine string
+	}{
+		{"above floor", "1.42", true, "ok    PLAN/plan_vs_best"},
+		{"at floor", "0.9", true, "ok    PLAN/plan_vs_best"},
+		{"below floor", "0.71", false, "FAIL  PLAN/plan_vs_best"},
+		{"metric absent passes", "", true, ""},
+	} {
+		cur := rep("2026-02-01T00:00:00Z")
+		if tc.ratio != "" {
+			cur = rep("2026-02-01T00:00:00Z",
+				[4]string{"PLAN", "plan_vs_best", tc.ratio, "x"})
+		}
+		var out strings.Builder
+		if ok := planFloor(&out, cur, 0.9); ok != tc.wantOK {
+			t.Errorf("%s: ok = %v, want %v\n%s", tc.name, ok, tc.wantOK, out.String())
+		}
+		if tc.wantLine != "" && !strings.Contains(out.String(), tc.wantLine) {
+			t.Errorf("%s: missing %q:\n%s", tc.name, tc.wantLine, out.String())
+		}
+		if tc.wantLine == "" && out.Len() != 0 {
+			t.Errorf("%s: unexpected output:\n%s", tc.name, out.String())
+		}
+	}
+}
+
 func TestLatestBaseline(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name, gen string) string {

@@ -141,6 +141,8 @@ var statsSections = []struct {
 	{"served", func(k string) bool { return strings.HasPrefix(k, "served.") }},
 	{"boards", func(k string) bool { return strings.HasPrefix(k, "boards.") }},
 	{"qcache", func(k string) bool { return strings.HasPrefix(k, "qcache.") }},
+	{"plan", func(k string) bool { return strings.HasPrefix(k, "plan.") }},
+	{"latency", func(k string) bool { return strings.HasPrefix(k, "latency.") }},
 	{"wal", func(k string) bool { return strings.HasPrefix(k, "wal.") }},
 	{"cluster", func(k string) bool { return strings.HasPrefix(k, "cluster.") }},
 }

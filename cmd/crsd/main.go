@@ -39,6 +39,16 @@
 // predate the mappable format, or platforms without mmap, silently fall
 // back to the heap load.
 //
+// -planner arms the adaptive cost-based mode planner: auto-mode
+// retrievals pick software/fs1/fs2/fs1+fs2 per query from learned
+// per-predicate statistics instead of the static heuristic, shared-
+// variable goals automatically skip the codeword filter (§2.1), and the
+// decision shows up in EXPLAIN (plan.*) and STATS (plan.*). The
+// statistics store snapshots to -planner-stats (default <kb>.plan next
+// to -kb) on drain and reloads on boot. -latency-window resizes the
+// per-predicate latency sample windows behind the admin /top quantiles
+// (latency.window in STATS).
+//
 // Durable writes: -wal-dir enables the write-ahead log — WRITE
 // (autocommit assert/retract) and transaction commits append to a
 // segmented log before they apply, and a restart replays the log over
@@ -67,6 +77,7 @@ import (
 	"clare/internal/core"
 	"clare/internal/crs"
 	"clare/internal/fault"
+	"clare/internal/plan"
 	"clare/internal/plfile"
 	"clare/internal/telemetry"
 	"clare/internal/wal"
@@ -84,6 +95,9 @@ func main() {
 	flag.Var(&faultSpecs, "fault", "arm a fault-injection rule, site[@key]=P or site[@key]=1/N[,limit=L] (repeatable)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault-injection schedule")
 	kb := flag.String("kb", "", "compiled knowledge-base store to load (kbc output; a shard slice works unchanged)")
+	planner := flag.Bool("planner", false, "arm the adaptive cost-based mode planner for auto-mode retrievals")
+	plannerStats := flag.String("planner-stats", "", "planner statistics snapshot path (default: <kb>.plan next to -kb; no snapshot without -kb)")
+	latWindow := flag.Int("latency-window", 0, "per-predicate latency samples kept for quantiles (0 = default)")
 	useMmap := flag.Bool("mmap", true, "map -kb read-only and decode zero-copy (falls back to a heap load when the store or platform does not support it)")
 	scanWorkers := flag.Int("scan-workers", 0, "goroutines per native FS1 columnar scan (0 = GOMAXPROCS, negative = serial; results are identical at any count)")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory: enables the durable write path (WRITE/SYNC/REPL) and replays the log over the loaded store at startup")
@@ -126,6 +140,25 @@ func main() {
 		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
 	}
 	cfg.ScanWorkers = *scanWorkers
+	var pl *plan.Planner
+	plPath := *plannerStats
+	if *planner {
+		pl = plan.New(plan.Config{})
+		if plPath == "" && *kb != "" {
+			plPath = plan.DefaultSnapshotPath(*kb)
+		}
+		if plPath != "" {
+			if err := pl.Load(plPath); err != nil {
+				fatal("planner stats %s: %v", plPath, err)
+			}
+			fmt.Printf("planner armed: %d predicates warm from %s\n", pl.Predicates(), plPath)
+		} else {
+			fmt.Println("planner armed (statistics in memory only)")
+		}
+		cfg.Planner = pl
+	} else if plPath != "" {
+		fatal("-planner-stats needs -planner")
+	}
 	var r *core.Retriever
 	if *kb != "" {
 		start := time.Now()
@@ -154,6 +187,9 @@ func main() {
 		}
 	}
 	srv := crs.NewServer(r)
+	if *latWindow > 0 {
+		srv.SetLatencyWindow(*latWindow)
+	}
 	if *kb != "" {
 		// Register the store's predicates with the server (Load only sees
 		// the .pl arguments).
@@ -273,6 +309,13 @@ func main() {
 		adminSrv.Close()
 	}
 	<-serveErr // Serve returns once the listener is closed and handlers drain
+	if pl != nil && plPath != "" {
+		if err := pl.Save(plPath); err != nil {
+			fmt.Fprintf(os.Stderr, "crsd: planner stats: %v\n", err)
+		} else {
+			fmt.Printf("planner stats saved to %s (%d predicates)\n", plPath, pl.Predicates())
+		}
+	}
 	fmt.Println("crsd: bye")
 }
 

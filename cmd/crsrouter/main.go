@@ -19,8 +19,19 @@
 // alone, and the router ships its write-ahead log to the remaining
 // replicas (disable with -no-replicate). A replica trailing the primary
 // by more than -max-lag records is demoted in the retrieval failover
-// order until it catches up. The
-// admin listener serves /metrics (clare_cluster_* and the Prometheus
+// order until it catches up.
+//
+// Replica selection is load-aware: within a shard group healthy
+// replicas are ranked by outstanding load × observed service time
+// (native-engine backends, discovered through a STATS probe when a
+// connection is first armed, start with a faster prior). -hedge arms
+// request hedging: a retrieval still unanswered past its predicate's
+// observed P99 (floored at -hedge-floor) is duplicated to the runner-up
+// replica and the first answer wins, the loser being cancelled —
+// tail-latency insurance against one slow replica. Hedge traffic shows
+// up as cluster.hedges / cluster.hedge.wins in STATS.
+//
+// The admin listener serves /metrics (clare_cluster_* and the Prometheus
 // base set), /trace?n=K (router span trees) and /debug/pprof; -admin ""
 // disables it. SIGINT/SIGTERM drain: new connections are refused and
 // in-flight sessions get -drain to finish before being force-closed.
@@ -56,6 +67,9 @@ func main() {
 	maxLag := flag.Uint64("max-lag", cluster.DefaultMaxLag, "log records a replica may trail its primary before it is demoted as stale")
 	shipEvery := flag.Duration("ship-interval", cluster.DefaultShipInterval, "idle log-shipping period per replica (writes wake shippers early)")
 	noRepl := flag.Bool("no-replicate", false, "disable primary-to-replica log shipping (backends sync some other way)")
+	hedge := flag.Bool("hedge", false, "hedge slow retrievals: duplicate to a second replica past the predicate's P99 budget, first answer wins")
+	hedgeFloor := flag.Duration("hedge-floor", cluster.DefaultHedgeFloor, "minimum hedge budget (cold predicates never hedge earlier)")
+	latWindow := flag.Int("latency-window", 0, "latency samples kept per predicate and per backend for quantiles (0 = default)")
 	var shardSpecs multiFlag
 	flag.Var(&shardSpecs, "shard", "one shard group as comma-separated replica addresses, in shard order (repeatable)")
 	flag.Parse()
@@ -72,6 +86,9 @@ func main() {
 		PoolSize:      *pool,
 		MaxLag:        *maxLag,
 		ShipInterval:  *shipEvery,
+		Hedge:         *hedge,
+		HedgeFloor:    *hedgeFloor,
+		LatencyWindow: *latWindow,
 		Metrics:       telemetry.NewRegistry(),
 		Tracer:        telemetry.NewTracer(*traces),
 	}
@@ -96,6 +113,9 @@ func main() {
 		router.StartReplication()
 		fmt.Printf("log shipping armed: primary = first address per -shard, max lag %d, interval %s\n",
 			*maxLag, *shipEvery)
+	}
+	if *hedge {
+		fmt.Printf("request hedging armed: duplicate past per-predicate P99 (floor %s)\n", *hedgeFloor)
 	}
 	srv := cluster.NewServer(router)
 

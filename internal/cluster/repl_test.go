@@ -250,7 +250,7 @@ func TestStaleCandidatesOrder(t *testing.T) {
 	}
 	order := func(g *group) string {
 		var names []string
-		for _, n := range g.candidates() {
+		for _, n := range g.candidates(nil) {
 			names = append(names, n.addr)
 		}
 		return strings.Join(names, "")

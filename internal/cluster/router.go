@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,6 +40,21 @@ const (
 	// DefaultShipInterval is the idle log-shipping period per replica
 	// (Notify wakes a shipper early after every routed write).
 	DefaultShipInterval = 500 * time.Millisecond
+	// DefaultHedgeFloor is the minimum hedge budget: a duplicate request
+	// never fires earlier than this, so cold predicates and fast
+	// backends do not hedge on noise.
+	DefaultHedgeFloor = 5 * time.Millisecond
+)
+
+// Service-time priors used to score a replica before the router holds
+// latency samples for it: the native vectorized engine answers about an
+// order of magnitude faster than the cycle-accurate simulation, and
+// partitioned scan workers shave the large scans further. Learned from
+// each backend's STATS (engine.native, scan.workers) at pool-arm time.
+const (
+	simServicePrior    = time.Millisecond
+	nativeServicePrior = 200 * time.Microsecond
+	maxWorkerCredit    = 8
 )
 
 // Config parameterises a Router.
@@ -69,6 +85,17 @@ type Config struct {
 	// ShipInterval is the idle log-shipping period per replica (0 means
 	// DefaultShipInterval).
 	ShipInterval time.Duration
+	// Hedge arms request hedging on retrievals: when a group's best
+	// replica has not answered within the predicate's P99 budget, the
+	// runner-up gets a duplicate request and the first answer wins (the
+	// loser is cancelled).
+	Hedge bool
+	// HedgeFloor is the minimum hedge budget (0 means DefaultHedgeFloor).
+	// Only meaningful with Hedge.
+	HedgeFloor time.Duration
+	// LatencyWindow sizes the router's per-predicate and per-node
+	// latency sample windows (0 means telemetry.DefaultLatencyWindow).
+	LatencyWindow int
 	// Faults, when non-nil, lets the shippers probe the wal.ship fault
 	// site (keyed by replica address) — the chaos hook for replication.
 	Faults *fault.Injector
@@ -108,6 +135,15 @@ type node struct {
 	// and never set on a primary or a single-node group).
 	lag   atomic.Uint64
 	stale atomic.Bool
+
+	// Load-aware selection state: calls currently in flight against the
+	// node, plus the capability its backend reported through STATS the
+	// first time a connection was armed (probed latches the one-time
+	// probe).
+	outstanding atomic.Int64
+	probed      atomic.Bool
+	native      atomic.Bool
+	workers     atomic.Int64
 }
 
 // group is one shard's replica set; nodes[0] is the primary (see
@@ -136,6 +172,11 @@ type Router struct {
 	tracer *telemetry.Tracer
 	lat    *telemetry.LatencyTracker
 
+	// nodeLat windows per-backend service times (keyed by address) for
+	// load-aware replica scoring; lat windows per-predicate wall times
+	// for the hedge budget.
+	nodeLat *telemetry.LatencyTracker
+
 	// Service counters (also surfaced through STATS aggregation, so
 	// they exist even without a metrics registry).
 	requests  atomic.Int64
@@ -144,6 +185,8 @@ type Router struct {
 	trips     atomic.Int64
 	readmits  atomic.Int64
 	writes    atomic.Int64
+	hedges    atomic.Int64
+	hedgeWins atomic.Int64
 
 	// replOnce guards StartReplication (see repl.go).
 	replOnce sync.Once
@@ -178,10 +221,11 @@ func NewRouter(cfg Config) (*Router, error) {
 		cfg.ShipInterval = DefaultShipInterval
 	}
 	r := &Router{
-		cfg:    cfg,
-		met:    newRouterMetrics(cfg.Metrics, len(cfg.Shards)),
-		tracer: cfg.Tracer,
-		lat:    telemetry.NewLatencyTracker(0),
+		cfg:     cfg,
+		met:     newRouterMetrics(cfg.Metrics, len(cfg.Shards)),
+		tracer:  cfg.Tracer,
+		lat:     telemetry.NewLatencyTracker(cfg.LatencyWindow),
+		nodeLat: telemetry.NewLatencyTracker(cfg.LatencyWindow),
 	}
 	for i, replicas := range cfg.Shards {
 		if len(replicas) == 0 {
@@ -240,6 +284,9 @@ func (r *Router) Close() {
 // when one exists, a fresh dial otherwise. Pooled clients have their
 // own transparent retry disabled — failover policy belongs to the
 // router, which wants to move to a replica, not hammer the same node.
+// The first fresh dial ever armed also probes the backend's STATS for
+// its service-time capability (engine.native, scan.workers); the probe
+// is one-shot per node and best-effort.
 func (n *node) get(cfg Config) (*crs.Client, bool, error) {
 	n.mu.Lock()
 	if k := len(n.idle); k > 0 {
@@ -254,6 +301,23 @@ func (n *node) get(cfg Config) (*crs.Client, bool, error) {
 		return nil, false, err
 	}
 	c.MaxRetries = -1
+	if n.probed.CompareAndSwap(false, true) {
+		if m, perr := c.StatsWithTimeout(cfg.WireTimeout); perr == nil {
+			n.native.Store(m["engine.native"] == 1)
+			if w := m["scan.workers"]; w > 0 {
+				n.workers.Store(w)
+			}
+		} else {
+			// The probe consumed the connection's health; hand the caller
+			// a clean dial and let the real call decide the node's fate.
+			c.Close()
+			c, err = crs.DialTimeout(n.addr, cfg.WireTimeout)
+			if err != nil {
+				return nil, false, err
+			}
+			c.MaxRetries = -1
+		}
+	}
 	return c, false, nil
 }
 
@@ -318,15 +382,47 @@ func (n *node) clear(r *Router) {
 	}
 }
 
+// serviceEstimate prices one request against the node: the router's
+// observed per-node P90 when it holds samples, a capability-derived
+// prior otherwise. r may be nil (tests); the prior then depends only on
+// the probe state.
+func (n *node) serviceEstimate(r *Router) time.Duration {
+	if r != nil {
+		if p90, ok := r.nodeLat.Quantile(n.addr, 0.90); ok && p90 > 0 {
+			return p90
+		}
+	}
+	est := simServicePrior
+	if n.native.Load() {
+		est = nativeServicePrior
+		if w := n.workers.Load(); w > 1 {
+			if w > maxWorkerCredit {
+				w = maxWorkerCredit
+			}
+			est /= time.Duration(w)
+		}
+	}
+	return est
+}
+
+// score is the node's expected queueing cost for one more request:
+// service estimate scaled by the requests already in flight against it.
+func (n *node) score(r *Router) int64 {
+	return (n.outstanding.Load() + 1) * int64(n.serviceEstimate(r))
+}
+
 // candidates orders the group's replicas for one request: fresh healthy
-// nodes first (declared order), then tripped nodes whose cool-off has
-// elapsed (probation), then healthy-but-stale replicas — a replica
-// whose replication lag exceeds the staleness bound serves bounded-
-// staleness answers, so it ranks below a probationary node that might
-// be fully caught up. When every node is tripped and still cooling, all
-// are returned anyway — the router has no host-only rung below it, so a
-// last-ditch attempt beats a guaranteed error.
-func (g *group) candidates() []*node {
+// nodes first, then tripped nodes whose cool-off has elapsed
+// (probation), then healthy-but-stale replicas — a replica whose
+// replication lag exceeds the staleness bound serves bounded-staleness
+// answers, so it ranks below a probationary node that might be fully
+// caught up. Healthy nodes are ranked by expected queueing cost
+// (outstanding load × observed-or-prior service time); the sort is
+// stable, so unscored equals keep their declared order. When every node
+// is tripped and still cooling, all are returned anyway — the router
+// has no host-only rung below it, so a last-ditch attempt beats a
+// guaranteed error.
+func (g *group) candidates(r *Router) []*node {
 	now := time.Now()
 	healthy := make([]*node, 0, len(g.nodes))
 	var probation, stale []*node
@@ -343,6 +439,15 @@ func (g *group) candidates() []*node {
 			probation = append(probation, n)
 		}
 	}
+	if len(healthy) > 1 {
+		scores := make(map[*node]int64, len(healthy))
+		for _, n := range healthy {
+			scores[n] = n.score(r)
+		}
+		sort.SliceStable(healthy, func(i, j int) bool {
+			return scores[healthy[i]] < scores[healthy[j]]
+		})
+	}
 	out := append(append(healthy, probation...), stale...)
 	if len(out) == 0 {
 		return g.nodes
@@ -350,44 +455,128 @@ func (g *group) candidates() []*node {
 	return out
 }
 
-// callNode runs one request against one backend. A transport failure on
-// a pooled (possibly stale) connection is retried once on a fresh dial
-// before it counts against the node.
+// errHedgeAborted marks a hedged attempt cancelled because the other
+// arm answered first. It never strikes node health — the node did
+// nothing wrong, it just lost the race.
+var errHedgeAborted = errors.New("cluster: hedged attempt cancelled")
+
+// hedgeArm tracks one hedged attempt's in-flight client so the losing
+// arm can be cancelled: closing the connection unblocks its pending
+// read, the only cancellation the text protocol offers. A nil receiver
+// means "not hedged" — set always succeeds, finish reports not-aborted.
+type hedgeArm struct {
+	mu      sync.Mutex
+	c       *crs.Client
+	aborted bool
+}
+
+// set registers the arm's active client; false when the arm was already
+// cancelled (the caller must close the client and give up).
+func (a *hedgeArm) set(c *crs.Client) bool {
+	if a == nil {
+		return true
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.aborted {
+		return false
+	}
+	a.c = c
+	return true
+}
+
+// finish deregisters the client after its call returned; true when the
+// arm was cancelled mid-call (the connection is then already closed and
+// must not be pooled).
+func (a *hedgeArm) finish() bool {
+	if a == nil {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.c = nil
+	return a.aborted
+}
+
+// abort cancels the arm: any registered in-flight connection is severed
+// (failing its pending read) and any future set is refused. Abort, not
+// Close — a QUIT handshake would wait out the very reply being
+// abandoned, stalling the winning arm's return.
+func (a *hedgeArm) abort() {
+	a.mu.Lock()
+	c := a.c
+	a.c = nil
+	a.aborted = true
+	a.mu.Unlock()
+	if c != nil {
+		c.Sever() //nolint:errcheck // the connection is being abandoned
+	}
+}
+
+// callNode runs one request against one backend, tracking the node's
+// in-flight count and feeding its service-time window. A transport
+// failure on a pooled (possibly stale) connection is retried once on a
+// fresh dial before it counts against the node.
 func callNode[T any](r *Router, n *node, op func(c *crs.Client) (T, error)) (T, error) {
+	return callNodeArm(r, n, nil, op)
+}
+
+// callNodeArm is callNode registered against a hedge arm (nil for
+// unhedged calls).
+func callNodeArm[T any](r *Router, n *node, arm *hedgeArm, op func(c *crs.Client) (T, error)) (T, error) {
+	n.outstanding.Add(1)
+	defer n.outstanding.Add(-1)
+	start := time.Now()
+	res, err := callNodeConn(r, n, arm, op)
+	var se *crs.ServerError
+	if err == nil || errors.As(err, &se) {
+		// The node answered, so this is a service-time sample; transport
+		// failures and cancelled hedge arms are not.
+		r.nodeLat.Observe(n.addr, time.Since(start))
+	}
+	return res, err
+}
+
+func callNodeConn[T any](r *Router, n *node, arm *hedgeArm, op func(c *crs.Client) (T, error)) (T, error) {
 	var zero T
+	attempt := func(c *crs.Client, pooled bool) (res T, err error, redial bool) {
+		if !arm.set(c) {
+			c.Sever() //nolint:errcheck // the arm already lost the race
+			return zero, errHedgeAborted, false
+		}
+		res, err = op(c)
+		if arm.finish() {
+			// The other arm won mid-call: the connection was severed under
+			// us and must not be pooled.
+			c.Sever() //nolint:errcheck // already severed by the winner
+			return zero, errHedgeAborted, false
+		}
+		if err == nil {
+			n.put(c, r.cfg)
+			return res, nil, false
+		}
+		var se *crs.ServerError
+		if errors.As(err, &se) {
+			// The server answered: the connection is still good.
+			n.put(c, r.cfg)
+			return zero, err, false
+		}
+		n.discard(c)
+		// A pooled connection may simply have outlived the backend's
+		// previous life; one fresh dial decides.
+		return zero, err, pooled
+	}
 	c, pooled, err := n.get(r.cfg)
 	if err != nil {
 		return zero, err
 	}
-	res, err := op(c)
-	if err == nil {
-		n.put(c, r.cfg)
-		return res, nil
-	}
-	var se *crs.ServerError
-	if errors.As(err, &se) {
-		// The server answered: the connection is still good.
-		n.put(c, r.cfg)
-		return zero, err
-	}
-	n.discard(c)
-	if pooled {
-		// The pooled connection may simply have outlived the backend's
-		// previous life; one fresh dial decides.
-		if c, _, err2 := n.get(r.cfg); err2 == nil {
-			if res, err2 = op(c); err2 == nil {
-				n.put(c, r.cfg)
-				return res, nil
-			}
-			err = err2
-			if errors.As(err, &se) {
-				n.put(c, r.cfg)
-				return zero, err
-			}
-			n.discard(c)
+	res, err, redial := attempt(c, pooled)
+	if redial {
+		if c2, _, err2 := n.get(r.cfg); err2 == nil {
+			res, err, _ = attempt(c2, false)
 		}
 	}
-	return zero, err
+	return res, err
 }
 
 // callGroup walks the group's failover ladder: replicas in candidate
@@ -403,9 +592,17 @@ func callNode[T any](r *Router, n *node, op func(c *crs.Client) (T, error)) (T, 
 // one. op receives the attempt's net span so it can thread the trace
 // context to the backend and graft the returned subtree under it.
 func callGroup[T any](r *Router, g *group, tr *telemetry.Trace, span *telemetry.Span, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
+	return callLadder(r, g, g.candidates(r), 0, tr, span, op)
+}
+
+// callLadder is callGroup's loop over an explicit candidate list
+// starting at index first (so the hedged path can resume the ladder
+// past the two arms it already spent).
+func callLadder[T any](r *Router, g *group, cands []*node, first int, tr *telemetry.Trace, span *telemetry.Span, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
 	var zero T
 	var lastErr error
-	for attempt, n := range g.candidates() {
+	for attempt := first; attempt < len(cands); attempt++ {
+		n := cands[attempt]
 		if attempt > 0 {
 			r.failovers.Add(1)
 			r.met.failovers[g.shard].Inc()
@@ -452,6 +649,134 @@ func callGroup[T any](r *Router, g *group, tr *telemetry.Trace, span *telemetry.
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("cluster: shard %d has no reachable replica", g.shard)
+	}
+	return zero, lastErr
+}
+
+// hedgeBudget is one predicate's duplicate-request trigger: its
+// observed P99 across routed calls, floored so cold predicates and
+// sub-millisecond backends do not hedge on noise.
+func (r *Router) hedgeBudget(pred string) time.Duration {
+	floor := r.cfg.HedgeFloor
+	if floor <= 0 {
+		floor = DefaultHedgeFloor
+	}
+	if p99, ok := r.lat.Quantile(pred, 0.99); ok && p99 > floor {
+		return p99
+	}
+	return floor
+}
+
+// callGroupHedged is callGroup with request hedging: the group's
+// best-scored replica gets the request, and when it has not answered
+// within the predicate's hedge budget the runner-up gets a duplicate —
+// the first answer wins and the loser's connection is closed to cancel
+// it. An arm failing before the budget fires the hedge immediately, and
+// when both arms fail the remaining replicas run the ordinary failover
+// ladder, so hedging never weakens failover. Falls through to the plain
+// ladder when hedging is off or the group has fewer than two live
+// candidates.
+func callGroupHedged[T any](r *Router, g *group, pred string, tr *telemetry.Trace, span *telemetry.Span, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
+	cands := g.candidates(r)
+	if !r.cfg.Hedge || len(cands) < 2 {
+		return callLadder(r, g, cands, 0, tr, span, op)
+	}
+	var zero T
+	type armResult struct {
+		res T
+		err error
+		idx int
+	}
+	done := make(chan armResult, 2)
+	arms := [2]*hedgeArm{new(hedgeArm), new(hedgeArm)}
+	launch := func(idx int) {
+		n := cands[idx]
+		go func() {
+			netSpan := tr.Span(span, "net")
+			if netSpan != nil {
+				netSpan.SetAttr("addr", n.addr)
+				if idx == 1 {
+					netSpan.SetAttr("hedge", "true")
+				}
+			}
+			res, err := callNodeArm(r, n, arms[idx], func(c *crs.Client) (T, error) { return op(c, netSpan) })
+			if netSpan != nil {
+				if err != nil {
+					netSpan.SetAttr("error", err.Error())
+				}
+				netSpan.End()
+			}
+			done <- armResult{res, err, idx}
+		}()
+	}
+	launch(0)
+	timer := time.NewTimer(r.hedgeBudget(pred))
+	defer timer.Stop()
+	hedged := false
+	fire := func() bool {
+		if hedged {
+			return false
+		}
+		hedged = true
+		r.hedges.Add(1)
+		r.met.hedges.Inc()
+		launch(1)
+		return true
+	}
+	var lastErr error
+	for pending := 1; pending > 0; {
+		select {
+		case <-timer.C:
+			if fire() {
+				pending++
+			}
+		case d := <-done:
+			pending--
+			if errors.Is(d.err, errHedgeAborted) {
+				continue
+			}
+			n := cands[d.idx]
+			if d.err == nil {
+				n.clear(r)
+				arms[1-d.idx].abort()
+				if d.idx == 1 {
+					r.hedgeWins.Add(1)
+					r.met.hedgeWins.Inc()
+				}
+				if span != nil {
+					span.SetAttr("addr", n.addr)
+					if d.idx == 1 {
+						span.SetAttr("hedge_won", "true")
+					}
+				}
+				return d.res, nil
+			}
+			var se *crs.ServerError
+			if errors.As(d.err, &se) {
+				if isUnknownPredicate(se) {
+					// Definitive: the healthy replica just does not hold
+					// the predicate. No point racing the other arm.
+					n.clear(r)
+					arms[1-d.idx].abort()
+					return zero, errUnknownPredicate
+				}
+				if strings.Contains(se.Msg, "shutting down") {
+					n.strike(r)
+				}
+			} else {
+				n.strike(r)
+			}
+			lastErr = d.err
+			// The arm died before the budget expired: hedge immediately
+			// rather than waiting out the timer.
+			if fire() {
+				pending++
+			}
+		}
+	}
+	// Both hedge arms failed; finish on the remaining replicas.
+	if len(cands) > 2 {
+		return callLadder(r, g, cands, 2, tr, span, op)
 	}
 	return zero, lastErr
 }
@@ -535,7 +860,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		if sp != nil {
 			sp.SetAttr("shard", fmt.Sprint(shard))
 		}
-		res, err = callGroup(r, r.groups[shard], tr, sp, retrieveOp)
+		res, err = callGroupHedged(r, r.groups[shard], pi, tr, sp, retrieveOp)
 		if sp != nil {
 			if err != nil {
 				sp.SetAttr("error", err.Error())
@@ -557,7 +882,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		// clauses were asserted elsewhere): ask everyone.
 	}
 
-	res, err = r.fanout(mode, goal, tr, root, retrieveOp)
+	res, err = r.fanout(mode, goal, pi, tr, root, retrieveOp)
 	if err != nil {
 		r.met.errors.Inc()
 		return nil, finishErr(err)
@@ -573,7 +898,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 // per-predicate clause order intact: the partitioned build places each
 // predicate whole on one shard, so its clauses arrive from a single
 // group already in user order.
-func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.Span,
+func (r *Router) fanout(mode, goal, pred string, tr *telemetry.Trace, root *telemetry.Span,
 	op func(c *crs.Client, netSpan *telemetry.Span) (*crs.RetrieveResult, error)) (*crs.RetrieveResult, error) {
 	r.fanouts.Add(1)
 	r.met.fanouts.Inc()
@@ -590,7 +915,7 @@ func (r *Router) fanout(mode, goal string, tr *telemetry.Trace, root *telemetry.
 			if sp != nil {
 				sp.SetAttr("shard", fmt.Sprint(g.shard))
 			}
-			res, err := callGroup(r, g, tr, sp, op)
+			res, err := callGroupHedged(r, g, pred, tr, sp, op)
 			if err == nil {
 				r.met.requests[g.shard].Inc()
 				results[i] = res
@@ -909,6 +1234,14 @@ func (r *Router) Stats() (map[string]int64, error) {
 	out["cluster.trips"] = r.trips.Load()
 	out["cluster.readmits"] = r.readmits.Load()
 	out["cluster.writes"] = r.writes.Load()
+	hedgeEnabled := int64(0)
+	if r.cfg.Hedge {
+		hedgeEnabled = 1
+	}
+	out["cluster.hedge.enabled"] = hedgeEnabled
+	out["cluster.hedges"] = r.hedges.Load()
+	out["cluster.hedge.wins"] = r.hedgeWins.Load()
+	out["cluster.latency.window"] = int64(r.lat.Window())
 	out["cluster.wal.shipped"] = shipped
 	out["cluster.wal.lag.max"] = lagMax
 	out["cluster.wal.stale"] = staleN

@@ -253,9 +253,16 @@ func TestFailoverToReplica(t *testing.T) {
 	p := predOnShard(t, preds, 2, 0)
 	goal := p.name + "(X, Y)"
 
-	// Warm the pool through replica 0, then kill it.
+	// Warm the pool through replica 0, then kill it. Pin it at the head
+	// of the candidate order first: its warm-request latency sample can
+	// exceed the idle replica's prior (routine under -race), and the
+	// load-aware ranking would then sidestep the dead node instead of
+	// failing over from it.
 	if _, err := r.Retrieve("auto", goal); err != nil {
 		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		r.nodeLat.Observe(tc.addrs[0][0], 100*time.Microsecond)
 	}
 	tc.kill(t, 0, 0)
 
@@ -343,7 +350,7 @@ func TestCandidatesOrder(t *testing.T) {
 	}
 	order := func(g *group) string {
 		var names []string
-		for _, n := range g.candidates() {
+		for _, n := range g.candidates(nil) {
 			names = append(names, n.addr)
 		}
 		return strings.Join(names, "")
@@ -384,6 +391,14 @@ func TestStatsAggregation(t *testing.T) {
 	preds := testPreds()
 	tc := startCluster(t, 2, 2, preds)
 	r := newTestRouter(t, tc.addrs, nil)
+	// Pin each group's replica 0 at the head of the candidate order:
+	// served.* counters arrive from exactly one replica per group, so
+	// the requests and the stats poll must land on the same node even
+	// when -race skews the observed service times.
+	for i := 0; i < 64; i++ {
+		r.nodeLat.Observe(tc.addrs[0][0], 100*time.Microsecond)
+		r.nodeLat.Observe(tc.addrs[1][0], 100*time.Microsecond)
+	}
 	for _, p := range preds[:3] {
 		if _, err := r.Retrieve("auto", p.name+"(X, Y)"); err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"clare/internal/core"
 	"clare/internal/crs"
@@ -196,6 +197,13 @@ func TestStitchedTraceSurvivesFailover(t *testing.T) {
 
 	if _, err := r.Retrieve("auto", goal); err != nil {
 		t.Fatal(err)
+	}
+	// Pin replica 0 at the head of the candidate order so the traced
+	// retrieval hits the dead node first and the failover lands in the
+	// trace — load-aware ranking would otherwise sidestep it whenever
+	// the warm sample exceeds the idle prior (routine under -race).
+	for i := 0; i < 64; i++ {
+		r.nodeLat.Observe(tc.addrs[0][0], 100*time.Microsecond)
 	}
 	tc.kill(t, 0, 0)
 

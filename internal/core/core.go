@@ -23,6 +23,7 @@ import (
 	"clare/internal/fault"
 	"clare/internal/fs2"
 	"clare/internal/pif"
+	"clare/internal/plan"
 	"clare/internal/ptu"
 	"clare/internal/scw"
 	"clare/internal/symtab"
@@ -161,6 +162,13 @@ type Config struct {
 	// contiguous and merged in order. Small scans stay serial regardless
 	// (scw.ParScanMinEntries), and the sim engine ignores this knob.
 	ScanWorkers int
+	// Planner, when non-nil, arms the adaptive cost-based planner: every
+	// clean retrieval's candidate funnel is folded into its per-predicate
+	// statistics store, and PlanMode (the auto-mode path in the CRS
+	// server and the Source facade) asks it to pick the search mode
+	// instead of the static ChooseMode heuristic. Nil — the default —
+	// costs one nil check per retrieval.
+	Planner *plan.Planner
 }
 
 // MaxScanWorkers bounds ScanWorkers (and the retriever's scan worker
@@ -607,7 +615,21 @@ func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetr
 		rt.Stats.Faults = faults
 		rt.Stats.Retries = retries
 		rt.Stats.Degraded = degraded
-		r.met.observe(rt, time.Since(wallStart))
+		wall := time.Since(wallStart)
+		r.met.observe(rt, wall)
+		if p := r.cfg.Planner; p != nil && degraded == "" && faults == 0 {
+			// Degraded or faulted runs price the failure ladder, not the
+			// mode — keep them out of the learned profile.
+			if pm, ok := planMode(mode); ok {
+				p.Observe(pi.String(), plan.ShapeOf(goal), pm, plan.Observation{
+					TotalClauses: rt.Stats.TotalClauses,
+					AfterFS1:     rt.Stats.AfterFS1,
+					AfterFS2:     rt.Stats.AfterFS2,
+					Sim:          rt.Stats.Total,
+					Wall:         wall,
+				})
+			}
+		}
 		if root != nil {
 			root.AddSim(rt.Stats.Total)
 			root.SetAttr("candidates", fmt.Sprint(len(rt.Candidates)))

@@ -186,6 +186,13 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// Sever drops the connection without the QUIT handshake. Close waits
+// for the server's goodbye, which deadlocks a caller cancelling an
+// in-flight request — the goodbye queues behind the very reply being
+// abandoned. Sever fails the pending read immediately instead; the
+// connection is unusable afterwards.
+func (c *Client) Sever() error { return c.conn.Close() }
+
 func (c *Client) send(line string) error {
 	if to := c.effTimeout(); to > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(to)); err != nil {

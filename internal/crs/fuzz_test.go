@@ -53,7 +53,8 @@ func fuzzServer() (*Server, error) {
 func wireReplyOK(line string) bool {
 	tok, _, _ := strings.Cut(line, " ")
 	switch tok {
-	case "OK", "BYE", "ERR", "CANDIDATES", "STATS", "S", "C", "LOG", "R":
+	case "OK", "BYE", "ERR", "CANDIDATES", "STATS", "S", "C", "LOG", "R",
+		"EXPLAIN", "E", "TRACE":
 		return true
 	}
 	return false
@@ -84,6 +85,10 @@ func FuzzWireParse(f *testing.F) {
 		"ASSERT m(1, x).\n",
 		"COMMIT\nABORT\nBEGIN\nBEGIN\n",
 		"STATS\nSTATS\n",
+		"EXPLAIN auto m(1, X).\nSTATS\n",
+		"EXPLAIN fs2 m(1, X).\n",
+		"EXPLAIN fs1+fs2 m(X, Y).\nEXPLAIN software m(0, x).\n",
+		"EXPLAIN bogusmode m(1, X).\nEXPLAIN\nEXPLAIN auto\n",
 		"stats\nhello\nquit\n",
 		"QUIT\nHELLO\n",
 		"\n\n   \n\t\n",

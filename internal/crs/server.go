@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"clare/internal/core"
+	"clare/internal/plan"
 	"clare/internal/telemetry"
 	"clare/internal/term"
 	"clare/internal/wal"
@@ -95,6 +96,12 @@ func NewServer(r *core.Retriever) *Server {
 // Latency exposes the per-predicate latency tracker (for the admin
 // mux's /top endpoint).
 func (s *Server) Latency() *telemetry.LatencyTracker { return s.lat }
+
+// SetLatencyWindow replaces the latency tracker with one retaining n
+// samples per predicate (n <= 0 keeps the default). Call before the
+// server starts serving traffic — the swap is not synchronized against
+// in-flight observations, and samples already recorded are dropped.
+func (s *Server) SetLatencyWindow(n int) { s.lat = telemetry.NewLatencyTracker(n) }
 
 // Errors.
 var (
@@ -273,7 +280,7 @@ func (c *Session) RetrieveTraced(goal term.Term, mode *core.SearchMode, tc *tele
 	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
 	defer ps.lock.RUnlock()
 
-	m, err := c.chooseMode(goal, mode)
+	m, _, err := c.chooseMode(goal, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +311,7 @@ func (c *Session) Explain(goal term.Term, mode *core.SearchMode, tc *telemetry.T
 	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
 	defer ps.lock.RUnlock()
 
-	m, err := c.chooseMode(goal, mode)
+	m, d, err := c.chooseMode(goal, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +319,7 @@ func (c *Session) Explain(goal term.Term, mode *core.SearchMode, tc *telemetry.T
 	if err != nil {
 		return nil, err
 	}
+	p.Plan = d
 	c.account(pi, m, &p.Stats, time.Since(wallStart))
 	return p, nil
 }
@@ -338,16 +346,15 @@ func (c *Session) lookup(goal term.Term) (core.Indicator, *predState, error) {
 	return pi, ps, nil
 }
 
-// chooseMode resolves the effective search mode (nil = heuristic).
-func (c *Session) chooseMode(goal term.Term, mode *core.SearchMode) (core.SearchMode, error) {
+// chooseMode resolves the effective search mode. nil delegates to the
+// retriever's auto path: the adaptive planner when one is configured,
+// the static heuristic otherwise (the decision is non-nil only on the
+// planner path).
+func (c *Session) chooseMode(goal term.Term, mode *core.SearchMode) (core.SearchMode, *plan.Decision, error) {
 	if mode != nil {
-		return *mode, nil
+		return *mode, nil, nil
 	}
-	pred, err := c.srv.retriever.Predicate(goal)
-	if err != nil {
-		return core.ModeFS1FS2, err
-	}
-	return core.ChooseMode(goal, pred), nil
+	return c.srv.retriever.PlanMode(goal)
 }
 
 // account publishes one served retrieval into the service counters and

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"clare/internal/core"
+	"clare/internal/plan"
 	"clare/internal/telemetry"
 	"clare/internal/wal"
 )
@@ -117,6 +118,15 @@ type Snapshot struct {
 	// StoreMapped reports whether the retriever's predicates decode out
 	// of a read-only store mapping (the mmap cold-start path).
 	StoreMapped bool
+	// PlanEnabled reports whether the adaptive planner is armed; Plan
+	// carries its service counters and PlanPredicates the statistics
+	// store's predicate count.
+	PlanEnabled    bool
+	Plan           plan.Counters
+	PlanPredicates int
+	// LatencyWindow is the per-predicate latency tracker's sample
+	// capacity.
+	LatencyWindow int
 	// WAL is the durable write path's state: enabled says whether a log
 	// is attached, Seq/Applied are the log's last and the store's
 	// applied sequence numbers (Applied lags Seq only transiently),
@@ -136,20 +146,26 @@ func (s *Server) Snapshot() Snapshot {
 	degraded, retries, faults := s.degraded, s.retries, s.faults
 	s.statsMu.Unlock()
 	sn := Snapshot{
-		Served:       s.Served(),
-		Sessions:     s.Sessions(),
-		Boards:       s.retriever.Boards(),
-		QueryCache:   s.retriever.QueryCache(),
-		Health:       s.retriever.Health(),
-		Degraded:     degraded,
-		Retries:      retries,
-		Faults:       faults,
-		EngineNative: s.retriever.Engine() == core.EngineNative,
-		ScanWorkers:  s.retriever.ScanWorkers(),
-		StoreMapped:  s.retriever.StoreMapped(),
-		WALApplied:   s.applied.Load(),
-		Replicated:   s.replicated.Load(),
-		ReadOnly:     s.readOnly.Load(),
+		Served:        s.Served(),
+		Sessions:      s.Sessions(),
+		Boards:        s.retriever.Boards(),
+		QueryCache:    s.retriever.QueryCache(),
+		Health:        s.retriever.Health(),
+		Degraded:      degraded,
+		Retries:       retries,
+		Faults:        faults,
+		EngineNative:  s.retriever.Engine() == core.EngineNative,
+		ScanWorkers:   s.retriever.ScanWorkers(),
+		StoreMapped:   s.retriever.StoreMapped(),
+		LatencyWindow: s.lat.Window(),
+		WALApplied:    s.applied.Load(),
+		Replicated:    s.replicated.Load(),
+		ReadOnly:      s.readOnly.Load(),
+	}
+	if p := s.retriever.Planner(); p != nil {
+		sn.PlanEnabled = true
+		sn.Plan = p.Counters()
+		sn.PlanPredicates = p.Predicates()
 	}
 	if s.walLog != nil {
 		sn.WALEnabled = true
@@ -197,7 +213,20 @@ func (sn Snapshot) lines() []statsKV {
 	kv = append(kv,
 		statsKV{"scan.workers", int64(sn.ScanWorkers)},
 		statsKV{"store.mapped", b2i(sn.StoreMapped)},
+		statsKV{"latency.window", int64(sn.LatencyWindow)},
 	)
+	kv = append(kv, statsKV{"plan.enabled", b2i(sn.PlanEnabled)})
+	if sn.PlanEnabled {
+		kv = append(kv,
+			statsKV{"plan.decisions", sn.Plan.Decisions},
+			statsKV{"plan.sharedvar_skips", sn.Plan.SharedVarSkips},
+			statsKV{"plan.observations", sn.Plan.Observations},
+			statsKV{"plan.predicates", int64(sn.PlanPredicates)},
+		)
+		for pm := plan.Mode(0); pm < plan.NumModes; pm++ {
+			kv = append(kv, statsKV{"plan.decide." + pm.String(), sn.Plan.ByMode[pm]})
+		}
+	}
 	kv = append(kv,
 		statsKV{"wal.enabled", b2i(sn.WALEnabled)},
 		statsKV{"wal.seq", int64(sn.WALSeq)},

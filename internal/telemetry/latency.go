@@ -42,6 +42,42 @@ func NewLatencyTracker(n int) *LatencyTracker {
 	return &LatencyTracker{window: n, keys: make(map[string]*latencyWindow)}
 }
 
+// Window reports the per-key sample capacity the tracker was built
+// with (0 for a nil tracker).
+func (lt *LatencyTracker) Window() int {
+	if lt == nil {
+		return 0
+	}
+	return lt.window
+}
+
+// Quantile reads one key's nearest-rank q-quantile over its current
+// window. ok is false when the key has no samples yet (or the tracker
+// is nil) — callers fall back to their own floor.
+func (lt *LatencyTracker) Quantile(key string, q float64) (d time.Duration, ok bool) {
+	if lt == nil {
+		return 0, false
+	}
+	lt.mu.Lock()
+	w := lt.keys[key]
+	if w == nil {
+		lt.mu.Unlock()
+		return 0, false
+	}
+	live := w.samples[:w.next]
+	if w.filled {
+		live = w.samples
+	}
+	sorted := make([]time.Duration, len(live))
+	copy(sorted, live)
+	lt.mu.Unlock()
+	if len(sorted) == 0 {
+		return 0, false
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantile(sorted, q), true
+}
+
 // Observe records one duration for key. Nil-safe: a nil tracker is a
 // no-op, so call sites need no guards.
 func (lt *LatencyTracker) Observe(key string, d time.Duration) {
