@@ -49,6 +49,19 @@
 // per-predicate latency sample windows behind the admin /top quantiles
 // (latency.window in STATS).
 //
+// Observability: the daemon self-diagnoses. -flight sizes the
+// always-on flight recorder (one compact record per retrieval, dumped
+// by the FLIGHT wire verb, /flight admin endpoint and crsctl -flight;
+// -flight-snap names the file the ring snapshots to on SIGTERM, panic
+// and SLO breach). -slow-ms and -slow-p99x arm the slow-query log:
+// a retrieval over the absolute threshold, or over N× its predicate's
+// rolling P99, gets an automatic capture-side EXPLAIN re-run whose
+// profile lands in the SLOWLOG ring (-slow-log entries, captures per
+// predicate spaced -slow-gap apart). -slo p99=5ms,err=0.1% arms SLO
+// burn-rate accounting over short and long windows (slo.* STATS keys,
+// clare_slo_* metrics, /slo endpoint). -log-level and -log-json shape
+// the structured event log on stdout.
+//
 // Durable writes: -wal-dir enables the write-ahead log — WRITE
 // (autocommit assert/retract) and transaction commits append to a
 // segmented log before they apply, and a restart replays the log over
@@ -106,11 +119,22 @@ func main() {
 	follow := flag.String("follow", "", "primary address to pull the log from (replica catch-up without a pushing router)")
 	followShard := flag.Int("follow-shard", 0, "shard index named in SYNC requests to -follow")
 	followEvery := flag.Duration("follow-interval", time.Second, "poll period for -follow")
+	flightN := flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder ring size: per-retrieval records kept for FLIGHT//flight (0 disables)")
+	flightSnap := flag.String("flight-snap", "", "file the flight ring snapshots to on SIGTERM, panic and SLO breach (empty disables snapshots)")
+	slowMs := flag.Float64("slow-ms", 0, "absolute slow-query threshold in milliseconds: slower retrievals get an automatic EXPLAIN capture (0 disables)")
+	slowP99x := flag.Float64("slow-p99x", 0, "adaptive slow-query threshold: N times the predicate's rolling P99 (0 disables; with -slow-ms the smaller threshold wins)")
+	slowLogN := flag.Int("slow-log", telemetry.DefaultSlowLogSize, "slow-query captures kept for SLOWLOG//slowlog")
+	slowGap := flag.Duration("slow-gap", telemetry.DefaultSlowGap, "minimum spacing between captures of the same predicate")
+	sloSpec := flag.String("slo", "", "service-level objective, e.g. p99=5ms,err=0.1% (arms burn-rate accounting: slo.* STATS, clare_slo_* metrics, /slo)")
+	logLevel := flag.String("log-level", "info", "event-log level: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit the event log as JSON objects instead of logfmt lines")
 	flag.Parse()
 	if flag.NArg() == 0 && *kb == "" {
 		fmt.Fprintln(os.Stderr, "usage: crsd [-addr host:port] [-admin host:port] [-boards n] [-engine sim|native] [-kb store.clare] predicate.pl ...")
 		os.Exit(2)
 	}
+
+	logg := telemetry.NewLogger(os.Stdout, telemetry.ParseLevel(*logLevel), *logJSON).With("daemon", "crsd")
 
 	cfg := core.DefaultConfig()
 	cfg.Boards = *boards
@@ -137,9 +161,16 @@ func main() {
 			inj.Add(rule)
 		}
 		cfg.Faults = inj
-		fmt.Printf("fault injection armed: %s (seed %d)\n", strings.Join(faultSpecs, " "), *faultSeed)
+		logg.Info("fault injection armed", "rules", strings.Join(faultSpecs, " "), "seed", *faultSeed)
 	}
 	cfg.ScanWorkers = *scanWorkers
+	// The recorder must be armed before the retriever is built — the
+	// retriever copies its Config at construction.
+	var flight *telemetry.FlightRecorder
+	if *flightN > 0 {
+		flight = telemetry.NewFlightRecorder(*flightN)
+		cfg.Flight = flight
+	}
 	var pl *plan.Planner
 	plPath := *plannerStats
 	if *planner {
@@ -151,9 +182,9 @@ func main() {
 			if err := pl.Load(plPath); err != nil {
 				fatal("planner stats %s: %v", plPath, err)
 			}
-			fmt.Printf("planner armed: %d predicates warm from %s\n", pl.Predicates(), plPath)
+			logg.Info("planner armed", "predicates", pl.Predicates(), "stats", plPath)
 		} else {
-			fmt.Println("planner armed (statistics in memory only)")
+			logg.Info("planner armed", "stats", "memory-only")
 		}
 		cfg.Planner = pl
 	} else if plPath != "" {
@@ -179,7 +210,7 @@ func main() {
 		if mapped {
 			store = "mmap"
 		}
-		fmt.Printf("store %s: %s cold start in %s\n", *kb, store, time.Since(start).Round(time.Microsecond))
+		logg.Info("store loaded", "path", *kb, "backing", store, "cold_start", time.Since(start).Round(time.Microsecond))
 	} else {
 		r, err = core.New(cfg)
 		if err != nil {
@@ -190,13 +221,41 @@ func main() {
 	if *latWindow > 0 {
 		srv.SetLatencyWindow(*latWindow)
 	}
+	srv.SetLogger(logg)
+	srv.SetFlight(flight, *flightSnap)
+	if *slowMs > 0 || *slowP99x > 0 {
+		srv.SetSlowLog(telemetry.NewSlowQueryLog(*slowLogN, *slowGap),
+			time.Duration(*slowMs*float64(time.Millisecond)), *slowP99x)
+		logg.Info("slow-query log armed", "abs_ms", *slowMs, "p99x", *slowP99x, "entries", *slowLogN)
+	} else if *slowLogN != telemetry.DefaultSlowLogSize {
+		fatal("-slow-log needs -slow-ms or -slow-p99x")
+	}
+	var sloT *telemetry.SLOTracker
+	if *sloSpec != "" {
+		slo, err := telemetry.ParseSLO(*sloSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sloT = telemetry.NewSLOTracker(slo)
+		sloT.Instrument(cfg.Metrics)
+		sloT.OnBreach = func(burn float64) {
+			// A fast burn is exactly the moment the black box matters:
+			// snapshot it while the bad window is still in the ring.
+			logg.Error("slo breach", "burn", fmt.Sprintf("%.1f", burn), "objective", slo.String())
+			if err := srv.SnapshotFlight(); err != nil {
+				logg.Error("flight snapshot failed", "error", err)
+			}
+		}
+		srv.SetSLO(sloT)
+		logg.Info("slo armed", "objective", slo.String())
+	}
 	if *kb != "" {
 		// Register the store's predicates with the server (Load only sees
 		// the .pl arguments).
 		if err := srv.Adopt(); err != nil {
 			fatal("adopting %s: %v", *kb, err)
 		}
-		fmt.Printf("loaded %s: %d predicates\n", *kb, len(r.Predicates()))
+		logg.Info("store adopted", "path", *kb, "predicates", len(r.Predicates()))
 	}
 	for _, file := range flag.Args() {
 		clauses, err := plfile.ReadFile(file)
@@ -207,7 +266,7 @@ func main() {
 		if err := srv.Load(module, clauses); err != nil {
 			fatal("loading %s: %v", file, err)
 		}
-		fmt.Printf("loaded %s: %d clauses into module %s\n", file, len(clauses), module)
+		logg.Info("module loaded", "file", file, "clauses", len(clauses), "module", module)
 	}
 
 	if *walDir != "" {
@@ -229,14 +288,13 @@ func main() {
 		if err != nil {
 			fatal("wal recovery: %v", err)
 		}
-		fmt.Printf("wal %s: recovered %d records (seq %d, fsync %s)\n",
-			*walDir, n, wlog.LastSeq(), policy)
+		logg.Info("wal recovered", "dir", *walDir, "records", n, "seq", wlog.LastSeq(), "fsync", policy)
 	} else if *walFsync != "always" {
 		fatal("-wal-fsync needs -wal-dir")
 	}
 	if *replica {
 		srv.SetReadOnly(true)
-		fmt.Println("serving read-only (replica): writes via REPL only")
+		logg.Info("serving read-only", "replica", true)
 	}
 	if *follow != "" {
 		if *walDir == "" {
@@ -257,9 +315,9 @@ func main() {
 		follower := wal.NewFollower(fetch, srv.ApplyReplicated, srv.AppliedSeq,
 			wal.FollowerConfig{Interval: *followEvery})
 		if n, err := follower.CatchUp(); err != nil {
-			fmt.Fprintf(os.Stderr, "crsd: follow catch-up: %v (continuing; polling retries)\n", err)
+			logg.Warn("follow catch-up failed; polling retries", "primary", *follow, "error", err)
 		} else {
-			fmt.Printf("followed %s: caught up %d records (applied seq %d)\n", *follow, n, srv.AppliedSeq())
+			logg.Info("follow caught up", "primary", *follow, "records", n, "applied_seq", srv.AppliedSeq())
 		}
 		follower.Run()
 		defer follower.Close()
@@ -269,7 +327,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("crsd listening on %s\n", l.Addr())
+	logg.Info("listening", "addr", l.Addr())
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -277,8 +335,15 @@ func main() {
 		if err != nil {
 			fatal("admin: %v", err)
 		}
-		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer, srv.Latency())}
-		fmt.Printf("crsd admin on http://%s/metrics\n", al.Addr())
+		adminSrv = &http.Server{Handler: telemetry.NewAdminMux(telemetry.AdminConfig{
+			Registry: cfg.Metrics,
+			Tracer:   cfg.Tracer,
+			Latency:  srv.Latency(),
+			Flight:   flight,
+			SLO:      sloT,
+			SlowLog:  srv.SlowLog(),
+		})}
+		logg.Info("admin listening", "url", fmt.Sprintf("http://%s/metrics", al.Addr()))
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "crsd: admin: %v\n", err)
@@ -298,25 +363,32 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	fmt.Println("crsd: draining...")
+	logg.Info("draining")
 	l.Close()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "crsd: drain: %v (connections force-closed)\n", err)
+		logg.Warn("drain expired; connections force-closed", "error", err)
 	}
 	if adminSrv != nil {
 		adminSrv.Close()
 	}
 	<-serveErr // Serve returns once the listener is closed and handlers drain
-	if pl != nil && plPath != "" {
-		if err := pl.Save(plPath); err != nil {
-			fmt.Fprintf(os.Stderr, "crsd: planner stats: %v\n", err)
+	if *flightSnap != "" {
+		if err := srv.SnapshotFlight(); err != nil {
+			logg.Error("flight snapshot failed", "path", *flightSnap, "error", err)
 		} else {
-			fmt.Printf("planner stats saved to %s (%d predicates)\n", plPath, pl.Predicates())
+			logg.Info("flight snapshot written", "path", *flightSnap, "recorded", flight.Recorded())
 		}
 	}
-	fmt.Println("crsd: bye")
+	if pl != nil && plPath != "" {
+		if err := pl.Save(plPath); err != nil {
+			logg.Error("planner stats save failed", "path", plPath, "error", err)
+		} else {
+			logg.Info("planner stats saved", "path", plPath, "predicates", pl.Predicates())
+		}
+	}
+	logg.Info("bye")
 }
 
 func fatal(format string, args ...any) {

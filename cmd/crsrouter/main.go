@@ -35,6 +35,16 @@
 // base set), /trace?n=K (router span trees) and /debug/pprof; -admin ""
 // disables it. SIGINT/SIGTERM drain: new connections are refused and
 // in-flight sessions get -drain to finish before being force-closed.
+//
+// Observability mirrors crsd: -flight sizes the router's own flight
+// recorder (one record per routed retrieval with the routing decision,
+// the merged candidate funnel and the hedge flag; FLIGHT wire verb and
+// /flight endpoint; -flight-snap snapshots it on SIGTERM and SLO
+// breach), -slo arms the router's end-to-end burn-rate accounting, and
+// STATS overlays a cluster-wide burn recomputed from the backends'
+// summed SLO windows (cluster.slo.burn.*). SLOWLOG scatter-gathers the
+// backends' slow-query captures. -log-level/-log-json shape the
+// structured event log on stdout.
 package main
 
 import (
@@ -70,6 +80,11 @@ func main() {
 	hedge := flag.Bool("hedge", false, "hedge slow retrievals: duplicate to a second replica past the predicate's P99 budget, first answer wins")
 	hedgeFloor := flag.Duration("hedge-floor", cluster.DefaultHedgeFloor, "minimum hedge budget (cold predicates never hedge earlier)")
 	latWindow := flag.Int("latency-window", 0, "latency samples kept per predicate and per backend for quantiles (0 = default)")
+	flightN := flag.Int("flight", telemetry.DefaultFlightSize, "flight-recorder ring size: routed-retrieval records kept for FLIGHT//flight (0 disables)")
+	flightSnap := flag.String("flight-snap", "", "file the flight ring snapshots to on SIGTERM and SLO breach (empty disables snapshots)")
+	sloSpec := flag.String("slo", "", "service-level objective over routed retrievals, e.g. p99=10ms,err=0.1%")
+	logLevel := flag.String("log-level", "info", "event-log level: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit the event log as JSON objects instead of logfmt lines")
 	var shardSpecs multiFlag
 	flag.Var(&shardSpecs, "shard", "one shard group as comma-separated replica addresses, in shard order (repeatable)")
 	flag.Parse()
@@ -77,6 +92,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: crsrouter [-addr host:port] -shard host:port[,host:port...] [-shard ...]")
 		os.Exit(2)
 	}
+
+	logg := telemetry.NewLogger(os.Stdout, telemetry.ParseLevel(*logLevel), *logJSON).With("daemon", "crsrouter")
 
 	cfg := cluster.Config{
 		WireTimeout:   *wireTimeout,
@@ -104,6 +121,36 @@ func main() {
 	if *traceBuf > 0 {
 		cfg.Tracer.Resize(*traceBuf)
 	}
+	if *flightN > 0 {
+		cfg.Flight = telemetry.NewFlightRecorder(*flightN)
+	}
+	var sloT *telemetry.SLOTracker
+	if *sloSpec != "" {
+		slo, err := telemetry.ParseSLO(*sloSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sloT = telemetry.NewSLOTracker(slo)
+		sloT.Instrument(cfg.Metrics)
+		cfg.SLO = sloT
+		logg.Info("slo armed", "objective", slo.String())
+	}
+	snapshotFlight := func() {
+		if *flightSnap == "" || cfg.Flight == nil {
+			return
+		}
+		if err := cfg.Flight.SnapshotToFile(*flightSnap); err != nil {
+			logg.Error("flight snapshot failed", "path", *flightSnap, "error", err)
+		} else {
+			logg.Info("flight snapshot written", "path", *flightSnap, "recorded", cfg.Flight.Recorded())
+		}
+	}
+	if sloT != nil {
+		sloT.OnBreach = func(burn float64) {
+			logg.Error("slo breach", "burn", fmt.Sprintf("%.1f", burn))
+			snapshotFlight()
+		}
+	}
 	router, err := cluster.NewRouter(cfg)
 	if err != nil {
 		fatal("%v", err)
@@ -111,11 +158,10 @@ func main() {
 	defer router.Close()
 	if !*noRepl {
 		router.StartReplication()
-		fmt.Printf("log shipping armed: primary = first address per -shard, max lag %d, interval %s\n",
-			*maxLag, *shipEvery)
+		logg.Info("log shipping armed", "primary", "first address per -shard", "max_lag", *maxLag, "interval", *shipEvery)
 	}
 	if *hedge {
-		fmt.Printf("request hedging armed: duplicate past per-predicate P99 (floor %s)\n", *hedgeFloor)
+		logg.Info("request hedging armed", "budget", "per-predicate P99", "floor", *hedgeFloor)
 	}
 	srv := cluster.NewServer(router)
 
@@ -123,8 +169,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("crsrouter listening on %s (%d shards, %d replicas)\n",
-		l.Addr(), router.Shards(), router.Replicas())
+	logg.Info("listening", "addr", l.Addr(), "shards", router.Shards(), "replicas", router.Replicas())
 
 	var adminSrv *http.Server
 	if *admin != "" {
@@ -132,8 +177,14 @@ func main() {
 		if err != nil {
 			fatal("admin: %v", err)
 		}
-		adminSrv = &http.Server{Handler: telemetry.AdminMux(cfg.Metrics, cfg.Tracer, router.Latency())}
-		fmt.Printf("crsrouter admin on http://%s/metrics\n", al.Addr())
+		adminSrv = &http.Server{Handler: telemetry.NewAdminMux(telemetry.AdminConfig{
+			Registry: cfg.Metrics,
+			Tracer:   cfg.Tracer,
+			Latency:  router.Latency(),
+			Flight:   cfg.Flight,
+			SLO:      sloT,
+		})}
+		logg.Info("admin listening", "url", fmt.Sprintf("http://%s/metrics", al.Addr()))
 		go func() {
 			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "crsrouter: admin: %v\n", err)
@@ -152,18 +203,19 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal handling: a second ^C kills immediately
-	fmt.Println("crsrouter: draining...")
+	logg.Info("draining")
 	l.Close()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "crsrouter: drain: %v (connections force-closed)\n", err)
+		logg.Warn("drain expired; connections force-closed", "error", err)
 	}
 	if adminSrv != nil {
 		adminSrv.Close()
 	}
 	<-serveErr // Serve returns once the listener closes and handlers drain
-	fmt.Println("crsrouter: bye")
+	snapshotFlight()
+	logg.Info("bye")
 }
 
 func fatal(format string, args ...any) {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -27,6 +28,12 @@ const maxWireLine = 4 * 1024 * 1024
 // through to the primary of the shard owning the first asserted
 // predicate (a transaction may touch exactly one shard — cross-shard
 // transactions are rejected, there is no distributed commit).
+//
+// The diagnosis verbs follow the same split: FLIGHT dumps the ROUTER'S
+// own flight recorder (the cluster-level view — routing decisions,
+// hedges, merged funnels), while SLOWLOG scatter-gathers the backends'
+// slow-query captures merged by capture time, because the EXPLAIN
+// re-run that fills a capture only ever happens where the clauses live.
 type Server struct {
 	router *Router
 
@@ -161,6 +168,42 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(out, "STATS %d\n", len(keys))
 			for _, k := range keys {
 				fmt.Fprintf(out, "S %s %d\n", k, kv[k])
+			}
+			out.Flush()
+		case "FLIGHT":
+			n, err := optionalCount(rest)
+			if err != nil {
+				reply("ERR usage: FLIGHT [n]")
+				continue
+			}
+			recs := s.router.Flight().Snapshot(n)
+			fmt.Fprintf(out, "FLIGHT %d\n", len(recs))
+			for _, rec := range recs {
+				blob, err := json.Marshal(rec)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(out, "F %s\n", blob)
+			}
+			out.Flush()
+		case "SLOWLOG":
+			n, err := optionalCount(rest)
+			if err != nil {
+				reply("ERR usage: SLOWLOG [n]")
+				continue
+			}
+			caps, err := s.router.SlowTail(n)
+			if err != nil {
+				reply("ERR %v", errText(err))
+				continue
+			}
+			fmt.Fprintf(out, "SLOWLOG %d\n", len(caps))
+			for _, c := range caps {
+				blob, err := json.Marshal(c)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(out, "Q %s\n", blob)
 			}
 			out.Flush()
 		case "RETRIEVE":
@@ -380,6 +423,20 @@ func spanToken(spans []telemetry.WireSpan) string {
 		return tok
 	}
 	return "-"
+}
+
+// optionalCount parses a FLIGHT/SLOWLOG verb's optional count argument
+// (absent means 0 = "everything"), mirroring the crs server's rule.
+func optionalCount(rest string) (int, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("cluster: bad count %q", rest)
+	}
+	return v, nil
 }
 
 // errText strips the crs client's "crs server: " prefix so an ERR

@@ -104,6 +104,15 @@ type Config struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, records one span tree per routed retrieval.
 	Tracer *telemetry.Tracer
+	// Flight, when non-nil, receives one compact record per routed
+	// retrieval (predicate, routing decision, merged candidate funnel,
+	// wall time, hedge flag) — the router's own black box, independent
+	// of the per-backend recorders. Nil disables recording.
+	Flight *telemetry.FlightRecorder
+	// SLO, when non-nil, tracks the router's own burn rate over routed
+	// retrievals (end-to-end wall time, as a client saw it). Nil
+	// disables tracking.
+	SLO *telemetry.SLOTracker
 }
 
 // errUnknownPredicate marks a backend's definitive "unknown predicate"
@@ -675,8 +684,9 @@ func (r *Router) hedgeBudget(pred string) time.Duration {
 // when both arms fail the remaining replicas run the ordinary failover
 // ladder, so hedging never weakens failover. Falls through to the plain
 // ladder when hedging is off or the group has fewer than two live
-// candidates.
-func callGroupHedged[T any](r *Router, g *group, pred string, tr *telemetry.Trace, span *telemetry.Span, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
+// candidates. hedgedOut, when non-nil, is set the moment a duplicate
+// fires so the caller's flight record can carry the hedge flag.
+func callGroupHedged[T any](r *Router, g *group, pred string, tr *telemetry.Trace, span *telemetry.Span, hedgedOut *atomic.Bool, op func(c *crs.Client, netSpan *telemetry.Span) (T, error)) (T, error) {
 	cands := g.candidates(r)
 	if !r.cfg.Hedge || len(cands) < 2 {
 		return callLadder(r, g, cands, 0, tr, span, op)
@@ -718,6 +728,9 @@ func callGroupHedged[T any](r *Router, g *group, pred string, tr *telemetry.Trac
 			return false
 		}
 		hedged = true
+		if hedgedOut != nil {
+			hedgedOut.Store(true)
+		}
 		r.hedges.Add(1)
 		r.met.hedges.Inc()
 		launch(1)
@@ -850,6 +863,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		return res, err
 	}
 
+	var hedged atomic.Bool
 	var res *crs.RetrieveResult
 	if mode != "software" {
 		shard := ShardOf(pi, len(r.groups))
@@ -860,7 +874,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		if sp != nil {
 			sp.SetAttr("shard", fmt.Sprint(shard))
 		}
-		res, err = callGroupHedged(r, r.groups[shard], pi, tr, sp, retrieveOp)
+		res, err = callGroupHedged(r, r.groups[shard], pi, tr, sp, &hedged, retrieveOp)
 		if sp != nil {
 			if err != nil {
 				sp.SetAttr("error", err.Error())
@@ -871,10 +885,12 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		}
 		if err == nil {
 			r.met.requests[shard].Inc()
+			r.observeRouted(pi, mode, fmt.Sprintf("shard=%d", shard), start, tr, &hedged, res, nil)
 			return finishOK(res), nil
 		}
 		if !errors.Is(err, errUnknownPredicate) {
 			r.met.errors.Inc()
+			r.observeRouted(pi, mode, fmt.Sprintf("shard=%d", shard), start, tr, &hedged, nil, err)
 			return nil, finishErr(err)
 		}
 		// The owning shard has never heard of the predicate (the KB may
@@ -882,13 +898,51 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 		// clauses were asserted elsewhere): ask everyone.
 	}
 
-	res, err = r.fanout(mode, goal, pi, tr, root, retrieveOp)
+	res, err = r.fanout(mode, goal, pi, tr, root, &hedged, retrieveOp)
 	if err != nil {
 		r.met.errors.Inc()
+		r.observeRouted(pi, mode, "fanout", start, tr, &hedged, nil, err)
 		return nil, finishErr(err)
 	}
 	root.SetAttr("fanout", "true")
+	r.observeRouted(pi, mode, "fanout", start, tr, &hedged, res, nil)
 	return finishOK(res), nil
+}
+
+// observeRouted feeds the router's own observability surfaces after one
+// routed retrieval: the SLO tracker (end-to-end wall time keyed by
+// predicate) and the flight recorder, whose record carries the routing
+// decision, the candidate funnel parsed back out of the merged STATS
+// trailer, and the hedge flag. Both surfaces are nil-safe, so an
+// unarmed router pays two nil checks here.
+func (r *Router) observeRouted(pred, mode, plan string, start time.Time, tr *telemetry.Trace, hedged *atomic.Bool, res *crs.RetrieveResult, err error) {
+	wall := time.Since(start)
+	r.cfg.SLO.Observe(pred, wall, err != nil)
+	f := r.cfg.Flight
+	if f == nil {
+		return
+	}
+	rec := &telemetry.FlightRecord{
+		TS:        start.UnixNano(),
+		Predicate: pred,
+		Mode:      mode,
+		Plan:      plan,
+		WallNS:    int64(wall),
+		Hedged:    hedged.Load(),
+	}
+	if tr != nil {
+		rec.TraceID = tr.TraceID
+	}
+	if res != nil {
+		rec.Total, rec.AfterFS1, rec.AfterFS2 = parseStatsLine(res.Stats)
+	}
+	if err != nil {
+		// A failed route still lands in the black box: the funnel is
+		// zero and the plan says which path died.
+		rec.Plan = plan + " !err"
+		rec.Faults = 1
+	}
+	f.Record(rec)
 }
 
 // fanout scatters the retrieval to every shard group concurrently and
@@ -899,7 +953,7 @@ func (r *Router) RetrieveTraced(mode, goal string, tc *telemetry.TraceContext) (
 // predicate whole on one shard, so its clauses arrive from a single
 // group already in user order.
 func (r *Router) fanout(mode, goal, pred string, tr *telemetry.Trace, root *telemetry.Span,
-	op func(c *crs.Client, netSpan *telemetry.Span) (*crs.RetrieveResult, error)) (*crs.RetrieveResult, error) {
+	hedged *atomic.Bool, op func(c *crs.Client, netSpan *telemetry.Span) (*crs.RetrieveResult, error)) (*crs.RetrieveResult, error) {
 	r.fanouts.Add(1)
 	r.met.fanouts.Inc()
 	results := make([]*crs.RetrieveResult, len(r.groups))
@@ -915,7 +969,7 @@ func (r *Router) fanout(mode, goal, pred string, tr *telemetry.Trace, root *tele
 			if sp != nil {
 				sp.SetAttr("shard", fmt.Sprint(g.shard))
 			}
-			res, err := callGroupHedged(r, g, pred, tr, sp, op)
+			res, err := callGroupHedged(r, g, pred, tr, sp, hedged, op)
 			if err == nil {
 				r.met.requests[g.shard].Inc()
 				results[i] = res
@@ -1195,6 +1249,7 @@ func parseStatsLine(line string) (total, fs1, fs2 int64) {
 // like boards.free become chassis totals across the cluster.
 func (r *Router) Stats() (map[string]int64, error) {
 	out := make(map[string]int64)
+	groupStats := make([]map[string]int64, 0, len(r.groups))
 	for _, g := range r.groups {
 		m, err := callGroup[map[string]int64](r, g, nil, nil, func(c *crs.Client, _ *telemetry.Span) (map[string]int64, error) {
 			return c.StatsWithTimeout(r.cfg.CallTimeout)
@@ -1202,6 +1257,7 @@ func (r *Router) Stats() (map[string]int64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d stats: %w", g.shard, err)
 		}
+		groupStats = append(groupStats, m)
 		for k, v := range m {
 			out[k] += v
 		}
@@ -1245,7 +1301,84 @@ func (r *Router) Stats() (map[string]int64, error) {
 	out["cluster.wal.shipped"] = shipped
 	out["cluster.wal.lag.max"] = lagMax
 	out["cluster.wal.stale"] = staleN
+	r.overlaySLO(out, groupStats)
+	if f := r.cfg.Flight; f != nil {
+		out["cluster.flight.recorded"] = int64(f.Recorded())
+	}
 	return out, nil
+}
+
+// overlaySLO repairs the slo.* keys that plain per-key summing mangles
+// and overlays the cluster-wide burn rate. Objective and flag keys
+// (slo.enabled, slo.p99.us, slo.err.permille, slo.breach.active) become
+// per-group maxima — an objective is a target, not a quantity — while
+// the burn rates are recomputed from the summed window counts against
+// that objective, so the cluster-wide burn weights every backend by its
+// own traffic instead of averaging milli-burns across idle and loaded
+// shards alike. No-op when no backend reports an armed SLO.
+func (r *Router) overlaySLO(out map[string]int64, groupStats []map[string]int64) {
+	enabled := false
+	for _, k := range []string{"slo.enabled", "slo.p99.us", "slo.err.permille", "slo.breach.active"} {
+		var best int64
+		seen := false
+		for _, m := range groupStats {
+			if v, ok := m[k]; ok {
+				seen = true
+				if v > best {
+					best = v
+				}
+			}
+		}
+		if seen {
+			out[k] = best
+			if k == "slo.enabled" && best > 0 {
+				enabled = true
+			}
+		}
+	}
+	if !enabled {
+		return
+	}
+	slo := telemetry.SLO{
+		P99:     time.Duration(out["slo.p99.us"]) * time.Microsecond,
+		ErrRate: float64(out["slo.err.permille"]) / 1000,
+	}
+	short := telemetry.BurnRate(slo,
+		out["slo.window.short.requests"], out["slo.window.short.slow"], out["slo.window.short.errors"])
+	long := telemetry.BurnRate(slo,
+		out["slo.window.long.requests"], out["slo.window.long.slow"], out["slo.window.long.errors"])
+	out["slo.burn.short.milli"] = int64(short * 1000)
+	out["slo.burn.long.milli"] = int64(long * 1000)
+	out["cluster.slo.burn.short.milli"] = out["slo.burn.short.milli"]
+	out["cluster.slo.burn.long.milli"] = out["slo.burn.long.milli"]
+}
+
+// Flight exposes the router's own flight recorder (nil when unarmed).
+func (r *Router) Flight() *telemetry.FlightRecorder { return r.cfg.Flight }
+
+// SLOTracker exposes the router's own SLO tracker (nil when unarmed).
+func (r *Router) SLOTracker() *telemetry.SLOTracker { return r.cfg.SLO }
+
+// SlowTail gathers the newest slow-query captures across every shard
+// group (one reachable replica per group, failover ladder applied),
+// merges them by capture time and returns the last n (n <= 0 means
+// everything the backends hold).
+func (r *Router) SlowTail(n int) ([]telemetry.SlowCapture, error) {
+	var all []telemetry.SlowCapture
+	for _, g := range r.groups {
+		caps, err := callGroup(r, g, nil, nil, func(c *crs.Client, _ *telemetry.Span) ([]telemetry.SlowCapture, error) {
+			return c.SlowTail(n)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d slowlog: %w", g.shard, err)
+		}
+		all = append(all, caps...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all, nil
 }
 
 // Failovers reports the total replica failovers performed so far.

@@ -169,6 +169,11 @@ type Config struct {
 	// instead of the static ChooseMode heuristic. Nil — the default —
 	// costs one nil check per retrieval.
 	Planner *plan.Planner
+	// Flight, when non-nil, receives one compact FlightRecord per
+	// retrieval — the always-on black box the /flight dumps and
+	// crash/SLO-breach snapshots are built from. Nil — the default —
+	// costs one nil check per retrieval.
+	Flight *telemetry.FlightRecorder
 }
 
 // MaxScanWorkers bounds ScanWorkers (and the retriever's scan worker
@@ -556,6 +561,14 @@ type Retrieval struct {
 // configured with a Tracer).
 func (rt *Retrieval) Trace() *telemetry.Trace { return rt.trace }
 
+// TraceID reports the retrieval's trace identifier (0 when untraced).
+func (rt *Retrieval) TraceID() uint64 {
+	if rt.trace == nil {
+		return 0
+	}
+	return rt.trace.TraceID
+}
+
 // DecodeCandidates reconstructs the candidate clauses (head, body).
 func (rt *Retrieval) DecodeCandidates() (heads, bodies []term.Term, err error) {
 	for _, sc := range rt.Candidates {
@@ -592,6 +605,13 @@ func (r *Retriever) Retrieve(goal term.Term, mode SearchMode) (*Retrieval, error
 // parent span, so the CRS server can ship the subtree back over the wire
 // for the caller to graft. tc nil is plain Retrieve.
 func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetry.TraceContext) (*Retrieval, error) {
+	return r.RetrieveTracedPlan(goal, mode, tc, nil)
+}
+
+// RetrieveTracedPlan is RetrieveTraced carrying the planner decision
+// that picked mode (nil when the mode was pinned statically), so the
+// flight record can name the decision without re-deriving it.
+func (r *Retriever) RetrieveTracedPlan(goal term.Term, mode SearchMode, tc *telemetry.TraceContext, d *plan.Decision) (*Retrieval, error) {
 	wallStart := time.Now()
 	pred, err := r.Predicate(goal)
 	if err != nil {
@@ -629,6 +649,32 @@ func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetr
 					Wall:         wall,
 				})
 			}
+		}
+		if f := r.cfg.Flight; f != nil {
+			rec := &telemetry.FlightRecord{
+				TS:        wallStart.UnixNano(),
+				Predicate: pi.String(),
+				Mode:      mode.String(),
+				Total:     int64(rt.Stats.TotalClauses),
+				AfterFS1:  int64(rt.Stats.AfterFS1),
+				AfterFS2:  int64(rt.Stats.AfterFS2),
+				SimNS:     int64(rt.Stats.Total),
+				WallNS:    int64(wall),
+				Degraded:  degraded,
+				Faults:    int64(faults),
+				Retries:   int64(retries),
+			}
+			if tr != nil {
+				rec.TraceID = tr.TraceID
+			}
+			if d != nil {
+				rec.Shape = string(d.Shape)
+				rec.Plan = d.Reason
+			} else {
+				rec.Shape = string(plan.ShapeOf(goal))
+			}
+			f.Record(rec)
+			r.met.flightRecords.Inc()
 		}
 		if root != nil {
 			root.AddSim(rt.Stats.Total)
@@ -764,6 +810,10 @@ func (r *Retriever) RetrieveTraced(goal term.Term, mode SearchMode, tc *telemetr
 	}
 	return finish(rt, faults, retries, degraded), nil
 }
+
+// Flight reports the flight recorder this retriever records into (nil
+// when none is configured).
+func (r *Retriever) Flight() *telemetry.FlightRecorder { return r.cfg.Flight }
 
 // encodeQuery produces the goal's SCW query codeword and PIF query image,
 // memoised per goal shape in the query cache.

@@ -55,6 +55,8 @@ type coreMetrics struct {
 	degraded map[string]*telemetry.Counter
 	faultsC  *telemetry.Counter
 
+	flightRecords *telemetry.Counter
+
 	// Ghost-ratio gauges. stage="fs1" is maintained here from cumulative
 	// filter counts: the fraction of FS1 survivors that FS2 then rejected
 	// (FS1's false drops, §2.1). stage="fs2" is set by Explain, which is
@@ -111,6 +113,7 @@ func newCoreMetrics(reg *telemetry.Registry) *coreMetrics {
 			telemetry.Labels{"to": "host"}),
 	}
 	m.faultsC = reg.Counter("clare_retrieval_faults_total", "injected faults absorbed by retrievals", nil)
+	m.flightRecords = reg.Counter("clare_flight_records_total", "retrievals captured into the flight recorder ring", nil)
 	m.ghostFS1 = reg.Gauge("clare_stage_ghost_ratio", "fraction of a stage's survivors rejected by the next filter rung",
 		telemetry.Labels{"stage": "fs1"})
 	m.ghostFS2 = reg.Gauge("clare_stage_ghost_ratio", "fraction of a stage's survivors rejected by the next filter rung",

@@ -2,6 +2,7 @@ package crs
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -472,6 +473,70 @@ func (c *Client) statsOnce() (map[string]int64, error) {
 			return nil, fmt.Errorf("crs client: bad stats value in %q", line)
 		}
 		out[fields[1]] = v
+	}
+	return out, nil
+}
+
+// Flight pulls the last n flight-recorder records (n <= 0 = the whole
+// ring), oldest first. Idempotent and retried like Stats.
+func (c *Client) Flight(n int) ([]telemetry.FlightRecord, error) {
+	var out []telemetry.FlightRecord
+	err := c.retryIdempotent(func() (err error) {
+		out, err = flightOnce(c, n)
+		return err
+	})
+	return out, err
+}
+
+// SlowTail pulls the last n slow-query captures (n <= 0 = everything
+// the log holds), oldest first. Idempotent and retried like Stats.
+func (c *Client) SlowTail(n int) ([]telemetry.SlowCapture, error) {
+	var out []telemetry.SlowCapture
+	err := c.retryIdempotent(func() (err error) {
+		out, err = slowTailOnce(c, n)
+		return err
+	})
+	return out, err
+}
+
+func flightOnce(c *Client, n int) ([]telemetry.FlightRecord, error) {
+	return dumpOnce[telemetry.FlightRecord](c, "FLIGHT", "F", n)
+}
+
+func slowTailOnce(c *Client, n int) ([]telemetry.SlowCapture, error) {
+	return dumpOnce[telemetry.SlowCapture](c, "SLOWLOG", "Q", n)
+}
+
+// dumpOnce runs one "<verb> [n]" → "<verb> <k>" + k "<tag> <json>"
+// exchange, decoding each body line into T.
+func dumpOnce[T any](c *Client, verb, tag string, n int) ([]T, error) {
+	req := verb
+	if n > 0 {
+		req = fmt.Sprintf("%s %d", verb, n)
+	}
+	first, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	var k int
+	if _, err := fmt.Sscanf(first, verb+" %d", &k); err != nil {
+		return nil, fmt.Errorf("crs client: unexpected %s reply %q", verb, first)
+	}
+	out := make([]T, 0, k)
+	for i := 0; i < k; i++ {
+		line, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		body, ok := strings.CutPrefix(line, tag+" ")
+		if !ok {
+			return nil, fmt.Errorf("crs client: unexpected %s line %q", verb, line)
+		}
+		var rec T
+		if err := json.Unmarshal([]byte(body), &rec); err != nil {
+			return nil, fmt.Errorf("crs client: bad %s json: %v", verb, err)
+		}
+		out = append(out, rec)
 	}
 	return out, nil
 }

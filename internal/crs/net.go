@@ -3,6 +3,7 @@ package crs
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -36,6 +37,12 @@ import (
 //	                            S: OK <applied-seq>
 //	C: STATS                    S: STATS <n>
 //	                               <n> lines, each "S <key> <value>"
+//	C: FLIGHT [<n>]             S: FLIGHT <k>
+//	                               <k> lines, each "F <json>" — the last k
+//	                               flight-recorder records, oldest first
+//	C: SLOWLOG [<n>]            S: SLOWLOG <k>
+//	                               <k> lines, each "Q <json>" — the last k
+//	                               slow-query captures, oldest first
 //	C: QUIT                     S: BYE
 //
 // mode ∈ software|fs1|fs2|fs1+fs2|auto. Errors answer "ERR <message>".
@@ -43,9 +50,18 @@ import (
 // entries}, the board-health gauges boards.{free,leased,tripped,trips,
 // readmits}, the fault-tolerance tallies degraded, retries and faults,
 // engine.native (1 when the server runs the native vectorized
-// engine, 0 for the cycle-accurate simulation), and the durable write
+// engine, 0 for the cycle-accurate simulation), the durable write
 // path's wal.* keys (wal.{enabled,seq,applied,segments,appends,fsyncs,
-// faults,replicated,readonly}); values are decimal integers.
+// faults,replicated,readonly}), the diagnosis layer's flight.{size,
+// recorded} and slow.{captured,suppressed}, and — when an SLO is
+// configured — the slo.* family (slo.enabled, the objective as
+// slo.p99.us / slo.err.permille, lifetime slo.{requests,slow,errors,
+// breaches,breach.active}, and per sliding window
+// slo.window.{short,long}.{requests,slow,errors} with the burn rates
+// scaled ×1000 as slo.burn.{short,long}.milli); values are decimal
+// integers. FLIGHT and SLOWLOG bodies are single-line JSON objects
+// (see telemetry.FlightRecord and telemetry.SlowCapture); with no
+// recorder or log attached both answer an empty listing.
 //
 // Write path: ASSERT stages into a BEGIN…COMMIT transaction exactly as
 // before; WRITE is the autocommit form — one clause logged, applied and
@@ -166,6 +182,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		// A handler panic is exactly the moment the black box must
+		// survive the process: snapshot the flight ring, then crash as
+		// before.
+		if r := recover(); r != nil {
+			s.log.Error("wire handler panic", "panic", fmt.Sprint(r))
+			if err := s.SnapshotFlight(); err != nil {
+				s.log.Error("flight snapshot failed", "error", err.Error())
+			}
+			panic(r)
+		}
+	}()
 	defer conn.Close()
 	sess := s.OpenSession()
 	defer sess.Close()
@@ -196,6 +224,38 @@ func (s *Server) handle(conn net.Conn) {
 			fmt.Fprintf(out, "STATS %d\n", len(kv))
 			for _, p := range kv {
 				fmt.Fprintf(out, "S %s %d\n", p.Key, p.Value)
+			}
+			out.Flush()
+		case "FLIGHT":
+			n, err := optionalCount(rest)
+			if err != nil {
+				reply("ERR usage: FLIGHT [<n>]")
+				continue
+			}
+			recs := s.flight.Snapshot(n)
+			fmt.Fprintf(out, "FLIGHT %d\n", len(recs))
+			for _, rec := range recs {
+				blob, err := json.Marshal(rec)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(out, "F %s\n", blob)
+			}
+			out.Flush()
+		case "SLOWLOG":
+			n, err := optionalCount(rest)
+			if err != nil {
+				reply("ERR usage: SLOWLOG [<n>]")
+				continue
+			}
+			caps := s.slowLog.Tail(n)
+			fmt.Fprintf(out, "SLOWLOG %d\n", len(caps))
+			for _, c := range caps {
+				blob, err := json.Marshal(c)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(out, "Q %s\n", blob)
 			}
 			out.Flush()
 		case "BEGIN":
@@ -367,6 +427,20 @@ func (s *Server) handle(conn net.Conn) {
 	if err := in.Err(); errors.Is(err, bufio.ErrTooLong) {
 		reply("ERR line too long (max %d bytes)", maxWireLine)
 	}
+}
+
+// optionalCount parses the optional non-negative count argument the
+// FLIGHT and SLOWLOG verbs take; empty means 0 ("everything").
+func optionalCount(rest string) (int, error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("crs: bad count %q", rest)
+	}
+	return v, nil
 }
 
 // CutTraceHeader splits an optional trailing trace-context token off a

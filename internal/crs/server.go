@@ -51,6 +51,19 @@ type Server struct {
 	// endpoint ("which predicates are eating the wall clock").
 	lat *telemetry.LatencyTracker
 
+	// Always-on diagnosis layer (all optional, nil-safe): the flight
+	// recorder the retriever writes into (held here for the FLIGHT verb
+	// and crash snapshots), the slow-query log with its thresholds, the
+	// SLO tracker, and the structured event logger.
+	flight     *telemetry.FlightRecorder
+	flightSnap string
+	slowLog    *telemetry.SlowQueryLog
+	slowAbs    time.Duration // absolute slow threshold; 0 = off
+	slowMult   float64       // adaptive: slowMult × predicate rolling P99; 0 = off
+	slo        *telemetry.SLOTracker
+	log        *telemetry.Logger
+	slowWG     sync.WaitGroup
+
 	// Durable write path (see wal.go). walLog is the shard's
 	// write-ahead log (nil = writes are memory-only, the pre-WAL
 	// behavior); applied tracks the last log sequence number applied to
@@ -102,6 +115,54 @@ func (s *Server) Latency() *telemetry.LatencyTracker { return s.lat }
 // server starts serving traffic — the swap is not synchronized against
 // in-flight observations, and samples already recorded are dropped.
 func (s *Server) SetLatencyWindow(n int) { s.lat = telemetry.NewLatencyTracker(n) }
+
+// SetFlight attaches the flight recorder the retriever records into, so
+// the FLIGHT verb can dump it, and names the path crash snapshots go to
+// ("" disables snapshot-on-panic). Call before serving traffic.
+func (s *Server) SetFlight(f *telemetry.FlightRecorder, snapPath string) {
+	s.flight = f
+	s.flightSnap = snapPath
+}
+
+// Flight reports the attached flight recorder (nil when none).
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
+
+// SnapshotFlight writes the flight ring to the configured snapshot path
+// (a no-op without a recorder or path). The daemons call it on SIGTERM
+// and the SLO tracker's breach callback; the wire handler calls it on
+// panic.
+func (s *Server) SnapshotFlight() error {
+	if s.flight == nil || s.flightSnap == "" {
+		return nil
+	}
+	return s.flight.SnapshotToFile(s.flightSnap)
+}
+
+// SetSlowLog arms slow-query capture: a served retrieval whose wall
+// time exceeds the threshold re-runs ExplainTraced capture-side and
+// lands in l with its full funnel profile. abs is the absolute
+// threshold (-slow-ms); mult the adaptive one (mult × the predicate's
+// rolling P99); when both are set the smaller wins, and 0/0 disables
+// detection. Call before serving traffic.
+func (s *Server) SetSlowLog(l *telemetry.SlowQueryLog, abs time.Duration, mult float64) {
+	s.slowLog = l
+	s.slowAbs = abs
+	s.slowMult = mult
+}
+
+// SlowLog reports the attached slow-query log (nil when none).
+func (s *Server) SlowLog() *telemetry.SlowQueryLog { return s.slowLog }
+
+// SetSLO arms SLO accounting: every served retrieval (and failed
+// retrieval) is observed into t. Call before serving traffic.
+func (s *Server) SetSLO(t *telemetry.SLOTracker) { s.slo = t }
+
+// SLOTracker reports the attached SLO tracker (nil when none).
+func (s *Server) SLOTracker() *telemetry.SLOTracker { return s.slo }
+
+// SetLogger attaches the structured event logger daemon-level events
+// route through (nil stays silent).
+func (s *Server) SetLogger(l *telemetry.Logger) { s.log = l }
 
 // Errors.
 var (
@@ -280,7 +341,7 @@ func (c *Session) RetrieveTraced(goal term.Term, mode *core.SearchMode, tc *tele
 	c.srv.met.lockWaitRead.ObserveDuration(time.Since(lockStart))
 	defer ps.lock.RUnlock()
 
-	m, _, err := c.chooseMode(goal, mode)
+	m, d, err := c.chooseMode(goal, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -288,11 +349,12 @@ func (c *Session) RetrieveTraced(goal term.Term, mode *core.SearchMode, tc *tele
 	// the chassis pool per call, so concurrent retrievals run in parallel
 	// up to the configured board count (the real CRS queues search calls
 	// only when all boards are busy).
-	rt, err := c.srv.retriever.RetrieveTraced(goal, m, tc)
+	rt, err := c.srv.retriever.RetrieveTracedPlan(goal, m, tc, d)
 	if err != nil {
+		c.srv.slo.Observe(pi.String(), time.Since(wallStart), true)
 		return nil, err
 	}
-	c.account(pi, m, &rt.Stats, time.Since(wallStart))
+	c.account(pi, m, &rt.Stats, time.Since(wallStart), goal, rt.TraceID())
 	return rt, nil
 }
 
@@ -317,10 +379,15 @@ func (c *Session) Explain(goal term.Term, mode *core.SearchMode, tc *telemetry.T
 	}
 	p, err := c.srv.retriever.ExplainTraced(goal, m, tc)
 	if err != nil {
+		c.srv.slo.Observe(pi.String(), time.Since(wallStart), true)
 		return nil, err
 	}
 	p.Plan = d
-	c.account(pi, m, &p.Stats, time.Since(wallStart))
+	var traceID uint64
+	if p.Trace != nil {
+		traceID = p.Trace.TraceID
+	}
+	c.account(pi, m, &p.Stats, time.Since(wallStart), goal, traceID)
 	return p, nil
 }
 
@@ -357,20 +424,83 @@ func (c *Session) chooseMode(goal term.Term, mode *core.SearchMode) (core.Search
 	return c.srv.retriever.PlanMode(goal)
 }
 
-// account publishes one served retrieval into the service counters and
-// the per-predicate latency window.
-func (c *Session) account(pi core.Indicator, m core.SearchMode, st *core.StageStats, wall time.Duration) {
-	c.srv.statsMu.Lock()
-	c.srv.served[m]++
+// account publishes one served retrieval into the service counters, the
+// per-predicate latency window, and the SLO tracker, then checks the
+// slow-query threshold — which must read the rolling P99 before this
+// sample joins the window, or a genuine outlier would raise its own
+// adaptive bar.
+func (c *Session) account(pi core.Indicator, m core.SearchMode, st *core.StageStats, wall time.Duration, goal term.Term, traceID uint64) {
+	s := c.srv
+	s.statsMu.Lock()
+	s.served[m]++
 	if st.Degraded != "" {
-		c.srv.degraded++
+		s.degraded++
 	}
-	c.srv.retries += int64(st.Retries)
-	c.srv.faults += int64(st.Faults)
-	c.srv.statsMu.Unlock()
-	c.srv.met.requests[m].Inc()
-	c.srv.met.predCounter(pi).Inc()
-	c.srv.lat.Observe(pi.String(), wall)
+	s.retries += int64(st.Retries)
+	s.faults += int64(st.Faults)
+	s.statsMu.Unlock()
+	s.met.requests[m].Inc()
+	s.met.predCounter(pi).Inc()
+	thr := s.slowThreshold(pi.String())
+	s.lat.Observe(pi.String(), wall)
+	s.slo.Observe(pi.String(), wall, false)
+	if thr > 0 && wall > thr && s.slowLog.Offer(pi.String()) {
+		s.captureSlow(pi, m, goal, wall, thr, traceID)
+	}
+}
+
+// slowThreshold resolves the predicate's slow-query bar: the absolute
+// threshold, the adaptive multiple of its rolling P99, or — when both
+// are armed — whichever is smaller. 0 means detection is off (no log,
+// no thresholds, or an adaptive bar with no samples yet).
+func (s *Server) slowThreshold(pred string) time.Duration {
+	if s.slowLog == nil {
+		return 0
+	}
+	thr := s.slowAbs
+	if s.slowMult > 0 {
+		if p99, ok := s.lat.Quantile(pred, 0.99); ok {
+			if a := time.Duration(float64(p99) * s.slowMult); a > 0 && (thr == 0 || a < thr) {
+				thr = a
+			}
+		}
+	}
+	return thr
+}
+
+// captureSlow re-runs the slow retrieval as an EXPLAIN on a background
+// goroutine and publishes the capture. The re-run skips the predicate
+// read lock — the compiled clause files are immutable once built, so
+// the worst case is profiling a slightly newer clause list than the
+// retrieval saw — and bypasses account, so a capture can never trigger
+// itself.
+func (s *Server) captureSlow(pi core.Indicator, m core.SearchMode, goal term.Term, wall, thr time.Duration, traceID uint64) {
+	goalText := fmt.Sprint(goal)
+	s.slowWG.Add(1)
+	go func() {
+		defer s.slowWG.Done()
+		capt := &telemetry.SlowCapture{
+			Predicate:   pi.String(),
+			Mode:        m.String(),
+			Goal:        goalText,
+			WallNS:      int64(wall),
+			ThresholdNS: int64(thr),
+			TraceID:     traceID,
+		}
+		if p, err := s.retriever.ExplainTraced(goal, m, nil); err != nil {
+			capt.Profile = []telemetry.KV{{Key: "error", Value: err.Error()}}
+		} else {
+			for _, e := range p.Entries() {
+				capt.Profile = append(capt.Profile, telemetry.KV{Key: e.Key, Value: e.Value})
+			}
+		}
+		s.slowLog.Add(capt)
+		s.met.slowCaptures.Inc()
+		s.log.Warn("slow query captured",
+			"predicate", pi.String(), "mode", m.String(),
+			"wall", wall.String(), "threshold", thr.String(),
+			"trace", fmt.Sprintf("%016x", traceID))
+	}()
 }
 
 // Begin starts a transaction.

@@ -37,6 +37,8 @@ type serverMetrics struct {
 	replApplied   *telemetry.Counter
 
 	wireErrs *telemetry.Counter
+
+	slowCaptures *telemetry.Counter
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -69,6 +71,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		"primary-sequenced records applied via replication", nil)
 	m.wireErrs = reg.Counter("clare_crs_wire_errors_total",
 		"ERR replies sent over the wire protocol", nil)
+	m.slowCaptures = reg.Counter("clare_crs_slow_captures_total",
+		"slow retrievals re-profiled into the slow-query log", nil)
 	return m
 }
 
@@ -138,6 +142,17 @@ type Snapshot struct {
 	WALStats   wal.LogStats
 	Replicated int64
 	ReadOnly   bool
+	// FlightSize/FlightRecorded mirror the flight recorder ring (0/0
+	// when no recorder is attached); SlowCaptured/SlowSuppressed are the
+	// slow-query log's capture and rate-limit counters.
+	FlightSize     int
+	FlightRecorded uint64
+	SlowCaptured   int64
+	SlowSuppressed int64
+	// SLOEnabled reports whether an objective is configured; SLO then
+	// carries the tracker's full status (windows, burn rates, breaches).
+	SLOEnabled bool
+	SLO        telemetry.SLOStatus
 }
 
 // Snapshot captures the server's current service counters.
@@ -173,6 +188,14 @@ func (s *Server) Snapshot() Snapshot {
 		sn.WALSeq = sn.WALStats.LastSeq
 	} else {
 		sn.WALSeq = sn.WALApplied
+	}
+	sn.FlightSize = s.flight.Size()
+	sn.FlightRecorded = s.flight.Recorded()
+	sn.SlowCaptured = s.slowLog.Captured()
+	sn.SlowSuppressed = s.slowLog.Suppressed()
+	if s.slo != nil {
+		sn.SLOEnabled = true
+		sn.SLO = s.slo.Status()
 	}
 	return sn
 }
@@ -238,6 +261,33 @@ func (sn Snapshot) lines() []statsKV {
 		statsKV{"wal.replicated", sn.Replicated},
 		statsKV{"wal.readonly", b2i(sn.ReadOnly)},
 	)
+	kv = append(kv,
+		statsKV{"flight.size", int64(sn.FlightSize)},
+		statsKV{"flight.recorded", int64(sn.FlightRecorded)},
+		statsKV{"slow.captured", sn.SlowCaptured},
+		statsKV{"slow.suppressed", sn.SlowSuppressed},
+		statsKV{"slo.enabled", b2i(sn.SLOEnabled)},
+	)
+	if sn.SLOEnabled {
+		st := sn.SLO
+		kv = append(kv,
+			statsKV{"slo.p99.us", int64(st.P99Millis * 1000)},
+			statsKV{"slo.err.permille", int64(st.ErrRate * 1000)},
+			statsKV{"slo.requests", st.Requests},
+			statsKV{"slo.slow", st.Slow},
+			statsKV{"slo.errors", st.Errors},
+			statsKV{"slo.breaches", st.Breaches},
+			statsKV{"slo.breach.active", b2i(st.BreachActive)},
+			statsKV{"slo.window.short.requests", st.Short.Requests},
+			statsKV{"slo.window.short.slow", st.Short.Slow},
+			statsKV{"slo.window.short.errors", st.Short.Errors},
+			statsKV{"slo.burn.short.milli", int64(st.Short.Burn * 1000)},
+			statsKV{"slo.window.long.requests", st.Long.Requests},
+			statsKV{"slo.window.long.slow", st.Long.Slow},
+			statsKV{"slo.window.long.errors", st.Long.Errors},
+			statsKV{"slo.burn.long.milli", int64(st.Long.Burn * 1000)},
+		)
+	}
 	return kv
 }
 

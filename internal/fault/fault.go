@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clare/internal/telemetry"
 )
@@ -122,6 +123,11 @@ type Rule struct {
 	Nth uint64
 	// Limit caps the total faults this rule injects (0 = unlimited).
 	Limit uint64
+	// Delay turns the rule into a pure-latency injection: a firing probe
+	// sleeps for Delay and returns no error, modelling a slow spindle or
+	// a saturated bus rather than a broken one. Delay rules count in
+	// Delayed(), not Injected().
+	Delay time.Duration
 }
 
 // ruleState pairs a rule with its probe/fire counters.
@@ -138,6 +144,7 @@ type Injector struct {
 	rng      *rand.Rand
 	rules    []*ruleState
 	injected atomic.Int64
+	delayed  atomic.Int64
 
 	// reg/metrics: per-site fault counters, resolved lazily (sites are
 	// open-ended).
@@ -198,6 +205,7 @@ func (i *Injector) Probe(site, key string) error {
 	}
 	i.mu.Lock()
 	fired := false
+	var delay time.Duration
 	for _, rs := range i.rules {
 		if rs.Site != "" && rs.Site != site {
 			continue
@@ -212,11 +220,21 @@ func (i *Injector) Probe(site, key string) error {
 		if (rs.Nth > 0 && rs.probes%rs.Nth == 0) ||
 			(rs.Probability > 0 && i.rng.Float64() < rs.Probability) {
 			rs.fired++
+			if rs.Delay > 0 {
+				delay = rs.Delay
+				continue // latency stacks with (and never masks) a real fault
+			}
 			fired = true
 			break
 		}
 	}
 	i.mu.Unlock()
+	if delay > 0 {
+		// The sleep happens outside the mutex so a slow probe does not
+		// serialise every other site behind it.
+		i.delayed.Add(1)
+		time.Sleep(delay)
+	}
 	if !fired {
 		return nil
 	}
@@ -233,16 +251,28 @@ func (i *Injector) Injected() int64 {
 	return i.injected.Load()
 }
 
+// Delayed reports the total pure-latency injections fired so far.
+func (i *Injector) Delayed() int64 {
+	if i == nil {
+		return 0
+	}
+	return i.delayed.Load()
+}
+
 // ParseRule parses the CLI form of a rule, used by the daemons' -fault
 // flags:
 //
 //	site[@key]=P        probability per probe, e.g. disk.read=0.05
 //	site[@key]=1/N      every Nth probe, e.g. fs2.match@2=1/3
 //
-// An optional ",limit=L" suffix caps the rule's total faults.
+// Optional comma-separated suffixes: ",limit=L" caps the rule's total
+// faults, and ",delay=D" (a Go duration, e.g. 50ms) makes the rule
+// inject pure latency — the probe sleeps D and succeeds — instead of an
+// error.
 func ParseRule(spec string) (Rule, error) {
 	var r Rule
-	body, opts, hasOpts := strings.Cut(spec, ",")
+	parts := strings.Split(spec, ",")
+	body, opts := parts[0], parts[1:]
 	lhs, rhs, ok := strings.Cut(body, "=")
 	if !ok {
 		return r, fmt.Errorf("fault: rule %q: want site[@key]=P or site[@key]=1/N", spec)
@@ -271,16 +301,24 @@ func ParseRule(spec string) (Rule, error) {
 		}
 		r.Probability = p
 	}
-	if hasOpts {
-		k, v, _ := strings.Cut(opts, "=")
-		if k != "limit" {
+	for _, opt := range opts {
+		k, v, _ := strings.Cut(opt, "=")
+		switch k {
+		case "limit":
+			l, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return r, fmt.Errorf("fault: rule %q: bad limit", spec)
+			}
+			r.Limit = l
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return r, fmt.Errorf("fault: rule %q: bad delay (want a positive duration like 50ms)", spec)
+			}
+			r.Delay = d
+		default:
 			return r, fmt.Errorf("fault: rule %q: unknown option %q", spec, k)
 		}
-		l, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			return r, fmt.Errorf("fault: rule %q: bad limit", spec)
-		}
-		r.Limit = l
 	}
 	return r, nil
 }

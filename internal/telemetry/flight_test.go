@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderWrapAndOrder(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		f.Record(&FlightRecord{Predicate: "p/1", WallNS: int64(i)})
+	}
+	if got := f.Recorded(); got != 10 {
+		t.Errorf("Recorded() = %d, want 10", got)
+	}
+	recs := f.Snapshot(0)
+	if len(recs) != 4 {
+		t.Fatalf("Snapshot holds %d records, want ring size 4", len(recs))
+	}
+	// Oldest first, and the ring keeps the newest 4 (seqs 7..10).
+	for i, r := range recs {
+		if want := uint64(7 + i); r.Seq != want {
+			t.Errorf("recs[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderTruncation(t *testing.T) {
+	f := NewFlightRecorder(8)
+	for i := 0; i < 5; i++ {
+		f.Record(&FlightRecord{Predicate: "p/1"})
+	}
+	if got := len(f.Snapshot(2)); got != 2 {
+		t.Errorf("Snapshot(2) = %d records, want 2", got)
+	}
+	if got := len(f.Snapshot(100)); got != 5 {
+		t.Errorf("Snapshot(100) = %d records, want 5", got)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(&FlightRecord{}) // must not panic
+	if f.Size() != 0 || f.Recorded() != 0 || f.Snapshot(0) != nil {
+		t.Error("nil recorder not inert")
+	}
+	if err := f.WriteJSONL(&bytes.Buffer{}, 0); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+	if err := f.SnapshotToFile("ignored"); err != nil {
+		t.Errorf("nil SnapshotToFile: %v", err)
+	}
+}
+
+func TestFlightRecorderConcurrentDumpWhileRecording(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					f.Record(&FlightRecord{Predicate: "p/1", WallNS: int64(i)})
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		recs := f.Snapshot(0)
+		for j := 1; j < len(recs); j++ {
+			if recs[j].Seq <= recs[j-1].Seq {
+				t.Fatalf("snapshot out of order: seq %d after %d", recs[j].Seq, recs[j-1].Seq)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightRecorderJSONL(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(&FlightRecord{TraceID: 0xabcd, Predicate: "married_couple/2", Mode: "fs1+fs2",
+		Total: 30, AfterFS1: 10, AfterFS2: 2, WallNS: 1234})
+	var buf bytes.Buffer
+	if err := f.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rec FlightRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSONL line not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.Predicate != "married_couple/2" || rec.Total != 30 || rec.TraceID != 0xabcd {
+		t.Errorf("round-trip mismatch: %+v", rec)
+	}
+	if !strings.Contains(buf.String(), `"candidates_total":30`) {
+		t.Errorf("JSON field names drifted:\n%s", buf.String())
+	}
+}
+
+func TestFlightSnapshotToFile(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(&FlightRecord{Predicate: "p/1"})
+	f.Record(&FlightRecord{Predicate: "q/2"})
+	path := filepath.Join(t.TempDir(), "sub", "crash.flight")
+	if err := f.SnapshotToFile(path); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("snapshot holds %d lines, want 2:\n%s", len(lines), body)
+	}
+	for _, ln := range lines {
+		if !json.Valid([]byte(ln)) {
+			t.Errorf("snapshot line not valid JSON: %s", ln)
+		}
+	}
+	// No temp droppings left behind.
+	entries, _ := os.ReadDir(filepath.Dir(path))
+	if len(entries) != 1 {
+		t.Errorf("snapshot dir holds %d entries, want just the snapshot", len(entries))
+	}
+}

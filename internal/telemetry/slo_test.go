@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSLO(t *testing.T) {
+	good := map[string]SLO{
+		"p99=5ms":           {P99: 5 * time.Millisecond},
+		"err=0.1%":          {ErrRate: 0.001},
+		"p99=10ms,err=1%":   {P99: 10 * time.Millisecond, ErrRate: 0.01},
+		" p99=1s , err=5% ": {P99: time.Second, ErrRate: 0.05},
+	}
+	for spec, want := range good {
+		got, err := ParseSLO(spec)
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", spec, err)
+			continue
+		}
+		if got.P99 != want.P99 || got.ErrRate < want.ErrRate-1e-12 || got.ErrRate > want.ErrRate+1e-12 {
+			t.Errorf("ParseSLO(%q) = %+v, want %+v", spec, got, want)
+		}
+	}
+	for _, spec := range []string{"", "p99=", "p99=fast", "err=0.1", "err=200%", "err=-1%", "p50=5ms"} {
+		if _, err := ParseSLO(spec); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", spec)
+		}
+	}
+}
+
+func TestBurnRate(t *testing.T) {
+	slo := SLO{P99: 5 * time.Millisecond, ErrRate: 0.01}
+	if got := BurnRate(slo, 0, 0, 0); got != 0 {
+		t.Errorf("burn with no traffic = %v", got)
+	}
+	// 1% slow against a 1% budget = burn 1.0.
+	if got := BurnRate(slo, 100, 1, 0); got != 1.0 {
+		t.Errorf("burn(100 req, 1 slow) = %v, want 1", got)
+	}
+	// All-slow burns the whole budget 100x over.
+	if got := BurnRate(slo, 10, 10, 0); got != 100 {
+		t.Errorf("burn(all slow) = %v, want 100", got)
+	}
+	// The worse of the two objectives wins: 5% errors on a 1% budget.
+	if got := BurnRate(slo, 100, 1, 5); got != 5 {
+		t.Errorf("burn(err dominated) = %v, want 5", got)
+	}
+}
+
+func TestSLOTrackerObserveAndStatus(t *testing.T) {
+	tr := NewSLOTracker(SLO{P99: 5 * time.Millisecond})
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr.now = func() time.Time { return clock }
+
+	for i := 0; i < 90; i++ {
+		tr.Observe("p/1", time.Millisecond, false)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe("q/2", 50*time.Millisecond, false)
+	}
+	st := tr.Status()
+	if st.Requests != 100 || st.Slow != 10 {
+		t.Fatalf("requests=%d slow=%d, want 100/10", st.Requests, st.Slow)
+	}
+	// 10% slow over a 1% budget: burn 10 in both windows.
+	if st.Short.Burn < 9.99 || st.Short.Burn > 10.01 {
+		t.Errorf("short burn = %v, want 10", st.Short.Burn)
+	}
+	if st.Long.Burn < 9.99 || st.Long.Burn > 10.01 {
+		t.Errorf("long burn = %v, want 10", st.Long.Burn)
+	}
+	// Worst offender first: q/2 is all-slow.
+	if len(st.PerKey) != 2 || st.PerKey[0].Key != "q/2" {
+		t.Errorf("per-key order = %+v", st.PerKey)
+	}
+
+	// The short window forgets; the long window still remembers.
+	clock = clock.Add(2 * time.Minute)
+	st = tr.Status()
+	if st.Short.Requests != 0 {
+		t.Errorf("short window after 2m holds %d requests", st.Short.Requests)
+	}
+	if st.Long.Requests != 100 {
+		t.Errorf("long window after 2m holds %d requests, want 100", st.Long.Requests)
+	}
+}
+
+func TestSLOTrackerBreachFires(t *testing.T) {
+	tr := NewSLOTracker(SLO{P99: time.Millisecond})
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr.now = func() time.Time { return clock }
+	var fired []float64
+	tr.OnBreach = func(burn float64) { fired = append(fired, burn) }
+
+	// 9 all-slow requests: burn 100 but under the 10-request floor.
+	for i := 0; i < 9; i++ {
+		tr.Observe("p/1", time.Second, false)
+	}
+	if len(fired) != 0 {
+		t.Fatalf("breach fired below the request floor: %v", fired)
+	}
+	tr.Observe("p/1", time.Second, false)
+	if len(fired) != 1 {
+		t.Fatalf("breach did not fire at the floor: %v", fired)
+	}
+	if fired[0] < 14.4 {
+		t.Errorf("breach burn = %v, want >= 14.4", fired[0])
+	}
+	// Sustained breach is edge-triggered + cooled down: no refire.
+	for i := 0; i < 20; i++ {
+		tr.Observe("p/1", time.Second, false)
+	}
+	if len(fired) != 1 {
+		t.Errorf("sustained breach refired: %v", fired)
+	}
+	st := tr.Status()
+	if !st.BreachActive || st.Breaches != 1 {
+		t.Errorf("status breach_active=%v breaches=%d", st.BreachActive, st.Breaches)
+	}
+
+	// Recovery clears the edge; a later breach past the cooldown refires.
+	clock = clock.Add(2 * time.Minute)
+	tr.Observe("p/1", time.Microsecond, false)
+	if tr.Status().BreachActive {
+		t.Error("breach still active after recovery")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe("p/1", time.Second, false)
+	}
+	if len(fired) != 2 {
+		t.Errorf("post-cooldown breach did not refire: %v", fired)
+	}
+}
+
+func TestSLOTrackerErrorObjective(t *testing.T) {
+	tr := NewSLOTracker(SLO{ErrRate: 0.1})
+	clock := time.Now()
+	tr.now = func() time.Time { return clock }
+	for i := 0; i < 8; i++ {
+		tr.Observe("p/1", time.Millisecond, false)
+	}
+	tr.Observe("p/1", time.Millisecond, true)
+	tr.Observe("p/1", time.Millisecond, true)
+	st := tr.Status()
+	if st.Errors != 2 {
+		t.Errorf("errors = %d", st.Errors)
+	}
+	// 20% errors on a 10% budget: burn 2.
+	if st.Short.Burn < 1.99 || st.Short.Burn > 2.01 {
+		t.Errorf("burn = %v, want 2", st.Short.Burn)
+	}
+}
+
+func TestSLOTrackerWriteJSON(t *testing.T) {
+	tr := NewSLOTracker(SLO{P99: 5 * time.Millisecond})
+	tr.Observe("p/1", time.Millisecond, false)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var st SLOStatus
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if st.Requests != 1 || !strings.Contains(st.SLO, "p99=5ms") {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestSLOTrackerInstrument(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewSLOTracker(SLO{P99: time.Millisecond})
+	tr.Instrument(reg)
+	tr.Observe("p/1", time.Second, false)
+	tr.Observe("p/1", time.Microsecond, true)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"clare_slo_requests_total 2",
+		"clare_slo_slow_total 1",
+		"clare_slo_errors_total 1",
+		`clare_slo_burn_rate{window="short"}`,
+		`clare_slo_burn_rate{window="long"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Observe("p/1", time.Second, true) // must not panic
+	tr.Instrument(nil)
+	if st := tr.Status(); st.Requests != 0 {
+		t.Error("nil tracker not inert")
+	}
+}

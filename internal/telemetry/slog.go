@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The zero value is LevelInfo, so an
+// unconfigured logger behaves like a plain printer.
+type Level int
+
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch {
+	case l <= LevelDebug:
+		return "debug"
+	case l == LevelInfo:
+		return "info"
+	case l == LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel reads a -log-level flag value; unknown strings default to
+// info rather than erroring so a typo degrades to more logging, not a
+// dead daemon.
+func ParseLevel(s string) Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger is the daemons' structured event stream: leveled, key=value or
+// JSON lines, each carrying a timestamp, component, and any bound
+// fields (trace IDs, shard numbers) so boot, drain, WAL-recovery, and
+// anomaly events correlate with the retrieval telemetry. Stdlib-only
+// and nil-safe: a nil logger drops everything, so library code can log
+// unconditionally.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	level  Level
+	asJSON bool
+	fields []kvPair // bound by With, rendered on every line
+	now    func() time.Time
+}
+
+type kvPair struct {
+	k string
+	v string
+}
+
+// NewLogger builds a logger writing to w at the given threshold.
+// jsonLines selects one-JSON-object-per-line output; otherwise lines
+// are logfmt-style `ts=... level=... msg=... k=v`.
+func NewLogger(w io.Writer, level Level, jsonLines bool) *Logger {
+	return &Logger{w: w, level: level, asJSON: jsonLines, now: time.Now}
+}
+
+// With returns a logger that prepends the given key/value pairs to
+// every line — e.g. component=crsd or trace=<id>. Pairs are rendered in
+// the order bound. The parent is unchanged.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := &Logger{w: l.w, level: l.level, asJSON: l.asJSON, now: l.now}
+	child.fields = append(append([]kvPair{}, l.fields...), pairs(kv)...)
+	return child
+}
+
+func pairs(kv []any) []kvPair {
+	var out []kvPair
+	for i := 0; i+1 < len(kv); i += 2 {
+		out = append(out, kvPair{fmt.Sprint(kv[i]), fmt.Sprint(kv[i+1])})
+	}
+	if len(kv)%2 == 1 {
+		out = append(out, kvPair{"arg", fmt.Sprint(kv[len(kv)-1])})
+	}
+	return out
+}
+
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+func (l *Logger) Info(msg string, kv ...any)  { l.log(LevelInfo, msg, kv) }
+func (l *Logger) Warn(msg string, kv ...any)  { l.log(LevelWarn, msg, kv) }
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if l == nil || level < l.level {
+		return
+	}
+	line := l.fields
+	if len(kv) > 0 {
+		line = append(append([]kvPair{}, line...), pairs(kv)...)
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.asJSON {
+		obj := map[string]string{"ts": ts, "level": level.String(), "msg": msg}
+		for _, p := range line {
+			// Bound fields must not clobber the envelope keys.
+			if _, taken := obj[p.k]; !taken {
+				obj[p.k] = p.v
+			}
+		}
+		blob, err := json.Marshal(obj)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(l.w, "%s\n", blob)
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ts=%s level=%s msg=%s", ts, level.String(), quoteIfNeeded(msg))
+	for _, p := range line {
+		fmt.Fprintf(&b, " %s=%s", quoteIfNeeded(p.k), quoteIfNeeded(p.v))
+	}
+	fmt.Fprintln(l.w, b.String())
+}
+
+// quoteIfNeeded wraps values containing spaces or quotes so logfmt
+// lines stay machine-splittable.
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

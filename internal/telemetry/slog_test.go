@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+func TestLoggerLogfmt(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, false)
+	l.now = fixedNow
+	l.Info("store loaded", "path", "kb.clare", "cold start", "1.2ms")
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{
+		"ts=2026-08-08T12:00:00Z", "level=info", `msg="store loaded"`,
+		"path=kb.clare", `"cold start"=1.2ms`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, true).With("daemon", "crsd")
+	l.Warn("slow query captured", "predicate", "p/1", "wall", "7ms")
+	var obj map[string]string
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if obj["level"] != "warn" || obj["msg"] != "slow query captured" ||
+		obj["daemon"] != "crsd" || obj["predicate"] != "p/1" {
+		t.Errorf("object = %v", obj)
+	}
+	if obj["ts"] == "" {
+		t.Error("missing ts")
+	}
+}
+
+func TestLoggerLevelThreshold(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn, false)
+	l.Debug("dropped")
+	l.Info("dropped too")
+	l.Warn("kept")
+	l.Error("kept too")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("emitted %d lines, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestLoggerWithDoesNotMutateParent(t *testing.T) {
+	var buf bytes.Buffer
+	parent := NewLogger(&buf, LevelInfo, false)
+	child := parent.With("shard", 3)
+	child.Info("child")
+	parent.Info("parent")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], "shard=3") {
+		t.Errorf("child line missing bound field: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "shard=3") {
+		t.Errorf("parent inherited child field: %s", lines[1])
+	}
+}
+
+func TestLoggerJSONEnvelopeWins(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo, true)
+	l.Info("real message", "msg", "imposter")
+	var obj map[string]string
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["msg"] != "real message" {
+		t.Errorf("bound field clobbered the envelope: %v", obj)
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("dropped")              // must not panic
+	l.With("k", "v").Error("gone") // With on nil stays nil
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// KV is one key/value pair of a captured EXPLAIN profile, kept as
+// strings so the telemetry package needs no knowledge of core's types.
+type KV struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SlowCapture is one slow-query log entry: the retrieval that tripped
+// the threshold plus the full EXPLAIN funnel profile re-run capture-side
+// right after it.
+type SlowCapture struct {
+	Seq         uint64 `json:"seq"`
+	TS          int64  `json:"ts_unix_nano"`
+	Predicate   string `json:"predicate"`
+	Mode        string `json:"mode"`
+	Goal        string `json:"goal"`
+	WallNS      int64  `json:"wall_ns"`
+	ThresholdNS int64  `json:"threshold_ns"`
+	TraceID     uint64 `json:"trace_id,omitempty"`
+	Profile     []KV   `json:"profile,omitempty"`
+}
+
+// SlowQueryLog is a rate-limited ring of SlowCaptures. Offer gates the
+// expensive capture-side EXPLAIN re-run per predicate, so a pathological
+// predicate cannot flood the log or burn the engine re-profiling itself;
+// Add publishes a finished capture. Nil-safe throughout.
+type SlowQueryLog struct {
+	mu         sync.Mutex
+	ring       []*SlowCapture
+	next       int
+	seq        uint64
+	captured   int64
+	suppressed int64
+	lastOffer  map[string]time.Time
+	minGap     time.Duration
+	now        func() time.Time
+}
+
+// DefaultSlowLogSize is the capture ring size when -slow-log is unset.
+const DefaultSlowLogSize = 64
+
+// DefaultSlowGap is the per-predicate minimum spacing between captures.
+const DefaultSlowGap = time.Second
+
+// NewSlowQueryLog builds a log of n entries (DefaultSlowLogSize when
+// n <= 0) spacing per-predicate captures at least minGap apart
+// (DefaultSlowGap when <= 0).
+func NewSlowQueryLog(n int, minGap time.Duration) *SlowQueryLog {
+	if n <= 0 {
+		n = DefaultSlowLogSize
+	}
+	if minGap <= 0 {
+		minGap = DefaultSlowGap
+	}
+	return &SlowQueryLog{
+		ring:      make([]*SlowCapture, 0, n),
+		lastOffer: make(map[string]time.Time),
+		minGap:    minGap,
+		now:       time.Now,
+	}
+}
+
+// Offer asks whether a capture for pred should proceed now. It returns
+// false — and counts a suppression — when the predicate was captured
+// less than minGap ago.
+func (l *SlowQueryLog) Offer(pred string) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if last, ok := l.lastOffer[pred]; ok && now.Sub(last) < l.minGap {
+		l.suppressed++
+		return false
+	}
+	l.lastOffer[pred] = now
+	return true
+}
+
+// Add publishes a finished capture into the ring, stamping its sequence
+// number and timestamp.
+func (l *SlowQueryLog) Add(c *SlowCapture) {
+	if l == nil || c == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	c.Seq = l.seq
+	if c.TS == 0 {
+		c.TS = l.now().UnixNano()
+	}
+	l.captured++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, c)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = c
+	l.next = (l.next + 1) % len(l.ring)
+}
+
+// Captured reports how many captures have ever been published.
+func (l *SlowQueryLog) Captured() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.captured
+}
+
+// Suppressed reports how many offers the rate limit declined.
+func (l *SlowQueryLog) Suppressed() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.suppressed
+}
+
+// Tail returns up to n of the most recent captures, oldest first.
+// n <= 0 means everything the ring holds.
+func (l *SlowQueryLog) Tail(n int) []*SlowCapture {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*SlowCapture, 0, len(l.ring))
+	if len(l.ring) < cap(l.ring) {
+		out = append(out, l.ring...)
+	} else {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// WriteJSONL dumps up to n captures (oldest first) as one JSON object
+// per line.
+func (l *SlowQueryLog) WriteJSONL(w io.Writer, n int) error {
+	for _, c := range l.Tail(n) {
+		blob, err := json.Marshal(c)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogRateLimit(t *testing.T) {
+	l := NewSlowQueryLog(8, time.Second)
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	l.now = func() time.Time { return clock }
+
+	if !l.Offer("p/1") {
+		t.Fatal("first offer declined")
+	}
+	if l.Offer("p/1") {
+		t.Error("second offer inside the gap accepted")
+	}
+	if !l.Offer("q/2") {
+		t.Error("different predicate throttled by p/1's gap")
+	}
+	clock = clock.Add(2 * time.Second)
+	if !l.Offer("p/1") {
+		t.Error("offer after the gap declined")
+	}
+	if got := l.Suppressed(); got != 1 {
+		t.Errorf("suppressed = %d, want 1", got)
+	}
+}
+
+func TestSlowLogRingWrap(t *testing.T) {
+	l := NewSlowQueryLog(3, time.Millisecond)
+	for i := 1; i <= 5; i++ {
+		l.Add(&SlowCapture{Predicate: "p/1", WallNS: int64(i)})
+	}
+	if got := l.Captured(); got != 5 {
+		t.Errorf("captured = %d, want 5", got)
+	}
+	tail := l.Tail(0)
+	if len(tail) != 3 {
+		t.Fatalf("tail holds %d, want ring size 3", len(tail))
+	}
+	// Oldest first, newest 3 kept (seqs 3..5).
+	for i, c := range tail {
+		if want := uint64(3 + i); c.Seq != want {
+			t.Errorf("tail[%d].Seq = %d, want %d", i, c.Seq, want)
+		}
+	}
+	if got := len(l.Tail(2)); got != 2 {
+		t.Errorf("Tail(2) = %d entries", got)
+	}
+}
+
+func TestSlowLogJSONL(t *testing.T) {
+	l := NewSlowQueryLog(4, time.Millisecond)
+	l.Add(&SlowCapture{Predicate: "p/1", Goal: "p(a, X)", WallNS: 7e6, ThresholdNS: 5e6,
+		Profile: []KV{{Key: "candidates.total", Value: "30"}}})
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var c SlowCapture
+	if err := json.Unmarshal(buf.Bytes(), &c); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if c.Goal != "p(a, X)" || len(c.Profile) != 1 || c.Profile[0].Key != "candidates.total" {
+		t.Errorf("round trip = %+v", c)
+	}
+	if !strings.Contains(buf.String(), `"threshold_ns":5000000`) {
+		t.Errorf("JSON field names drifted:\n%s", buf.String())
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowQueryLog
+	if l.Offer("p/1") {
+		t.Error("nil log accepted an offer")
+	}
+	l.Add(&SlowCapture{}) // must not panic
+	if l.Captured() != 0 || l.Suppressed() != 0 || l.Tail(0) != nil {
+		t.Error("nil log not inert")
+	}
+}
